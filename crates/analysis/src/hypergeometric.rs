@@ -1,0 +1,227 @@
+//! Hypergeometric committee-sampling analysis (Eq. 3/4, Fig. 5).
+//!
+//! Committees are sampled uniformly without replacement from the `n` nodes, of
+//! which `t < n/3` are malicious. A committee of size `c` is *insecure* when at
+//! least half of its members are malicious; the probability of that event is the
+//! hypergeometric tail
+//!
+//! ```text
+//! Pr[X ≥ c/2] = Σ_{x=⌈c/2⌉}^{c} C(t, x)·C(n−t, c−x) / C(n, c)
+//! ```
+//!
+//! which the paper bounds by `exp(−D(1/2 ‖ f)·c) ≤ exp(−c/12)` using the
+//! Kullback–Leibler divergence (Eq. 3–4). This module computes the exact tail
+//! (in log space, so `n` in the thousands is no problem), the KL bound, and a
+//! Monte-Carlo estimate used by tests to cross-check the closed form.
+
+/// Natural log of `k!` via the log-gamma function (Lanczos-free: straight
+/// summation is exact enough and fast for the sizes we use, with a Stirling
+/// fallback for very large `k`).
+pub fn ln_factorial(k: u64) -> f64 {
+    if k < 2 {
+        return 0.0;
+    }
+    if k <= 10_000 {
+        (2..=k).map(|i| (i as f64).ln()).sum()
+    } else {
+        // Stirling series with the 1/(12k) correction.
+        let kf = k as f64;
+        kf * kf.ln() - kf + 0.5 * (2.0 * std::f64::consts::PI * kf).ln() + 1.0 / (12.0 * kf)
+    }
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`; `-inf` when `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Probability mass `Pr[X = x]` of the hypergeometric distribution with
+/// population `n`, `t` marked items, and sample size `c`.
+pub fn hypergeometric_pmf(n: u64, t: u64, c: u64, x: u64) -> f64 {
+    if x > t || x > c || c > n || c - x > n - t {
+        return 0.0;
+    }
+    (ln_choose(t, x) + ln_choose(n - t, c - x) - ln_choose(n, c)).exp()
+}
+
+/// Tail probability `Pr[X ≥ k]` of the same distribution.
+pub fn hypergeometric_tail(n: u64, t: u64, c: u64, k: u64) -> f64 {
+    let upper = t.min(c);
+    if k > upper {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for x in k..=upper {
+        sum += hypergeometric_pmf(n, t, c, x);
+    }
+    sum.min(1.0)
+}
+
+/// Probability that a uniformly sampled committee of size `c` is insecure
+/// (at least half malicious), i.e. `Pr[X ≥ ⌈c/2⌉]`.
+pub fn committee_failure_probability(n: u64, t: u64, c: u64) -> f64 {
+    hypergeometric_tail(n, t, c, c.div_ceil(2))
+}
+
+/// Kullback–Leibler divergence `D(a ‖ b)` between two Bernoulli parameters.
+pub fn kl_divergence(a: f64, b: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&a) && (0.0..1.0).contains(&b) && b > 0.0);
+    let term = |p: f64, q: f64| if p == 0.0 { 0.0 } else { p * (p / q).ln() };
+    term(a, b) + term(1.0 - a, 1.0 - b)
+}
+
+/// The paper's Chernoff-style bound `exp(−D(1/2 ‖ f)·c)` with
+/// `f = t/n + 1/c` (Eq. 3), clamped to 1.
+pub fn kl_bound(n: u64, t: u64, c: u64) -> f64 {
+    let f = (t as f64 / n as f64 + 1.0 / c as f64).min(0.999_999);
+    (-kl_divergence(0.5, f) * c as f64).exp().min(1.0)
+}
+
+/// The simplified bound `exp(−c/12)` of Eq. 4 (valid for `t < n/3`).
+pub fn simplified_bound(c: u64) -> f64 {
+    (-(c as f64) / 12.0).exp()
+}
+
+/// Monte-Carlo estimate of the committee failure probability, used by tests and
+/// the Fig. 5 bench to cross-check the closed form. Sampling is a
+/// Fisher–Yates-free sequential draw (hypergeometric by construction) driven by
+/// a caller-supplied RNG closure returning uniform values in `[0, 1)`.
+pub fn monte_carlo_failure<R: FnMut() -> f64>(
+    n: u64,
+    t: u64,
+    c: u64,
+    trials: u64,
+    mut uniform: R,
+) -> f64 {
+    let mut failures = 0u64;
+    for _ in 0..trials {
+        let mut remaining_bad = t;
+        let mut remaining_total = n;
+        let mut bad_in_committee = 0u64;
+        for _ in 0..c {
+            let p_bad = remaining_bad as f64 / remaining_total as f64;
+            if uniform() < p_bad {
+                bad_in_committee += 1;
+                remaining_bad -= 1;
+            }
+            remaining_total -= 1;
+        }
+        if 2 * bad_in_committee >= c {
+            failures += 1;
+        }
+    }
+    failures as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_matches_small_values() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-9);
+        assert!((ln_factorial(10) - 3_628_800f64.ln()).abs() < 1e-9);
+        // Stirling branch agrees with the exact branch to good precision.
+        let exact: f64 = (2..=10_001u64).map(|i| (i as f64).ln()).sum();
+        assert!((ln_factorial(10_001) - exact).abs() / exact < 1e-9);
+    }
+
+    #[test]
+    fn ln_choose_matches_small_values() {
+        assert!((ln_choose(5, 2) - 10f64.ln()).abs() < 1e-9);
+        assert!((ln_choose(10, 5) - 252f64.ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        assert_eq!(ln_choose(7, 0), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let (n, t, c) = (50, 17, 12);
+        let total: f64 = (0..=c).map(|x| hypergeometric_pmf(n, t, c, x)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn pmf_out_of_support_is_zero() {
+        assert_eq!(hypergeometric_pmf(10, 3, 5, 4), 0.0); // more bad than exist
+        assert_eq!(hypergeometric_pmf(10, 9, 5, 0), 0.0); // cannot avoid bad: n-t=1 < c-x=5
+        assert_eq!(hypergeometric_pmf(10, 3, 20, 1), 0.0); // sample larger than population
+    }
+
+    #[test]
+    fn tail_is_monotone_in_threshold() {
+        let (n, t, c) = (2000, 666, 100);
+        let mut prev = 1.1;
+        for k in 0..=c {
+            let tail = hypergeometric_tail(n, t, c, k);
+            assert!(tail <= prev + 1e-12);
+            prev = tail;
+        }
+        assert!((hypergeometric_tail(n, t, c, 0) - 1.0).abs() < 1e-9);
+        assert_eq!(hypergeometric_tail(n, t, c, c + 1), 0.0);
+    }
+
+    #[test]
+    fn paper_spot_value_c240() {
+        // §V-B: with n = 2000, t = 666, c = 240 the paper reports a failure
+        // probability below 2.1e-9 (numerically equal to e^{-c/12} = e^{-20}).
+        // The exact hypergeometric tail lands in the same order of magnitude.
+        let p = committee_failure_probability(2000, 666, 240);
+        assert!(p < 1e-8, "p = {p}");
+        assert!(p > 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn failure_probability_decreases_with_committee_size() {
+        let mut prev = 1.0;
+        for c in [40u64, 80, 120, 160, 200, 240, 280] {
+            let p = committee_failure_probability(2000, 666, c);
+            assert!(p < prev, "c = {c}: {p} !< {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn kl_divergence_properties() {
+        assert!(kl_divergence(0.5, 0.5).abs() < 1e-12);
+        assert!(kl_divergence(0.5, 0.34) > 0.0);
+        assert!(kl_divergence(0.0, 0.5) > 0.0);
+    }
+
+    #[test]
+    fn kl_bound_dominates_exact_probability() {
+        // The Chernoff/Hoeffding bound exp(-D(1/2‖f)·c) (natural-log KL) is a
+        // genuine upper bound on the exact tail for the paper's regime t < n/3.
+        // (The paper's further simplification to e^{-c/12} uses a base-2 KL
+        // estimate and is an approximation rather than a strict bound; the
+        // Fig. 5 bench plots both curves next to the exact tail.)
+        for c in [60u64, 120, 240, 360] {
+            let exact = committee_failure_probability(2000, 666, c);
+            let kl = kl_bound(2000, 666, c);
+            assert!(exact <= kl * 1.0001, "c={c}: exact {exact} > KL bound {kl}");
+            assert!(simplified_bound(c) > 0.0 && simplified_bound(c) < 1.0);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact_at_small_committee() {
+        // Small committee so the failure probability is large enough to estimate.
+        let (n, t, c) = (200u64, 66u64, 11u64);
+        let exact = committee_failure_probability(n, t, c);
+        // Deterministic LCG uniform source.
+        let mut state = 0x12345678u64;
+        let estimate = monte_carlo_failure(n, t, c, 20_000, move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        });
+        assert!(
+            (estimate - exact).abs() < 0.02,
+            "estimate {estimate} vs exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Fig. 4 bench: evaluating the reward mapping g(x) and distributing a round's
+//! fees over a realistic population. The printable series comes from
+//! `cargo run --bin gen_fig4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cycledger_reputation::{distribute_rewards, reward_mapping_series};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_reward_mapping");
+    group.sample_size(30);
+    group.bench_function("series_-5_to_10", |b| {
+        b.iter(|| reward_mapping_series(-5.0, 10.0, 301))
+    });
+    for nodes in [200usize, 2000] {
+        let reputations: Vec<f64> = (0..nodes).map(|i| (i as f64 % 13.0) - 3.0).collect();
+        group.bench_with_input(
+            BenchmarkId::new("distribute_fees", nodes),
+            &reputations,
+            |b, reps| b.iter(|| distribute_rewards(1_000_000, reps)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

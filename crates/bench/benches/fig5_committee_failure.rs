@@ -1,0 +1,27 @@
+//! Fig. 5 bench: computing the exact hypergeometric committee-failure tail and
+//! the paper's bounds across committee sizes (n = 2000, t = 666). The printable
+//! series comes from `cargo run --bin gen_fig5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cycledger_analysis::{committee_failure_probability, kl_bound, simplified_bound};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_committee_failure");
+    group.sample_size(20);
+    for committee_size in [40u64, 120, 240, 400] {
+        group.bench_with_input(
+            BenchmarkId::new("exact_tail", committee_size),
+            &committee_size,
+            |b, &cs| b.iter(|| committee_failure_probability(2000, 666, cs)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bounds", committee_size),
+            &committee_size,
+            |b, &cs| b.iter(|| (simplified_bound(cs), kl_bound(2000, 666, cs))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

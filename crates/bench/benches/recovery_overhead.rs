@@ -1,0 +1,48 @@
+//! Recovery bench (Table I, dishonest-leader efficiency): wall-clock cost of a
+//! round with honest leaders vs. a round where leaders misbehave and the
+//! recovery procedure runs. The throughput comparison is printed by
+//! `cargo run --bin gen_recovery`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cycledger_bench::bench_config;
+use cycledger_protocol::{AdversaryConfig, Behavior, Simulation};
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let cases: [(&str, Option<Behavior>); 3] = [
+        ("honest_leaders", None),
+        ("silent_leader", Some(Behavior::SilentLeader)),
+        ("equivocating_leader", Some(Behavior::EquivocatingLeader)),
+    ];
+    for (label, behavior) in cases {
+        group.bench_with_input(BenchmarkId::new("round", label), &behavior, |b, behavior| {
+            b.iter_with_setup(
+                || {
+                    let mut cfg = bench_config(3, 10, 41);
+                    cfg.txs_per_round = 90;
+                    if behavior.is_some() {
+                        cfg.adversary = AdversaryConfig::with_behavior(0.2, behavior.unwrap());
+                    }
+                    let mut sim = Simulation::new(cfg).expect("valid configuration");
+                    if let Some(b) = *behavior {
+                        let victim = sim.assignment().committees[0].leader;
+                        sim.registry_mut().set_behavior(victim, b);
+                    }
+                    sim
+                },
+                |mut sim| {
+                    let report = sim.run_round();
+                    assert!(report.block_produced);
+                    sim
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Scalability bench (§III-D): simulated rounds at growing committee counts;
+//! the throughput series itself is printed by `cargo run --bin gen_scalability`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cycledger_bench::bench_config;
+use cycledger_protocol::Simulation;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for committees in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("round_at_m", committees),
+            &committees,
+            |b, &m| {
+                b.iter_with_setup(
+                    || {
+                        let mut cfg = bench_config(m, 10, 31);
+                        cfg.txs_per_round = 40 * m;
+                        Simulation::new(cfg).expect("valid configuration")
+                    },
+                    |mut sim| {
+                        let report = sim.run_round();
+                        assert!(report.block_produced);
+                        sim
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table I bench: cost of producing the protocol-comparison rows (failure
+//! probabilities, storage models, channel counts) across system sizes.
+//! The printable table itself comes from `cargo run --bin gen_table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cycledger_baselines::{build_table1, ComparisonParams};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_comparison");
+    group.sample_size(20);
+    for (n, m, csize) in [(2000u64, 10u64, 200u64), (4000, 20, 200), (8000, 40, 200)] {
+        let params = ComparisonParams {
+            n,
+            m,
+            c: csize,
+            lambda: 40,
+        };
+        group.bench_with_input(BenchmarkId::new("build_rows", n), &params, |b, p| {
+            b.iter(|| {
+                let rows = build_table1(p);
+                assert_eq!(rows.len(), 4);
+                rows
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

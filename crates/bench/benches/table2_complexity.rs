@@ -1,0 +1,37 @@
+//! Table II bench: wall-clock cost of one full protocol round as the number of
+//! committees grows (the per-phase byte/storage breakdown is printed by
+//! `cargo run --bin gen_table2`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cycledger_bench::bench_config;
+use cycledger_protocol::Simulation;
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_round_cost");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (m, csize) in [(2usize, 8usize), (4, 10), (6, 12)] {
+        group.bench_with_input(
+            BenchmarkId::new("full_round", format!("m{m}_c{csize}")),
+            &(m, csize),
+            |b, &(m, csize)| {
+                b.iter_with_setup(
+                    || {
+                        let mut cfg = bench_config(m, csize, 5);
+                        cfg.txs_per_round = 30 * m;
+                        Simulation::new(cfg).expect("valid configuration")
+                    },
+                    |mut sim| {
+                        sim.run_round();
+                        sim
+                    },
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates **Fig. 4** — the monotone reward-mapping function `g(x)` of
+//! Eq. 2 that converts (possibly negative) reputation into a positive reward
+//! weight, plus the cube-root leader punishment of §VII-B expressed through it.
+
+use cycledger_reputation::{leader_punishment, reward_mapping, reward_mapping_series};
+
+fn main() {
+    println!("Fig. 4 — the reward mapping g(x): e^x for x ≤ 0, 1 + ln(x + 1) for x > 0\n");
+    println!("{:>8} {:>12}", "x", "g(x)");
+    for (x, g) in reward_mapping_series(-5.0, 10.0, 31) {
+        println!("{x:>8.2} {g:>12.5}");
+    }
+    println!("\nAnchor points: g(0) = {:.3} (idle nodes still earn a little), g(-5) = {:.4} (≈0),",
+        reward_mapping(0.0), reward_mapping(-5.0));
+    println!("g(e-1) = {:.3}.", reward_mapping(std::f64::consts::E - 1.0));
+
+    println!("\n§VII-B — cube-root punishment of a convicted leader, in reward-weight terms:");
+    println!("{:>12} {:>14} {:>14} {:>18}", "reputation", "g(before)", "g(after)", "weight retained");
+    for rep in [1.0f64, 8.0, 27.0, 125.0, 1000.0] {
+        let before = reward_mapping(rep);
+        let after = reward_mapping(leader_punishment(rep));
+        println!("{rep:>12.1} {before:>14.3} {after:>14.3} {:>17.1}%", 100.0 * after / before);
+    }
+    println!("\nThe paper's claim: the punished leader's mapped value drops to roughly a third of the original.");
+}

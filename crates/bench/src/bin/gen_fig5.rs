@@ -1,0 +1,56 @@
+//! Regenerates **Fig. 5** — the probability that a uniformly sampled committee
+//! from a 2000-node population with 666 malicious nodes is insecure (≥ half
+//! malicious), as a function of the committee size — together with the
+//! e^{-c/12} expression of Eq. 4, a Monte-Carlo cross-check, and the §V-C
+//! partial-set bound.
+
+use cycledger_analysis::{
+    committee_failure_probability, kl_bound, monte_carlo_failure, partial_set_failure_probability,
+    simplified_bound, union_bound,
+};
+
+fn main() {
+    let (n, t) = (2000u64, 666u64);
+    println!("Fig. 5 — committee sampling failure probability (n = {n}, t = {t})\n");
+    println!(
+        "{:>6} {:>16} {:>16} {:>16} {:>14}",
+        "c", "exact tail", "exp(-c/12)", "KL bound", "monte carlo"
+    );
+    let mut lcg = 0x9e3779b97f4a7c15u64;
+    for c in (40..=400).step_by(40) {
+        let exact = committee_failure_probability(n, t, c);
+        let simple = simplified_bound(c);
+        let kl = kl_bound(n, t, c);
+        // Monte-Carlo only where the probability is large enough to estimate.
+        let mc = if exact > 1e-4 {
+            format!(
+                "{:.4}",
+                monte_carlo_failure(n, t, c, 20_000, || {
+                    lcg = lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((lcg >> 11) as f64) / ((1u64 << 53) as f64)
+                })
+            )
+        } else {
+            "-".to_string()
+        };
+        println!("{c:>6} {exact:>16.3e} {simple:>16.3e} {kl:>16.3e} {mc:>14}");
+    }
+
+    println!("\nPaper spot values (§V-B): c = 240 → failure < 2.1e-9; union bound over m = 20 < 5e-8");
+    let p240 = committee_failure_probability(n, t, 240);
+    println!(
+        "Measured:                 c = 240 → failure = {:.3e}; union bound over m = 20 = {:.3e}",
+        p240,
+        union_bound(20, p240)
+    );
+
+    println!("\n§V-C — partial-set failure probability (no honest node in the partial set):");
+    println!("{:>6} {:>16} {:>22}", "λ", "(1/3)^λ", "union bound (m = 20)");
+    for lambda in [10u32, 20, 30, 40, 50, 60] {
+        let p = partial_set_failure_probability(lambda);
+        println!("{lambda:>6} {p:>16.3e} {:>22.3e}", union_bound(20, p));
+    }
+    println!("\nPaper spot value: λ = 40 → (1/3)^40 < 8e-20, union bound over 20 committees < 2e-18");
+}

@@ -1,0 +1,33 @@
+//! # cycledger-consensus
+//!
+//! The intra-committee consensus machinery of CycLedger:
+//!
+//! * [`messages`] — signed PROPOSE / ECHO / CONFIRM messages of Algorithm 3.
+//! * [`alg3`] — per-node state machines for Algorithm 3, including equivocation
+//!   detection from conflicting leader-signed proposals.
+//! * [`quorum`] — transferable quorum certificates ("SigList") and their
+//!   verification against a committee key directory.
+//! * [`votes`] — `TXList` voting, `V List` assembly, and the `TXdecSET` tally
+//!   (Algorithm 5).
+//! * [`witness`] — leader-misbehaviour witnesses (equivocation, semi-commitment
+//!   mismatch) that feed the recovery procedure (Algorithm 6, Claims 3 & 4).
+//!
+//! Everything here is transport-agnostic; the `cycledger-protocol` crate drives
+//! these state machines over the simulated network.
+
+#![warn(missing_docs)]
+
+pub mod alg3;
+pub mod messages;
+pub mod quorum;
+pub mod votes;
+pub mod witness;
+
+pub use alg3::{LeaderState, MemberAction, MemberState};
+pub use messages::{Alg3Message, Confirm, ConsensusId, Echo, Propose};
+pub use quorum::{CommitteeKeys, QuorumCertificate, QuorumError};
+pub use votes::{Tally, Vote, VoteList, VoteVector};
+pub use witness::{
+    member_list_signing_bytes, semi_commitment, CommitmentMismatchEvidence, EquivocationEvidence,
+    Witness,
+};

@@ -1,0 +1,314 @@
+//! Wire messages for the inside-committee consensus (Algorithm 3).
+//!
+//! Algorithm 3 is a three-step synchronous broadcast: the leader PROPOSEs
+//! `(r, sn, H(M), M)`, members ECHO the digest (relaying the leader-signed
+//! proposal so everyone can check the leader said the same thing to everyone),
+//! and once a member has seen identical ECHOes from more than half the committee
+//! it CONFIRMs back to the leader together with the echo signatures it collected.
+//!
+//! Every message is signed; signatures are what make leader equivocation
+//! *provable* (a witness needs a leader-signed message, Claim 4) and what makes
+//! a quorum certificate transferable to the referee committee.
+
+use cycledger_crypto::schnorr::{sign, verify, PublicKey, SecretKey, Signature};
+use cycledger_crypto::sha256::Digest;
+use cycledger_net::topology::NodeId;
+
+/// Identifier of one consensus instance: the round number and the leader's
+/// monotonically increasing sequence number (the paper's `(r, sn)` pair).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ConsensusId {
+    /// Protocol round `r`.
+    pub round: u64,
+    /// Sequence number `sn`, unique per leader per round.
+    pub seq: u64,
+}
+
+impl ConsensusId {
+    fn encode(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.round.to_be_bytes());
+        out[8..].copy_from_slice(&self.seq.to_be_bytes());
+        out
+    }
+}
+
+/// The leader's PROPOSE message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Propose {
+    /// Consensus instance.
+    pub id: ConsensusId,
+    /// Digest `H(M)` of the proposed payload.
+    pub digest: Digest,
+    /// The payload `M` itself.
+    pub payload: Vec<u8>,
+    /// Leader who proposed.
+    pub leader: NodeId,
+    /// Leader's signature over `(PROPOSE, id, digest)`.
+    pub signature: Signature,
+}
+
+/// A member's ECHO message (carries the leader-signed proposal header so that
+/// receivers can verify leader origin without having heard the PROPOSE).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Echo {
+    /// Consensus instance.
+    pub id: ConsensusId,
+    /// Digest being echoed.
+    pub digest: Digest,
+    /// The echoing member.
+    pub member: NodeId,
+    /// The member's signature over `(ECHO, id, digest, member)`.
+    pub signature: Signature,
+    /// The leader that issued the proposal this echo refers to.
+    pub leader: NodeId,
+    /// The leader's PROPOSE signature, relayed.
+    pub propose_signature: Signature,
+}
+
+/// A member's CONFIRM message back to the leader, carrying the echo signatures
+/// that justify it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Confirm {
+    /// Consensus instance.
+    pub id: ConsensusId,
+    /// Digest being confirmed.
+    pub digest: Digest,
+    /// The confirming member.
+    pub member: NodeId,
+    /// The member's signature over `(CONFIRM, id, digest, member)`.
+    pub signature: Signature,
+    /// Echo signatures collected by this member: `(echoer, signature)`.
+    pub echo_signatures: Vec<(NodeId, Signature)>,
+}
+
+/// All Algorithm 3 traffic, plus the abort notice honest members broadcast when
+/// they catch the leader equivocating.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Alg3Message {
+    /// Leader → members.
+    Propose(Propose),
+    /// Member → members.
+    Echo(Echo),
+    /// Member → leader.
+    Confirm(Confirm),
+}
+
+impl Alg3Message {
+    /// Approximate wire size in bytes (used for network accounting).
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Alg3Message::Propose(p) => 16 + 32 + p.payload.len() as u64 + 96,
+            Alg3Message::Echo(_) => 16 + 32 + 4 + 96 + 96,
+            Alg3Message::Confirm(c) => {
+                16 + 32 + 4 + 96 + c.echo_signatures.len() as u64 * (4 + 96)
+            }
+        }
+    }
+}
+
+/// Signing payload for a PROPOSE.
+pub fn propose_signing_bytes(id: &ConsensusId, digest: &Digest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(b"cycledger/alg3-propose");
+    out.extend_from_slice(&id.encode());
+    out.extend_from_slice(digest.as_bytes());
+    out
+}
+
+/// Signing payload for an ECHO.
+pub fn echo_signing_bytes(id: &ConsensusId, digest: &Digest, member: NodeId) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(b"cycledger/alg3-echo");
+    out.extend_from_slice(&id.encode());
+    out.extend_from_slice(digest.as_bytes());
+    out.extend_from_slice(&member.0.to_be_bytes());
+    out
+}
+
+/// Signing payload for a CONFIRM.
+pub fn confirm_signing_bytes(id: &ConsensusId, digest: &Digest, member: NodeId) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(b"cycledger/alg3-confirm");
+    out.extend_from_slice(&id.encode());
+    out.extend_from_slice(digest.as_bytes());
+    out.extend_from_slice(&member.0.to_be_bytes());
+    out
+}
+
+/// Builds a signed PROPOSE for a payload.
+pub fn make_propose(
+    id: ConsensusId,
+    payload: Vec<u8>,
+    leader: NodeId,
+    leader_key: &SecretKey,
+) -> Propose {
+    let digest = cycledger_crypto::sha256::hash_parts(&[b"cycledger/alg3-payload", &payload]);
+    let signature = sign(leader_key, &propose_signing_bytes(&id, &digest));
+    Propose {
+        id,
+        digest,
+        payload,
+        leader,
+        signature,
+    }
+}
+
+/// Digest of a payload, as computed by [`make_propose`]; members recompute it
+/// to check the leader's claimed digest.
+pub fn payload_digest(payload: &[u8]) -> Digest {
+    cycledger_crypto::sha256::hash_parts(&[b"cycledger/alg3-payload", payload])
+}
+
+/// Verifies a PROPOSE's signature and digest against the leader's public key.
+pub fn verify_propose(propose: &Propose, leader_pk: &PublicKey) -> bool {
+    propose.digest == payload_digest(&propose.payload)
+        && verify(
+            leader_pk,
+            &propose_signing_bytes(&propose.id, &propose.digest),
+            &propose.signature,
+        )
+}
+
+/// Builds a signed ECHO relaying the leader's signature.
+pub fn make_echo(propose: &Propose, member: NodeId, member_key: &SecretKey) -> Echo {
+    let signature = sign(member_key, &echo_signing_bytes(&propose.id, &propose.digest, member));
+    Echo {
+        id: propose.id,
+        digest: propose.digest,
+        member,
+        signature,
+        leader: propose.leader,
+        propose_signature: propose.signature,
+    }
+}
+
+/// Verifies an ECHO: the member's own signature and the relayed leader signature.
+pub fn verify_echo(echo: &Echo, member_pk: &PublicKey, leader_pk: &PublicKey) -> bool {
+    verify(
+        member_pk,
+        &echo_signing_bytes(&echo.id, &echo.digest, echo.member),
+        &echo.signature,
+    ) && verify(
+        leader_pk,
+        &propose_signing_bytes(&echo.id, &echo.digest),
+        &echo.propose_signature,
+    )
+}
+
+/// Builds a signed CONFIRM carrying the collected echo signatures.
+pub fn make_confirm(
+    id: ConsensusId,
+    digest: Digest,
+    member: NodeId,
+    member_key: &SecretKey,
+    echo_signatures: Vec<(NodeId, Signature)>,
+) -> Confirm {
+    let signature = sign(member_key, &confirm_signing_bytes(&id, &digest, member));
+    Confirm {
+        id,
+        digest,
+        member,
+        signature,
+        echo_signatures,
+    }
+}
+
+/// Verifies a CONFIRM's own signature (echo signatures are verified by the
+/// quorum-certificate logic, which knows everyone's keys).
+pub fn verify_confirm(confirm: &Confirm, member_pk: &PublicKey) -> bool {
+    verify(
+        member_pk,
+        &confirm_signing_bytes(&confirm.id, &confirm.digest, confirm.member),
+        &confirm.signature,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cycledger_crypto::schnorr::Keypair;
+
+    fn id() -> ConsensusId {
+        ConsensusId { round: 3, seq: 11 }
+    }
+
+    #[test]
+    fn propose_round_trip() {
+        let leader = Keypair::from_seed(b"leader");
+        let p = make_propose(id(), b"payload".to_vec(), NodeId(0), &leader.secret);
+        assert!(verify_propose(&p, &leader.public));
+        assert_eq!(p.digest, payload_digest(b"payload"));
+    }
+
+    #[test]
+    fn propose_with_wrong_digest_rejected() {
+        let leader = Keypair::from_seed(b"leader");
+        let mut p = make_propose(id(), b"payload".to_vec(), NodeId(0), &leader.secret);
+        p.payload = b"swapped".to_vec();
+        assert!(!verify_propose(&p, &leader.public));
+    }
+
+    #[test]
+    fn propose_from_wrong_key_rejected() {
+        let leader = Keypair::from_seed(b"leader");
+        let impostor = Keypair::from_seed(b"impostor");
+        let p = make_propose(id(), b"payload".to_vec(), NodeId(0), &impostor.secret);
+        assert!(!verify_propose(&p, &leader.public));
+    }
+
+    #[test]
+    fn echo_round_trip_and_relay_check() {
+        let leader = Keypair::from_seed(b"leader");
+        let member = Keypair::from_seed(b"member");
+        let p = make_propose(id(), b"payload".to_vec(), NodeId(0), &leader.secret);
+        let e = make_echo(&p, NodeId(5), &member.secret);
+        assert!(verify_echo(&e, &member.public, &leader.public));
+        // An echo whose relayed leader signature is forged fails.
+        let impostor = Keypair::from_seed(b"impostor");
+        let forged_propose = make_propose(id(), b"payload".to_vec(), NodeId(0), &impostor.secret);
+        let bad = make_echo(&forged_propose, NodeId(5), &member.secret);
+        assert!(!verify_echo(&bad, &member.public, &leader.public));
+    }
+
+    #[test]
+    fn confirm_round_trip() {
+        let member = Keypair::from_seed(b"member");
+        let c = make_confirm(id(), payload_digest(b"x"), NodeId(7), &member.secret, vec![]);
+        assert!(verify_confirm(&c, &member.public));
+        let other = Keypair::from_seed(b"other");
+        assert!(!verify_confirm(&c, &other.public));
+    }
+
+    #[test]
+    fn signing_payloads_are_domain_separated() {
+        let d = payload_digest(b"x");
+        let i = id();
+        let a = propose_signing_bytes(&i, &d);
+        let b = echo_signing_bytes(&i, &d, NodeId(1));
+        let c = confirm_signing_bytes(&i, &d, NodeId(1));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wire_sizes_are_positive_and_grow_with_content() {
+        let leader = Keypair::from_seed(b"leader");
+        let member = Keypair::from_seed(b"member");
+        let p = make_propose(id(), vec![0u8; 100], NodeId(0), &leader.secret);
+        let e = make_echo(&p, NodeId(1), &member.secret);
+        let c_small = make_confirm(id(), p.digest, NodeId(1), &member.secret, vec![]);
+        let c_big = make_confirm(
+            id(),
+            p.digest,
+            NodeId(1),
+            &member.secret,
+            vec![(NodeId(2), e.signature), (NodeId(3), e.signature)],
+        );
+        assert!(Alg3Message::Propose(p).wire_size() > 100);
+        assert!(Alg3Message::Confirm(c_big.clone()).wire_size() > Alg3Message::Confirm(c_small).wire_size());
+        assert!(Alg3Message::Echo(e).wire_size() > 0);
+        let _ = c_big;
+    }
+}

@@ -1,0 +1,230 @@
+//! Quorum certificates ("SigList" in the paper's pseudocode).
+//!
+//! Algorithm 3 terminates at the leader once more than half of the committee has
+//! CONFIRMed the same digest. The collected confirmations form a transferable
+//! certificate: the leader forwards it (e.g. with `TXdecSET` to the referee
+//! committee), and anyone holding the committee's public keys can verify that a
+//! majority really signed off — which is why a faulty leader "cannot fabricate a
+//! consensus result" (§IV-D).
+
+use std::collections::BTreeMap;
+
+use cycledger_crypto::schnorr::{PublicKey, Signature};
+use cycledger_crypto::sha256::Digest;
+use cycledger_net::topology::NodeId;
+
+use crate::messages::{confirm_signing_bytes, ConsensusId};
+
+/// The public keys of a committee, indexed by node id.
+#[derive(Clone, Debug, Default)]
+pub struct CommitteeKeys {
+    keys: BTreeMap<NodeId, PublicKey>,
+}
+
+impl CommitteeKeys {
+    /// Builds the key directory from `(node, key)` pairs.
+    pub fn new(pairs: impl IntoIterator<Item = (NodeId, PublicKey)>) -> Self {
+        CommitteeKeys {
+            keys: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Looks up a member's key.
+    pub fn get(&self, node: NodeId) -> Option<&PublicKey> {
+        self.keys.get(&node)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// True if `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.keys.contains_key(&node)
+    }
+
+    /// Iterates over members in id order.
+    pub fn members(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.keys.keys().copied()
+    }
+
+    /// The majority threshold `⌊C/2⌋ + 1` used throughout Algorithm 3.
+    pub fn majority_threshold(&self) -> usize {
+        self.len() / 2 + 1
+    }
+}
+
+/// A quorum certificate: a digest plus confirm-signatures from distinct members.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuorumCertificate {
+    /// Consensus instance the certificate belongs to.
+    pub id: ConsensusId,
+    /// The agreed digest.
+    pub digest: Digest,
+    /// Confirm signatures `(member, signature)`, deduplicated by member.
+    pub signatures: Vec<(NodeId, Signature)>,
+}
+
+/// Why certificate verification failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuorumError {
+    /// Fewer distinct valid signers than the required threshold.
+    InsufficientSigners,
+    /// A signer is not a member of the committee.
+    UnknownSigner,
+    /// A signature does not verify.
+    BadSignature,
+    /// The same member appears twice.
+    DuplicateSigner,
+}
+
+impl QuorumCertificate {
+    /// Number of signatures carried.
+    pub fn signer_count(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> u64 {
+        16 + 32 + self.signatures.len() as u64 * (4 + 96)
+    }
+
+    /// Verifies the certificate against a committee key directory: all signers
+    /// must be distinct committee members with valid confirm-signatures over
+    /// `(id, digest)`, and there must be at least `threshold` of them.
+    pub fn verify(&self, keys: &CommitteeKeys, threshold: usize) -> Result<(), QuorumError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for (node, signature) in &self.signatures {
+            if !seen.insert(*node) {
+                return Err(QuorumError::DuplicateSigner);
+            }
+            let pk = keys.get(*node).ok_or(QuorumError::UnknownSigner)?;
+            let bytes = confirm_signing_bytes(&self.id, &self.digest, *node);
+            if !cycledger_crypto::schnorr::verify(pk, &bytes, signature) {
+                return Err(QuorumError::BadSignature);
+            }
+        }
+        if seen.len() < threshold {
+            return Err(QuorumError::InsufficientSigners);
+        }
+        Ok(())
+    }
+
+    /// Convenience: verify against the majority threshold of `keys`.
+    pub fn verify_majority(&self, keys: &CommitteeKeys) -> Result<(), QuorumError> {
+        self.verify(keys, keys.majority_threshold())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::make_confirm;
+    use cycledger_crypto::schnorr::Keypair;
+
+    fn committee(n: usize) -> (Vec<Keypair>, CommitteeKeys) {
+        let keypairs: Vec<Keypair> = (0..n)
+            .map(|i| Keypair::from_seed(format!("qc-member-{i}").as_bytes()))
+            .collect();
+        let keys = CommitteeKeys::new(
+            keypairs
+                .iter()
+                .enumerate()
+                .map(|(i, kp)| (NodeId(i as u32), kp.public)),
+        );
+        (keypairs, keys)
+    }
+
+    fn certificate(keypairs: &[Keypair], signers: &[usize], digest: Digest) -> QuorumCertificate {
+        let id = ConsensusId { round: 1, seq: 2 };
+        let signatures = signers
+            .iter()
+            .map(|&i| {
+                let c = make_confirm(id, digest, NodeId(i as u32), &keypairs[i].secret, vec![]);
+                (NodeId(i as u32), c.signature)
+            })
+            .collect();
+        QuorumCertificate {
+            id,
+            digest,
+            signatures,
+        }
+    }
+
+    #[test]
+    fn majority_threshold_formula() {
+        let (_, keys) = committee(7);
+        assert_eq!(keys.majority_threshold(), 4);
+        let (_, keys) = committee(8);
+        assert_eq!(keys.majority_threshold(), 5);
+        assert!(keys.contains(NodeId(0)));
+        assert!(!keys.contains(NodeId(100)));
+        assert_eq!(keys.members().count(), 8);
+        assert!(!keys.is_empty());
+    }
+
+    #[test]
+    fn valid_certificate_verifies() {
+        let (kps, keys) = committee(7);
+        let digest = cycledger_crypto::sha256::sha256(b"decision");
+        let qc = certificate(&kps, &[0, 1, 2, 3], digest);
+        assert_eq!(qc.verify_majority(&keys), Ok(()));
+        assert_eq!(qc.signer_count(), 4);
+        assert!(qc.wire_size() > 100);
+    }
+
+    #[test]
+    fn too_few_signers_rejected() {
+        let (kps, keys) = committee(7);
+        let digest = cycledger_crypto::sha256::sha256(b"decision");
+        let qc = certificate(&kps, &[0, 1, 2], digest);
+        assert_eq!(qc.verify_majority(&keys), Err(QuorumError::InsufficientSigners));
+        // But a lower explicit threshold can accept it.
+        assert_eq!(qc.verify(&keys, 3), Ok(()));
+    }
+
+    #[test]
+    fn unknown_signer_rejected() {
+        let (kps, keys) = committee(5);
+        let digest = cycledger_crypto::sha256::sha256(b"decision");
+        let mut qc = certificate(&kps, &[0, 1, 2], digest);
+        // Re-label one signer as a node outside the committee.
+        qc.signatures[0].0 = NodeId(99);
+        assert_eq!(qc.verify_majority(&keys), Err(QuorumError::UnknownSigner));
+    }
+
+    #[test]
+    fn bad_signature_rejected() {
+        let (kps, keys) = committee(5);
+        let digest = cycledger_crypto::sha256::sha256(b"decision");
+        let other_digest = cycledger_crypto::sha256::sha256(b"something else");
+        let mut qc = certificate(&kps, &[0, 1, 2], digest);
+        // Signature 0 actually signs a different digest.
+        let forged = certificate(&kps, &[0], other_digest);
+        qc.signatures[0] = forged.signatures[0];
+        assert_eq!(qc.verify_majority(&keys), Err(QuorumError::BadSignature));
+    }
+
+    #[test]
+    fn duplicate_signer_rejected() {
+        let (kps, keys) = committee(5);
+        let digest = cycledger_crypto::sha256::sha256(b"decision");
+        let mut qc = certificate(&kps, &[0, 1, 2], digest);
+        qc.signatures.push(qc.signatures[0]);
+        assert_eq!(qc.verify_majority(&keys), Err(QuorumError::DuplicateSigner));
+    }
+
+    #[test]
+    fn empty_committee_behaves() {
+        let keys = CommitteeKeys::default();
+        assert!(keys.is_empty());
+        assert_eq!(keys.len(), 0);
+        assert_eq!(keys.majority_threshold(), 1);
+    }
+}

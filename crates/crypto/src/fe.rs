@@ -1,0 +1,250 @@
+//! Field elements modulo the secp256k1 base-field prime
+//! `p = 2^256 - 2^32 - 977`.
+//!
+//! Elements are kept reduced (`0 <= value < p`) at all times. The arithmetic is
+//! variable-time, which is acceptable for a protocol *simulation*: the adversary
+//! model in the paper has no side-channel component, and DESIGN.md documents this
+//! substitution.
+
+use crate::u256::U256;
+
+/// The secp256k1 base-field prime `p`.
+pub fn field_prime() -> U256 {
+    U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+        .expect("valid prime literal")
+}
+
+/// An element of GF(p), the secp256k1 base field.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fe(U256);
+
+impl Fe {
+    /// The additive identity.
+    pub const fn zero() -> Fe {
+        Fe(U256::ZERO)
+    }
+
+    /// The multiplicative identity.
+    pub const fn one() -> Fe {
+        Fe(U256::ONE)
+    }
+
+    /// The curve constant `b = 7` in `y² = x³ + 7`.
+    pub fn curve_b() -> Fe {
+        Fe::from_u64(7)
+    }
+
+    /// Constructs from a small integer.
+    pub fn from_u64(v: u64) -> Fe {
+        Fe(U256::from_u64(v))
+    }
+
+    /// Constructs from a `U256`, reducing modulo `p`.
+    pub fn from_u256(v: U256) -> Fe {
+        let p = field_prime();
+        let mut v = v;
+        while v >= p {
+            v = v.wrapping_sub(&p);
+        }
+        Fe(v)
+    }
+
+    /// Constructs from 32 big-endian bytes, reducing modulo `p`.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Fe {
+        Fe::from_u256(U256::from_be_bytes(bytes))
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// Returns the underlying integer (already reduced).
+    pub fn as_u256(&self) -> &U256 {
+        &self.0
+    }
+
+    /// True if this is the additive identity.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// True if the canonical representative is odd.
+    pub fn is_odd(&self) -> bool {
+        self.0.is_odd()
+    }
+
+    /// Field addition.
+    pub fn add(&self, rhs: &Fe) -> Fe {
+        Fe(self.0.add_mod(&rhs.0, &field_prime()))
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, rhs: &Fe) -> Fe {
+        Fe(self.0.sub_mod(&rhs.0, &field_prime()))
+    }
+
+    /// Field negation.
+    pub fn neg(&self) -> Fe {
+        Fe::zero().sub(self)
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, rhs: &Fe) -> Fe {
+        Fe(self.0.mul_mod(&rhs.0, &field_prime()))
+    }
+
+    /// Field squaring.
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Multiplication by a small constant.
+    pub fn mul_u64(&self, k: u64) -> Fe {
+        self.mul(&Fe::from_u64(k))
+    }
+
+    /// Exponentiation by an arbitrary 256-bit exponent.
+    pub fn pow(&self, exp: &U256) -> Fe {
+        Fe(self.0.pow_mod(exp, &field_prime()))
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`a^(p-2)`).
+    ///
+    /// Panics if `self` is zero.
+    pub fn invert(&self) -> Fe {
+        assert!(!self.is_zero(), "cannot invert zero");
+        let p = field_prime();
+        let exp = p.wrapping_sub(&U256::from_u64(2));
+        self.pow(&exp)
+    }
+
+    /// Square root via the `p ≡ 3 (mod 4)` shortcut: `sqrt(a) = a^((p+1)/4)`.
+    ///
+    /// Returns `None` if `self` is a quadratic non-residue.
+    pub fn sqrt(&self) -> Option<Fe> {
+        if self.is_zero() {
+            return Some(Fe::zero());
+        }
+        let p = field_prime();
+        // (p + 1) / 4; p + 1 overflows 256 bits, so compute (p - 3)/4 + 1 instead.
+        let exp = p.wrapping_sub(&U256::from_u64(3)).shr(2).wrapping_add(&U256::ONE);
+        let candidate = self.pow(&exp);
+        if candidate.square() == *self {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+}
+
+impl core::fmt::Debug for Fe {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fe(0x{})", self.0.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prime_has_expected_form() {
+        // p = 2^256 - 2^32 - 977.
+        let p = field_prime();
+        let complement = U256::ZERO.wrapping_sub(&p);
+        assert_eq!(complement, U256::from_u64((1u64 << 32) + 977));
+        assert!(p.bit(255));
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let a = Fe::from_u64(100);
+        let b = Fe::from_u64(42);
+        assert_eq!(a.sub(&b), Fe::from_u64(58));
+        assert_eq!(b.sub(&a).add(&a), b);
+        assert_eq!(a.add(&a.neg()), Fe::zero());
+    }
+
+    #[test]
+    fn inversion() {
+        let a = Fe::from_u64(123456789);
+        assert_eq!(a.mul(&a.invert()), Fe::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invert zero")]
+    fn invert_zero_panics() {
+        Fe::zero().invert();
+    }
+
+    #[test]
+    fn sqrt_of_squares() {
+        for v in [2u64, 3, 5, 1000, 123456789] {
+            let a = Fe::from_u64(v);
+            let sq = a.square();
+            let root = sq.sqrt().expect("square must have a root");
+            assert!(root == a || root == a.neg(), "root of {v}^2");
+        }
+        assert_eq!(Fe::zero().sqrt(), Some(Fe::zero()));
+    }
+
+    #[test]
+    fn curve_b_is_seven() {
+        assert_eq!(Fe::curve_b(), Fe::from_u64(7));
+    }
+
+    #[test]
+    fn non_residue_has_no_root() {
+        // If a has a root, then -a... not necessarily a non-residue; instead search
+        // for an explicit non-residue among small values.
+        let mut found_none = false;
+        for v in 2u64..40 {
+            if Fe::from_u64(v).sqrt().is_none() {
+                found_none = true;
+                break;
+            }
+        }
+        assert!(found_none, "some small value must be a non-residue");
+    }
+
+    fn arb_fe() -> impl Strategy<Value = Fe> {
+        prop::array::uniform4(any::<u64>()).prop_map(|l| Fe::from_u256(U256::from_limbs(l)))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mul_commutes(a in arb_fe(), b in arb_fe()) {
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+        }
+
+        #[test]
+        fn prop_mul_associates(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        }
+
+        #[test]
+        fn prop_distributive(a in arb_fe(), b in arb_fe(), c in arb_fe()) {
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        }
+
+        #[test]
+        fn prop_inverse(a in arb_fe()) {
+            prop_assume!(!a.is_zero());
+            prop_assert_eq!(a.mul(&a.invert()), Fe::one());
+        }
+
+        #[test]
+        fn prop_sqrt_round_trip(a in arb_fe()) {
+            let sq = a.square();
+            let root = sq.sqrt().expect("squares have roots");
+            prop_assert!(root == a || root == a.neg());
+        }
+
+        #[test]
+        fn prop_bytes_round_trip(a in arb_fe()) {
+            prop_assert_eq!(Fe::from_be_bytes(&a.to_be_bytes()), a);
+        }
+    }
+}

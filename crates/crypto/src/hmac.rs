@@ -1,0 +1,228 @@
+//! HMAC-SHA256 (RFC 2104) and an HMAC-DRBG-style deterministic byte stream.
+//!
+//! The DRBG is used wherever the protocol needs *deterministic* pseudorandomness
+//! derived from protocol state: deterministic Schnorr nonces (RFC 6979 flavour),
+//! expanding a round seed `R^r` into per-committee lotteries, and reproducible
+//! workload generation in the benchmark harness.
+
+use crate::sha256::{Digest, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Computes HMAC-SHA256 over `data` with `key`.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> Digest {
+    hmac_sha256_parts(key, &[data])
+}
+
+/// HMAC-SHA256 over the concatenation of several message parts.
+pub fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> Digest {
+    let mut key_block = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let d = crate::sha256::sha256(key);
+        key_block[..DIGEST_LEN].copy_from_slice(d.as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK_LEN];
+    let mut opad = [0x5cu8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    for p in parts {
+        inner.update(p);
+    }
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(inner_digest.as_bytes());
+    outer.finalize()
+}
+
+/// Deterministic byte-stream generator in the style of HMAC-DRBG (NIST SP 800-90A,
+/// simplified: no reseed counter, no additional input after instantiation).
+#[derive(Clone)]
+pub struct HmacDrbg {
+    k: [u8; DIGEST_LEN],
+    v: [u8; DIGEST_LEN],
+}
+
+impl HmacDrbg {
+    /// Instantiates the DRBG from seed material.
+    pub fn new(seed: &[u8]) -> Self {
+        let mut drbg = HmacDrbg {
+            k: [0u8; DIGEST_LEN],
+            v: [1u8; DIGEST_LEN],
+        };
+        drbg.update(Some(seed));
+        drbg
+    }
+
+    /// Instantiates the DRBG from several seed parts (domain separation included).
+    pub fn from_parts(domain: &str, parts: &[&[u8]]) -> Self {
+        let seed = crate::sha256::hash_parts(
+            &core::iter::once(domain.as_bytes())
+                .chain(parts.iter().copied())
+                .collect::<Vec<_>>(),
+        );
+        Self::new(seed.as_bytes())
+    }
+
+    fn update(&mut self, provided: Option<&[u8]>) {
+        let mut parts: Vec<&[u8]> = vec![&self.v, &[0x00]];
+        if let Some(p) = provided {
+            parts.push(p);
+        }
+        self.k = hmac_sha256_parts(&self.k, &parts).0;
+        self.v = hmac_sha256(&self.k, &self.v).0;
+        if provided.is_some() {
+            let mut parts: Vec<&[u8]> = vec![&self.v, &[0x01]];
+            if let Some(p) = provided {
+                parts.push(p);
+            }
+            self.k = hmac_sha256_parts(&self.k, &parts).0;
+            self.v = hmac_sha256(&self.k, &self.v).0;
+        }
+    }
+
+    /// Fills `out` with the next bytes of the deterministic stream.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        let mut offset = 0;
+        while offset < out.len() {
+            self.v = hmac_sha256(&self.k, &self.v).0;
+            let take = (out.len() - offset).min(DIGEST_LEN);
+            out[offset..offset + take].copy_from_slice(&self.v[..take]);
+            offset += take;
+        }
+        self.update(None);
+    }
+
+    /// Returns the next 32 bytes of the stream.
+    pub fn next_bytes32(&mut self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        self.fill_bytes(&mut out);
+        out
+    }
+
+    /// Returns the next `u64` of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut out = [0u8; 8];
+        self.fill_bytes(&mut out);
+        u64::from_be_bytes(out)
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)` using rejection sampling.
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        if bound == 1 {
+            return 0;
+        }
+        // Rejection zone keeps the result unbiased.
+        let zone = u64::MAX - (u64::MAX % bound) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors for HMAC-SHA256.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let out = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            out.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let out = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            out.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let out = hmac_sha256(&key, &data);
+        assert_eq!(
+            out.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        let key = [0xaau8; 131];
+        let out = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            out.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn parts_equals_concat() {
+        let key = b"key";
+        assert_eq!(
+            hmac_sha256_parts(key, &[b"ab", b"cd"]),
+            hmac_sha256(key, b"abcd")
+        );
+    }
+
+    #[test]
+    fn drbg_is_deterministic() {
+        let mut a = HmacDrbg::new(b"seed material");
+        let mut b = HmacDrbg::new(b"seed material");
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = HmacDrbg::new(b"other seed");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn drbg_domain_separation() {
+        let mut a = HmacDrbg::from_parts("A", &[b"x"]);
+        let mut b = HmacDrbg::from_parts("B", &[b"x"]);
+        assert_ne!(a.next_bytes32(), b.next_bytes32());
+    }
+
+    #[test]
+    fn drbg_next_below_in_range_and_covers() {
+        let mut drbg = HmacDrbg::new(b"range");
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let v = drbg.next_below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+        assert_eq!(drbg.next_below(1), 0);
+    }
+
+    #[test]
+    fn drbg_stream_chunks_match() {
+        let mut a = HmacDrbg::new(b"chunks");
+        let mut whole = [0u8; 96];
+        a.fill_bytes(&mut whole);
+        let mut b = HmacDrbg::new(b"chunks");
+        let mut first = [0u8; 96];
+        b.fill_bytes(&mut first);
+        assert_eq!(whole, first);
+    }
+}

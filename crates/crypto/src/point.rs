@@ -1,0 +1,340 @@
+//! secp256k1 group arithmetic (`y² = x³ + 7` over GF(p)).
+//!
+//! Points are stored in Jacobian projective coordinates `(X, Y, Z)` with the
+//! affine point `(X/Z², Y/Z³)`; the point at infinity is encoded as `Z = 0`.
+//! Scalar multiplication is a plain double-and-add ladder — variable time, which
+//! is fine for a protocol simulation (see DESIGN.md, substitutions table).
+
+use crate::fe::Fe;
+use crate::scalar::Scalar;
+use crate::u256::U256;
+
+/// A point on secp256k1 in Jacobian coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+}
+
+/// A point in affine coordinates, used for serialization and hashing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AffinePoint {
+    /// Affine x coordinate.
+    pub x: Fe,
+    /// Affine y coordinate.
+    pub y: Fe,
+}
+
+impl Point {
+    /// The point at infinity (group identity).
+    pub fn infinity() -> Point {
+        Point {
+            x: Fe::one(),
+            y: Fe::one(),
+            z: Fe::zero(),
+        }
+    }
+
+    /// The standard secp256k1 generator `G`.
+    pub fn generator() -> Point {
+        let gx = Fe::from_u256(
+            U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+                .expect("generator x"),
+        );
+        let gy = Fe::from_u256(
+            U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
+                .expect("generator y"),
+        );
+        Point::from_affine(AffinePoint { x: gx, y: gy })
+    }
+
+    /// Lifts an affine point into Jacobian coordinates.
+    pub fn from_affine(p: AffinePoint) -> Point {
+        Point {
+            x: p.x,
+            y: p.y,
+            z: Fe::one(),
+        }
+    }
+
+    /// True if this is the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Converts to affine coordinates; `None` for the point at infinity.
+    pub fn to_affine(&self) -> Option<AffinePoint> {
+        if self.is_infinity() {
+            return None;
+        }
+        let z_inv = self.z.invert();
+        let z2 = z_inv.square();
+        let z3 = z2.mul(&z_inv);
+        Some(AffinePoint {
+            x: self.x.mul(&z2),
+            y: self.y.mul(&z3),
+        })
+    }
+
+    /// Point doubling.
+    pub fn double(&self) -> Point {
+        if self.is_infinity() || self.y.is_zero() {
+            return Point::infinity();
+        }
+        // Textbook Jacobian doubling for a = 0:
+        //   S  = 4·X·Y²
+        //   M  = 3·X²
+        //   X' = M² − 2·S
+        //   Y' = M·(S − X') − 8·Y⁴
+        //   Z' = 2·Y·Z
+        let y2 = self.y.square();
+        let s = self.x.mul(&y2).mul_u64(4);
+        let m = self.x.square().mul_u64(3);
+        let x3 = m.square().sub(&s.mul_u64(2));
+        let y3 = m.mul(&s.sub(&x3)).sub(&y2.square().mul_u64(8));
+        let z3 = self.y.mul(&self.z).mul_u64(2);
+        Point { x: x3, y: y3, z: z3 }
+    }
+
+    /// Point addition.
+    pub fn add(&self, other: &Point) -> Point {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        // Textbook Jacobian addition:
+        //   U1 = X1·Z2², U2 = X2·Z1², S1 = Y1·Z2³, S2 = Y2·Z1³
+        let z1_sq = self.z.square();
+        let z2_sq = other.z.square();
+        let u1 = self.x.mul(&z2_sq);
+        let u2 = other.x.mul(&z1_sq);
+        let s1 = self.y.mul(&z2_sq).mul(&other.z);
+        let s2 = other.y.mul(&z1_sq).mul(&self.z);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Point::infinity();
+        }
+        let h = u2.sub(&u1);
+        let r = s2.sub(&s1);
+        let h2 = h.square();
+        let h3 = h2.mul(&h);
+        let u1h2 = u1.mul(&h2);
+        let x3 = r.square().sub(&h3).sub(&u1h2.mul_u64(2));
+        let y3 = r.mul(&u1h2.sub(&x3)).sub(&s1.mul(&h3));
+        let z3 = h.mul(&self.z).mul(&other.z);
+        Point { x: x3, y: y3, z: z3 }
+    }
+
+    /// Point negation.
+    pub fn neg(&self) -> Point {
+        if self.is_infinity() {
+            return *self;
+        }
+        Point {
+            x: self.x,
+            y: self.y.neg(),
+            z: self.z,
+        }
+    }
+
+    /// Scalar multiplication `k·P` (double-and-add, MSB first).
+    pub fn mul(&self, k: &Scalar) -> Point {
+        let bits = k.as_u256().bits();
+        let mut acc = Point::infinity();
+        for i in (0..bits).rev() {
+            acc = acc.double();
+            if k.as_u256().bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Convenience: `k·G` for the standard generator.
+    pub fn mul_generator(k: &Scalar) -> Point {
+        Point::generator().mul(k)
+    }
+
+    /// True if the (affine form of the) point satisfies the curve equation.
+    pub fn is_on_curve(&self) -> bool {
+        match self.to_affine() {
+            None => true, // infinity is in the group by convention
+            Some(a) => a.is_on_curve(),
+        }
+    }
+
+    /// Group-element equality (compares affine forms).
+    pub fn equals(&self, other: &Point) -> bool {
+        match (self.to_affine(), other.to_affine()) {
+            (None, None) => true,
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl AffinePoint {
+    /// True if the point satisfies `y² = x³ + 7`.
+    pub fn is_on_curve(&self) -> bool {
+        let lhs = self.y.square();
+        let rhs = self.x.square().mul(&self.x).add(&Fe::curve_b());
+        lhs == rhs
+    }
+
+    /// Serializes as 64 bytes: `x || y`, both big-endian.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.x.to_be_bytes());
+        out[32..].copy_from_slice(&self.y.to_be_bytes());
+        out
+    }
+
+    /// Parses a 64-byte `x || y` encoding, checking the curve equation.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Option<AffinePoint> {
+        let x = Fe::from_be_bytes(bytes[..32].try_into().expect("32 bytes"));
+        let y = Fe::from_be_bytes(bytes[32..].try_into().expect("32 bytes"));
+        let p = AffinePoint { x, y };
+        if p.is_on_curve() {
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    /// Lifts to Jacobian coordinates.
+    pub fn to_point(&self) -> Point {
+        Point::from_affine(*self)
+    }
+}
+
+/// Hashes arbitrary bytes to a curve point via try-and-increment.
+///
+/// This is the `H2C` primitive the DLEQ-based VRF needs: for counter values
+/// 0, 1, 2, … derive a candidate x coordinate from `H(domain ‖ data ‖ ctr)` and
+/// return the first candidate that lies on the curve (choosing the even-y root
+/// for determinism). Roughly half of all x values are valid, so the expected
+/// number of iterations is 2.
+pub fn hash_to_curve(domain: &str, data: &[u8]) -> AffinePoint {
+    for ctr in 0u64..=u64::MAX {
+        let digest = crate::sha256::hash_parts(&[domain.as_bytes(), data, &ctr.to_be_bytes()]);
+        let x = Fe::from_be_bytes(digest.as_bytes());
+        let rhs = x.square().mul(&x).add(&Fe::curve_b());
+        if let Some(y) = rhs.sqrt() {
+            let y = if y.is_odd() { y.neg() } else { y };
+            let p = AffinePoint { x, y };
+            debug_assert!(p.is_on_curve());
+            return p;
+        }
+    }
+    unreachable!("try-and-increment terminates with overwhelming probability")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::group_order;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generator_on_curve() {
+        assert!(Point::generator().is_on_curve());
+        assert!(Point::generator().to_affine().unwrap().is_on_curve());
+    }
+
+    #[test]
+    fn order_times_generator_is_infinity() {
+        // n·G = ∞ validates both the group order constant and the ladder.
+        let n_minus_1 = Scalar::from_u256(group_order().wrapping_sub(&U256::ONE));
+        let p = Point::mul_generator(&n_minus_1);
+        // (n-1)·G = -G, so adding G gives infinity.
+        let sum = p.add(&Point::generator());
+        assert!(sum.is_infinity());
+        // And (n-1)·G must equal the negation of G.
+        assert!(p.equals(&Point::generator().neg()));
+    }
+
+    #[test]
+    fn doubling_matches_addition() {
+        let g = Point::generator();
+        assert!(g.double().equals(&g.add(&g)));
+        let two = Point::mul_generator(&Scalar::from_u64(2));
+        assert!(two.equals(&g.double()));
+        assert!(two.is_on_curve());
+    }
+
+    #[test]
+    fn identity_laws() {
+        let g = Point::generator();
+        let inf = Point::infinity();
+        assert!(g.add(&inf).equals(&g));
+        assert!(inf.add(&g).equals(&g));
+        assert!(inf.double().is_infinity());
+        assert!(g.add(&g.neg()).is_infinity());
+        assert!(Point::mul_generator(&Scalar::zero()).is_infinity());
+    }
+
+    #[test]
+    fn small_multiples_are_consistent() {
+        let g = Point::generator();
+        let mut acc = Point::infinity();
+        for k in 1u64..=20 {
+            acc = acc.add(&g);
+            let vialadder = Point::mul_generator(&Scalar::from_u64(k));
+            assert!(acc.equals(&vialadder), "k = {k}");
+            assert!(acc.is_on_curve(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn affine_bytes_round_trip() {
+        let p = Point::mul_generator(&Scalar::from_u64(42)).to_affine().unwrap();
+        let bytes = p.to_bytes();
+        assert_eq!(AffinePoint::from_bytes(&bytes), Some(p));
+        // Corrupting y must be rejected by the curve check.
+        let mut bad = bytes;
+        bad[63] ^= 1;
+        assert_eq!(AffinePoint::from_bytes(&bad), None);
+    }
+
+    #[test]
+    fn hash_to_curve_deterministic_and_valid() {
+        let a = hash_to_curve("H2C", b"hello");
+        let b = hash_to_curve("H2C", b"hello");
+        let c = hash_to_curve("H2C", b"world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.is_on_curve());
+        assert!(c.is_on_curve());
+        assert!(!a.y.is_odd(), "even-y root is chosen deterministically");
+    }
+
+    fn arb_scalar() -> impl Strategy<Value = Scalar> {
+        prop::array::uniform4(any::<u64>()).prop_map(|l| Scalar::from_u256(U256::from_limbs(l)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn prop_scalar_mul_distributes(a in arb_scalar(), b in arb_scalar()) {
+            // (a+b)·G = a·G + b·G
+            let lhs = Point::mul_generator(&a.add(&b));
+            let rhs = Point::mul_generator(&a).add(&Point::mul_generator(&b));
+            prop_assert!(lhs.equals(&rhs));
+        }
+
+        #[test]
+        fn prop_scalar_mul_associates(a in arb_scalar(), b in arb_scalar()) {
+            // a·(b·G) = (a·b)·G
+            let lhs = Point::mul_generator(&b).mul(&a);
+            let rhs = Point::mul_generator(&a.mul(&b));
+            prop_assert!(lhs.equals(&rhs));
+            prop_assert!(lhs.is_on_curve());
+        }
+    }
+}

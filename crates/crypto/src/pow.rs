@@ -1,0 +1,139 @@
+//! Proof-of-work participation puzzles.
+//!
+//! CycLedger does not use PoW for consensus; it only gates *participation* in the
+//! next round (§IV-F): a node must solve a puzzle of "appropriate difficulty,
+//! equal for everyone" and submit the solution to the referee committee, which
+//! records the node as a round-`r+1` participant. The puzzle here is the usual
+//! hash-preimage search: find a nonce such that
+//! `SHA-256(tag ‖ round ‖ seed ‖ pk ‖ nonce)` has at least `difficulty` leading
+//! zero bits.
+
+use crate::schnorr::PublicKey;
+use crate::sha256::{hash_parts, Digest};
+
+/// A participation puzzle for one round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Puzzle {
+    /// Round the solution admits the node into.
+    pub round: u64,
+    /// Round randomness the puzzle is bound to (prevents precomputation).
+    pub seed: Digest,
+    /// Required number of leading zero bits.
+    pub difficulty: u32,
+}
+
+/// A solution to a participation puzzle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PowSolution {
+    /// The winning nonce.
+    pub nonce: u64,
+    /// The resulting digest (recomputed by verifiers; stored for convenience).
+    pub digest: Digest,
+}
+
+impl Puzzle {
+    /// Creates a puzzle for a round.
+    pub fn new(round: u64, seed: Digest, difficulty: u32) -> Puzzle {
+        Puzzle {
+            round,
+            seed,
+            difficulty,
+        }
+    }
+
+    fn digest_for(&self, pk: &PublicKey, nonce: u64) -> Digest {
+        hash_parts(&[
+            b"cycledger/pow",
+            &self.round.to_be_bytes(),
+            self.seed.as_bytes(),
+            &pk.to_bytes(),
+            &nonce.to_be_bytes(),
+        ])
+    }
+
+    /// Searches for a solution by iterating nonces from `start_nonce`.
+    ///
+    /// Returns `None` if no solution is found within `max_attempts` tries — the
+    /// caller decides whether that models a node that failed to qualify.
+    pub fn solve(&self, pk: &PublicKey, start_nonce: u64, max_attempts: u64) -> Option<PowSolution> {
+        for i in 0..max_attempts {
+            let nonce = start_nonce.wrapping_add(i);
+            let digest = self.digest_for(pk, nonce);
+            if digest.leading_zero_bits() >= self.difficulty {
+                return Some(PowSolution { nonce, digest });
+            }
+        }
+        None
+    }
+
+    /// Verifies a claimed solution for a given public key.
+    pub fn verify(&self, pk: &PublicKey, solution: &PowSolution) -> bool {
+        let digest = self.digest_for(pk, solution.nonce);
+        digest == solution.digest && digest.leading_zero_bits() >= self.difficulty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schnorr::Keypair;
+    use crate::sha256::sha256;
+
+    fn puzzle(difficulty: u32) -> Puzzle {
+        Puzzle::new(7, sha256(b"round-7-seed"), difficulty)
+    }
+
+    #[test]
+    fn solve_and_verify() {
+        let kp = Keypair::from_seed(b"pow-node-1");
+        let pz = puzzle(8);
+        let sol = pz.solve(&kp.public, 0, 1_000_000).expect("8 bits is easy");
+        assert!(pz.verify(&kp.public, &sol));
+        assert!(sol.digest.leading_zero_bits() >= 8);
+    }
+
+    #[test]
+    fn solution_is_bound_to_key() {
+        let kp1 = Keypair::from_seed(b"pow-node-2");
+        let kp2 = Keypair::from_seed(b"pow-node-3");
+        let pz = puzzle(8);
+        let sol = pz.solve(&kp1.public, 0, 1_000_000).unwrap();
+        assert!(!pz.verify(&kp2.public, &sol));
+    }
+
+    #[test]
+    fn solution_is_bound_to_round_and_seed() {
+        let kp = Keypair::from_seed(b"pow-node-4");
+        let pz = puzzle(8);
+        let sol = pz.solve(&kp.public, 0, 1_000_000).unwrap();
+        let other_round = Puzzle::new(8, pz.seed, pz.difficulty);
+        let other_seed = Puzzle::new(7, sha256(b"different"), pz.difficulty);
+        assert!(!other_round.verify(&kp.public, &sol));
+        assert!(!other_seed.verify(&kp.public, &sol));
+    }
+
+    #[test]
+    fn fake_digest_rejected() {
+        let kp = Keypair::from_seed(b"pow-node-5");
+        let pz = puzzle(8);
+        let mut sol = pz.solve(&kp.public, 0, 1_000_000).unwrap();
+        sol.digest = Digest::ZERO; // claims "infinite" difficulty but doesn't match
+        assert!(!pz.verify(&kp.public, &sol));
+    }
+
+    #[test]
+    fn zero_difficulty_always_solvable() {
+        let kp = Keypair::from_seed(b"pow-node-6");
+        let pz = puzzle(0);
+        let sol = pz.solve(&kp.public, 0, 1).unwrap();
+        assert_eq!(sol.nonce, 0);
+        assert!(pz.verify(&kp.public, &sol));
+    }
+
+    #[test]
+    fn unreachable_difficulty_within_budget_returns_none() {
+        let kp = Keypair::from_seed(b"pow-node-7");
+        let pz = puzzle(64);
+        assert!(pz.solve(&kp.public, 0, 100).is_none());
+    }
+}

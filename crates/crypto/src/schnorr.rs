@@ -1,0 +1,259 @@
+//! Schnorr signatures over secp256k1 and the node key infrastructure.
+//!
+//! CycLedger assumes a PKI that gives every node a `(PK, SK)` pair, and the
+//! security proofs (Claims 3 & 4, Theorems 2, 5, 8) lean on unforgeability:
+//! a witness against a leader is only valid if it contains a message *signed by
+//! that leader*. The scheme here is a classic Schnorr signature with
+//! deterministic (RFC 6979-style) nonces derived from an HMAC-DRBG.
+
+use crate::hmac::HmacDrbg;
+use crate::point::{AffinePoint, Point};
+use crate::scalar::Scalar;
+use crate::sha256::hash_parts;
+
+/// A secret key: a nonzero scalar.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SecretKey(Scalar);
+
+/// A public key: the point `sk·G`, stored in affine form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PublicKey(AffinePoint);
+
+/// A Schnorr signature `(R, s)` with `R = k·G` and `s = k + e·sk`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// Commitment point `R = k·G`.
+    pub r: AffinePoint,
+    /// Response scalar `s = k + e·sk (mod n)`.
+    pub s: Scalar,
+}
+
+/// A key pair.
+#[derive(Clone, Copy, Debug)]
+pub struct Keypair {
+    /// The secret half.
+    pub secret: SecretKey,
+    /// The public half.
+    pub public: PublicKey,
+}
+
+impl core::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print secret material, even in debug output.
+        write!(f, "SecretKey(<redacted>)")
+    }
+}
+
+impl SecretKey {
+    /// Constructs a secret key from a scalar; returns `None` for zero.
+    pub fn from_scalar(s: Scalar) -> Option<SecretKey> {
+        if s.is_zero() {
+            None
+        } else {
+            Some(SecretKey(s))
+        }
+    }
+
+    /// Derives a secret key deterministically from seed bytes (for simulations
+    /// and tests; real deployments would sample from an OS RNG).
+    pub fn from_seed(seed: &[u8]) -> SecretKey {
+        let mut drbg = HmacDrbg::from_parts("cycledger/keygen", &[seed]);
+        SecretKey(Scalar::nonzero_from_drbg(&mut drbg))
+    }
+
+    /// Returns the scalar value.
+    pub fn scalar(&self) -> &Scalar {
+        &self.0
+    }
+
+    /// Computes the corresponding public key.
+    pub fn public_key(&self) -> PublicKey {
+        PublicKey(
+            Point::mul_generator(&self.0)
+                .to_affine()
+                .expect("nonzero scalar times G is not infinity"),
+        )
+    }
+}
+
+impl PublicKey {
+    /// Returns the affine point.
+    pub fn point(&self) -> &AffinePoint {
+        &self.0
+    }
+
+    /// Serializes to 64 bytes (`x || y`).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.0.to_bytes()
+    }
+
+    /// Parses 64 bytes, validating the curve equation.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Option<PublicKey> {
+        AffinePoint::from_bytes(bytes).map(PublicKey)
+    }
+
+    /// A short fingerprint of the key for logging / node identifiers.
+    pub fn fingerprint(&self) -> u64 {
+        hash_parts(&[b"pk-fingerprint", &self.to_bytes()]).prefix_u64()
+    }
+}
+
+impl Keypair {
+    /// Generates a key pair deterministically from a seed.
+    pub fn from_seed(seed: &[u8]) -> Keypair {
+        let secret = SecretKey::from_seed(seed);
+        Keypair {
+            public: secret.public_key(),
+            secret,
+        }
+    }
+
+    /// Signs a message (see [`sign`]).
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        sign(&self.secret, message)
+    }
+}
+
+/// Computes the Fiat–Shamir challenge `e = H(R ‖ PK ‖ m)` as a scalar.
+fn challenge(r: &AffinePoint, pk: &PublicKey, message: &[u8]) -> Scalar {
+    Scalar::from_hash(
+        "cycledger/schnorr-challenge",
+        &[&r.to_bytes(), &pk.to_bytes(), message],
+    )
+}
+
+/// Signs `message` with `sk` using a deterministic nonce.
+pub fn sign(sk: &SecretKey, message: &[u8]) -> Signature {
+    let pk = sk.public_key();
+    let mut drbg = HmacDrbg::from_parts(
+        "cycledger/schnorr-nonce",
+        &[&sk.scalar().to_be_bytes(), message],
+    );
+    let k = Scalar::nonzero_from_drbg(&mut drbg);
+    let r = Point::mul_generator(&k)
+        .to_affine()
+        .expect("nonzero nonce times G is not infinity");
+    let e = challenge(&r, &pk, message);
+    let s = k.add(&e.mul(sk.scalar()));
+    Signature { r, s }
+}
+
+/// Verifies a Schnorr signature: checks `s·G == R + e·PK`.
+pub fn verify(pk: &PublicKey, message: &[u8], sig: &Signature) -> bool {
+    if !sig.r.is_on_curve() || !pk.point().is_on_curve() {
+        return false;
+    }
+    let e = challenge(&sig.r, pk, message);
+    let lhs = Point::mul_generator(&sig.s);
+    let rhs = sig.r.to_point().add(&pk.point().to_point().mul(&e));
+    lhs.equals(&rhs)
+}
+
+impl Signature {
+    /// Serializes to 96 bytes (`R.x || R.y || s`).
+    pub fn to_bytes(&self) -> [u8; 96] {
+        let mut out = [0u8; 96];
+        out[..64].copy_from_slice(&self.r.to_bytes());
+        out[64..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses a 96-byte encoding (curve membership of `R` is checked).
+    pub fn from_bytes(bytes: &[u8; 96]) -> Option<Signature> {
+        let r = AffinePoint::from_bytes(bytes[..64].try_into().expect("64 bytes"))?;
+        let s = Scalar::from_be_bytes(bytes[64..].try_into().expect("32 bytes"));
+        Some(Signature { r, s })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let kp = Keypair::from_seed(b"node-1");
+        let sig = kp.sign(b"a protocol message");
+        assert!(verify(&kp.public, b"a protocol message", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = Keypair::from_seed(b"node-2");
+        let sig = kp.sign(b"hello");
+        assert!(!verify(&kp.public, b"hell0", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = Keypair::from_seed(b"node-3");
+        let kp2 = Keypair::from_seed(b"node-4");
+        let sig = kp1.sign(b"msg");
+        assert!(!verify(&kp2.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let kp = Keypair::from_seed(b"node-5");
+        let sig = kp.sign(b"msg");
+        let tampered = Signature {
+            r: sig.r,
+            s: sig.s.add(&Scalar::one()),
+        };
+        assert!(!verify(&kp.public, b"msg", &tampered));
+    }
+
+    #[test]
+    fn deterministic_signatures() {
+        let kp = Keypair::from_seed(b"node-6");
+        assert_eq!(kp.sign(b"m"), kp.sign(b"m"));
+        assert_ne!(kp.sign(b"m"), kp.sign(b"m2"));
+    }
+
+    #[test]
+    fn keygen_is_deterministic_per_seed() {
+        let a = Keypair::from_seed(b"same seed");
+        let b = Keypair::from_seed(b"same seed");
+        let c = Keypair::from_seed(b"different");
+        assert_eq!(a.public, b.public);
+        assert_ne!(a.public, c.public);
+    }
+
+    #[test]
+    fn signature_bytes_round_trip() {
+        let kp = Keypair::from_seed(b"node-7");
+        let sig = kp.sign(b"serialize me");
+        let parsed = Signature::from_bytes(&sig.to_bytes()).expect("valid encoding");
+        assert_eq!(parsed, sig);
+        assert!(verify(&kp.public, b"serialize me", &parsed));
+    }
+
+    #[test]
+    fn public_key_bytes_round_trip() {
+        let kp = Keypair::from_seed(b"node-8");
+        let parsed = PublicKey::from_bytes(&kp.public.to_bytes()).expect("valid key");
+        assert_eq!(parsed, kp.public);
+        let mut bad = kp.public.to_bytes();
+        bad[0] ^= 0xff;
+        assert!(PublicKey::from_bytes(&bad).is_none());
+    }
+
+    #[test]
+    fn fingerprints_differ() {
+        let a = Keypair::from_seed(b"fp-a").public.fingerprint();
+        let b = Keypair::from_seed(b"fp-b").public.fingerprint();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn secret_key_debug_redacts() {
+        let kp = Keypair::from_seed(b"node-9");
+        assert_eq!(format!("{:?}", kp.secret), "SecretKey(<redacted>)");
+    }
+
+    #[test]
+    fn zero_scalar_is_not_a_secret_key() {
+        assert!(SecretKey::from_scalar(Scalar::zero()).is_none());
+        assert!(SecretKey::from_scalar(Scalar::from_u64(5)).is_some());
+    }
+}

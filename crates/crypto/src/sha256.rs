@@ -1,0 +1,366 @@
+//! SHA-256 implemented from scratch (FIPS 180-4).
+//!
+//! CycLedger models its external random oracle `H` as a collision-resistant hash
+//! function; every protocol object (semi-commitments, block hashes, sortition
+//! lotteries, PoW puzzles) is keyed off this primitive.  The implementation is a
+//! straightforward, allocation-free compression-function loop with an incremental
+//! [`Sha256`] hasher plus convenience one-shot helpers.
+
+/// Size of a SHA-256 digest in bytes.
+pub const DIGEST_LEN: usize = 32;
+/// Size of a SHA-256 message block in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// A 32-byte SHA-256 digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Digest(pub [u8; DIGEST_LEN]);
+
+impl Digest {
+    /// The all-zero digest, used as a sentinel (e.g. empty Merkle tree root).
+    pub const ZERO: Digest = Digest([0u8; DIGEST_LEN]);
+
+    /// Returns the digest as a byte slice.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Hex-encodes the digest (lowercase).
+    pub fn to_hex(&self) -> String {
+        const HEX: &[u8; 16] = b"0123456789abcdef";
+        let mut s = String::with_capacity(DIGEST_LEN * 2);
+        for &b in &self.0 {
+            s.push(HEX[(b >> 4) as usize] as char);
+            s.push(HEX[(b & 0xf) as usize] as char);
+        }
+        s
+    }
+
+    /// Parses a 64-character hex string into a digest.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        let s = s.as_bytes();
+        if s.len() != DIGEST_LEN * 2 {
+            return None;
+        }
+        let nib = |c: u8| -> Option<u8> {
+            match c {
+                b'0'..=b'9' => Some(c - b'0'),
+                b'a'..=b'f' => Some(c - b'a' + 10),
+                b'A'..=b'F' => Some(c - b'A' + 10),
+                _ => None,
+            }
+        };
+        let mut out = [0u8; DIGEST_LEN];
+        for i in 0..DIGEST_LEN {
+            out[i] = (nib(s[2 * i])? << 4) | nib(s[2 * i + 1])?;
+        }
+        Some(Digest(out))
+    }
+
+    /// Interprets the first 8 bytes of the digest as a big-endian `u64`.
+    ///
+    /// Used by the sortition and lottery code paths that need a uniform integer
+    /// derived from a hash (`hash mod m` style committee assignment).
+    pub fn prefix_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("8 bytes"))
+    }
+
+    /// Counts leading zero bits, used by the proof-of-work puzzle verifier.
+    pub fn leading_zero_bits(&self) -> u32 {
+        let mut n = 0u32;
+        for &b in &self.0 {
+            if b == 0 {
+                n += 8;
+            } else {
+                n += b.leading_zeros();
+                break;
+            }
+        }
+        n
+    }
+}
+
+impl core::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Digest({})", &self.to_hex()[..16])
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; DIGEST_LEN]> for Digest {
+    fn from(b: [u8; DIGEST_LEN]) -> Self {
+        Digest(b)
+    }
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let need = BLOCK_LEN - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                compress(&mut self.state, &block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= BLOCK_LEN {
+            let block: &[u8; BLOCK_LEN] = data[..BLOCK_LEN].try_into().expect("block");
+            compress(&mut self.state, block);
+            data = &data[BLOCK_LEN..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+        self
+    }
+
+    /// Finalizes the hash and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        let mut pad = [0u8; BLOCK_LEN * 2];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        self.update_no_count(&pad[..pad_len + 8].to_vec());
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn update_no_count(&mut self, data: &[u8]) {
+        let saved = self.total_len;
+        self.update(data);
+        self.total_len = saved;
+    }
+}
+
+fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+    let mut w = [0u32; 64];
+    for i in 0..16 {
+        w[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("word"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// One-shot SHA-256 of a byte slice.
+pub fn sha256(data: &[u8]) -> Digest {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// One-shot SHA-256 over the concatenation of several byte slices.
+///
+/// Each part is length-prefixed (little-endian u64) so that the encoding is
+/// unambiguous: `hash_parts(&[a, b]) != hash_parts(&[a ++ b])` in general.
+pub fn hash_parts(parts: &[&[u8]]) -> Digest {
+    let mut h = Sha256::new();
+    for p in parts {
+        h.update(&(p.len() as u64).to_le_bytes());
+        h.update(p);
+    }
+    h.finalize()
+}
+
+/// Domain-separated hash: `H(tag-len || tag || data)`, the protocol's random oracle.
+pub fn hash_domain(domain: &str, data: &[u8]) -> Digest {
+    hash_parts(&[domain.as_bytes(), data])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 / NIST test vectors.
+    #[test]
+    fn empty_string() {
+        assert_eq!(
+            sha256(b"").to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            sha256(b"abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha256(&data).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        for chunk in [1usize, 3, 7, 63, 64, 65, 127, 500] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), sha256(&data), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Exercise the padding logic around the 55/56/63/64-byte boundaries.
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 128, 129] {
+            let data = vec![0xabu8; len];
+            let mut h = Sha256::new();
+            h.update(&data);
+            assert_eq!(h.finalize(), sha256(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let d = sha256(b"round trip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&"0".repeat(63)), None);
+    }
+
+    #[test]
+    fn hash_parts_is_not_plain_concatenation() {
+        let a = hash_parts(&[b"ab", b"c"]);
+        let b = hash_parts(&[b"a", b"bc"]);
+        let c = sha256(b"abc");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn domain_separation() {
+        assert_ne!(hash_domain("A", b"x"), hash_domain("B", b"x"));
+    }
+
+    #[test]
+    fn leading_zero_bits_counts() {
+        let mut d = [0xffu8; 32];
+        assert_eq!(Digest(d).leading_zero_bits(), 0);
+        d[0] = 0x00;
+        d[1] = 0x0f;
+        assert_eq!(Digest(d).leading_zero_bits(), 12);
+        assert_eq!(Digest([0u8; 32]).leading_zero_bits(), 256);
+    }
+
+    #[test]
+    fn prefix_u64_is_big_endian() {
+        let mut d = [0u8; 32];
+        d[7] = 1;
+        assert_eq!(Digest(d).prefix_u64(), 1);
+        d[0] = 1;
+        assert_eq!(Digest(d).prefix_u64(), (1u64 << 56) | 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! Blocks produced by the referee committee.
+//!
+//! At the end of round `r` the referee committee `C_R` packs (§IV-G):
+//! the valid `TXdecSET`s of every committee, the next round's participants and
+//! their reputations, the next referee committee, the next leaders and partial
+//! sets, and the next round's randomness `R^{r+1}`. Releasing the block to the
+//! whole network tells every node the configuration of round `r+1`.
+
+use cycledger_crypto::merkle::MerkleTree;
+use cycledger_crypto::sha256::{hash_parts, Digest};
+
+use crate::transaction::Transaction;
+
+/// Committee configuration for the next round, as committed inside a block.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct NextRoundConfig {
+    /// Node indices participating in round `r+1` (PoW solvers).
+    pub participants: Vec<u32>,
+    /// Updated reputation (fixed-point, 1e6 = 1.0) for each participant, in the
+    /// same order as `participants`.
+    pub reputations_fp: Vec<i64>,
+    /// Members of the next referee committee.
+    pub referee: Vec<u32>,
+    /// Leader of each committee `k`.
+    pub leaders: Vec<u32>,
+    /// Partial set of each committee `k`.
+    pub partial_sets: Vec<Vec<u32>>,
+    /// Next round's randomness `R^{r+1}` from the beacon.
+    pub randomness: Digest,
+}
+
+impl NextRoundConfig {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let push_list = |out: &mut Vec<u8>, xs: &[u32]| {
+            out.extend_from_slice(&(xs.len() as u32).to_be_bytes());
+            for x in xs {
+                out.extend_from_slice(&x.to_be_bytes());
+            }
+        };
+        push_list(&mut out, &self.participants);
+        out.extend_from_slice(&(self.reputations_fp.len() as u32).to_be_bytes());
+        for r in &self.reputations_fp {
+            out.extend_from_slice(&r.to_be_bytes());
+        }
+        push_list(&mut out, &self.referee);
+        push_list(&mut out, &self.leaders);
+        out.extend_from_slice(&(self.partial_sets.len() as u32).to_be_bytes());
+        for ps in &self.partial_sets {
+            push_list(&mut out, ps);
+        }
+        out.extend_from_slice(self.randomness.as_bytes());
+        out
+    }
+}
+
+/// A block header: everything needed to chain and verify the block body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Round number `r`.
+    pub round: u64,
+    /// Hash of the previous block's header.
+    pub prev_hash: Digest,
+    /// Merkle root over the packed transactions.
+    pub tx_root: Digest,
+    /// Hash of the next-round configuration.
+    pub config_hash: Digest,
+}
+
+impl BlockHeader {
+    /// The header hash identifying this block.
+    pub fn hash(&self) -> Digest {
+        hash_parts(&[
+            b"cycledger/block-header",
+            &self.round.to_be_bytes(),
+            self.prev_hash.as_bytes(),
+            self.tx_root.as_bytes(),
+            self.config_hash.as_bytes(),
+        ])
+    }
+}
+
+/// A full block: header plus the transactions and next-round configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// The header.
+    pub header: BlockHeader,
+    /// Transactions admitted in this round (union of valid `TXdecSET`s).
+    pub transactions: Vec<Transaction>,
+    /// Configuration of round `r+1`.
+    pub next_round: NextRoundConfig,
+}
+
+impl Block {
+    /// Assembles a block for `round` on top of `prev_hash`.
+    pub fn assemble(
+        round: u64,
+        prev_hash: Digest,
+        transactions: Vec<Transaction>,
+        next_round: NextRoundConfig,
+    ) -> Block {
+        let tx_root = Self::tx_root(&transactions);
+        let config_hash = hash_parts(&[b"cycledger/next-round", &next_round.encode()]);
+        Block {
+            header: BlockHeader {
+                round,
+                prev_hash,
+                tx_root,
+                config_hash,
+            },
+            transactions,
+            next_round,
+        }
+    }
+
+    /// Merkle root over a transaction list.
+    pub fn tx_root(transactions: &[Transaction]) -> Digest {
+        let leaves: Vec<Vec<u8>> = transactions.iter().map(|t| t.encode()).collect();
+        MerkleTree::build(&leaves).root()
+    }
+
+    /// Verifies internal consistency: the header commits to exactly this body.
+    pub fn verify_structure(&self) -> bool {
+        self.header.tx_root == Self::tx_root(&self.transactions)
+            && self.header.config_hash
+                == hash_parts(&[b"cycledger/next-round", &self.next_round.encode()])
+    }
+
+    /// Total fee collected by the block (distributed by reputation, §IV-G).
+    pub fn total_fees(&self) -> u64 {
+        self.transactions.iter().map(|t| t.fee()).sum()
+    }
+
+    /// Approximate wire size of the block when propagated to the network.
+    pub fn wire_size(&self) -> u64 {
+        let tx_bytes: u64 = self.transactions.iter().map(|t| t.wire_size()).sum();
+        tx_bytes + self.next_round.encode().len() as u64 + 4 * 32
+    }
+
+    /// Number of transactions packed.
+    pub fn tx_count(&self) -> usize {
+        self.transactions.len()
+    }
+}
+
+/// A chain of blocks with structural verification on append.
+#[derive(Clone, Debug, Default)]
+pub struct Chain {
+    blocks: Vec<Block>,
+}
+
+impl Chain {
+    /// Creates an empty chain.
+    pub fn new() -> Chain {
+        Chain { blocks: Vec::new() }
+    }
+
+    /// Hash of the latest block header, or [`Digest::ZERO`] for an empty chain.
+    pub fn tip_hash(&self) -> Digest {
+        self.blocks
+            .last()
+            .map(|b| b.header.hash())
+            .unwrap_or(Digest::ZERO)
+    }
+
+    /// Height (number of blocks).
+    pub fn height(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Appends a block after checking it extends the tip and is well formed.
+    pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
+        if block.header.prev_hash != self.tip_hash() {
+            return Err(ChainError::WrongParent);
+        }
+        if block.header.round != self.blocks.len() as u64 {
+            return Err(ChainError::WrongRound);
+        }
+        if !block.verify_structure() {
+            return Err(ChainError::BadStructure);
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Access to a block by round number.
+    pub fn block(&self, round: u64) -> Option<&Block> {
+        self.blocks.get(round as usize)
+    }
+
+    /// Total number of transactions across the chain.
+    pub fn total_transactions(&self) -> usize {
+        self.blocks.iter().map(|b| b.tx_count()).sum()
+    }
+}
+
+/// Errors returned when appending to a [`Chain`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChainError {
+    /// The block's `prev_hash` does not match the chain tip.
+    WrongParent,
+    /// The block's round number is not `height`.
+    WrongRound,
+    /// The header does not commit to the block body.
+    BadStructure,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{AccountId, TxOutput};
+
+    fn sample_block(round: u64, prev: Digest) -> Block {
+        let txs = vec![
+            Transaction::genesis(
+                vec![TxOutput {
+                    owner: AccountId(1),
+                    amount: 50,
+                }],
+                round,
+            ),
+            Transaction::genesis(
+                vec![TxOutput {
+                    owner: AccountId(2),
+                    amount: 70,
+                }],
+                round + 1000,
+            ),
+        ];
+        let config = NextRoundConfig {
+            participants: vec![0, 1, 2, 3],
+            reputations_fp: vec![0, 1_000_000, -500_000, 250_000],
+            referee: vec![0, 1],
+            leaders: vec![2],
+            partial_sets: vec![vec![3]],
+            randomness: hash_parts(&[b"seed", &round.to_be_bytes()]),
+        };
+        Block::assemble(round, prev, txs, config)
+    }
+
+    #[test]
+    fn header_commits_to_body() {
+        let block = sample_block(0, Digest::ZERO);
+        assert!(block.verify_structure());
+        let mut tampered = block.clone();
+        tampered.transactions.pop();
+        assert!(!tampered.verify_structure());
+        let mut tampered = block.clone();
+        tampered.next_round.leaders[0] = 99;
+        assert!(!tampered.verify_structure());
+    }
+
+    #[test]
+    fn header_hash_changes_with_round() {
+        let a = sample_block(0, Digest::ZERO);
+        let b = sample_block(1, Digest::ZERO);
+        assert_ne!(a.header.hash(), b.header.hash());
+    }
+
+    #[test]
+    fn chain_append_happy_path() {
+        let mut chain = Chain::new();
+        let b0 = sample_block(0, chain.tip_hash());
+        chain.append(b0).unwrap();
+        let b1 = sample_block(1, chain.tip_hash());
+        chain.append(b1).unwrap();
+        assert_eq!(chain.height(), 2);
+        assert_eq!(chain.total_transactions(), 4);
+        assert!(chain.block(0).is_some());
+        assert!(chain.block(5).is_none());
+    }
+
+    #[test]
+    fn chain_rejects_wrong_parent_round_and_structure() {
+        let mut chain = Chain::new();
+        let b0 = sample_block(0, chain.tip_hash());
+        chain.append(b0).unwrap();
+
+        let wrong_parent = sample_block(1, Digest::ZERO);
+        assert_eq!(chain.append(wrong_parent), Err(ChainError::WrongParent));
+
+        let wrong_round = sample_block(5, chain.tip_hash());
+        assert_eq!(chain.append(wrong_round), Err(ChainError::WrongRound));
+
+        let mut bad = sample_block(1, chain.tip_hash());
+        bad.transactions.clear();
+        assert_eq!(chain.append(bad), Err(ChainError::BadStructure));
+        assert_eq!(chain.height(), 1);
+    }
+
+    #[test]
+    fn fees_and_sizes() {
+        let block = sample_block(0, Digest::ZERO);
+        assert_eq!(block.total_fees(), 0, "genesis transactions carry no fee");
+        assert!(block.wire_size() > 100);
+        assert_eq!(block.tx_count(), 2);
+    }
+
+    #[test]
+    fn empty_block_has_zero_tx_root() {
+        let block = Block::assemble(0, Digest::ZERO, vec![], NextRoundConfig::default());
+        assert_eq!(block.header.tx_root, Digest::ZERO);
+        assert!(block.verify_structure());
+    }
+}

@@ -1,0 +1,23 @@
+//! # cycledger-ledger
+//!
+//! The UTXO ledger substrate of the CycLedger reproduction:
+//!
+//! * [`transaction`] — accounts, outpoints, transactions, shard routing.
+//! * [`utxo`] — per-shard UTXO sets and the authentication function `V`
+//!   (existence, no double spend, value conservation — §III-D).
+//! * [`block`] — blocks assembled by the referee committee, carrying the next
+//!   round's configuration, and a structurally-verified chain.
+//! * [`workload`] — deterministic external-user workload generation with
+//!   configurable cross-shard and invalid-transaction ratios.
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod transaction;
+pub mod utxo;
+pub mod workload;
+
+pub use block::{Block, BlockHeader, Chain, ChainError, NextRoundConfig};
+pub use transaction::{AccountId, OutPoint, Transaction, TxId, TxInput, TxOutput};
+pub use utxo::{validate_across_shards, UtxoSet, ValidationError};
+pub use workload::{GeneratedTx, TxKind, Workload, WorkloadConfig};

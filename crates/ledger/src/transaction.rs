@@ -1,0 +1,333 @@
+//! Transactions and the UTXO value model.
+//!
+//! CycLedger is a payment processor over a UTXO state (§III-D): users are
+//! partitioned into `m` shards, each committee maintains the UTXOs of its shard,
+//! and the authentication function `V` accepts a transaction iff its inputs
+//! exist, are unspent, and carry at least as much value as its outputs.
+//!
+//! Accounts are abstract 64-bit identifiers rather than public keys: the paper's
+//! consensus machinery never inspects user signatures (transaction authorization
+//! is orthogonal to committee consensus), so modelling them would only add
+//! constant-factor noise to the measurements. The shard of an account is
+//! `H(account) mod m`, mirroring the paper's uniform user partition.
+
+use cycledger_crypto::sha256::{hash_parts, Digest};
+
+/// A user account identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AccountId(pub u64);
+
+impl AccountId {
+    /// The shard (committee index) responsible for this account.
+    pub fn shard(&self, m: usize) -> usize {
+        assert!(m > 0, "at least one shard");
+        let digest = hash_parts(&[b"cycledger/account-shard", &self.0.to_be_bytes()]);
+        (digest.prefix_u64() % m as u64) as usize
+    }
+}
+
+/// Identifier of a transaction: the hash of its canonical encoding.
+pub type TxId = Digest;
+
+/// A reference to an unspent output of a previous transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct OutPoint {
+    /// The transaction that created the output.
+    pub tx_id: TxId,
+    /// Index of the output within that transaction.
+    pub index: u32,
+}
+
+/// A transaction output: an amount of value assigned to an account.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TxOutput {
+    /// Receiving account.
+    pub owner: AccountId,
+    /// Value in minimal units.
+    pub amount: u64,
+}
+
+/// A transaction input: a reference to the UTXO being spent plus the account
+/// that owns it (kept explicit so shard routing never needs a UTXO lookup).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TxInput {
+    /// The UTXO being consumed.
+    pub outpoint: OutPoint,
+    /// Owner of the consumed UTXO.
+    pub owner: AccountId,
+    /// Value of the consumed UTXO as claimed by the transaction (validated
+    /// against the UTXO set by the owning shard).
+    pub amount: u64,
+}
+
+/// A transfer of value from a set of UTXOs to a set of new outputs.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transaction {
+    /// Consumed UTXOs.
+    pub inputs: Vec<TxInput>,
+    /// Created UTXOs.
+    pub outputs: Vec<TxOutput>,
+    /// Salt making otherwise-identical transfers distinct (e.g. two equal
+    /// payments between the same accounts in one round).
+    pub nonce: u64,
+}
+
+impl Transaction {
+    /// Creates a transaction.
+    pub fn new(inputs: Vec<TxInput>, outputs: Vec<TxOutput>, nonce: u64) -> Self {
+        Transaction {
+            inputs,
+            outputs,
+            nonce,
+        }
+    }
+
+    /// A coinbase/genesis transaction with no inputs, used to mint the initial
+    /// UTXO set handed to each shard at simulation start.
+    pub fn genesis(outputs: Vec<TxOutput>, nonce: u64) -> Self {
+        Transaction {
+            inputs: Vec::new(),
+            outputs,
+            nonce,
+        }
+    }
+
+    /// True if this is a genesis (input-less) transaction.
+    pub fn is_genesis(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Canonical encoding used for hashing and for wire-size estimation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.inputs.len() * 52 + self.outputs.len() * 16);
+        out.extend_from_slice(&self.nonce.to_be_bytes());
+        out.extend_from_slice(&(self.inputs.len() as u32).to_be_bytes());
+        for input in &self.inputs {
+            out.extend_from_slice(input.outpoint.tx_id.as_bytes());
+            out.extend_from_slice(&input.outpoint.index.to_be_bytes());
+            out.extend_from_slice(&input.owner.0.to_be_bytes());
+            out.extend_from_slice(&input.amount.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.outputs.len() as u32).to_be_bytes());
+        for output in &self.outputs {
+            out.extend_from_slice(&output.owner.0.to_be_bytes());
+            out.extend_from_slice(&output.amount.to_be_bytes());
+        }
+        out
+    }
+
+    /// The transaction identifier (hash of the canonical encoding).
+    pub fn id(&self) -> TxId {
+        hash_parts(&[b"cycledger/txid", &self.encode()])
+    }
+
+    /// Wire size in bytes, used when charging the transaction to the network.
+    pub fn wire_size(&self) -> u64 {
+        self.encode().len() as u64
+    }
+
+    /// Total input value.
+    pub fn input_sum(&self) -> u64 {
+        self.inputs.iter().map(|i| i.amount).sum()
+    }
+
+    /// Total output value.
+    pub fn output_sum(&self) -> u64 {
+        self.outputs.iter().map(|o| o.amount).sum()
+    }
+
+    /// Transaction fee (`inputs - outputs`); zero for genesis transactions.
+    pub fn fee(&self) -> u64 {
+        if self.is_genesis() {
+            0
+        } else {
+            self.input_sum().saturating_sub(self.output_sum())
+        }
+    }
+
+    /// The outpoints this transaction creates, paired with their outputs.
+    pub fn created_utxos(&self) -> Vec<(OutPoint, TxOutput)> {
+        let id = self.id();
+        self.outputs
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                (
+                    OutPoint {
+                        tx_id: id,
+                        index: i as u32,
+                    },
+                    *o,
+                )
+            })
+            .collect()
+    }
+
+    /// Shards that hold an *input* of this transaction (they must validate it).
+    pub fn input_shards(&self, m: usize) -> Vec<usize> {
+        let mut shards: Vec<usize> = self.inputs.iter().map(|i| i.owner.shard(m)).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+
+    /// Shards that receive an *output* of this transaction.
+    pub fn output_shards(&self, m: usize) -> Vec<usize> {
+        let mut shards: Vec<usize> = self.outputs.iter().map(|o| o.owner.shard(m)).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+
+    /// All shards touched by this transaction.
+    pub fn touched_shards(&self, m: usize) -> Vec<usize> {
+        let mut shards = self.input_shards(m);
+        shards.extend(self.output_shards(m));
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+
+    /// True if all inputs and outputs live in a single shard (an intra-shard
+    /// transaction, handled by Algorithm 5 alone).
+    pub fn is_intra_shard(&self, m: usize) -> bool {
+        self.touched_shards(m).len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tx() -> Transaction {
+        let genesis = Transaction::genesis(
+            vec![TxOutput {
+                owner: AccountId(1),
+                amount: 100,
+            }],
+            0,
+        );
+        let outpoint = genesis.created_utxos()[0].0;
+        Transaction::new(
+            vec![TxInput {
+                outpoint,
+                owner: AccountId(1),
+                amount: 100,
+            }],
+            vec![
+                TxOutput {
+                    owner: AccountId(2),
+                    amount: 60,
+                },
+                TxOutput {
+                    owner: AccountId(1),
+                    amount: 30,
+                },
+            ],
+            7,
+        )
+    }
+
+    #[test]
+    fn id_is_deterministic_and_sensitive() {
+        let tx = sample_tx();
+        assert_eq!(tx.id(), tx.id());
+        let mut other = tx.clone();
+        other.nonce += 1;
+        assert_ne!(tx.id(), other.id());
+        let mut other = tx.clone();
+        other.outputs[0].amount += 1;
+        assert_ne!(tx.id(), other.id());
+    }
+
+    #[test]
+    fn sums_and_fee() {
+        let tx = sample_tx();
+        assert_eq!(tx.input_sum(), 100);
+        assert_eq!(tx.output_sum(), 90);
+        assert_eq!(tx.fee(), 10);
+        let genesis = Transaction::genesis(vec![], 0);
+        assert!(genesis.is_genesis());
+        assert_eq!(genesis.fee(), 0);
+    }
+
+    #[test]
+    fn created_utxos_enumerate_outputs() {
+        let tx = sample_tx();
+        let created = tx.created_utxos();
+        assert_eq!(created.len(), 2);
+        assert_eq!(created[0].0.tx_id, tx.id());
+        assert_eq!(created[0].0.index, 0);
+        assert_eq!(created[1].0.index, 1);
+        assert_eq!(created[0].1.owner, AccountId(2));
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for m in [1usize, 2, 5, 16] {
+            for account in 0..50u64 {
+                let s = AccountId(account).shard(m);
+                assert!(s < m);
+                assert_eq!(s, AccountId(account).shard(m));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        AccountId(1).shard(0);
+    }
+
+    #[test]
+    fn shard_distribution_is_roughly_uniform() {
+        let m = 4;
+        let mut counts = vec![0usize; m];
+        for account in 0..4000u64 {
+            counts[AccountId(account).shard(m)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..=1300).contains(&c), "skewed shard distribution: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn intra_vs_cross_shard_classification() {
+        let m = 8;
+        // Find two accounts in the same shard and two in different shards.
+        let a = AccountId(0);
+        let same = (1..200)
+            .map(AccountId)
+            .find(|b| b.shard(m) == a.shard(m))
+            .expect("some account shares a shard");
+        let diff = (1..200)
+            .map(AccountId)
+            .find(|b| b.shard(m) != a.shard(m))
+            .expect("some account is in another shard");
+        let mk = |to: AccountId| {
+            Transaction::new(
+                vec![TxInput {
+                    outpoint: OutPoint {
+                        tx_id: Digest::ZERO,
+                        index: 0,
+                    },
+                    owner: a,
+                    amount: 10,
+                }],
+                vec![TxOutput { owner: to, amount: 9 }],
+                0,
+            )
+        };
+        assert!(mk(same).is_intra_shard(m));
+        assert!(!mk(diff).is_intra_shard(m));
+        assert_eq!(mk(diff).touched_shards(m).len(), 2);
+        assert_eq!(mk(diff).input_shards(m), vec![a.shard(m)]);
+    }
+
+    #[test]
+    fn wire_size_tracks_encoding() {
+        let tx = sample_tx();
+        assert_eq!(tx.wire_size(), tx.encode().len() as u64);
+        assert!(tx.wire_size() > 60);
+    }
+}

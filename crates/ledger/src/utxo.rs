@@ -1,0 +1,401 @@
+//! Per-shard UTXO sets and the authentication function `V`.
+//!
+//! Each committee maintains the UTXOs owned by accounts of its shard (§III-D).
+//! Validation of a transaction therefore splits naturally:
+//!
+//! * every *input* must exist unspent in the UTXO set of the shard that owns it
+//!   (checked by that shard's committee), and
+//! * the transaction as a whole must conserve value (`Σ inputs ≥ Σ outputs`) and
+//!   must not spend the same outpoint twice.
+//!
+//! For intra-shard transactions one committee checks everything; for cross-shard
+//! transactions each involved committee checks its own inputs and the referee
+//! committee combines the verdicts.
+
+use std::collections::HashMap;
+
+use crate::transaction::{OutPoint, Transaction, TxOutput};
+
+/// Why a transaction failed validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValidationError {
+    /// An input refers to an outpoint this shard does not hold (missing or
+    /// already spent).
+    MissingInput,
+    /// The same outpoint appears twice among the inputs.
+    DoubleSpendWithinTx,
+    /// An input's claimed owner or amount disagrees with the UTXO set.
+    InputMismatch,
+    /// Outputs exceed inputs.
+    ValueCreated,
+    /// The transaction has no outputs (disallowed for non-genesis payments).
+    Empty,
+}
+
+/// The UTXO set of a single shard.
+#[derive(Clone, Debug, Default)]
+pub struct UtxoSet {
+    /// Which shard this set belongs to.
+    shard: usize,
+    /// Number of shards in the system (for ownership routing).
+    num_shards: usize,
+    entries: HashMap<OutPoint, TxOutput>,
+}
+
+impl UtxoSet {
+    /// Creates an empty UTXO set for `shard` out of `num_shards`.
+    pub fn new(shard: usize, num_shards: usize) -> Self {
+        assert!(num_shards > 0 && shard < num_shards);
+        UtxoSet {
+            shard,
+            num_shards,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The shard index this set serves.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Number of UTXOs held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no UTXOs are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total value held by this shard.
+    pub fn total_value(&self) -> u64 {
+        self.entries.values().map(|o| o.amount).sum()
+    }
+
+    /// Looks up an outpoint.
+    pub fn get(&self, outpoint: &OutPoint) -> Option<&TxOutput> {
+        self.entries.get(outpoint)
+    }
+
+    /// Inserts an output if its owner belongs to this shard; returns whether it
+    /// was inserted. Used both at genesis and when applying a block.
+    pub fn credit(&mut self, outpoint: OutPoint, output: TxOutput) -> bool {
+        if output.owner.shard(self.num_shards) != self.shard {
+            return false;
+        }
+        self.entries.insert(outpoint, output);
+        true
+    }
+
+    /// Validates the parts of `tx` that concern this shard (the paper's `V`).
+    ///
+    /// Only inputs owned by this shard are checked against the set; inputs owned
+    /// by other shards are ignored here and validated by their own committees.
+    /// Structural checks (double-spend-within-tx, value conservation, non-empty
+    /// outputs) are performed by every shard since they need no state.
+    pub fn validate(&self, tx: &Transaction) -> Result<(), ValidationError> {
+        if tx.outputs.is_empty() {
+            return Err(ValidationError::Empty);
+        }
+        // Structural: duplicate inputs.
+        for (i, a) in tx.inputs.iter().enumerate() {
+            for b in &tx.inputs[i + 1..] {
+                if a.outpoint == b.outpoint {
+                    return Err(ValidationError::DoubleSpendWithinTx);
+                }
+            }
+        }
+        // Structural: conservation of value (claimed amounts; the per-shard
+        // existence check below pins the claims to the actual UTXO set).
+        if !tx.is_genesis() && tx.output_sum() > tx.input_sum() {
+            return Err(ValidationError::ValueCreated);
+        }
+        // Stateful: inputs owned by this shard must exist and match.
+        for input in &tx.inputs {
+            if input.owner.shard(self.num_shards) != self.shard {
+                continue;
+            }
+            match self.entries.get(&input.outpoint) {
+                None => return Err(ValidationError::MissingInput),
+                Some(existing) => {
+                    if existing.owner != input.owner || existing.amount != input.amount {
+                        return Err(ValidationError::InputMismatch);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a validated transaction: removes the inputs this shard owns and
+    /// credits the outputs whose owners live in this shard.
+    ///
+    /// Returns the number of UTXOs spent plus created locally. The caller is
+    /// responsible for only applying transactions that passed [`Self::validate`]
+    /// on every involved shard (that is exactly what block application does).
+    pub fn apply(&mut self, tx: &Transaction) -> usize {
+        let mut touched = 0;
+        for input in &tx.inputs {
+            if input.owner.shard(self.num_shards) == self.shard
+                && self.entries.remove(&input.outpoint).is_some()
+            {
+                touched += 1;
+            }
+        }
+        for (outpoint, output) in tx.created_utxos() {
+            if self.credit(outpoint, output) {
+                touched += 1;
+            }
+        }
+        touched
+    }
+
+    /// Iterates over held outpoints (sorted, for deterministic snapshots).
+    pub fn sorted_outpoints(&self) -> Vec<OutPoint> {
+        let mut keys: Vec<OutPoint> = self.entries.keys().copied().collect();
+        keys.sort();
+        keys
+    }
+}
+
+/// Validates a transaction against every involved shard's UTXO set, as the
+/// referee committee conceptually does when it combines committee verdicts.
+pub fn validate_across_shards(
+    tx: &Transaction,
+    shards: &[UtxoSet],
+) -> Result<(), ValidationError> {
+    for shard_idx in tx.input_shards(shards.len()) {
+        shards[shard_idx].validate(tx)?;
+    }
+    // A transaction with no inputs in any shard (non-genesis) cannot be valid.
+    if !tx.is_genesis() && tx.inputs.is_empty() {
+        return Err(ValidationError::Empty);
+    }
+    // Still run the structural checks at least once even if it has no inputs in
+    // range (covers genesis and fully-foreign transactions).
+    if tx.input_shards(shards.len()).is_empty() {
+        if let Some(first) = shards.first() {
+            first.validate(tx)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{AccountId, TxInput};
+
+    /// Builds `m` shard UTXO sets seeded with one 100-value UTXO per account 0..n.
+    fn setup(m: usize, accounts: u64) -> (Vec<UtxoSet>, Vec<(OutPoint, TxOutput)>) {
+        let mut shards: Vec<UtxoSet> = (0..m).map(|s| UtxoSet::new(s, m)).collect();
+        let genesis = Transaction::genesis(
+            (0..accounts)
+                .map(|a| TxOutput {
+                    owner: AccountId(a),
+                    amount: 100,
+                })
+                .collect(),
+            0,
+        );
+        let created = genesis.created_utxos();
+        for (outpoint, output) in &created {
+            let shard = output.owner.shard(m);
+            assert!(shards[shard].credit(*outpoint, *output));
+        }
+        (shards, created)
+    }
+
+    fn spend(from: (OutPoint, TxOutput), to: AccountId, amount: u64) -> Transaction {
+        Transaction::new(
+            vec![TxInput {
+                outpoint: from.0,
+                owner: from.1.owner,
+                amount: from.1.amount,
+            }],
+            vec![
+                TxOutput { owner: to, amount },
+                TxOutput {
+                    owner: from.1.owner,
+                    amount: from.1.amount - amount - 1, // 1 unit fee
+                },
+            ],
+            1,
+        )
+    }
+
+    #[test]
+    fn credit_routes_by_shard() {
+        let (shards, created) = setup(4, 40);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 40);
+        let value: u64 = shards.iter().map(|s| s.total_value()).sum();
+        assert_eq!(value, 4000);
+        // Outputs were routed to the owner's shard.
+        for (outpoint, output) in &created {
+            let s = output.owner.shard(4);
+            assert_eq!(shards[s].get(outpoint), Some(output));
+        }
+        // Crediting to the wrong shard is refused.
+        let mut wrong = UtxoSet::new((created[0].1.owner.shard(4) + 1) % 4, 4);
+        assert!(!wrong.credit(created[0].0, created[0].1));
+    }
+
+    #[test]
+    fn valid_spend_passes_and_applies() {
+        let (mut shards, created) = setup(2, 10);
+        let tx = spend(created[0], AccountId(5), 40);
+        let owner_shard = created[0].1.owner.shard(2);
+        assert_eq!(shards[owner_shard].validate(&tx), Ok(()));
+        assert_eq!(validate_across_shards(&tx, &shards), Ok(()));
+        let before: u64 = shards.iter().map(|s| s.total_value()).sum();
+        for s in shards.iter_mut() {
+            s.apply(&tx);
+        }
+        let after: u64 = shards.iter().map(|s| s.total_value()).sum();
+        assert_eq!(before - after, tx.fee(), "only the fee leaves the UTXO set");
+        // The spent outpoint is gone.
+        assert!(shards[owner_shard].get(&created[0].0).is_none());
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        let (mut shards, created) = setup(2, 10);
+        let tx = spend(created[0], AccountId(5), 40);
+        for s in shards.iter_mut() {
+            s.apply(&tx);
+        }
+        // Spending the same UTXO again fails.
+        assert_eq!(
+            validate_across_shards(&tx, &shards),
+            Err(ValidationError::MissingInput)
+        );
+    }
+
+    #[test]
+    fn double_spend_within_tx_rejected() {
+        let (shards, created) = setup(2, 10);
+        let (outpoint, output) = created[0];
+        let tx = Transaction::new(
+            vec![
+                TxInput {
+                    outpoint,
+                    owner: output.owner,
+                    amount: output.amount,
+                },
+                TxInput {
+                    outpoint,
+                    owner: output.owner,
+                    amount: output.amount,
+                },
+            ],
+            vec![TxOutput {
+                owner: AccountId(9),
+                amount: 150,
+            }],
+            0,
+        );
+        assert_eq!(
+            validate_across_shards(&tx, &shards),
+            Err(ValidationError::DoubleSpendWithinTx)
+        );
+    }
+
+    #[test]
+    fn value_creation_rejected() {
+        let (shards, created) = setup(2, 10);
+        let (outpoint, output) = created[0];
+        let tx = Transaction::new(
+            vec![TxInput {
+                outpoint,
+                owner: output.owner,
+                amount: output.amount,
+            }],
+            vec![TxOutput {
+                owner: AccountId(3),
+                amount: output.amount + 1,
+            }],
+            0,
+        );
+        assert_eq!(
+            validate_across_shards(&tx, &shards),
+            Err(ValidationError::ValueCreated)
+        );
+    }
+
+    #[test]
+    fn mismatched_claim_rejected() {
+        let (shards, created) = setup(2, 10);
+        let (outpoint, output) = created[0];
+        let tx = Transaction::new(
+            vec![TxInput {
+                outpoint,
+                owner: output.owner,
+                amount: output.amount + 50, // inflated claim
+            }],
+            vec![TxOutput {
+                owner: AccountId(3),
+                amount: 120,
+            }],
+            0,
+        );
+        assert_eq!(
+            validate_across_shards(&tx, &shards),
+            Err(ValidationError::InputMismatch)
+        );
+    }
+
+    #[test]
+    fn empty_outputs_rejected() {
+        let (shards, created) = setup(2, 10);
+        let (outpoint, output) = created[0];
+        let tx = Transaction::new(
+            vec![TxInput {
+                outpoint,
+                owner: output.owner,
+                amount: output.amount,
+            }],
+            vec![],
+            0,
+        );
+        assert_eq!(shards[0].validate(&tx), Err(ValidationError::Empty));
+    }
+
+    #[test]
+    fn cross_shard_spend_checks_owning_shard_only() {
+        let m = 4;
+        let (shards, created) = setup(m, 40);
+        // Pick a UTXO and pay an account in a different shard.
+        let (outpoint, output) = created[0];
+        let other = (0..200u64)
+            .map(AccountId)
+            .find(|a| a.shard(m) != output.owner.shard(m))
+            .unwrap();
+        let tx = Transaction::new(
+            vec![TxInput {
+                outpoint,
+                owner: output.owner,
+                amount: output.amount,
+            }],
+            vec![TxOutput {
+                owner: other,
+                amount: 99,
+            }],
+            0,
+        );
+        assert!(!tx.is_intra_shard(m));
+        assert_eq!(validate_across_shards(&tx, &shards), Ok(()));
+        // The receiving shard alone cannot see the input, but it is not asked to.
+        assert_eq!(tx.input_shards(m), vec![output.owner.shard(m)]);
+    }
+
+    #[test]
+    fn sorted_outpoints_are_deterministic() {
+        let (shards, _) = setup(2, 20);
+        let a = shards[0].sorted_outpoints();
+        let b = shards[0].sorted_outpoints();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), shards[0].len());
+    }
+}

@@ -1,0 +1,186 @@
+//! Link latency models.
+//!
+//! §III-B distinguishes three kinds of links:
+//!
+//! * intra-committee links — synchronous with delay bound `Δ`,
+//! * the leader / partial-set mesh (and links to `C_R`) — synchronous with a
+//!   larger bound `Γ`,
+//! * everything else (e.g. block propagation to the whole network) — only
+//!   partially synchronous.
+//!
+//! Latencies are sampled deterministically from a seed so simulation runs are
+//! reproducible; the adversary is allowed to push any honest message to the full
+//! bound of its class (worst-case reordering of classical BFT models).
+
+use cycledger_crypto::hmac::HmacDrbg;
+
+use crate::time::SimDuration;
+use crate::topology::NodeId;
+
+/// Classification of a link used for a message.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LinkClass {
+    /// Within one committee: delay in `(0, Δ]`.
+    IntraCommittee,
+    /// Between key members (leaders / partial sets) and to the referee
+    /// committee: delay in `(0, Γ]`.
+    KeyMemberMesh,
+    /// Partially synchronous links (block propagation to all nodes): delay in
+    /// `(0, partial_bound]`, where the bound is unknown to the protocol.
+    PartiallySynchronous,
+}
+
+/// Latency configuration for a simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyConfig {
+    /// Synchronous intra-committee bound `Δ`.
+    pub delta: SimDuration,
+    /// Synchronous key-member mesh bound `Γ`.
+    pub gamma: SimDuration,
+    /// Bound used for partially synchronous links.
+    pub partial_bound: SimDuration,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        // Δ = 50 ms within a committee (a few hundred nearby nodes),
+        // Γ = 200 ms across the key-member mesh, 1 s for the rest of the world.
+        LatencyConfig {
+            delta: SimDuration::from_millis(50),
+            gamma: SimDuration::from_millis(200),
+            partial_bound: SimDuration::from_millis(1_000),
+        }
+    }
+}
+
+impl LatencyConfig {
+    /// Upper bound for a link class.
+    pub fn bound(&self, class: LinkClass) -> SimDuration {
+        match class {
+            LinkClass::IntraCommittee => self.delta,
+            LinkClass::KeyMemberMesh => self.gamma,
+            LinkClass::PartiallySynchronous => self.partial_bound,
+        }
+    }
+}
+
+/// Deterministic latency sampler.
+#[derive(Clone, Debug)]
+pub struct LatencySampler {
+    config: LatencyConfig,
+    seed: u64,
+}
+
+impl LatencySampler {
+    /// Creates a sampler with the given configuration and seed.
+    pub fn new(config: LatencyConfig, seed: u64) -> Self {
+        LatencySampler { config, seed }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LatencyConfig {
+        &self.config
+    }
+
+    /// Samples the delivery delay for the `seq`-th message from `from` to `to`
+    /// over a link of class `class`.
+    ///
+    /// Honest traffic is uniform in `[bound/4, bound]`; the lower clamp models a
+    /// nonzero propagation floor. `adversarial_delay` returns the full bound,
+    /// which is what a network adversary does to slow honest nodes down.
+    pub fn sample(&self, class: LinkClass, from: NodeId, to: NodeId, seq: u64) -> SimDuration {
+        let bound = self.config.bound(class).as_micros().max(1);
+        let floor = (bound / 4).max(1);
+        let mut drbg = HmacDrbg::from_parts(
+            "cycledger/latency",
+            &[
+                &self.seed.to_be_bytes(),
+                &from.0.to_be_bytes(),
+                &to.0.to_be_bytes(),
+                &seq.to_be_bytes(),
+            ],
+        );
+        let span = bound - floor + 1;
+        SimDuration::from_micros(floor + drbg.next_below(span))
+    }
+
+    /// Worst-case delay for a class: the synchrony bound itself.
+    pub fn adversarial_delay(&self, class: LinkClass) -> SimDuration {
+        self.config.bound(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ordering_of_bounds() {
+        let cfg = LatencyConfig::default();
+        assert!(cfg.delta < cfg.gamma);
+        assert!(cfg.gamma < cfg.partial_bound);
+        assert_eq!(cfg.bound(LinkClass::IntraCommittee), cfg.delta);
+        assert_eq!(cfg.bound(LinkClass::KeyMemberMesh), cfg.gamma);
+        assert_eq!(cfg.bound(LinkClass::PartiallySynchronous), cfg.partial_bound);
+    }
+
+    #[test]
+    fn samples_respect_bounds() {
+        let sampler = LatencySampler::new(LatencyConfig::default(), 42);
+        for seq in 0..200 {
+            for class in [
+                LinkClass::IntraCommittee,
+                LinkClass::KeyMemberMesh,
+                LinkClass::PartiallySynchronous,
+            ] {
+                let d = sampler.sample(class, NodeId(1), NodeId(2), seq);
+                let bound = sampler.config().bound(class);
+                assert!(d <= bound, "{class:?}: {d:?} > {bound:?}");
+                assert!(d.as_micros() >= bound.as_micros() / 4);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = LatencySampler::new(LatencyConfig::default(), 7);
+        let b = LatencySampler::new(LatencyConfig::default(), 7);
+        let c = LatencySampler::new(LatencyConfig::default(), 8);
+        let da = a.sample(LinkClass::IntraCommittee, NodeId(0), NodeId(1), 3);
+        let db = b.sample(LinkClass::IntraCommittee, NodeId(0), NodeId(1), 3);
+        let dc = c.sample(LinkClass::IntraCommittee, NodeId(0), NodeId(1), 3);
+        assert_eq!(da, db);
+        assert_ne!(da, dc);
+    }
+
+    #[test]
+    fn samples_vary_with_sequence_number() {
+        let sampler = LatencySampler::new(LatencyConfig::default(), 11);
+        let mut distinct = std::collections::HashSet::new();
+        for seq in 0..50 {
+            distinct.insert(sampler.sample(LinkClass::KeyMemberMesh, NodeId(0), NodeId(1), seq));
+        }
+        assert!(distinct.len() > 10, "latency should not be constant");
+    }
+
+    #[test]
+    fn adversarial_delay_is_the_bound() {
+        let sampler = LatencySampler::new(LatencyConfig::default(), 1);
+        assert_eq!(
+            sampler.adversarial_delay(LinkClass::IntraCommittee),
+            sampler.config().delta
+        );
+    }
+
+    #[test]
+    fn tiny_bounds_still_work() {
+        let cfg = LatencyConfig {
+            delta: SimDuration::from_micros(1),
+            gamma: SimDuration::from_micros(2),
+            partial_bound: SimDuration::from_micros(3),
+        };
+        let sampler = LatencySampler::new(cfg, 0);
+        let d = sampler.sample(LinkClass::IntraCommittee, NodeId(0), NodeId(1), 0);
+        assert!(d.as_micros() >= 1 && d.as_micros() <= 1);
+    }
+}

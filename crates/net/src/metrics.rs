@@ -1,0 +1,269 @@
+//! Message, byte and storage accounting.
+//!
+//! Table II of the paper reports per-phase, per-role communication and storage
+//! complexity. The simulator measures these directly: every message sent through
+//! [`crate::network::SimNetwork`] is charged to its sender and receiver under the
+//! currently active phase label, and protocol code reports storage via
+//! [`MetricsSink::record_storage`].
+
+use std::collections::HashMap;
+
+use crate::topology::NodeId;
+
+/// Protocol phases used as accounting labels (matching §IV and Table II).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Phase {
+    /// Committee configuration (Alg. 1 & 2).
+    CommitteeConfiguration,
+    /// Semi-commitment exchanging (Alg. 4).
+    SemiCommitmentExchange,
+    /// Intra-committee consensus (Alg. 5).
+    IntraCommitteeConsensus,
+    /// Inter-committee consensus (§IV-D).
+    InterCommitteeConsensus,
+    /// Reputation updating (§IV-E).
+    ReputationUpdate,
+    /// Referee committee / leaders / partial-set selection (§IV-F).
+    KeyMemberSelection,
+    /// Block generation and propagation (§IV-G).
+    BlockGeneration,
+    /// Leader re-selection / recovery procedure (Alg. 6).
+    Recovery,
+}
+
+impl Phase {
+    /// All phases, in protocol order.
+    pub const ALL: [Phase; 8] = [
+        Phase::CommitteeConfiguration,
+        Phase::SemiCommitmentExchange,
+        Phase::IntraCommitteeConsensus,
+        Phase::InterCommitteeConsensus,
+        Phase::ReputationUpdate,
+        Phase::KeyMemberSelection,
+        Phase::BlockGeneration,
+        Phase::Recovery,
+    ];
+
+    /// Human-readable label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::CommitteeConfiguration => "Committee Configuration",
+            Phase::SemiCommitmentExchange => "Semi-Commitment Exchanging",
+            Phase::IntraCommitteeConsensus => "Intra-committee Consensus",
+            Phase::InterCommitteeConsensus => "Inter-committee Consensus",
+            Phase::ReputationUpdate => "Reputation Updating",
+            Phase::KeyMemberSelection => "Key Member Selection",
+            Phase::BlockGeneration => "Block Generation & Propagation",
+            Phase::Recovery => "Leader Re-selection (Recovery)",
+        }
+    }
+}
+
+/// Per-node, per-phase counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_received: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+    /// Peak bytes of protocol state retained for the phase.
+    pub storage_bytes: u64,
+}
+
+impl Counters {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        self.msgs_sent += other.msgs_sent;
+        self.msgs_received += other.msgs_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.storage_bytes += other.storage_bytes;
+    }
+
+    /// Total communication (sent + received) in bytes.
+    pub fn comm_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+}
+
+/// Accumulates counters keyed by `(node, phase)`.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSink {
+    counters: HashMap<(NodeId, Phase), Counters>,
+}
+
+impl MetricsSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn entry(&mut self, node: NodeId, phase: Phase) -> &mut Counters {
+        self.counters.entry((node, phase)).or_default()
+    }
+
+    /// Records a message of `bytes` sent from `from` to `to` during `phase`.
+    pub fn record_message(&mut self, phase: Phase, from: NodeId, to: NodeId, bytes: u64) {
+        let s = self.entry(from, phase);
+        s.msgs_sent += 1;
+        s.bytes_sent += bytes;
+        let r = self.entry(to, phase);
+        r.msgs_received += 1;
+        r.bytes_received += bytes;
+    }
+
+    /// Records `bytes` of protocol state stored by `node` for `phase`.
+    pub fn record_storage(&mut self, phase: Phase, node: NodeId, bytes: u64) {
+        self.entry(node, phase).storage_bytes += bytes;
+    }
+
+    /// Counters for one `(node, phase)` pair.
+    pub fn node_phase(&self, node: NodeId, phase: Phase) -> Counters {
+        self.counters.get(&(node, phase)).copied().unwrap_or_default()
+    }
+
+    /// Sums counters for a node across all phases.
+    pub fn node_total(&self, node: NodeId) -> Counters {
+        let mut total = Counters::default();
+        for ((n, _), c) in &self.counters {
+            if *n == node {
+                total.merge(c);
+            }
+        }
+        total
+    }
+
+    /// Sums counters across all nodes for one phase.
+    pub fn phase_total(&self, phase: Phase) -> Counters {
+        let mut total = Counters::default();
+        for ((_, p), c) in &self.counters {
+            if *p == phase {
+                total.merge(c);
+            }
+        }
+        total
+    }
+
+    /// Aggregates per-phase counters over a set of nodes (e.g. "all leaders"),
+    /// returning `(total, per-node maximum)` for that group.
+    pub fn group_phase(&self, nodes: &[NodeId], phase: Phase) -> (Counters, Counters) {
+        let mut total = Counters::default();
+        let mut max = Counters::default();
+        for &n in nodes {
+            let c = self.node_phase(n, phase);
+            total.merge(&c);
+            max.msgs_sent = max.msgs_sent.max(c.msgs_sent);
+            max.msgs_received = max.msgs_received.max(c.msgs_received);
+            max.bytes_sent = max.bytes_sent.max(c.bytes_sent);
+            max.bytes_received = max.bytes_received.max(c.bytes_received);
+            max.storage_bytes = max.storage_bytes.max(c.storage_bytes);
+        }
+        (total, max)
+    }
+
+    /// Mean per-node communication bytes for a group in a phase.
+    pub fn group_phase_mean_comm(&self, nodes: &[NodeId], phase: Phase) -> f64 {
+        if nodes.is_empty() {
+            return 0.0;
+        }
+        let (total, _) = self.group_phase(nodes, phase);
+        total.comm_bytes() as f64 / nodes.len() as f64
+    }
+
+    /// Merges another sink into this one (used when per-committee simulations
+    /// run on worker threads and their metrics are combined afterwards).
+    pub fn merge(&mut self, other: &MetricsSink) {
+        for (key, c) in &other.counters {
+            self.counters.entry(*key).or_default().merge(c);
+        }
+    }
+
+    /// Total number of distinct `(node, phase)` entries (mostly for tests).
+    pub fn entry_count(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut sink = MetricsSink::new();
+        sink.record_message(Phase::IntraCommitteeConsensus, NodeId(1), NodeId(2), 100);
+        sink.record_message(Phase::IntraCommitteeConsensus, NodeId(1), NodeId(3), 50);
+        sink.record_storage(Phase::IntraCommitteeConsensus, NodeId(1), 500);
+
+        let n1 = sink.node_phase(NodeId(1), Phase::IntraCommitteeConsensus);
+        assert_eq!(n1.msgs_sent, 2);
+        assert_eq!(n1.bytes_sent, 150);
+        assert_eq!(n1.storage_bytes, 500);
+        let n2 = sink.node_phase(NodeId(2), Phase::IntraCommitteeConsensus);
+        assert_eq!(n2.msgs_received, 1);
+        assert_eq!(n2.bytes_received, 100);
+        assert_eq!(sink.node_phase(NodeId(9), Phase::Recovery), Counters::default());
+    }
+
+    #[test]
+    fn totals_and_groups() {
+        let mut sink = MetricsSink::new();
+        sink.record_message(Phase::BlockGeneration, NodeId(0), NodeId(1), 10);
+        sink.record_message(Phase::Recovery, NodeId(0), NodeId(2), 20);
+        let total = sink.node_total(NodeId(0));
+        assert_eq!(total.msgs_sent, 2);
+        assert_eq!(total.bytes_sent, 30);
+        let phase_total = sink.phase_total(Phase::BlockGeneration);
+        assert_eq!(phase_total.msgs_sent, 1);
+        assert_eq!(phase_total.msgs_received, 1);
+
+        let (group_total, group_max) =
+            sink.group_phase(&[NodeId(1), NodeId(2)], Phase::BlockGeneration);
+        assert_eq!(group_total.bytes_received, 10);
+        assert_eq!(group_max.bytes_received, 10);
+        assert_eq!(
+            sink.group_phase_mean_comm(&[NodeId(1), NodeId(2)], Phase::BlockGeneration),
+            5.0
+        );
+        assert_eq!(sink.group_phase_mean_comm(&[], Phase::BlockGeneration), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_sinks() {
+        let mut a = MetricsSink::new();
+        let mut b = MetricsSink::new();
+        a.record_message(Phase::Recovery, NodeId(1), NodeId(2), 7);
+        b.record_message(Phase::Recovery, NodeId(1), NodeId(2), 3);
+        b.record_storage(Phase::Recovery, NodeId(5), 11);
+        a.merge(&b);
+        assert_eq!(a.node_phase(NodeId(1), Phase::Recovery).bytes_sent, 10);
+        assert_eq!(a.node_phase(NodeId(5), Phase::Recovery).storage_bytes, 11);
+        assert_eq!(a.entry_count(), 3);
+    }
+
+    #[test]
+    fn phase_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn counters_merge_and_comm() {
+        let mut a = Counters {
+            msgs_sent: 1,
+            msgs_received: 2,
+            bytes_sent: 3,
+            bytes_received: 4,
+            storage_bytes: 5,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 2);
+        assert_eq!(a.comm_bytes(), 14);
+    }
+}

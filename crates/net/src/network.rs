@@ -1,0 +1,402 @@
+//! The discrete-event simulated network.
+//!
+//! A [`SimNetwork`] holds a virtual clock and a priority queue of in-flight
+//! messages. Protocol code sends messages (which are assigned a delivery time by
+//! the latency model and charged to the metrics sink) and then repeatedly calls
+//! [`SimNetwork::deliver_next`] to pump the queue; every delivery advances the
+//! clock to the message's arrival time. The pattern for a phase driver is:
+//!
+//! ```
+//! use cycledger_net::network::SimNetwork;
+//! use cycledger_net::latency::{LatencyConfig, LinkClass};
+//! use cycledger_net::metrics::Phase;
+//! use cycledger_net::topology::NodeId;
+//!
+//! let mut net: SimNetwork<&'static str> = SimNetwork::new(LatencyConfig::default(), 1);
+//! net.set_phase(Phase::IntraCommitteeConsensus);
+//! net.send(NodeId(0), NodeId(1), LinkClass::IntraCommittee, "PROPOSE", 64);
+//! while let Some(env) = net.deliver_next() {
+//!     // react to env, possibly calling net.send(...) again
+//!     assert_eq!(env.payload, "PROPOSE");
+//! }
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::latency::{LatencyConfig, LatencySampler, LinkClass};
+use crate::metrics::{MetricsSink, Phase};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+
+/// A message in flight or delivered.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Application payload.
+    pub payload: M,
+    /// Wire size charged to the metrics sink.
+    pub bytes: u64,
+    /// Time the message was sent.
+    pub sent_at: SimTime,
+    /// Time the message is (or was) delivered.
+    pub delivered_at: SimTime,
+    /// Phase under which the message was accounted.
+    pub phase: Phase,
+}
+
+struct Scheduled<M> {
+    deliver_at: SimTime,
+    seq: u64,
+    envelope: Envelope<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+/// The simulated network: clock, in-flight queue, latency model, metrics.
+pub struct SimNetwork<M> {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    seq: u64,
+    sampler: LatencySampler,
+    metrics: MetricsSink,
+    phase: Phase,
+    silenced: HashSet<NodeId>,
+    dropped_messages: u64,
+}
+
+impl<M> SimNetwork<M> {
+    /// Creates a network with the given latency configuration and seed.
+    pub fn new(config: LatencyConfig, seed: u64) -> Self {
+        SimNetwork {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            sampler: LatencySampler::new(config, seed),
+            metrics: MetricsSink::new(),
+            phase: Phase::CommitteeConfiguration,
+            silenced: HashSet::new(),
+            dropped_messages: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sets the phase label under which subsequent traffic is accounted.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// The currently active phase label.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Marks a node as silenced (crashed or deliberately mute); all of its
+    /// future outgoing messages are dropped. Used to model fail-silent leaders.
+    pub fn silence(&mut self, node: NodeId) {
+        self.silenced.insert(node);
+    }
+
+    /// Removes a node from the silenced set.
+    pub fn unsilence(&mut self, node: NodeId) {
+        self.silenced.remove(&node);
+    }
+
+    /// True if `node` is currently silenced.
+    pub fn is_silenced(&self, node: NodeId) -> bool {
+        self.silenced.contains(&node)
+    }
+
+    /// Number of messages dropped because their sender was silenced.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
+    }
+
+    /// Sends a message; its delivery time is drawn from the latency model.
+    /// Returns the scheduled delivery time, or `None` if the sender is silenced
+    /// and the message was dropped.
+    pub fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: LinkClass,
+        payload: M,
+        bytes: u64,
+    ) -> Option<SimTime> {
+        if self.silenced.contains(&from) {
+            self.dropped_messages += 1;
+            return None;
+        }
+        let delay = self.sampler.sample(class, from, to, self.seq);
+        Some(self.enqueue(from, to, payload, bytes, delay))
+    }
+
+    /// Sends a message with an explicit extra delay on top of the sampled
+    /// latency — used to model nodes that deliberately wait (e.g. the partial
+    /// set's `2Γ` framing timeout of Lemma 7).
+    pub fn send_after(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: LinkClass,
+        payload: M,
+        bytes: u64,
+        extra_delay: SimDuration,
+    ) -> Option<SimTime> {
+        if self.silenced.contains(&from) {
+            self.dropped_messages += 1;
+            return None;
+        }
+        let delay = self.sampler.sample(class, from, to, self.seq).plus(extra_delay);
+        Some(self.enqueue(from, to, payload, bytes, delay))
+    }
+
+    fn enqueue(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+        bytes: u64,
+        delay: SimDuration,
+    ) -> SimTime {
+        let deliver_at = self.now.after(delay);
+        self.metrics.record_message(self.phase, from, to, bytes);
+        let envelope = Envelope {
+            from,
+            to,
+            payload,
+            bytes,
+            sent_at: self.now,
+            delivered_at: deliver_at,
+            phase: self.phase,
+        };
+        self.queue.push(Reverse(Scheduled {
+            deliver_at,
+            seq: self.seq,
+            envelope,
+        }));
+        self.seq += 1;
+        deliver_at
+    }
+
+    /// Delivers the next in-flight message, advancing the clock to its delivery
+    /// time. Returns `None` when the queue is empty.
+    pub fn deliver_next(&mut self) -> Option<Envelope<M>> {
+        let Reverse(scheduled) = self.queue.pop()?;
+        debug_assert!(scheduled.deliver_at >= self.now, "time must not go backwards");
+        self.now = scheduled.deliver_at;
+        Some(scheduled.envelope)
+    }
+
+    /// Number of messages still in flight.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Advances the clock without delivering anything (models idle waiting up to
+    /// a protocol-defined offset such as "start phase two after 8Δ").
+    pub fn advance_to(&mut self, time: SimTime) {
+        if time > self.now {
+            self.now = time;
+        }
+    }
+
+    /// Records protocol storage against the current phase.
+    pub fn record_storage(&mut self, node: NodeId, bytes: u64) {
+        self.metrics.record_storage(self.phase, node, bytes);
+    }
+
+    /// Accounts a message in the metrics sink *without* scheduling a delivery.
+    ///
+    /// Used by phase drivers for one-shot fan-out traffic whose content never
+    /// influences later control flow (vote uploads, result forwarding to `C_R`,
+    /// block propagation): the bytes and message counts matter for Table II, but
+    /// pumping them through the event queue would add nothing.
+    pub fn account_message(&mut self, from: NodeId, to: NodeId, bytes: u64) {
+        self.metrics.record_message(self.phase, from, to, bytes);
+    }
+
+    /// Read access to the metrics sink.
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
+    }
+
+    /// Consumes the network and returns its metrics.
+    pub fn into_metrics(self) -> MetricsSink {
+        self.metrics
+    }
+
+    /// The latency configuration in use.
+    pub fn latency_config(&self) -> &LatencyConfig {
+        self.sampler.config()
+    }
+}
+
+impl<M: Clone> SimNetwork<M> {
+    /// Broadcasts `payload` from `from` to every node in `targets` (excluding
+    /// the sender itself). Returns the number of messages actually sent.
+    pub fn broadcast(
+        &mut self,
+        from: NodeId,
+        targets: &[NodeId],
+        class: LinkClass,
+        payload: M,
+        bytes: u64,
+    ) -> usize {
+        let mut sent = 0;
+        for &to in targets {
+            if to == from {
+                continue;
+            }
+            if self.send(from, to, class, payload.clone(), bytes).is_some() {
+                sent += 1;
+            }
+        }
+        sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> SimNetwork<u32> {
+        SimNetwork::new(LatencyConfig::default(), 99)
+    }
+
+    #[test]
+    fn delivery_advances_clock_in_order() {
+        let mut net = net();
+        for i in 0..20u32 {
+            net.send(NodeId(0), NodeId(1), LinkClass::IntraCommittee, i, 16);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some(env) = net.deliver_next() {
+            assert!(env.delivered_at >= last, "deliveries must be time ordered");
+            assert_eq!(env.delivered_at, net.now());
+            last = env.delivered_at;
+            count += 1;
+        }
+        assert_eq!(count, 20);
+        assert_eq!(net.pending(), 0);
+    }
+
+    #[test]
+    fn latency_respects_class_bound() {
+        let mut net = net();
+        net.send(NodeId(0), NodeId(1), LinkClass::IntraCommittee, 1, 8);
+        let env = net.deliver_next().unwrap();
+        let delay = env.delivered_at.since(env.sent_at);
+        assert!(delay <= net.latency_config().delta);
+    }
+
+    #[test]
+    fn broadcast_skips_sender_and_counts() {
+        let mut net = net();
+        let targets: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let sent = net.broadcast(NodeId(2), &targets, LinkClass::IntraCommittee, 7, 10);
+        assert_eq!(sent, 4);
+        assert_eq!(net.pending(), 4);
+        let sender = net.metrics().node_phase(NodeId(2), Phase::CommitteeConfiguration);
+        assert_eq!(sender.msgs_sent, 4);
+        assert_eq!(sender.bytes_sent, 40);
+    }
+
+    #[test]
+    fn silenced_nodes_drop_outgoing_traffic() {
+        let mut net = net();
+        net.silence(NodeId(3));
+        assert!(net.is_silenced(NodeId(3)));
+        assert!(net
+            .send(NodeId(3), NodeId(1), LinkClass::IntraCommittee, 1, 8)
+            .is_none());
+        assert_eq!(net.dropped_messages(), 1);
+        assert_eq!(net.pending(), 0);
+        net.unsilence(NodeId(3));
+        assert!(net
+            .send(NodeId(3), NodeId(1), LinkClass::IntraCommittee, 1, 8)
+            .is_some());
+    }
+
+    #[test]
+    fn send_after_adds_extra_delay() {
+        let mut net = net();
+        let extra = SimDuration::from_millis(500);
+        net.send_after(NodeId(0), NodeId(1), LinkClass::IntraCommittee, 1, 8, extra);
+        let env = net.deliver_next().unwrap();
+        assert!(env.delivered_at.since(env.sent_at) >= extra);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut net = net();
+        net.advance_to(SimTime(5_000));
+        assert_eq!(net.now(), SimTime(5_000));
+        net.advance_to(SimTime(1_000));
+        assert_eq!(net.now(), SimTime(5_000));
+    }
+
+    #[test]
+    fn phase_label_is_attached_to_messages() {
+        let mut net = net();
+        net.set_phase(Phase::Recovery);
+        assert_eq!(net.phase(), Phase::Recovery);
+        net.send(NodeId(0), NodeId(1), LinkClass::KeyMemberMesh, 1, 32);
+        let env = net.deliver_next().unwrap();
+        assert_eq!(env.phase, Phase::Recovery);
+        assert_eq!(net.metrics().node_phase(NodeId(0), Phase::Recovery).msgs_sent, 1);
+    }
+
+    #[test]
+    fn storage_recording_goes_to_current_phase() {
+        let mut net = net();
+        net.set_phase(Phase::BlockGeneration);
+        net.record_storage(NodeId(4), 1234);
+        assert_eq!(
+            net.metrics().node_phase(NodeId(4), Phase::BlockGeneration).storage_bytes,
+            1234
+        );
+        let metrics = net.into_metrics();
+        assert_eq!(metrics.entry_count(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut net: SimNetwork<u32> = SimNetwork::new(LatencyConfig::default(), seed);
+            let mut times = Vec::new();
+            for i in 0..10 {
+                net.send(NodeId(0), NodeId(1), LinkClass::KeyMemberMesh, i, 8);
+            }
+            while let Some(env) = net.deliver_next() {
+                times.push((env.payload, env.delivered_at));
+            }
+            times
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,107 @@
+//! Simulated time.
+//!
+//! The paper's network model (§III-B) is parameterised by two delay bounds:
+//! `Δ` for synchronous intra-committee links and `Γ` for the synchronous mesh
+//! between leaders and partial-set members, plus partially-synchronous links for
+//! everything else. A deterministic discrete-event clock lets us reason about
+//! recommended phase offsets ("the recommended delay is 8Δ") and the 2Γ framing
+//! timeout of Lemma 7 exactly.
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Adds a duration.
+    pub fn after(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Duration elapsed since `earlier` (saturating at zero).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Microsecond value.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) milliseconds, for reporting.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+}
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Microsecond value.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Multiplies by an integer factor (used for offsets like `8Δ` and `2Γ`).
+    pub fn times(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// Adds two durations.
+    pub fn plus(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO.after(SimDuration::from_millis(5));
+        assert_eq!(t.as_micros(), 5_000);
+        assert_eq!(t.since(SimTime::ZERO), SimDuration::from_millis(5));
+        assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_micros(3).times(8).as_micros(), 24);
+        assert_eq!(
+            SimDuration::from_millis(1).plus(SimDuration::from_micros(500)).as_micros(),
+            1_500
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(3) < SimTime(4));
+        assert!(SimDuration::from_millis(2) > SimDuration::from_micros(1999));
+    }
+
+    #[test]
+    fn millis_reporting() {
+        assert_eq!(SimTime(1_500).as_millis_f64(), 1.5);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let t = SimTime(u64::MAX);
+        assert_eq!(t.after(SimDuration(10)).0, u64::MAX);
+        assert_eq!(SimDuration(u64::MAX).times(2).0, u64::MAX);
+    }
+}

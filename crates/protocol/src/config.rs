@@ -1,0 +1,147 @@
+//! Protocol and simulation configuration.
+
+use cycledger_net::latency::LatencyConfig;
+
+use crate::adversary::AdversaryConfig;
+
+/// Configuration of a CycLedger simulation run.
+#[derive(Clone, Copy, Debug)]
+pub struct ProtocolConfig {
+    /// Number of committees `m` (excluding the referee committee).
+    pub committees: usize,
+    /// Target committee size `c` (leader + partial set + common members).
+    pub committee_size: usize,
+    /// Partial-set size `λ`.
+    pub partial_set_size: usize,
+    /// Referee committee size `|C_R|`.
+    pub referee_size: usize,
+    /// Number of transactions offered to the network per round.
+    pub txs_per_round: usize,
+    /// Fraction of offered transactions that are cross-shard.
+    pub cross_shard_ratio: f64,
+    /// Fraction of offered transactions that are invalid (committees must
+    /// reject them).
+    pub invalid_ratio: f64,
+    /// Accounts minted per shard at genesis.
+    pub accounts_per_shard: usize,
+    /// Proof-of-work participation difficulty (leading zero bits). Kept tiny in
+    /// simulation so solving is fast; the code path is identical.
+    pub pow_difficulty: u32,
+    /// Per-node transaction-validation capacity per round; members vote
+    /// `Unknown` on transactions beyond their capacity (§VII-A: reputation
+    /// reflects honest computing power).
+    pub base_compute_capacity: u32,
+    /// Spread of compute capacity across nodes (capacity is sampled uniformly
+    /// in `[base, base + spread]`).
+    pub compute_capacity_spread: u32,
+    /// Extra reputation granted to a leader that completes its round (§VII-A).
+    pub leader_bonus: f64,
+    /// Network latency model.
+    pub latency: LatencyConfig,
+    /// Adversary configuration.
+    pub adversary: AdversaryConfig,
+    /// Verify every signature during simulation. Disable only for large-scale
+    /// benches (see `MemberState::set_verify_signatures` for why this does not
+    /// change outcomes).
+    pub verify_signatures: bool,
+    /// Master seed for all deterministic randomness.
+    pub seed: u64,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            committees: 4,
+            committee_size: 12,
+            partial_set_size: 3,
+            referee_size: 7,
+            txs_per_round: 200,
+            cross_shard_ratio: 0.2,
+            invalid_ratio: 0.05,
+            accounts_per_shard: 64,
+            pow_difficulty: 4,
+            base_compute_capacity: 200,
+            compute_capacity_spread: 100,
+            leader_bonus: 0.1,
+            latency: LatencyConfig::default(),
+            adversary: AdversaryConfig::default(),
+            verify_signatures: true,
+            seed: 42,
+        }
+    }
+}
+
+impl ProtocolConfig {
+    /// Total number of ordinary (non-referee) nodes, `n = m·c`.
+    pub fn ordinary_nodes(&self) -> usize {
+        self.committees * self.committee_size
+    }
+
+    /// Total number of simulated nodes including the referee committee.
+    pub fn total_nodes(&self) -> usize {
+        self.ordinary_nodes() + self.referee_size
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.committees == 0 {
+            return Err("at least one committee is required".into());
+        }
+        if self.committee_size < self.partial_set_size + 2 {
+            return Err(format!(
+                "committee size {} too small for partial set {} plus leader and a member",
+                self.committee_size, self.partial_set_size
+            ));
+        }
+        if self.referee_size < 3 {
+            return Err("referee committee needs at least 3 members".into());
+        }
+        if !(0.0..=1.0).contains(&self.cross_shard_ratio)
+            || !(0.0..=1.0).contains(&self.invalid_ratio)
+        {
+            return Err("ratios must lie in [0, 1]".into());
+        }
+        if self.accounts_per_shard < 2 {
+            return Err("need at least two accounts per shard".into());
+        }
+        self.adversary.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        let cfg = ProtocolConfig::default();
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!(cfg.ordinary_nodes(), 48);
+        assert_eq!(cfg.total_nodes(), 55);
+    }
+
+    #[test]
+    fn invalid_configs_are_reported() {
+        let mut cfg = ProtocolConfig::default();
+        cfg.committees = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ProtocolConfig::default();
+        cfg.committee_size = 3;
+        cfg.partial_set_size = 3;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ProtocolConfig::default();
+        cfg.referee_size = 1;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ProtocolConfig::default();
+        cfg.cross_shard_ratio = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = ProtocolConfig::default();
+        cfg.accounts_per_shard = 1;
+        assert!(cfg.validate().is_err());
+    }
+}

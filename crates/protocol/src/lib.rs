@@ -1,0 +1,36 @@
+//! # cycledger-protocol
+//!
+//! The paper's primary contribution, as a runnable simulation: committee
+//! sortition, the seven round phases of §IV, the recovery procedure of
+//! Algorithm 6, adversarial behaviours, and a multi-round simulation driver
+//! with per-phase, per-role measurement.
+//!
+//! * [`config`] — simulation parameters (`m`, `c`, `λ`, workload, adversary).
+//! * [`adversary`] — the concrete deviations corrupted nodes exercise.
+//! * [`node`] — simulated nodes and the PKI registry.
+//! * [`sortition`] — referee/leader/partial-set selection and VRF sortition.
+//! * [`committee`] — executable committees and network-driven Algorithm 3.
+//! * [`phases`] — the seven phases plus recovery, one module each.
+//! * [`round`] — the per-round driver tying the phases together.
+//! * [`simulation`] — the multi-round public entry point.
+//! * [`report`] — measurement output consumed by benches and experiments.
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod committee;
+pub mod config;
+pub mod node;
+pub mod phases;
+pub mod report;
+pub mod round;
+pub mod simulation;
+pub mod sortition;
+
+pub use adversary::{AdversaryConfig, Behavior, BehaviorMix};
+pub use committee::{Committee, InsideConsensusOutcome, LeaderFault};
+pub use config::ProtocolConfig;
+pub use node::{NodeRegistry, SimNode};
+pub use report::{RoundReport, SimulationSummary};
+pub use simulation::Simulation;
+pub use sortition::{assign_round, AssignmentParams, CommitteeAssignment, RoundAssignment};

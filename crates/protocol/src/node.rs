@@ -1,0 +1,178 @@
+//! Simulated nodes and the node registry (the PKI of §III-A).
+
+use cycledger_crypto::hmac::HmacDrbg;
+use cycledger_crypto::schnorr::Keypair;
+use cycledger_net::topology::NodeId;
+
+use crate::adversary::{AdversaryConfig, Behavior};
+use cycledger_consensus::quorum::CommitteeKeys;
+
+/// One simulated node: identity, keys, behaviour, and compute capacity.
+#[derive(Clone, Debug)]
+pub struct SimNode {
+    /// Network identity.
+    pub id: NodeId,
+    /// Long-lived key pair registered with the PKI.
+    pub keypair: Keypair,
+    /// Honest or one of the adversarial behaviours.
+    pub behavior: Behavior,
+    /// Number of transactions the node can validate per round; beyond this it
+    /// votes `Unknown` (the computing-power model behind reputation, §VII-A).
+    pub compute_capacity: u32,
+}
+
+impl SimNode {
+    /// True if the node follows the protocol.
+    pub fn is_honest(&self) -> bool {
+        !self.behavior.is_malicious()
+    }
+}
+
+/// The registry of all simulated nodes — effectively the PKI plus the ground
+/// truth the experiment harness uses (who is corrupted, who has how much
+/// compute).
+#[derive(Clone, Debug)]
+pub struct NodeRegistry {
+    nodes: Vec<SimNode>,
+}
+
+impl NodeRegistry {
+    /// Creates `total` nodes with behaviours from the adversary config and
+    /// compute capacities in `[base, base + spread]`, all derived from `seed`.
+    pub fn generate(
+        total: usize,
+        adversary: &AdversaryConfig,
+        base_compute: u32,
+        compute_spread: u32,
+        seed: u64,
+    ) -> NodeRegistry {
+        let behaviors = adversary.assign(total, seed);
+        let mut drbg = HmacDrbg::from_parts("cycledger/node-compute", &[&seed.to_be_bytes()]);
+        let nodes = (0..total)
+            .map(|i| {
+                let capacity = base_compute
+                    + if compute_spread == 0 {
+                        0
+                    } else {
+                        drbg.next_below(compute_spread as u64 + 1) as u32
+                    };
+                SimNode {
+                    id: NodeId(i as u32),
+                    keypair: Keypair::from_seed(
+                        format!("cycledger-node-{seed}-{i}").as_bytes(),
+                    ),
+                    behavior: behaviors[i],
+                    compute_capacity: capacity,
+                }
+            })
+            .collect();
+        NodeRegistry { nodes }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: NodeId) -> &SimNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All node ids.
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|n| n.id).collect()
+    }
+
+    /// Iterates over all nodes.
+    pub fn iter(&self) -> impl Iterator<Item = &SimNode> {
+        self.nodes.iter()
+    }
+
+    /// Number of malicious nodes.
+    pub fn malicious_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_honest()).count()
+    }
+
+    /// Builds the public-key directory for a set of nodes (what committee
+    /// members learn during committee configuration).
+    pub fn committee_keys(&self, members: &[NodeId]) -> CommitteeKeys {
+        CommitteeKeys::new(members.iter().map(|&id| (id, self.node(id).keypair.public)))
+    }
+
+    /// Fraction of honest nodes within a member set.
+    pub fn honest_fraction(&self, members: &[NodeId]) -> f64 {
+        if members.is_empty() {
+            return 1.0;
+        }
+        let honest = members.iter().filter(|&&id| self.node(id).is_honest()).count();
+        honest as f64 / members.len() as f64
+    }
+
+    /// Overrides one node's behaviour (used by targeted fault-injection tests).
+    pub fn set_behavior(&mut self, id: NodeId, behavior: Behavior) {
+        self.nodes[id.index()].behavior = behavior;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let adv = AdversaryConfig::uniform(0.25);
+        let a = NodeRegistry::generate(40, &adv, 100, 50, 7);
+        let b = NodeRegistry::generate(40, &adv, 100, 50, 7);
+        assert_eq!(a.len(), 40);
+        assert!(!a.is_empty());
+        assert_eq!(a.malicious_count(), 10);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.behavior, y.behavior);
+            assert_eq!(x.compute_capacity, y.compute_capacity);
+            assert_eq!(x.keypair.public, y.keypair.public);
+        }
+    }
+
+    #[test]
+    fn compute_capacity_within_range() {
+        let adv = AdversaryConfig::default();
+        let reg = NodeRegistry::generate(50, &adv, 200, 100, 3);
+        for node in reg.iter() {
+            assert!((200..=300).contains(&node.compute_capacity));
+        }
+        let reg = NodeRegistry::generate(10, &adv, 50, 0, 3);
+        assert!(reg.iter().all(|n| n.compute_capacity == 50));
+    }
+
+    #[test]
+    fn keys_are_distinct_and_directory_matches() {
+        let adv = AdversaryConfig::default();
+        let reg = NodeRegistry::generate(20, &adv, 10, 0, 1);
+        let keys = reg.committee_keys(&reg.ids());
+        assert_eq!(keys.len(), 20);
+        let distinct: std::collections::HashSet<_> =
+            reg.iter().map(|n| n.keypair.public.to_bytes()).collect();
+        assert_eq!(distinct.len(), 20);
+        for node in reg.iter() {
+            assert_eq!(keys.get(node.id), Some(&node.keypair.public));
+        }
+    }
+
+    #[test]
+    fn honest_fraction_and_override() {
+        let adv = AdversaryConfig::default();
+        let mut reg = NodeRegistry::generate(10, &adv, 10, 0, 1);
+        assert_eq!(reg.honest_fraction(&reg.ids()), 1.0);
+        reg.set_behavior(NodeId(0), Behavior::WrongVoter);
+        reg.set_behavior(NodeId(1), Behavior::SilentLeader);
+        assert!((reg.honest_fraction(&reg.ids()) - 0.8).abs() < 1e-12);
+        assert_eq!(reg.honest_fraction(&[]), 1.0);
+        assert_eq!(reg.malicious_count(), 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Phase 1 — committee configuration (Algorithm 2).
+//!
+//! Non-key members announce themselves to their committee's key members with
+//! their VRF sortition proof; key members verify the proof, reply with the
+//! current member list, and the newcomer then introduces itself to everyone on
+//! that list. The phase's purpose in the simulator is twofold: verify the
+//! sortition proofs (security) and account the O(c) / O(c²) traffic of Table II.
+
+use cycledger_crypto::vrf;
+use cycledger_net::metrics::{MetricsSink, Phase};
+use cycledger_net::time::SimDuration;
+
+use crate::node::NodeRegistry;
+use crate::sortition::RoundAssignment;
+
+/// Sizes (bytes) used for traffic accounting in this phase.
+const CONFIG_MSG_BYTES: u64 = 4 + 64 + 32 + 160; // id, pk, vrf hash, vrf proof
+const MEMBER_ENTRY_BYTES: u64 = 68;
+
+/// Outcome of the committee-configuration phase.
+#[derive(Clone, Debug, Default)]
+pub struct ConfigurationOutcome {
+    /// Number of sortition proofs key members verified successfully.
+    pub verified_members: usize,
+    /// Number of membership claims rejected (invalid VRF proof or wrong
+    /// committee) — should be zero unless the registry was tampered with.
+    pub rejected_members: usize,
+    /// Simulated wall-clock budget consumed by this phase: the paper recommends
+    /// starting the next phase `8Δ` after this one begins.
+    pub elapsed: SimDuration,
+}
+
+/// Runs committee configuration for every committee, charging traffic to
+/// `metrics`.
+pub fn run_committee_configuration(
+    registry: &NodeRegistry,
+    assignment: &RoundAssignment,
+    delta: SimDuration,
+    verify_proofs: bool,
+    metrics: &mut MetricsSink,
+) -> ConfigurationOutcome {
+    let phase = Phase::CommitteeConfiguration;
+    let m = assignment.committees.len();
+    let proof_of: std::collections::HashMap<_, _> = assignment
+        .sortition_proofs
+        .iter()
+        .map(|(node, output)| (*node, output))
+        .collect();
+    let input = RoundAssignment::sortition_input(assignment.round, &assignment.randomness);
+
+    let mut verified = 0usize;
+    let mut rejected = 0usize;
+    for committee in &assignment.committees {
+        let key_members: Vec<_> = std::iter::once(committee.leader)
+            .chain(committee.partial_set.iter().copied())
+            .collect();
+        let mut list_len = key_members.len();
+        for &member in committee.common_members() {
+            // 1. CONFIG to every key member.
+            for &km in &key_members {
+                metrics.record_message(phase, member, km, CONFIG_MSG_BYTES);
+            }
+            // 2. The first key member verifies the proof and replies with the
+            //    current member list; the others just record the registration.
+            let ok = match proof_of.get(&member) {
+                Some(output) if verify_proofs => {
+                    vrf::verify(&registry.node(member).keypair.public, &input, output)
+                        && vrf::output_to_committee(&output.hash, m) == committee.index
+                }
+                Some(_) => true,
+                None => false,
+            };
+            if ok {
+                verified += 1;
+            } else {
+                rejected += 1;
+                continue;
+            }
+            for &km in &key_members {
+                metrics.record_message(phase, km, member, list_len as u64 * MEMBER_ENTRY_BYTES);
+            }
+            list_len += 1;
+            // 3. MEMBER introduction to every previously registered member.
+            for &other in committee.members.iter() {
+                if other != member && !key_members.contains(&other) {
+                    metrics.record_message(phase, member, other, CONFIG_MSG_BYTES);
+                }
+            }
+            // Each member stores the list it has learned.
+            metrics.record_storage(phase, member, list_len as u64 * MEMBER_ENTRY_BYTES);
+        }
+        // Key members store the full list.
+        for &km in &key_members {
+            metrics.record_storage(
+                phase,
+                km,
+                committee.members.len() as u64 * MEMBER_ENTRY_BYTES,
+            );
+        }
+    }
+    ConfigurationOutcome {
+        verified_members: verified,
+        rejected_members: rejected,
+        elapsed: delta.times(8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::AdversaryConfig;
+    use crate::sortition::{assign_round, AssignmentParams};
+    use cycledger_crypto::sha256::sha256;
+    use cycledger_reputation::ReputationTable;
+
+    fn setup() -> (NodeRegistry, RoundAssignment) {
+        let registry = NodeRegistry::generate(60, &AdversaryConfig::default(), 100, 0, 21);
+        let reputation = ReputationTable::with_members(registry.ids());
+        let assignment = assign_round(
+            &registry,
+            &registry.ids(),
+            AssignmentParams {
+                committees: 3,
+                partial_set_size: 3,
+                referee_size: 5,
+            },
+            1,
+            sha256(b"config-phase"),
+            &reputation,
+        );
+        (registry, assignment)
+    }
+
+    #[test]
+    fn all_honest_members_verify() {
+        let (registry, assignment) = setup();
+        let mut metrics = MetricsSink::new();
+        let outcome = run_committee_configuration(
+            &registry,
+            &assignment,
+            SimDuration::from_millis(50),
+            true,
+            &mut metrics,
+        );
+        let expected: usize = assignment
+            .committees
+            .iter()
+            .map(|c| c.common_members().len())
+            .sum();
+        assert_eq!(outcome.verified_members, expected);
+        assert_eq!(outcome.rejected_members, 0);
+        assert_eq!(outcome.elapsed, SimDuration::from_millis(400));
+        // Common members exchanged traffic; key members stored the full list.
+        let leader = assignment.committees[0].leader;
+        assert!(
+            metrics
+                .node_phase(leader, Phase::CommitteeConfiguration)
+                .storage_bytes
+                > 0
+        );
+    }
+
+    #[test]
+    fn key_member_traffic_exceeds_common_member_traffic() {
+        let (registry, assignment) = setup();
+        let mut metrics = MetricsSink::new();
+        run_committee_configuration(
+            &registry,
+            &assignment,
+            SimDuration::from_millis(50),
+            false,
+            &mut metrics,
+        );
+        let committee = &assignment.committees[0];
+        let leader_bytes = metrics
+            .node_phase(committee.leader, Phase::CommitteeConfiguration)
+            .comm_bytes();
+        let common = committee.common_members()[0];
+        let common_bytes = metrics
+            .node_phase(common, Phase::CommitteeConfiguration)
+            .comm_bytes();
+        assert!(
+            leader_bytes > common_bytes,
+            "leaders serve every joining member and must see more traffic"
+        );
+    }
+}

@@ -1,0 +1,361 @@
+//! Phase 4 — inter-committee consensus (§IV-D, Lemmas 6 & 7).
+//!
+//! Cross-shard transactions are grouped by their input shard. The input
+//! committee first agrees on the list `TXList_{i,j}` with Algorithm 3, then its
+//! leader forwards the certified list to the destination committee's leader and
+//! partial set. The destination committee votes, agrees, and returns the result.
+//!
+//! Two leader attacks are modelled:
+//! * a **censoring** input-committee leader withholds the certified list; after
+//!   the `2Γ` timeout an honest partial-set member of the input committee
+//!   forwards it instead (Lemma 6) and raises an impeachment,
+//! * framing is impossible because the destination's partial set also waits `2Γ`
+//!   before accusing its own leader (Lemma 7) — modelled by only ever reporting
+//!   the input leader, and only when it really withheld.
+
+use cycledger_consensus::messages::ConsensusId;
+use cycledger_consensus::votes::{VoteList, VoteVector};
+use cycledger_consensus::witness::EquivocationEvidence;
+use cycledger_ledger::transaction::Transaction;
+use cycledger_ledger::utxo::UtxoSet;
+use cycledger_ledger::workload::GeneratedTx;
+use cycledger_net::latency::LatencyConfig;
+use cycledger_net::metrics::{MetricsSink, Phase};
+use cycledger_net::network::SimNetwork;
+use cycledger_net::topology::NodeId;
+
+use crate::adversary::Behavior;
+use crate::committee::{run_inside_consensus, Committee, LeaderFault};
+use crate::node::NodeRegistry;
+use crate::phases::intra::cast_votes;
+
+/// A leader liveness complaint raised by a partial-set member after the `2Γ`
+/// timeout (censored cross-shard traffic). Unlike signed witnesses, this is an
+/// omission fault: eviction goes through the committee impeachment vote.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CensorshipReport {
+    /// Committee whose leader withheld traffic.
+    pub committee: usize,
+    /// The accused leader.
+    pub leader: NodeId,
+    /// The honest partial-set member that took over forwarding.
+    pub reporter: NodeId,
+    /// Number of transactions that were withheld.
+    pub withheld: usize,
+}
+
+/// Outcome of the inter-committee consensus phase.
+#[derive(Clone, Debug, Default)]
+pub struct InterOutcome {
+    /// Cross-shard transactions accepted by both sides, per input committee.
+    pub accepted: Vec<Vec<Transaction>>,
+    /// Members' votes on cross-shard lists, per destination committee (merged
+    /// into reputation scoring together with the intra-phase votes).
+    pub vote_lists: Vec<VoteList>,
+    /// Censorship reports raised by partial-set members.
+    pub censorship_reports: Vec<CensorshipReport>,
+    /// Equivocation evidence surfaced while agreeing on cross-shard lists.
+    pub equivocation: Vec<EquivocationEvidence>,
+    /// Extra latency incurred by `2Γ` timeouts (microseconds of simulated time).
+    pub timeout_delays: u64,
+}
+
+/// Runs inter-committee consensus over the cross-shard portion of the workload.
+#[allow(clippy::too_many_arguments)]
+pub fn run_inter_consensus(
+    registry: &NodeRegistry,
+    committees: &[Committee],
+    utxo_sets: &[UtxoSet],
+    cross_shard: &[GeneratedTx],
+    round: u64,
+    latency: LatencyConfig,
+    verify_signatures: bool,
+    seed: u64,
+    metrics: &mut MetricsSink,
+) -> InterOutcome {
+    let phase = Phase::InterCommitteeConsensus;
+    let m = committees.len();
+    let mut outcome = InterOutcome {
+        accepted: vec![Vec::new(); m],
+        vote_lists: Vec::new(),
+        ..Default::default()
+    };
+
+    // Group cross-shard transactions by (input shard, output shard).
+    let mut by_pair: std::collections::BTreeMap<(usize, usize), Vec<&GeneratedTx>> =
+        std::collections::BTreeMap::new();
+    for gen in cross_shard {
+        let inputs = gen.tx.input_shards(m);
+        let outputs = gen.tx.output_shards(m);
+        let i = inputs.first().copied().unwrap_or(0);
+        let j = outputs
+            .iter()
+            .copied()
+            .find(|&s| s != i)
+            .unwrap_or_else(|| outputs.first().copied().unwrap_or(0));
+        by_pair.entry((i, j)).or_default().push(gen);
+    }
+
+    for ((i, j), txs) in by_pair {
+        let source = &committees[i];
+        let dest = &committees[j];
+        let source_leader_behavior = registry.node(source.leader).behavior;
+
+        // 1. The input committee agrees on TXList_{i,j}.
+        let mut source_net: SimNetwork<cycledger_consensus::messages::Alg3Message> =
+            SimNetwork::new(latency, seed ^ ((i as u64) << 32 | j as u64));
+        source_net.set_phase(phase);
+        let mut payload = Vec::with_capacity(txs.len() * 32);
+        for gen in &txs {
+            payload.extend_from_slice(gen.tx.id().as_bytes());
+        }
+        let source_consensus = run_inside_consensus(
+            &mut source_net,
+            source,
+            registry,
+            ConsensusId {
+                round,
+                seq: 2_000 + (i as u64) * 64 + j as u64,
+            },
+            payload,
+            LeaderFault::from_behavior(source_leader_behavior, b"cross"),
+            verify_signatures,
+        );
+        metrics.merge(source_net.metrics());
+        outcome.equivocation.extend(source_consensus.equivocation.clone());
+        if source_consensus.certificate.is_none() {
+            // The input committee could not certify the list (e.g. silent or
+            // equivocating leader); these transactions wait for recovery and a
+            // later round.
+            continue;
+        }
+
+        // 2. The (certified) list travels to the destination leader + partials.
+        let list_bytes: u64 = txs.iter().map(|g| g.tx.wire_size()).sum::<u64>()
+            + source_consensus
+                .certificate
+                .as_ref()
+                .map(|c| c.wire_size())
+                .unwrap_or(0);
+        let forwarder: NodeId = if source_leader_behavior == Behavior::CensoringLeader {
+            // Lemma 6: an honest partial-set member notices after 2Γ and
+            // forwards the certified list itself, then reports the leader.
+            let reporter = source
+                .partial_set
+                .iter()
+                .copied()
+                .find(|&pm| registry.node(pm).is_honest())
+                .expect("a partial set contains at least one honest node w.h.p.");
+            outcome.censorship_reports.push(CensorshipReport {
+                committee: i,
+                leader: source.leader,
+                reporter,
+                withheld: txs.len(),
+            });
+            outcome.timeout_delays += 2 * latency.gamma.as_micros();
+            reporter
+        } else {
+            source.leader
+        };
+        metrics.record_message(phase, forwarder, dest.leader, list_bytes);
+        for &pm in &dest.partial_set {
+            metrics.record_message(phase, forwarder, pm, list_bytes);
+        }
+
+        // 3. The destination committee votes on the list and agrees.
+        let tx_refs: Vec<GeneratedTx> = txs.iter().map(|g| (*g).clone()).collect();
+        let tx_ids: Vec<_> = tx_refs.iter().map(|g| g.tx.id()).collect();
+        let mut vote_list = VoteList::new(tx_ids);
+        for &member in &dest.members {
+            let votes = cast_votes(registry, member, &utxo_sets[i], &tx_refs);
+            if member != dest.leader {
+                metrics.record_message(
+                    phase,
+                    member,
+                    dest.leader,
+                    VoteVector::new(member, votes.clone()).wire_size() + 96,
+                );
+            }
+            vote_list.record(VoteVector::new(member, votes));
+        }
+        let tally = vote_list.tally(dest.size());
+        let mut dest_net: SimNetwork<cycledger_consensus::messages::Alg3Message> =
+            SimNetwork::new(latency, seed ^ 0xdead ^ ((j as u64) << 16 | i as u64));
+        dest_net.set_phase(phase);
+        let mut dest_payload = Vec::new();
+        for &k in &tally.accepted_indices {
+            dest_payload.extend_from_slice(tx_refs[k].tx.id().as_bytes());
+        }
+        let dest_consensus = run_inside_consensus(
+            &mut dest_net,
+            dest,
+            registry,
+            ConsensusId {
+                round,
+                seq: 3_000 + (j as u64) * 64 + i as u64,
+            },
+            dest_payload,
+            LeaderFault::from_behavior(registry.node(dest.leader).behavior, b"cross-reply"),
+            verify_signatures,
+        );
+        metrics.merge(dest_net.metrics());
+        outcome.equivocation.extend(dest_consensus.equivocation.clone());
+
+        // 4. The destination leader returns the certified result to the source.
+        if dest_consensus.certificate.is_some() {
+            let reply_bytes = dest_consensus
+                .certificate
+                .as_ref()
+                .map(|c| c.wire_size())
+                .unwrap_or(0)
+                + tally.accepted_indices.len() as u64 * 32;
+            metrics.record_message(phase, dest.leader, source.leader, reply_bytes);
+            for &k in &tally.accepted_indices {
+                outcome.accepted[i].push(tx_refs[k].tx.clone());
+            }
+        }
+        outcome.vote_lists.push(vote_list);
+    }
+
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::AdversaryConfig;
+    use crate::sortition::{assign_round, AssignmentParams};
+    use cycledger_crypto::sha256::sha256;
+    use cycledger_ledger::workload::{TxKind, Workload, WorkloadConfig};
+    use cycledger_reputation::ReputationTable;
+
+    struct Fixture {
+        registry: NodeRegistry,
+        committees: Vec<Committee>,
+        utxo_sets: Vec<UtxoSet>,
+        cross: Vec<GeneratedTx>,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let registry = NodeRegistry::generate(70, &AdversaryConfig::default(), 200, 0, seed);
+        let reputation = ReputationTable::with_members(registry.ids());
+        let assignment = assign_round(
+            &registry,
+            &registry.ids(),
+            AssignmentParams {
+                committees: 3,
+                partial_set_size: 3,
+                referee_size: 7,
+            },
+            1,
+            sha256(b"inter-phase"),
+            &reputation,
+        );
+        let committees: Vec<Committee> = assignment
+            .committees
+            .iter()
+            .map(|c| Committee::from_assignment(c, &registry))
+            .collect();
+        let mut workload = Workload::new(WorkloadConfig {
+            num_shards: 3,
+            accounts_per_shard: 16,
+            genesis_amount: 1_000,
+            cross_shard_ratio: 1.0,
+            invalid_ratio: 0.0,
+            seed,
+        });
+        let utxo_sets = workload.build_genesis_utxo_sets();
+        let cross: Vec<GeneratedTx> = workload
+            .generate_batch(60)
+            .into_iter()
+            .filter(|g| g.kind == TxKind::CrossShard)
+            .collect();
+        Fixture {
+            registry,
+            committees,
+            utxo_sets,
+            cross,
+        }
+    }
+
+    #[test]
+    fn honest_cross_shard_transactions_are_accepted() {
+        let fx = fixture(61);
+        assert!(!fx.cross.is_empty());
+        let mut metrics = MetricsSink::new();
+        let outcome = run_inter_consensus(
+            &fx.registry,
+            &fx.committees,
+            &fx.utxo_sets,
+            &fx.cross,
+            1,
+            LatencyConfig::default(),
+            true,
+            1,
+            &mut metrics,
+        );
+        let accepted: usize = outcome.accepted.iter().map(|v| v.len()).sum();
+        assert_eq!(accepted, fx.cross.len(), "every valid cross-shard tx accepted");
+        assert!(outcome.censorship_reports.is_empty());
+        assert!(outcome.equivocation.is_empty());
+        assert_eq!(outcome.timeout_delays, 0);
+        assert!(metrics.phase_total(Phase::InterCommitteeConsensus).msgs_sent > 0);
+    }
+
+    #[test]
+    fn censoring_leader_is_reported_and_transactions_still_flow() {
+        let mut fx = fixture(62);
+        // Make every committee leader a censoring leader for its outgoing lists.
+        let leaders: Vec<NodeId> = fx.committees.iter().map(|c| c.leader).collect();
+        for l in &leaders {
+            fx.registry.set_behavior(*l, Behavior::CensoringLeader);
+        }
+        let mut metrics = MetricsSink::new();
+        let outcome = run_inter_consensus(
+            &fx.registry,
+            &fx.committees,
+            &fx.utxo_sets,
+            &fx.cross,
+            1,
+            LatencyConfig::default(),
+            true,
+            2,
+            &mut metrics,
+        );
+        assert!(!outcome.censorship_reports.is_empty());
+        for report in &outcome.censorship_reports {
+            assert!(leaders.contains(&report.leader));
+            assert!(fx.registry.node(report.reporter).is_honest());
+            assert!(report.withheld > 0);
+        }
+        // Lemma 6: the partial set forwards the lists, so transactions still land.
+        let accepted: usize = outcome.accepted.iter().map(|v| v.len()).sum();
+        assert_eq!(accepted, fx.cross.len());
+        // The 2Γ timeout shows up as extra latency.
+        assert!(outcome.timeout_delays > 0);
+    }
+
+    #[test]
+    fn silent_source_leader_stalls_only_its_own_lists() {
+        let mut fx = fixture(63);
+        let silent = fx.committees[0].leader;
+        fx.registry.set_behavior(silent, Behavior::SilentLeader);
+        let mut metrics = MetricsSink::new();
+        let outcome = run_inter_consensus(
+            &fx.registry,
+            &fx.committees,
+            &fx.utxo_sets,
+            &fx.cross,
+            1,
+            LatencyConfig::default(),
+            true,
+            3,
+            &mut metrics,
+        );
+        // Lists whose input shard is committee 0 cannot be certified this round.
+        assert!(outcome.accepted[0].is_empty());
+        // Other committees' cross-shard lists still go through.
+        let others: usize = outcome.accepted[1..].iter().map(|v| v.len()).sum();
+        assert!(others > 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Phase 6 — referee committee, leader and partial-set selection (§IV-F).
+//!
+//! The referee committee runs the distributed randomness beacon (SCRAPE in the
+//! paper, our PVSS substitute here) to produce `R^{r+1}`; nodes that want to
+//! participate in the next round solve the PoW participation puzzle; and the
+//! next round's referee committee, leaders and partial sets are derived from the
+//! new randomness plus the updated reputation table.
+
+use cycledger_crypto::pow::Puzzle;
+use cycledger_crypto::pvss;
+use cycledger_crypto::sha256::Digest;
+use cycledger_net::metrics::{MetricsSink, Phase};
+use cycledger_net::topology::NodeId;
+use cycledger_reputation::ReputationTable;
+
+use crate::node::NodeRegistry;
+use crate::sortition::{assign_round, AssignmentParams, RoundAssignment};
+
+/// Outcome of the selection phase.
+#[derive(Clone, Debug)]
+pub struct SelectionOutcome {
+    /// The next round's randomness `R^{r+1}` (None if the beacon failed, which
+    /// requires every referee dealer to misbehave).
+    pub next_randomness: Option<Digest>,
+    /// Referee dealers whose PVSS dealings qualified.
+    pub qualified_dealers: Vec<usize>,
+    /// Nodes that solved the participation puzzle for the next round.
+    pub participants: Vec<NodeId>,
+    /// The next round's assignment (None if the beacon failed).
+    pub next_assignment: Option<RoundAssignment>,
+}
+
+/// Runs the selection phase.
+#[allow(clippy::too_many_arguments)]
+pub fn run_selection(
+    registry: &NodeRegistry,
+    referee: &[NodeId],
+    params: AssignmentParams,
+    reputation: &ReputationTable,
+    round: u64,
+    current_randomness: Digest,
+    pow_difficulty: u32,
+    metrics: &mut MetricsSink,
+) -> SelectionOutcome {
+    let phase = Phase::KeyMemberSelection;
+
+    // 1. Distributed randomness beacon inside C_R.
+    let honesty: Vec<bool> = referee.iter().map(|&rm| registry.node(rm).is_honest()).collect();
+    let threshold = referee.len() / 2 + 1;
+    let mut round_tag = Vec::with_capacity(40);
+    round_tag.extend_from_slice(&round.to_be_bytes());
+    round_tag.extend_from_slice(current_randomness.as_bytes());
+    let beacon = pvss::run_beacon(referee.len(), threshold, &honesty, &round_tag);
+    // PVSS traffic: every dealer sends a share + commitments to every other
+    // referee member.
+    let dealing_bytes = (referee.len() as u64) * 32 + (threshold as u64) * 64;
+    for &dealer in referee {
+        for &receiver in referee {
+            if dealer != receiver {
+                metrics.record_message(phase, dealer, receiver, dealing_bytes);
+            }
+        }
+    }
+
+    let (next_randomness, qualified_dealers) = match beacon {
+        Ok((digest, qualified)) => (Some(digest), qualified),
+        Err(_) => (None, Vec::new()),
+    };
+
+    // 2. PoW participation: every node solves the puzzle bound to the *current*
+    //    randomness and submits the solution to the referee committee.
+    let puzzle = Puzzle::new(round + 1, current_randomness, pow_difficulty);
+    let mut participants = Vec::new();
+    for node in registry.iter() {
+        let solution = puzzle.solve(&node.keypair.public, 0, 1 << 22);
+        if let Some(solution) = solution {
+            if puzzle.verify(&node.keypair.public, &solution) {
+                participants.push(node.id);
+                // Submission to one referee member (who gossips the identity).
+                metrics.record_message(phase, node.id, referee[0], 8 + 32 + 64);
+            }
+        }
+    }
+    for &rm in referee {
+        metrics.record_storage(phase, rm, participants.len() as u64 * 8);
+    }
+
+    // 3. Derive the next round's configuration.
+    let next_assignment = next_randomness.map(|randomness| {
+        assign_round(
+            registry,
+            &participants,
+            params,
+            round + 1,
+            randomness,
+            reputation,
+        )
+    });
+
+    SelectionOutcome {
+        next_randomness,
+        qualified_dealers,
+        participants,
+        next_assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{AdversaryConfig, Behavior};
+    use cycledger_crypto::sha256::sha256;
+
+    fn params() -> AssignmentParams {
+        AssignmentParams {
+            committees: 3,
+            partial_set_size: 3,
+            referee_size: 7,
+        }
+    }
+
+    #[test]
+    fn honest_referee_produces_randomness_and_assignment() {
+        let registry = NodeRegistry::generate(70, &AdversaryConfig::default(), 100, 0, 81);
+        let reputation = ReputationTable::with_members(registry.ids());
+        let referee: Vec<NodeId> = registry.ids()[..7].to_vec();
+        let mut metrics = MetricsSink::new();
+        let outcome = run_selection(
+            &registry,
+            &referee,
+            params(),
+            &reputation,
+            1,
+            sha256(b"r1"),
+            2,
+            &mut metrics,
+        );
+        assert!(outcome.next_randomness.is_some());
+        assert_eq!(outcome.qualified_dealers.len(), 7);
+        assert_eq!(outcome.participants.len(), registry.len(), "difficulty 2 is solvable by all");
+        let next = outcome.next_assignment.expect("assignment");
+        assert_eq!(next.round, 2);
+        assert_eq!(next.committees.len(), 3);
+        assert!(metrics.phase_total(Phase::KeyMemberSelection).msgs_sent > 0);
+    }
+
+    #[test]
+    fn corrupt_dealers_are_excluded_but_beacon_survives() {
+        let mut registry = NodeRegistry::generate(70, &AdversaryConfig::default(), 100, 0, 82);
+        let referee: Vec<NodeId> = registry.ids()[..7].to_vec();
+        registry.set_behavior(referee[0], Behavior::WrongVoter);
+        registry.set_behavior(referee[3], Behavior::SilentLeader);
+        let reputation = ReputationTable::with_members(registry.ids());
+        let outcome = run_selection(
+            &registry,
+            &referee,
+            params(),
+            &reputation,
+            2,
+            sha256(b"r2"),
+            2,
+            &mut MetricsSink::new(),
+        );
+        assert!(outcome.next_randomness.is_some());
+        assert_eq!(outcome.qualified_dealers, vec![1, 2, 4, 5, 6]);
+    }
+
+    #[test]
+    fn randomness_differs_across_rounds() {
+        let registry = NodeRegistry::generate(70, &AdversaryConfig::default(), 100, 0, 83);
+        let reputation = ReputationTable::with_members(registry.ids());
+        let referee: Vec<NodeId> = registry.ids()[..7].to_vec();
+        let a = run_selection(
+            &registry,
+            &referee,
+            params(),
+            &reputation,
+            1,
+            sha256(b"seed"),
+            0,
+            &mut MetricsSink::new(),
+        );
+        let b = run_selection(
+            &registry,
+            &referee,
+            params(),
+            &reputation,
+            2,
+            sha256(b"seed"),
+            0,
+            &mut MetricsSink::new(),
+        );
+        assert_ne!(a.next_randomness, b.next_randomness);
+    }
+}

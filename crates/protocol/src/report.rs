@@ -1,0 +1,177 @@
+//! Round and simulation reports: what the benchmark harness reads out.
+
+use cycledger_net::metrics::{Counters, MetricsSink, Phase};
+use cycledger_net::topology::NodeId;
+
+/// Role groups used for Table II-style reporting.
+#[derive(Clone, Debug, Default)]
+pub struct RoleGroups {
+    /// Common members of ordinary committees.
+    pub common_members: Vec<NodeId>,
+    /// Leaders and partial-set members.
+    pub key_members: Vec<NodeId>,
+    /// Referee committee members.
+    pub referee_members: Vec<NodeId>,
+}
+
+/// Everything measured during one round.
+#[derive(Clone, Debug)]
+pub struct RoundReport {
+    /// Round number.
+    pub round: u64,
+    /// Whether a (non-void) block was produced.
+    pub block_produced: bool,
+    /// Number of transactions offered by external users this round.
+    pub txs_offered: usize,
+    /// Of those, how many were valid (ground truth).
+    pub txs_offered_valid: usize,
+    /// Of those, how many were cross-shard (ground truth).
+    pub txs_offered_cross_shard: usize,
+    /// Transactions packed into the block.
+    pub txs_packed: usize,
+    /// Cross-shard transactions packed into the block.
+    pub txs_packed_cross_shard: usize,
+    /// Transactions the referee committee rejected on re-validation.
+    pub rejected_by_referee: usize,
+    /// Leaders evicted by the recovery procedure: `(committee, old leader)`.
+    pub evicted_leaders: Vec<(usize, NodeId)>,
+    /// Signed witnesses produced this round.
+    pub witnesses: usize,
+    /// Censorship (timeout) reports this round.
+    pub censorship_reports: usize,
+    /// Total fees distributed.
+    pub fees_distributed: u64,
+    /// Established reliable channels (Table I "burden on connection").
+    pub channels: usize,
+    /// Channels a full honest clique would have needed.
+    pub full_clique_channels: usize,
+    /// Per-node, per-phase traffic and storage.
+    pub metrics: MetricsSink,
+    /// Role groups active this round.
+    pub roles: RoleGroups,
+    /// Extra simulated latency spent in 2Γ recovery timeouts (µs).
+    pub timeout_delays_us: u64,
+}
+
+impl RoundReport {
+    /// Mean per-node counters for a role group in a phase (Table II cell).
+    pub fn role_phase_mean(&self, role: &[NodeId], phase: Phase) -> Counters {
+        if role.is_empty() {
+            return Counters::default();
+        }
+        let (total, _) = self.metrics.group_phase(role, phase);
+        Counters {
+            msgs_sent: total.msgs_sent / role.len() as u64,
+            msgs_received: total.msgs_received / role.len() as u64,
+            bytes_sent: total.bytes_sent / role.len() as u64,
+            bytes_received: total.bytes_received / role.len() as u64,
+            storage_bytes: total.storage_bytes / role.len() as u64,
+        }
+    }
+
+    /// Fraction of offered valid transactions that made it into the block.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.txs_offered_valid == 0 {
+            return 0.0;
+        }
+        self.txs_packed as f64 / self.txs_offered_valid as f64
+    }
+}
+
+/// Aggregate over a multi-round simulation.
+#[derive(Clone, Debug, Default)]
+pub struct SimulationSummary {
+    /// Per-round reports.
+    pub rounds: Vec<RoundReport>,
+}
+
+impl SimulationSummary {
+    /// Number of rounds simulated.
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total transactions packed over the whole run.
+    pub fn total_packed(&self) -> usize {
+        self.rounds.iter().map(|r| r.txs_packed).sum()
+    }
+
+    /// Mean transactions packed per round (the throughput proxy used by the
+    /// scalability experiment).
+    pub fn mean_throughput(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.total_packed() as f64 / self.rounds.len() as f64
+    }
+
+    /// Rounds in which a block was produced.
+    pub fn blocks_produced(&self) -> usize {
+        self.rounds.iter().filter(|r| r.block_produced).count()
+    }
+
+    /// Total leaders evicted across the run.
+    pub fn total_evictions(&self) -> usize {
+        self.rounds.iter().map(|r| r.evicted_leaders.len()).sum()
+    }
+
+    /// Mean acceptance rate of valid offered transactions.
+    pub fn mean_acceptance_rate(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        self.rounds.iter().map(|r| r.acceptance_rate()).sum::<f64>() / self.rounds.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_report(round: u64, packed: usize, valid: usize) -> RoundReport {
+        RoundReport {
+            round,
+            block_produced: packed > 0,
+            txs_offered: valid + 2,
+            txs_offered_valid: valid,
+            txs_offered_cross_shard: 1,
+            txs_packed: packed,
+            txs_packed_cross_shard: 0,
+            rejected_by_referee: 0,
+            evicted_leaders: vec![(0, NodeId(1))],
+            witnesses: 1,
+            censorship_reports: 0,
+            fees_distributed: 10,
+            channels: 100,
+            full_clique_channels: 1000,
+            metrics: MetricsSink::new(),
+            roles: RoleGroups::default(),
+            timeout_delays_us: 0,
+        }
+    }
+
+    #[test]
+    fn acceptance_rate_and_summary_aggregation() {
+        let summary = SimulationSummary {
+            rounds: vec![dummy_report(0, 8, 10), dummy_report(1, 10, 10), dummy_report(2, 0, 10)],
+        };
+        assert_eq!(summary.num_rounds(), 3);
+        assert_eq!(summary.total_packed(), 18);
+        assert_eq!(summary.blocks_produced(), 2);
+        assert_eq!(summary.total_evictions(), 3);
+        assert!((summary.mean_throughput() - 6.0).abs() < 1e-9);
+        assert!((summary.mean_acceptance_rate() - (0.8 + 1.0 + 0.0) / 3.0).abs() < 1e-9);
+        let empty = SimulationSummary::default();
+        assert_eq!(empty.mean_throughput(), 0.0);
+        assert_eq!(empty.mean_acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    fn role_phase_mean_handles_empty_groups() {
+        let report = dummy_report(0, 1, 1);
+        assert_eq!(
+            report.role_phase_mean(&[], Phase::BlockGeneration),
+            Counters::default()
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! The reward-mapping function `g(x)` (Eq. 2, Fig. 4) and the leader punishment.
+//!
+//! Reputation may be negative, so before distributing transaction fees the
+//! protocol maps it to a positive weight:
+//!
+//! ```text
+//! g(x) = eˣ            for x ≤ 0
+//! g(x) = 1 + ln(x + 1) for x > 0
+//! ```
+//!
+//! `g` is continuous and monotonically increasing with `g(0) = 1`: an idle node
+//! (always `Unknown`, reputation 0) still earns a sliver, a node with negative
+//! reputation earns almost nothing, and doing nothing strictly dominates doing
+//! harm — the incentive argument of §VII-A.
+//!
+//! A leader convicted of misbehaviour has its reputation cut to its *cube root*
+//! (§VII-B); since leaders are the highest-reputation nodes, this roughly divides
+//! their mapped reward weight by three.
+
+/// The reward-mapping function `g(x)` from Eq. 2.
+pub fn reward_mapping(x: f64) -> f64 {
+    if x <= 0.0 {
+        x.exp()
+    } else {
+        1.0 + (x + 1.0).ln()
+    }
+}
+
+/// Generates the `(x, g(x))` series plotted in Fig. 4 over `[lo, hi]` with
+/// `points` samples (inclusive of both endpoints).
+pub fn reward_mapping_series(lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+    assert!(points >= 2 && hi > lo);
+    (0..points)
+        .map(|i| {
+            let x = lo + (hi - lo) * (i as f64) / ((points - 1) as f64);
+            (x, reward_mapping(x))
+        })
+        .collect()
+}
+
+/// The cube-root punishment applied to a convicted leader's reputation (§VII-B).
+///
+/// Leaders are selected as the highest-reputation nodes, so their reputation is
+/// expected to be positive; for robustness a negative reputation is pushed
+/// further down by the same magnitude transform (|x|^(1/3) with the sign kept,
+/// then negated growth is avoided by taking the minimum with the original).
+pub fn leader_punishment(reputation: f64) -> f64 {
+    if reputation >= 0.0 {
+        reputation.cbrt()
+    } else {
+        // Already negative: punishment must not *improve* the value.
+        reputation.min(-reputation.abs().cbrt())
+    }
+}
+
+/// Distributes `total_fee` among nodes proportionally to `g(reputation)`
+/// (§IV-G). Returns one reward per input reputation; rewards sum to `total_fee`
+/// exactly (the largest-remainder method absorbs integer rounding).
+pub fn distribute_rewards(total_fee: u64, reputations: &[f64]) -> Vec<u64> {
+    if reputations.is_empty() || total_fee == 0 {
+        return vec![0; reputations.len()];
+    }
+    let weights: Vec<f64> = reputations.iter().map(|&r| reward_mapping(r)).collect();
+    let total_weight: f64 = weights.iter().sum();
+    if total_weight <= 0.0 {
+        return vec![0; reputations.len()];
+    }
+    // Exact shares, floored; then hand out the remainder by largest fraction.
+    let mut rewards: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut fractions: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0u64;
+    for (i, w) in weights.iter().enumerate() {
+        let exact = total_fee as f64 * w / total_weight;
+        let floor = exact.floor() as u64;
+        rewards.push(floor);
+        assigned += floor;
+        fractions.push((i, exact - floor as f64));
+    }
+    let mut remainder = total_fee - assigned;
+    fractions.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (i, _) in fractions {
+        if remainder == 0 {
+            break;
+        }
+        rewards[i] += 1;
+        remainder -= 1;
+    }
+    rewards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_paper_anchor_points() {
+        // g(0) = 1 (idle nodes still get a little).
+        assert!((reward_mapping(0.0) - 1.0).abs() < 1e-12);
+        // g(e - 1) = 2.
+        assert!((reward_mapping(std::f64::consts::E - 1.0) - 2.0).abs() < 1e-12);
+        // g(-1) = 1/e.
+        assert!((reward_mapping(-1.0) - (-1.0f64).exp()).abs() < 1e-12);
+        // Deeply negative reputation maps to ~0.
+        assert!(reward_mapping(-20.0) < 1e-8);
+    }
+
+    #[test]
+    fn continuous_at_zero() {
+        let below = reward_mapping(-1e-9);
+        let above = reward_mapping(1e-9);
+        assert!((below - above).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotonically_increasing() {
+        let series = reward_mapping_series(-5.0, 10.0, 301);
+        for window in series.windows(2) {
+            assert!(
+                window[1].1 > window[0].1,
+                "g must increase: {:?} -> {:?}",
+                window[0],
+                window[1]
+            );
+        }
+        assert_eq!(series.len(), 301);
+        assert!((series[0].0 - (-5.0)).abs() < 1e-12);
+        assert!((series.last().unwrap().0 - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_series_bounds_panic() {
+        reward_mapping_series(1.0, 1.0, 10);
+    }
+
+    #[test]
+    fn punishment_shrinks_high_reputation() {
+        // A leader with reputation 27 drops to 3.
+        assert!((leader_punishment(27.0) - 3.0).abs() < 1e-12);
+        // Mapped reward weight drops to roughly a third for large reputations
+        // (the paper's "about one-third of the original mapped value").
+        let before = reward_mapping(1000.0);
+        let after = reward_mapping(leader_punishment(1000.0));
+        let ratio = after / before;
+        assert!((0.25..0.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn punishment_never_rewards() {
+        for x in [-8.0, -1.0, -0.1, 0.0, 0.5, 1.0, 27.0, 1e6] {
+            assert!(leader_punishment(x) <= x.max(x.cbrt()) + 1e-12);
+            assert!(leader_punishment(x) <= x || x < 1.0, "x={x}");
+        }
+        // Negative reputation must not improve.
+        assert!(leader_punishment(-8.0) <= -8.0);
+        assert_eq!(leader_punishment(0.0), 0.0);
+    }
+
+    #[test]
+    fn rewards_sum_to_total_and_follow_reputation() {
+        let reps = vec![5.0, 0.0, -3.0, 12.0];
+        let rewards = distribute_rewards(10_000, &reps);
+        assert_eq!(rewards.iter().sum::<u64>(), 10_000);
+        // Higher reputation ⇒ at least as much reward.
+        assert!(rewards[3] >= rewards[0]);
+        assert!(rewards[0] > rewards[1]);
+        assert!(rewards[1] > rewards[2]);
+        // The negative-reputation node gets almost nothing.
+        assert!(rewards[2] < 200);
+    }
+
+    #[test]
+    fn reward_edge_cases() {
+        assert!(distribute_rewards(100, &[]).is_empty());
+        assert_eq!(distribute_rewards(0, &[1.0, 2.0]), vec![0, 0]);
+        // A single node takes everything.
+        assert_eq!(distribute_rewards(777, &[3.0]), vec![777]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone(a in -50.0f64..50.0, b in -50.0f64..50.0) {
+            if a < b {
+                prop_assert!(reward_mapping(a) < reward_mapping(b));
+            }
+        }
+
+        #[test]
+        fn prop_rewards_conserve_total(
+            total in 0u64..1_000_000,
+            reps in prop::collection::vec(-20.0f64..20.0, 1..40),
+        ) {
+            let rewards = distribute_rewards(total, &reps);
+            prop_assert_eq!(rewards.len(), reps.len());
+            prop_assert_eq!(rewards.iter().sum::<u64>(), total);
+        }
+
+        #[test]
+        fn prop_reward_ordering_follows_reputation(
+            reps in prop::collection::vec(-20.0f64..20.0, 2..20),
+        ) {
+            let rewards = distribute_rewards(1_000_000, &reps);
+            for i in 0..reps.len() {
+                for j in 0..reps.len() {
+                    if reps[i] > reps[j] + 1e-9 {
+                        // Allow ±1 slack for largest-remainder rounding.
+                        prop_assert!(rewards[i] + 1 >= rewards[j]);
+                    }
+                }
+            }
+        }
+    }
+}

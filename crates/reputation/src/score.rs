@@ -1,0 +1,147 @@
+//! Vote scoring by cosine similarity (Eq. 1).
+//!
+//! After a committee agrees on the decision vector `u` for a `TXList`, the leader
+//! grades each member by the cosine of the angle between the member's vote vector
+//! `v_i` (entries in {+1, −1, 0} for Yes/No/Unknown) and `u`:
+//!
+//! ```text
+//! s_i = cos(v_i, u) = Σ_k v_{i,k}·u_k / (‖v_i‖·‖u‖)  ∈ [−1, 1]
+//! ```
+//!
+//! A member that matches the consensus exactly scores +1; one that opposes it on
+//! every transaction scores −1; `Unknown` entries contribute nothing to the dot
+//! product but also nothing to `‖v_i‖`, so an all-`Unknown` vote scores 0.
+
+/// Computes the cosine similarity between a member's vote vector and the
+/// consensus decision vector. Both use the {+1, −1, 0} encoding.
+///
+/// Returns 0.0 when either vector is all-zero (the paper's scoring gives an
+/// all-`Unknown` voter a neutral score, and an empty decision grades nobody).
+///
+/// # Panics
+/// Panics if the two vectors have different lengths — callers build both from
+/// the same `TXList`, so a mismatch is a logic error.
+pub fn cosine_score(votes: &[i8], decision: &[i8]) -> f64 {
+    assert_eq!(
+        votes.len(),
+        decision.len(),
+        "vote and decision vectors must cover the same TXList"
+    );
+    let mut dot = 0.0f64;
+    let mut norm_v = 0.0f64;
+    let mut norm_u = 0.0f64;
+    for (&v, &u) in votes.iter().zip(decision) {
+        dot += (v as f64) * (u as f64);
+        norm_v += (v as f64) * (v as f64);
+        norm_u += (u as f64) * (u as f64);
+    }
+    if norm_v == 0.0 || norm_u == 0.0 {
+        return 0.0;
+    }
+    (dot / (norm_v.sqrt() * norm_u.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Scores every member's vote vector against the decision vector, preserving
+/// input order (this is the `ScoreList` the leader assembles in §IV-E).
+pub fn score_all(votes: &[Vec<i8>], decision: &[i8]) -> Vec<f64> {
+    votes.iter().map(|v| cosine_score(v, decision)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_agreement_scores_one() {
+        let u = vec![1, -1, 1, 1, -1];
+        assert!((cosine_score(&u, &u) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_disagreement_scores_minus_one() {
+        let u = vec![1, -1, 1];
+        let v: Vec<i8> = u.iter().map(|x| -x).collect();
+        assert!((cosine_score(&v, &u) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_unknown_scores_zero() {
+        let u = vec![1, 1, -1];
+        assert_eq!(cosine_score(&[0, 0, 0], &u), 0.0);
+    }
+
+    #[test]
+    fn empty_vectors_score_zero() {
+        assert_eq!(cosine_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn partial_agreement_is_between() {
+        // Agrees on 3 of 4, unknown on the 4th.
+        let u = vec![1, 1, 1, 1];
+        let v = vec![1, 1, 1, 0];
+        let s = cosine_score(&v, &u);
+        assert!(s > 0.8 && s < 1.0, "got {s}");
+        // Half right, half wrong: dot = 0.
+        let v = vec![1, 1, -1, -1];
+        assert!(cosine_score(&v, &u).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_on_some_entries_matches_formula() {
+        // v = (1, 0), u = (1, -1): dot = 1, |v| = 1, |u| = √2.
+        let s = cosine_score(&[1, 0], &[1, -1]);
+        assert!((s - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "same TXList")]
+    fn mismatched_lengths_panic() {
+        cosine_score(&[1], &[1, -1]);
+    }
+
+    #[test]
+    fn score_all_preserves_order() {
+        let u = vec![1, -1];
+        let votes = vec![vec![1, -1], vec![-1, 1], vec![0, 0]];
+        let scores = score_all(&votes, &u);
+        assert_eq!(scores.len(), 3);
+        assert!(scores[0] > 0.99 && scores[1] < -0.99 && scores[2].abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_score_is_bounded(
+            votes in prop::collection::vec(-1i8..=1, 1..30),
+            decision in prop::collection::vec(-1i8..=1, 1..30),
+        ) {
+            let n = votes.len().min(decision.len());
+            let s = cosine_score(&votes[..n], &decision[..n]);
+            prop_assert!((-1.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn prop_score_is_symmetric(
+            votes in prop::collection::vec(-1i8..=1, 1..30),
+            decision in prop::collection::vec(-1i8..=1, 1..30),
+        ) {
+            let n = votes.len().min(decision.len());
+            let a = cosine_score(&votes[..n], &decision[..n]);
+            let b = cosine_score(&decision[..n], &votes[..n]);
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_negating_votes_negates_score(
+            votes in prop::collection::vec(-1i8..=1, 1..30),
+            decision in prop::collection::vec(-1i8..=1, 1..30),
+        ) {
+            let n = votes.len().min(decision.len());
+            let neg: Vec<i8> = votes[..n].iter().map(|v| -v).collect();
+            let a = cosine_score(&votes[..n], &decision[..n]);
+            let b = cosine_score(&neg, &decision[..n]);
+            prop_assert!((a + b).abs() < 1e-12);
+        }
+    }
+}

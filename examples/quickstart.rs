@@ -1,0 +1,71 @@
+//! Quickstart: run a small all-honest CycLedger network for a few rounds and
+//! print what happened each round.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cycledger::protocol::{ProtocolConfig, Simulation};
+
+fn main() {
+    let config = ProtocolConfig {
+        committees: 3,
+        committee_size: 10,
+        partial_set_size: 3,
+        referee_size: 7,
+        txs_per_round: 150,
+        cross_shard_ratio: 0.2,
+        invalid_ratio: 0.05,
+        accounts_per_shard: 48,
+        pow_difficulty: 4,
+        seed: 2020,
+        ..ProtocolConfig::default()
+    };
+    println!(
+        "CycLedger quickstart: {} committees x {} nodes (+{} referee members), {} tx/round\n",
+        config.committees, config.committee_size, config.referee_size, config.txs_per_round
+    );
+
+    let mut sim = Simulation::new(config).expect("valid configuration");
+    let rounds = 5;
+    for _ in 0..rounds {
+        let report = sim.run_round();
+        println!(
+            "round {:>2}: block={} packed={:>4} (cross-shard {:>3}) offered={:>4} \
+             acceptance={:>5.1}% fees={:>5} evictions={} channels={} (full clique would be {})",
+            report.round,
+            if report.block_produced { "yes" } else { " no" },
+            report.txs_packed,
+            report.txs_packed_cross_shard,
+            report.txs_offered,
+            100.0 * report.acceptance_rate(),
+            report.fees_distributed,
+            report.evicted_leaders.len(),
+            report.channels,
+            report.full_clique_channels,
+        );
+    }
+
+    let summary = cycledger::protocol::SimulationSummary {
+        rounds: sim.reports().to_vec(),
+    };
+    println!(
+        "\nchain height {} | mean throughput {:.1} tx/round | mean acceptance {:.1}%",
+        sim.chain().height(),
+        summary.mean_throughput(),
+        100.0 * summary.mean_acceptance_rate()
+    );
+
+    // The reputation table now reflects who did the work.
+    let mut reputations: Vec<(u32, f64)> = sim
+        .registry()
+        .ids()
+        .iter()
+        .map(|&n| (n.0, sim.reputation().get(n)))
+        .collect();
+    reputations.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("top-5 reputation holders after {rounds} rounds:");
+    for (node, rep) in reputations.iter().take(5) {
+        println!("  node {node:>3}: {rep:>6.2}");
+    }
+}

@@ -1,0 +1,168 @@
+//! Integration tests pinning the paper's security claims (Section V) to code:
+//! Theorem 2 (semi-commitments), Claims 3 & 4 (recovery completeness and
+//! soundness), Theorem 5 (intra-committee detection), Theorem 8 (inter-committee
+//! safety), and the §V-A randomness properties.
+
+use cycledger::consensus::{semi_commitment, CommitmentMismatchEvidence, Witness};
+use cycledger::crypto::pvss;
+use cycledger::crypto::schnorr::{sign, Keypair};
+use cycledger::crypto::scalar::Scalar;
+use cycledger::net::NodeId;
+use cycledger::protocol::{AdversaryConfig, Behavior, ProtocolConfig, Simulation};
+
+fn config(seed: u64) -> ProtocolConfig {
+    ProtocolConfig {
+        committees: 2,
+        committee_size: 8,
+        partial_set_size: 2,
+        referee_size: 5,
+        txs_per_round: 40,
+        cross_shard_ratio: 0.3,
+        invalid_ratio: 0.0,
+        accounts_per_shard: 32,
+        pow_difficulty: 2,
+        seed,
+        ..ProtocolConfig::default()
+    }
+}
+
+/// Claim 3 (completeness): a faulty leader is always detected and evicted.
+#[test]
+fn claim3_faulty_leaders_are_always_detected() {
+    for behavior in [
+        Behavior::SilentLeader,
+        Behavior::EquivocatingLeader,
+        Behavior::MismatchedCommitment,
+    ] {
+        let mut sim = Simulation::new(config(21)).expect("valid configuration");
+        let victim = sim.assignment().committees[1].leader;
+        sim.registry_mut().set_behavior(victim, behavior);
+        let report = sim.run_round().clone();
+        assert!(
+            report.evicted_leaders.iter().any(|(_, n)| *n == victim),
+            "{behavior:?}: leader {victim:?} must be evicted, got {:?}",
+            report.evicted_leaders
+        );
+        // Punishment: the evicted leader's reputation never exceeds the best
+        // honest member's.
+        let best_honest = sim
+            .registry()
+            .iter()
+            .filter(|n| n.is_honest())
+            .map(|n| sim.reputation().get(n.id))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(sim.reputation().get(victim) <= best_honest + 1e-9);
+    }
+}
+
+/// Claim 4 (soundness): an honest leader is never evicted, even when a
+/// malicious partial-set member tries to frame it.
+#[test]
+fn claim4_honest_leaders_are_never_framed() {
+    let mut cfg = config(22);
+    cfg.adversary = AdversaryConfig::with_behavior(0.3, Behavior::FalseAccuser);
+    let mut sim = Simulation::new(cfg).expect("valid configuration");
+    // Claim 4's premise is an honest-majority referee committee and honest
+    // leaders; false accusers sit among members / partial sets. Enforce the
+    // premise explicitly (tiny test committees cannot rely on w.h.p. arguments).
+    let leaders: Vec<NodeId> = sim.assignment().committees.iter().map(|c| c.leader).collect();
+    for l in &leaders {
+        sim.registry_mut().set_behavior(*l, Behavior::Honest);
+    }
+    let referees = sim.assignment().referee.clone();
+    for r in &referees {
+        sim.registry_mut().set_behavior(*r, Behavior::Honest);
+    }
+    let summary = sim.run(1);
+    assert_eq!(
+        summary.total_evictions(),
+        0,
+        "no honest leader may be evicted on fabricated evidence"
+    );
+    assert_eq!(summary.blocks_produced(), 1);
+}
+
+/// Theorem 2: a leader cannot commit to a forged member list without being
+/// caught — and the witness only verifies against the cheating leader's key.
+#[test]
+fn theorem2_forged_member_lists_yield_unforgeable_witnesses() {
+    let leader = Keypair::from_seed(b"integration-leader");
+    let other = Keypair::from_seed(b"integration-other");
+    let list = b"node-1,node-2,node-3".to_vec();
+    let signature = sign(
+        &leader.secret,
+        &cycledger::consensus::member_list_signing_bytes(3, 1, &list),
+    );
+    let witness = Witness::CommitmentMismatch(CommitmentMismatchEvidence {
+        round: 3,
+        committee: 1,
+        leader: NodeId(7),
+        member_list: list.clone(),
+        list_signature: signature,
+        recorded_commitment: cycledger::crypto::sha256(b"a forged commitment"),
+    });
+    assert!(witness.verify(&leader.public), "real cheating is provable");
+    assert!(
+        !witness.verify(&other.public),
+        "the witness cannot be re-targeted at another leader"
+    );
+    // And a consistent commitment yields no witness at all.
+    let honest = Witness::CommitmentMismatch(CommitmentMismatchEvidence {
+        round: 3,
+        committee: 1,
+        leader: NodeId(7),
+        member_list: list.clone(),
+        list_signature: sign(
+            &leader.secret,
+            &cycledger::consensus::member_list_signing_bytes(3, 1, &list),
+        ),
+        recorded_commitment: semi_commitment(&list),
+    });
+    assert!(!honest.verify(&leader.public));
+}
+
+/// §V-A: the randomness beacon completes and is unpredictable-looking as long
+/// as the referee committee keeps an honest majority, and excludes cheaters.
+#[test]
+fn beacon_liveness_and_dealer_exclusion() {
+    // 7 referees, 3 corrupt dealers: beacon still completes, cheaters excluded.
+    let honesty = vec![true, false, true, false, true, false, true];
+    let (output, qualified) = pvss::run_beacon(7, 4, &honesty, b"integration-round").unwrap();
+    assert_eq!(qualified, vec![0, 2, 4, 6]);
+    // Different round tags give different outputs.
+    let (other, _) = pvss::run_beacon(7, 4, &honesty, b"integration-round-2").unwrap();
+    assert_ne!(output, other);
+    // Reconstruction agrees regardless of which honest majority subset is used.
+    let dealing = pvss::deal(&Scalar::from_u64(123456), 7, 4, b"shares").unwrap();
+    let a = pvss::reconstruct(&dealing.shares[..4], 4).unwrap();
+    let b = pvss::reconstruct(&dealing.shares[3..], 4).unwrap();
+    assert_eq!(a, b);
+}
+
+/// Theorem 8 flavour: with censoring leaders on the cross-shard path, the
+/// transactions still complete (via the partial set) and the censoring leaders
+/// are evicted — honest leaders on the destination side are untouched.
+#[test]
+fn theorem8_cross_shard_safety_under_censoring_leaders() {
+    let mut cfg = config(23);
+    cfg.cross_shard_ratio = 0.8;
+    let mut sim = Simulation::new(cfg).expect("valid configuration");
+    let censor = sim.assignment().committees[0].leader;
+    let honest_dest = sim.assignment().committees[1].leader;
+    sim.registry_mut().set_behavior(censor, Behavior::CensoringLeader);
+    let report = sim.run_round().clone();
+    assert!(report.block_produced);
+    assert!(report.censorship_reports > 0, "the censoring leader must be reported");
+    assert!(
+        report.evicted_leaders.iter().any(|(_, n)| *n == censor),
+        "the censoring leader must be evicted"
+    );
+    assert!(
+        !report.evicted_leaders.iter().any(|(_, n)| *n == honest_dest),
+        "the honest destination leader must not be framed (Lemma 7)"
+    );
+    assert!(
+        report.txs_packed_cross_shard > 0,
+        "cross-shard transactions still complete via the partial set (Lemma 6)"
+    );
+}

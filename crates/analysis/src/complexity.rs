@@ -22,7 +22,11 @@ pub enum RoleClass {
 
 impl RoleClass {
     /// All role classes in Table II column order.
-    pub const ALL: [RoleClass; 3] = [RoleClass::CommonMember, RoleClass::KeyMember, RoleClass::Referee];
+    pub const ALL: [RoleClass; 3] = [
+        RoleClass::CommonMember,
+        RoleClass::KeyMember,
+        RoleClass::Referee,
+    ];
 
     /// Human-readable label.
     pub fn label(self) -> &'static str {
@@ -150,7 +154,8 @@ mod tests {
 
     #[test]
     fn role_labels_distinct() {
-        let labels: std::collections::HashSet<_> = RoleClass::ALL.iter().map(|r| r.label()).collect();
+        let labels: std::collections::HashSet<_> =
+            RoleClass::ALL.iter().map(|r| r.label()).collect();
         assert_eq!(labels.len(), 3);
     }
 
@@ -185,7 +190,10 @@ mod tests {
             RoleClass::CommonMember,
             SystemSize::from_committees(32, 100),
         );
-        assert_eq!(a, b, "growing m at fixed c must not change a common member's cost");
+        assert_eq!(
+            a, b,
+            "growing m at fixed c must not change a common member's cost"
+        );
     }
 
     #[test]
@@ -203,15 +211,24 @@ mod tests {
         let s = SystemSize::from_committees(8, 64);
         assert_eq!(
             table2_prediction(Phase::CommitteeConfiguration, RoleClass::Referee, s),
-            Prediction { communication: 0.0, storage: 0.0 }
+            Prediction {
+                communication: 0.0,
+                storage: 0.0
+            }
         );
         assert_eq!(
             table2_prediction(Phase::SemiCommitmentExchange, RoleClass::CommonMember, s),
-            Prediction { communication: 0.0, storage: 0.0 }
+            Prediction {
+                communication: 0.0,
+                storage: 0.0
+            }
         );
         assert_eq!(
             table2_prediction(Phase::KeyMemberSelection, RoleClass::CommonMember, s),
-            Prediction { communication: 0.0, storage: 0.0 }
+            Prediction {
+                communication: 0.0,
+                storage: 0.0
+            }
         );
     }
 

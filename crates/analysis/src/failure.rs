@@ -27,7 +27,10 @@ pub fn union_bound(m: u64, p: f64) -> f64 {
 
 /// CycLedger's per-round failure bound `m·(e^{−c/12} + (1/3)^λ)` (Table I).
 pub fn cycledger_round_failure(m: u64, c: u64, lambda: u32) -> f64 {
-    union_bound(m, simplified_bound(c) + partial_set_failure_probability(lambda))
+    union_bound(
+        m,
+        simplified_bound(c) + partial_set_failure_probability(lambda),
+    )
 }
 
 /// CycLedger's per-round failure computed from the *exact* hypergeometric tail

@@ -216,7 +216,9 @@ mod tests {
         // Deterministic LCG uniform source.
         let mut state = 0x12345678u64;
         let estimate = monte_carlo_failure(n, t, c, 20_000, move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         });
         assert!(

@@ -16,7 +16,9 @@ pub mod complexity;
 pub mod failure;
 pub mod hypergeometric;
 
-pub use complexity::{table1_complexity, table1_storage, table2_prediction, Prediction, RoleClass, SystemSize};
+pub use complexity::{
+    table1_complexity, table1_storage, table2_prediction, Prediction, RoleClass, SystemSize,
+};
 pub use failure::{
     compare_protocols, cycledger_round_failure, cycledger_round_failure_exact,
     partial_set_failure_probability, quarter_resilient_round_failure, rapidchain_round_failure,

@@ -54,7 +54,8 @@ pub fn cross_shard_completion_fraction(
     // discount once.
     let one_faulty = 2.0 * p * (1.0 - p);
     let both_faulty = p * p;
-    honest_both + one_faulty * (1.0 - recovery_discount)
+    honest_both
+        + one_faulty * (1.0 - recovery_discount)
         + both_faulty * (1.0 - recovery_discount).powi(2)
 }
 

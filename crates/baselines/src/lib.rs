@@ -16,4 +16,6 @@ pub mod profiles;
 pub use leader_model::{
     cross_shard_completion_fraction, expected_throughput_fraction, recovery_comparison_series,
 };
-pub use profiles::{build_table1, cycledger_channels, profile, ComparisonParams, Protocol, ProtocolProfile};
+pub use profiles::{
+    build_table1, cycledger_channels, profile, ComparisonParams, Protocol, ProtocolProfile,
+};

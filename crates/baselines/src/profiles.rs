@@ -185,7 +185,11 @@ mod tests {
         assert_eq!(get(Protocol::Elastico).resiliency, 0.25);
         assert!((get(Protocol::CycLedger).resiliency - 1.0 / 3.0).abs() < 1e-12);
         // Only CycLedger is efficient with dishonest leaders and has incentives.
-        for p in [Protocol::Elastico, Protocol::OmniLedger, Protocol::RapidChain] {
+        for p in [
+            Protocol::Elastico,
+            Protocol::OmniLedger,
+            Protocol::RapidChain,
+        ] {
             assert!(!get(p).efficient_with_dishonest_leaders);
             assert!(!get(p).incentives);
             assert_eq!(get(p).connection_burden, "heavy");
@@ -194,7 +198,10 @@ mod tests {
         assert!(get(Protocol::CycLedger).incentives);
         assert_eq!(get(Protocol::CycLedger).connection_burden, "light");
         // Decentralization strings match the paper's table.
-        assert_eq!(get(Protocol::OmniLedger).decentralization, "an honest client");
+        assert_eq!(
+            get(Protocol::OmniLedger).decentralization,
+            "an honest client"
+        );
         assert_eq!(
             get(Protocol::RapidChain).decentralization,
             "an honest reference committee"
@@ -217,8 +224,14 @@ mod tests {
     fn cycledger_needs_far_fewer_channels() {
         let params = ComparisonParams::paper_default();
         let rows = build_table1(&params);
-        let cyc = rows.iter().find(|r| r.protocol == Protocol::CycLedger).unwrap();
-        let rapid = rows.iter().find(|r| r.protocol == Protocol::RapidChain).unwrap();
+        let cyc = rows
+            .iter()
+            .find(|r| r.protocol == Protocol::CycLedger)
+            .unwrap();
+        let rapid = rows
+            .iter()
+            .find(|r| r.protocol == Protocol::RapidChain)
+            .unwrap();
         assert!(
             (cyc.connection_channels as f64) < 0.5 * rapid.connection_channels as f64,
             "CycLedger {} vs clique {}",

@@ -20,9 +20,13 @@ fn bench_crypto(c: &mut Criterion) {
     let msg = b"a consensus message of typical size padded to sixty-four bytes!";
     group.bench_function("schnorr_sign", |b| b.iter(|| sign(&kp.secret, msg)));
     let sig = sign(&kp.secret, msg);
-    group.bench_function("schnorr_verify", |b| b.iter(|| verify(&kp.public, msg, &sig)));
+    group.bench_function("schnorr_verify", |b| {
+        b.iter(|| verify(&kp.public, msg, &sig))
+    });
 
-    group.bench_function("vrf_evaluate", |b| b.iter(|| vrf::evaluate(&kp.secret, b"COMMON_MEMBER|7|seed")));
+    group.bench_function("vrf_evaluate", |b| {
+        b.iter(|| vrf::evaluate(&kp.secret, b"COMMON_MEMBER|7|seed"))
+    });
     let out = vrf::evaluate(&kp.secret, b"COMMON_MEMBER|7|seed");
     group.bench_function("vrf_verify", |b| {
         b.iter(|| vrf::verify(&kp.public, b"COMMON_MEMBER|7|seed", &out))

@@ -18,28 +18,32 @@ fn bench_recovery(c: &mut Criterion) {
         ("equivocating_leader", Some(Behavior::EquivocatingLeader)),
     ];
     for (label, behavior) in cases {
-        group.bench_with_input(BenchmarkId::new("round", label), &behavior, |b, behavior| {
-            b.iter_with_setup(
-                || {
-                    let mut cfg = bench_config(3, 10, 41);
-                    cfg.txs_per_round = 90;
-                    if behavior.is_some() {
-                        cfg.adversary = AdversaryConfig::with_behavior(0.2, behavior.unwrap());
-                    }
-                    let mut sim = Simulation::new(cfg).expect("valid configuration");
-                    if let Some(b) = *behavior {
-                        let victim = sim.assignment().committees[0].leader;
-                        sim.registry_mut().set_behavior(victim, b);
-                    }
-                    sim
-                },
-                |mut sim| {
-                    let report = sim.run_round();
-                    assert!(report.block_produced);
-                    sim
-                },
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("round", label),
+            &behavior,
+            |b, behavior| {
+                b.iter_with_setup(
+                    || {
+                        let mut cfg = bench_config(3, 10, 41);
+                        cfg.txs_per_round = 90;
+                        if behavior.is_some() {
+                            cfg.adversary = AdversaryConfig::with_behavior(0.2, behavior.unwrap());
+                        }
+                        let mut sim = Simulation::new(cfg).expect("valid configuration");
+                        if let Some(b) = *behavior {
+                            let victim = sim.assignment().committees[0].leader;
+                            sim.registry_mut().set_behavior(victim, b);
+                        }
+                        sim
+                    },
+                    |mut sim| {
+                        let report = sim.run_round();
+                        assert!(report.block_produced);
+                        sim
+                    },
+                )
+            },
+        );
     }
     group.finish();
 }

@@ -10,16 +10,25 @@ fn main() {
     for (x, g) in reward_mapping_series(-5.0, 10.0, 31) {
         println!("{x:>8.2} {g:>12.5}");
     }
-    println!("\nAnchor points: g(0) = {:.3} (idle nodes still earn a little), g(-5) = {:.4} (≈0),",
-        reward_mapping(0.0), reward_mapping(-5.0));
+    println!(
+        "\nAnchor points: g(0) = {:.3} (idle nodes still earn a little), g(-5) = {:.4} (≈0),",
+        reward_mapping(0.0),
+        reward_mapping(-5.0)
+    );
     println!("g(e-1) = {:.3}.", reward_mapping(std::f64::consts::E - 1.0));
 
     println!("\n§VII-B — cube-root punishment of a convicted leader, in reward-weight terms:");
-    println!("{:>12} {:>14} {:>14} {:>18}", "reputation", "g(before)", "g(after)", "weight retained");
+    println!(
+        "{:>12} {:>14} {:>14} {:>18}",
+        "reputation", "g(before)", "g(after)", "weight retained"
+    );
     for rep in [1.0f64, 8.0, 27.0, 125.0, 1000.0] {
         let before = reward_mapping(rep);
         let after = reward_mapping(leader_punishment(rep));
-        println!("{rep:>12.1} {before:>14.3} {after:>14.3} {:>17.1}%", 100.0 * after / before);
+        println!(
+            "{rep:>12.1} {before:>14.3} {after:>14.3} {:>17.1}%",
+            100.0 * after / before
+        );
     }
     println!("\nThe paper's claim: the punished leader's mapped value drops to roughly a third of the original.");
 }

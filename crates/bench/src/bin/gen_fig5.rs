@@ -38,7 +38,9 @@ fn main() {
         println!("{c:>6} {exact:>16.3e} {simple:>16.3e} {kl:>16.3e} {mc:>14}");
     }
 
-    println!("\nPaper spot values (§V-B): c = 240 → failure < 2.1e-9; union bound over m = 20 < 5e-8");
+    println!(
+        "\nPaper spot values (§V-B): c = 240 → failure < 2.1e-9; union bound over m = 20 < 5e-8"
+    );
     let p240 = committee_failure_probability(n, t, 240);
     println!(
         "Measured:                 c = 240 → failure = {:.3e}; union bound over m = 20 = {:.3e}",
@@ -47,10 +49,15 @@ fn main() {
     );
 
     println!("\n§V-C — partial-set failure probability (no honest node in the partial set):");
-    println!("{:>6} {:>16} {:>22}", "λ", "(1/3)^λ", "union bound (m = 20)");
+    println!(
+        "{:>6} {:>16} {:>22}",
+        "λ", "(1/3)^λ", "union bound (m = 20)"
+    );
     for lambda in [10u32, 20, 30, 40, 50, 60] {
         let p = partial_set_failure_probability(lambda);
         println!("{lambda:>6} {p:>16.3e} {:>22.3e}", union_bound(20, p));
     }
-    println!("\nPaper spot value: λ = 40 → (1/3)^40 < 8e-20, union bound over 20 committees < 2e-18");
+    println!(
+        "\nPaper spot value: λ = 40 → (1/3)^40 < 8e-20, union bound over 20 committees < 2e-18"
+    );
 }

@@ -20,12 +20,22 @@ fn main() {
     let mut sim = Simulation::new(config).expect("valid configuration");
     let summary = sim.run(rounds);
 
-    println!("Incentive experiment — {rounds} rounds, 25% mixed adversary, heterogeneous compute\n");
-    println!("blocks produced: {}/{}  evictions: {}\n", summary.blocks_produced(), rounds, summary.total_evictions());
+    println!(
+        "Incentive experiment — {rounds} rounds, 25% mixed adversary, heterogeneous compute\n"
+    );
+    println!(
+        "blocks produced: {}/{}  evictions: {}\n",
+        summary.blocks_produced(),
+        rounds,
+        summary.total_evictions()
+    );
 
     let mut groups: std::collections::BTreeMap<&'static str, Vec<(f64, f64)>> = Default::default();
     let all: Vec<_> = sim.registry().ids();
-    let weights: f64 = all.iter().map(|&n| reward_mapping(sim.reputation().get(n))).sum();
+    let weights: f64 = all
+        .iter()
+        .map(|&n| reward_mapping(sim.reputation().get(n)))
+        .sum();
     for node in sim.registry().iter() {
         let label = match node.behavior {
             Behavior::Honest => "honest",
@@ -37,11 +47,18 @@ fn main() {
         let fee_share = reward_mapping(rep) / weights;
         groups.entry(label).or_default().push((rep, fee_share));
     }
-    println!("{:<28} {:>6} {:>12} {:>16}", "behaviour", "nodes", "mean rep", "mean fee share");
+    println!(
+        "{:<28} {:>6} {:>12} {:>16}",
+        "behaviour", "nodes", "mean rep", "mean fee share"
+    );
     for (label, rows) in &groups {
         let mean_rep = rows.iter().map(|(r, _)| r).sum::<f64>() / rows.len() as f64;
         let mean_share = rows.iter().map(|(_, s)| s).sum::<f64>() / rows.len() as f64;
-        println!("{label:<28} {:>6} {mean_rep:>12.3} {:>15.3}%", rows.len(), 100.0 * mean_share);
+        println!(
+            "{label:<28} {:>6} {mean_rep:>12.3} {:>15.3}%",
+            rows.len(),
+            100.0 * mean_share
+        );
     }
 
     let honest: Vec<(f64, f64)> = sim
@@ -52,10 +69,19 @@ fn main() {
         .collect();
     let mean_x = honest.iter().map(|(x, _)| x).sum::<f64>() / honest.len() as f64;
     let mean_y = honest.iter().map(|(_, y)| y).sum::<f64>() / honest.len() as f64;
-    let cov: f64 = honest.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let cov: f64 = honest
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
     let var_x: f64 = honest.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
     let var_y: f64 = honest.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
-    let corr = if var_x > 0.0 && var_y > 0.0 { cov / (var_x * var_y).sqrt() } else { 0.0 };
+    let corr = if var_x > 0.0 && var_y > 0.0 {
+        cov / (var_x * var_y).sqrt()
+    } else {
+        0.0
+    };
     println!("\ncompute-capacity ↔ reputation correlation among honest nodes: {corr:.3}");
-    println!("(§VII-A expects a positive correlation: reputation reflects trusty computing power.)");
+    println!(
+        "(§VII-A expects a positive correlation: reputation reflects trusty computing power.)"
+    );
 }

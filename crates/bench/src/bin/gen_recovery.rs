@@ -15,9 +15,18 @@ fn main() {
 
     println!(
         "{:>20} {:>16} {:>12} {:>12} {:>22} {:>22}",
-        "corrupted fraction", "behaviour", "packed/rnd", "evictions", "measured retention", "no-recovery model"
+        "corrupted fraction",
+        "behaviour",
+        "packed/rnd",
+        "evictions",
+        "measured retention",
+        "no-recovery model"
     );
-    for behavior in [Behavior::SilentLeader, Behavior::EquivocatingLeader, Behavior::CensoringLeader] {
+    for behavior in [
+        Behavior::SilentLeader,
+        Behavior::EquivocatingLeader,
+        Behavior::CensoringLeader,
+    ] {
         for fraction in [0.0f64, 0.15, 0.30] {
             let (tput, evictions, blocks) =
                 measure_adversarial(bench_config(3, 10, 23), fraction, behavior, 2);
@@ -34,8 +43,15 @@ fn main() {
     }
 
     println!("\nAnalytic comparison series (paper's motivation: 1/3 malicious leaders):");
-    println!("{:>20} {:>22} {:>22}", "leader corruption", "without recovery", "with recovery");
+    println!(
+        "{:>20} {:>22} {:>22}",
+        "leader corruption", "without recovery", "with recovery"
+    );
     for (f, without, with) in recovery_comparison_series(5, 1.0 / 3.0, 0.1) {
-        println!("{f:>20.2} {:>21.1}% {:>21.1}%", 100.0 * without, 100.0 * with);
+        println!(
+            "{f:>20.2} {:>21.1}% {:>21.1}%",
+            100.0 * without,
+            100.0 * with
+        );
     }
 }

@@ -31,7 +31,11 @@ fn main() {
             row.storage_items,
             row.round_failure,
             row.decentralization,
-            if row.efficient_with_dishonest_leaders { "yes" } else { "no" },
+            if row.efficient_with_dishonest_leaders {
+                "yes"
+            } else {
+                "no"
+            },
             if row.incentives { "yes" } else { "no" },
             row.connection_channels,
         );

@@ -44,8 +44,12 @@ fn main() {
         }
     }
 
-    println!("\nScaling check: referee semi-commitment traffic should grow ~4x when m doubles (O(m²)),");
-    println!("while a common member's intra-committee traffic should stay flat when m grows at fixed c.");
+    println!(
+        "\nScaling check: referee semi-commitment traffic should grow ~4x when m doubles (O(m²)),"
+    );
+    println!(
+        "while a common member's intra-committee traffic should stay flat when m grows at fixed c."
+    );
     let mut sim2 = Simulation::new(bench_config(2 * m, c, 1)).expect("valid configuration");
     sim2.run_round();
     let report2 = sim2.reports().last().unwrap();
@@ -53,13 +57,19 @@ fn main() {
         .role_phase_mean(&report.roles.referee_members, Phase::SemiCommitmentExchange)
         .comm_bytes() as f64;
     let referee_large = report2
-        .role_phase_mean(&report2.roles.referee_members, Phase::SemiCommitmentExchange)
+        .role_phase_mean(
+            &report2.roles.referee_members,
+            Phase::SemiCommitmentExchange,
+        )
         .comm_bytes() as f64;
     let common_small = report
         .role_phase_mean(&report.roles.common_members, Phase::IntraCommitteeConsensus)
         .comm_bytes() as f64;
     let common_large = report2
-        .role_phase_mean(&report2.roles.common_members, Phase::IntraCommitteeConsensus)
+        .role_phase_mean(
+            &report2.roles.common_members,
+            Phase::IntraCommitteeConsensus,
+        )
         .comm_bytes() as f64;
     println!(
         "  referee semi-commitment bytes: m={m}: {referee_small:.0}, m={}: {referee_large:.0} (ratio {:.2})",

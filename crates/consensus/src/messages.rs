@@ -100,9 +100,7 @@ impl Alg3Message {
         match self {
             Alg3Message::Propose(p) => 16 + 32 + p.payload.len() as u64 + 96,
             Alg3Message::Echo(_) => 16 + 32 + 4 + 96 + 96,
-            Alg3Message::Confirm(c) => {
-                16 + 32 + 4 + 96 + c.echo_signatures.len() as u64 * (4 + 96)
-            }
+            Alg3Message::Confirm(c) => 16 + 32 + 4 + 96 + c.echo_signatures.len() as u64 * (4 + 96),
         }
     }
 }
@@ -172,7 +170,10 @@ pub fn verify_propose(propose: &Propose, leader_pk: &PublicKey) -> bool {
 
 /// Builds a signed ECHO relaying the leader's signature.
 pub fn make_echo(propose: &Propose, member: NodeId, member_key: &SecretKey) -> Echo {
-    let signature = sign(member_key, &echo_signing_bytes(&propose.id, &propose.digest, member));
+    let signature = sign(
+        member_key,
+        &echo_signing_bytes(&propose.id, &propose.digest, member),
+    );
     Echo {
         id: propose.id,
         digest: propose.digest,
@@ -274,7 +275,13 @@ mod tests {
     #[test]
     fn confirm_round_trip() {
         let member = Keypair::from_seed(b"member");
-        let c = make_confirm(id(), payload_digest(b"x"), NodeId(7), &member.secret, vec![]);
+        let c = make_confirm(
+            id(),
+            payload_digest(b"x"),
+            NodeId(7),
+            &member.secret,
+            vec![],
+        );
         assert!(verify_confirm(&c, &member.public));
         let other = Keypair::from_seed(b"other");
         assert!(!verify_confirm(&c, &other.public));
@@ -307,7 +314,10 @@ mod tests {
             vec![(NodeId(2), e.signature), (NodeId(3), e.signature)],
         );
         assert!(Alg3Message::Propose(p).wire_size() > 100);
-        assert!(Alg3Message::Confirm(c_big.clone()).wire_size() > Alg3Message::Confirm(c_small).wire_size());
+        assert!(
+            Alg3Message::Confirm(c_big.clone()).wire_size()
+                > Alg3Message::Confirm(c_small).wire_size()
+        );
         assert!(Alg3Message::Echo(e).wire_size() > 0);
         let _ = c_big;
     }

@@ -120,6 +120,56 @@ impl QuorumCertificate {
     pub fn verify_majority(&self, keys: &CommitteeKeys) -> Result<(), QuorumError> {
         self.verify(keys, keys.majority_threshold())
     }
+
+    /// Verifies the certificate using one batched random-linear-combination
+    /// signature check instead of one check per signer.
+    ///
+    /// This is the entry point the round engine's shard executor uses for
+    /// per-shard vote sets: the whole `SigList` is handed to
+    /// [`cycledger_crypto::schnorr::batch_verify`] at once. Structural rules
+    /// (membership, deduplication, threshold) are identical to [`verify`], and
+    /// when the batch check fails the slow path re-runs per signature so the
+    /// caller still learns *which* rule broke.
+    pub fn verify_batch(&self, keys: &CommitteeKeys, threshold: usize) -> Result<(), QuorumError> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut message_bytes = Vec::with_capacity(self.signatures.len());
+        for (node, _) in &self.signatures {
+            if !seen.insert(*node) {
+                return Err(QuorumError::DuplicateSigner);
+            }
+            if keys.get(*node).is_none() {
+                return Err(QuorumError::UnknownSigner);
+            }
+            message_bytes.push(confirm_signing_bytes(&self.id, &self.digest, *node));
+        }
+        if seen.len() < threshold {
+            return Err(QuorumError::InsufficientSigners);
+        }
+        let entries: Vec<cycledger_crypto::schnorr::BatchEntry<'_>> = self
+            .signatures
+            .iter()
+            .zip(&message_bytes)
+            .map(
+                |((node, signature), message)| cycledger_crypto::schnorr::BatchEntry {
+                    public_key: keys.get(*node).expect("membership checked above"),
+                    message,
+                    signature,
+                },
+            )
+            .collect();
+        if cycledger_crypto::schnorr::batch_verify(&entries) {
+            return Ok(());
+        }
+        // The batch is bad: fall back to the sequential path for a precise
+        // error (and as defence in depth should the two paths ever disagree).
+        self.verify(keys, threshold)?;
+        Err(QuorumError::BadSignature)
+    }
+
+    /// Batched counterpart of [`verify_majority`].
+    pub fn verify_batch_majority(&self, keys: &CommitteeKeys) -> Result<(), QuorumError> {
+        self.verify_batch(keys, keys.majority_threshold())
+    }
 }
 
 #[cfg(test)]
@@ -184,7 +234,10 @@ mod tests {
         let (kps, keys) = committee(7);
         let digest = cycledger_crypto::sha256::sha256(b"decision");
         let qc = certificate(&kps, &[0, 1, 2], digest);
-        assert_eq!(qc.verify_majority(&keys), Err(QuorumError::InsufficientSigners));
+        assert_eq!(
+            qc.verify_majority(&keys),
+            Err(QuorumError::InsufficientSigners)
+        );
         // But a lower explicit threshold can accept it.
         assert_eq!(qc.verify(&keys, 3), Ok(()));
     }
@@ -218,6 +271,42 @@ mod tests {
         let mut qc = certificate(&kps, &[0, 1, 2], digest);
         qc.signatures.push(qc.signatures[0]);
         assert_eq!(qc.verify_majority(&keys), Err(QuorumError::DuplicateSigner));
+    }
+
+    #[test]
+    fn batched_verification_matches_sequential() {
+        let (kps, keys) = committee(7);
+        let digest = cycledger_crypto::sha256::sha256(b"decision");
+        let qc = certificate(&kps, &[0, 1, 2, 3], digest);
+        assert_eq!(qc.verify_batch_majority(&keys), Ok(()));
+        assert_eq!(
+            qc.verify_batch(&keys, 5),
+            Err(QuorumError::InsufficientSigners)
+        );
+
+        // Structural failures surface the same errors as the slow path.
+        let mut dup = qc.clone();
+        dup.signatures.push(dup.signatures[0]);
+        assert_eq!(
+            dup.verify_batch_majority(&keys),
+            Err(QuorumError::DuplicateSigner)
+        );
+        let mut foreign = qc.clone();
+        foreign.signatures[0].0 = NodeId(99);
+        assert_eq!(
+            foreign.verify_batch_majority(&keys),
+            Err(QuorumError::UnknownSigner)
+        );
+
+        // A cryptographically bad signature fails the batch and is pinpointed
+        // by the fallback.
+        let other = cycledger_crypto::sha256::sha256(b"other");
+        let mut bad = qc.clone();
+        bad.signatures[2] = certificate(&kps, &[2], other).signatures[0];
+        assert_eq!(
+            bad.verify_batch_majority(&keys),
+            Err(QuorumError::BadSignature)
+        );
     }
 
     #[test]

@@ -141,8 +141,7 @@ impl VoteList {
 
     /// Approximate wire size in bytes (ids plus one byte per vote).
     pub fn wire_size(&self) -> u64 {
-        self.tx_ids.len() as u64 * 32
-            + self.votes.iter().map(|v| v.wire_size()).sum::<u64>()
+        self.tx_ids.len() as u64 * 32 + self.votes.iter().map(|v| v.wire_size()).sum::<u64>()
     }
 }
 

@@ -201,10 +201,7 @@ mod tests {
     fn commitment_mismatch_verifies_only_when_hash_differs() {
         let leader = Keypair::from_seed(b"leader-cm");
         let list = b"PK1,PK2,PK3".to_vec();
-        let sig = sign(
-            &leader.secret,
-            &member_list_signing_bytes(7, 2, &list),
-        );
+        let sig = sign(&leader.secret, &member_list_signing_bytes(7, 2, &list));
         // Honest case: recorded commitment matches ⇒ no valid witness.
         let honest = CommitmentMismatchEvidence {
             round: 7,

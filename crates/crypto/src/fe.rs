@@ -128,7 +128,10 @@ impl Fe {
         }
         let p = field_prime();
         // (p + 1) / 4; p + 1 overflows 256 bits, so compute (p - 3)/4 + 1 instead.
-        let exp = p.wrapping_sub(&U256::from_u64(3)).shr(2).wrapping_add(&U256::ONE);
+        let exp = p
+            .wrapping_sub(&U256::from_u64(3))
+            .shr(2)
+            .wrapping_add(&U256::ONE);
         let candidate = self.pow(&exp);
         if candidate.square() == *self {
             Some(candidate)

@@ -36,6 +36,8 @@ pub mod vrf;
 pub use merkle::{MerkleProof, MerkleTree};
 pub use pow::{PowSolution, Puzzle};
 pub use pvss::{deal, reconstruct, run_beacon, verify_share, Dealing, Share};
-pub use schnorr::{sign, verify, Keypair, PublicKey, SecretKey, Signature};
+pub use schnorr::{
+    batch_verify, sign, verify, BatchEntry, Keypair, PublicKey, SecretKey, Signature,
+};
 pub use sha256::{hash_domain, hash_parts, sha256, Digest};
 pub use vrf::{evaluate as vrf_evaluate, verify as vrf_verify, VrfOutput, VrfProof};

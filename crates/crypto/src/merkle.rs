@@ -46,7 +46,9 @@ impl MerkleTree {
     /// avoided because it permits distinct leaf sets with equal roots).
     pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> MerkleTree {
         if leaves.is_empty() {
-            return MerkleTree { levels: vec![vec![]] };
+            return MerkleTree {
+                levels: vec![vec![]],
+            };
         }
         let mut levels: Vec<Vec<Digest>> = Vec::new();
         levels.push(leaves.iter().map(|l| leaf_hash(l.as_ref())).collect());
@@ -118,7 +120,7 @@ impl MerkleProof {
         for sibling in &self.siblings {
             let sibling_idx = idx ^ 1;
             if sibling_idx < width {
-                hash = if idx % 2 == 0 {
+                hash = if idx.is_multiple_of(2) {
                     node_hash(&hash, sibling)
                 } else {
                     node_hash(sibling, &hash)

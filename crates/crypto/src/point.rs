@@ -94,7 +94,11 @@ impl Point {
         let x3 = m.square().sub(&s.mul_u64(2));
         let y3 = m.mul(&s.sub(&x3)).sub(&y2.square().mul_u64(8));
         let z3 = self.y.mul(&self.z).mul_u64(2);
-        Point { x: x3, y: y3, z: z3 }
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Point addition.
@@ -127,7 +131,11 @@ impl Point {
         let x3 = r.square().sub(&h3).sub(&u1h2.mul_u64(2));
         let y3 = r.mul(&u1h2.sub(&x3)).sub(&s1.mul(&h3));
         let z3 = h.mul(&self.z).mul(&other.z);
-        Point { x: x3, y: y3, z: z3 }
+        Point {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Point negation.
@@ -292,7 +300,9 @@ mod tests {
 
     #[test]
     fn affine_bytes_round_trip() {
-        let p = Point::mul_generator(&Scalar::from_u64(42)).to_affine().unwrap();
+        let p = Point::mul_generator(&Scalar::from_u64(42))
+            .to_affine()
+            .unwrap();
         let bytes = p.to_bytes();
         assert_eq!(AffinePoint::from_bytes(&bytes), Some(p));
         // Corrupting y must be rejected by the curve check.

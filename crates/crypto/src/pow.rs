@@ -55,7 +55,12 @@ impl Puzzle {
     ///
     /// Returns `None` if no solution is found within `max_attempts` tries — the
     /// caller decides whether that models a node that failed to qualify.
-    pub fn solve(&self, pk: &PublicKey, start_nonce: u64, max_attempts: u64) -> Option<PowSolution> {
+    pub fn solve(
+        &self,
+        pk: &PublicKey,
+        start_nonce: u64,
+        max_attempts: u64,
+    ) -> Option<PowSolution> {
         for i in 0..max_attempts {
             let nonce = start_nonce.wrapping_add(i);
             let digest = self.digest_for(pk, nonce);

@@ -16,10 +16,10 @@
 //! is `share_i·G == Σ_j i^j·C_j`, checkable by anyone — hence "publicly
 //! verifiable". DESIGN.md records this substitution.
 
+use crate::hmac::HmacDrbg;
 use crate::point::Point;
 use crate::scalar::Scalar;
 use crate::sha256::{hash_parts, Digest};
-use crate::hmac::HmacDrbg;
 
 /// A share of a dealt secret: the evaluation of the dealer's polynomial at
 /// `x = index` (indices are 1-based; 0 would leak the secret itself).
@@ -162,14 +162,14 @@ pub fn run_beacon(
     assert_eq!(honest.len(), participants);
     let mut qualified = Vec::new();
     let mut combined = Scalar::zero();
-    for dealer in 0..participants {
+    for (dealer, &dealer_is_honest) in honest.iter().enumerate() {
         let mut drbg = HmacDrbg::from_parts(
             "cycledger/beacon-secret",
             &[round_tag, &(dealer as u64).to_be_bytes()],
         );
         let secret = Scalar::nonzero_from_drbg(&mut drbg);
         let mut dealing = deal(&secret, participants, threshold, round_tag)?;
-        if !honest[dealer] {
+        if !dealer_is_honest {
             // A corrupted dealer hands out an inconsistent share to participant 0.
             if let Some(first) = dealing.shares.first_mut() {
                 first.value = first.value.add(&Scalar::one());
@@ -189,7 +189,11 @@ pub fn run_beacon(
     if qualified.is_empty() {
         return Err(PvssError::NotEnoughShares);
     }
-    let output = hash_parts(&[b"cycledger/beacon-output", round_tag, &combined.to_be_bytes()]);
+    let output = hash_parts(&[
+        b"cycledger/beacon-output",
+        round_tag,
+        &combined.to_be_bytes(),
+    ]);
     Ok((output, qualified))
 }
 
@@ -249,7 +253,10 @@ mod tests {
         // A share with index 0 (which would reveal the secret) is rejected.
         assert!(!verify_share(
             &dealing.commitments,
-            &Share { index: 0, value: Scalar::from_u64(777) }
+            &Share {
+                index: 0,
+                value: Scalar::from_u64(777)
+            }
         ));
     }
 
@@ -279,7 +286,7 @@ mod tests {
         assert_eq!(qualified, vec![0, 2, 4]);
         // Cheating dealers change the qualified set, hence the output, but the
         // beacon still completes (liveness with an honest majority).
-        let (out_all, _) = run_beacon(5, 3, &vec![true; 5], b"round-9").unwrap();
+        let (out_all, _) = run_beacon(5, 3, &[true; 5], b"round-9").unwrap();
         assert_ne!(out, out_all);
     }
 

@@ -173,7 +173,11 @@ mod tests {
     #[test]
     fn poly_eval_matches_manual() {
         // f(x) = 3 + 2x + x^2; f(5) = 3 + 10 + 25 = 38.
-        let coeffs = [Scalar::from_u64(3), Scalar::from_u64(2), Scalar::from_u64(1)];
+        let coeffs = [
+            Scalar::from_u64(3),
+            Scalar::from_u64(2),
+            Scalar::from_u64(1),
+        ];
         assert_eq!(
             Scalar::poly_eval(&coeffs, &Scalar::from_u64(5)),
             Scalar::from_u64(38)

@@ -49,9 +49,9 @@ impl U256 {
     /// Parses a 32-byte big-endian encoding.
     pub fn from_be_bytes(bytes: &[u8; 32]) -> Self {
         let mut limbs = [0u64; 4];
-        for i in 0..4 {
+        for (i, limb) in limbs.iter_mut().enumerate() {
             let start = 32 - 8 * (i + 1);
-            limbs[i] = u64::from_be_bytes(bytes[start..start + 8].try_into().expect("8 bytes"));
+            *limb = u64::from_be_bytes(bytes[start..start + 8].try_into().expect("8 bytes"));
         }
         U256 { limbs }
     }
@@ -133,10 +133,10 @@ impl U256 {
     pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = 0u64;
-        for i in 0..4 {
+        for (i, out_limb) in out.iter_mut().enumerate() {
             let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *out_limb = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         (U256 { limbs: out }, carry != 0)
@@ -151,10 +151,10 @@ impl U256 {
     pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = 0u64;
-        for i in 0..4 {
+        for (i, out_limb) in out.iter_mut().enumerate() {
             let (d1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *out_limb = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         (U256 { limbs: out }, borrow != 0)
@@ -171,9 +171,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let cur = out[i + j] as u128
-                    + (self.limbs[i] as u128) * (rhs.limbs[j] as u128)
-                    + carry;
+                let cur =
+                    out[i + j] as u128 + (self.limbs[i] as u128) * (rhs.limbs[j] as u128) + carry;
                 out[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -186,9 +185,9 @@ impl U256 {
     pub fn mul_u64(&self, rhs: u64) -> (U256, u64) {
         let mut out = [0u64; 4];
         let mut carry = 0u128;
-        for i in 0..4 {
+        for (i, out_limb) in out.iter_mut().enumerate() {
             let cur = (self.limbs[i] as u128) * (rhs as u128) + carry;
-            out[i] = cur as u64;
+            *out_limb = cur as u64;
             carry = cur >> 64;
         }
         (U256 { limbs: out }, carry as u64)
@@ -222,12 +221,12 @@ impl U256 {
         let limb_shift = n / 64;
         let bit_shift = n % 64;
         let mut out = [0u64; 4];
-        for i in 0..(4 - limb_shift) {
+        for (i, out_limb) in out.iter_mut().enumerate().take(4 - limb_shift) {
             let mut v = self.limbs[i + limb_shift] >> bit_shift;
             if bit_shift > 0 && i + limb_shift + 1 < 4 {
                 v |= self.limbs[i + limb_shift + 1] << (64 - bit_shift);
             }
-            out[i] = v;
+            *out_limb = v;
         }
         U256 { limbs: out }
     }
@@ -249,10 +248,10 @@ impl U256 {
             let mut acc = [0u64; 8];
             acc.copy_from_slice(&prod);
             let mut carry = 0u64;
-            for i in 0..4 {
-                let (s1, c1) = acc[i].overflowing_add(lo.limbs[i]);
+            for (acc_limb, lo_limb) in acc.iter_mut().zip(lo.limbs.iter()) {
+                let (s1, c1) = acc_limb.overflowing_add(*lo_limb);
                 let (s2, c2) = s1.overflowing_add(carry);
-                acc[i] = s2;
+                *acc_limb = s2;
                 carry = (c1 as u64) + (c2 as u64);
             }
             let mut i = 4;
@@ -371,10 +370,7 @@ mod tests {
     fn hex_round_trip() {
         let v = U256::from_hex("deadbeef").unwrap();
         assert_eq!(v, U256::from_u64(0xdeadbeef));
-        assert_eq!(
-            v.to_hex(),
-            format!("{:0>64}", "deadbeef")
-        );
+        assert_eq!(v.to_hex(), format!("{:0>64}", "deadbeef"));
         assert_eq!(U256::from_hex(""), None);
         assert_eq!(U256::from_hex("zz"), None);
     }
@@ -436,10 +432,7 @@ mod tests {
             let ub = U256::from_u64(b);
             // reduce_wide requires modulus > 2^255, so use the generic path only
             // through pow/mul on big moduli; here test add/sub directly.
-            assert_eq!(
-                ua.add_mod(&ub, &m),
-                U256::from_u64((a + b) % 1_000_000_007)
-            );
+            assert_eq!(ua.add_mod(&ub, &m), U256::from_u64((a + b) % 1_000_000_007));
             assert_eq!(
                 ua.sub_mod(&ub, &m),
                 U256::from_u64(((a as i128 - b as i128).rem_euclid(1_000_000_007)) as u64)

@@ -13,11 +13,11 @@
 //! exactly one output — a malicious node cannot grind multiple committee
 //! assignments for the same round (the property Elastico lacked, §II-A).
 
+use crate::hmac::HmacDrbg;
 use crate::point::{hash_to_curve, AffinePoint, Point};
 use crate::scalar::Scalar;
 use crate::schnorr::{PublicKey, SecretKey};
 use crate::sha256::{hash_parts, Digest};
-use crate::hmac::HmacDrbg;
 
 /// VRF proof: the gamma point plus a DLEQ (Chaum–Pedersen) proof `(c, s)`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -74,10 +74,8 @@ pub fn evaluate(sk: &SecretKey, input: &[u8]) -> VrfOutput {
         .to_affine()
         .expect("sk is nonzero and H is not the identity");
     // Deterministic DLEQ nonce bound to the key and input.
-    let mut drbg = HmacDrbg::from_parts(
-        "cycledger/vrf-nonce",
-        &[&sk.scalar().to_be_bytes(), input],
-    );
+    let mut drbg =
+        HmacDrbg::from_parts("cycledger/vrf-nonce", &[&sk.scalar().to_be_bytes(), input]);
     let k = Scalar::nonzero_from_drbg(&mut drbg);
     let u = Point::mul_generator(&k).to_affine().expect("k nonzero");
     let v = h.to_point().mul(&k).to_affine().expect("k nonzero");
@@ -99,8 +97,7 @@ pub fn verify(pk: &PublicKey, input: &[u8], output: &VrfOutput) -> bool {
     }
     let h = hash_to_curve(H2C_DOMAIN, input);
     let proof = &output.proof;
-    let u = Point::mul_generator(&proof.s)
-        .add(&pk.point().to_point().mul(&proof.c));
+    let u = Point::mul_generator(&proof.s).add(&pk.point().to_point().mul(&proof.c));
     let v = h
         .to_point()
         .mul(&proof.s)

@@ -287,7 +287,10 @@ mod tests {
             counts[AccountId(account).shard(m)] += 1;
         }
         for &c in &counts {
-            assert!((700..=1300).contains(&c), "skewed shard distribution: {counts:?}");
+            assert!(
+                (700..=1300).contains(&c),
+                "skewed shard distribution: {counts:?}"
+            );
         }
     }
 
@@ -314,7 +317,10 @@ mod tests {
                     owner: a,
                     amount: 10,
                 }],
-                vec![TxOutput { owner: to, amount: 9 }],
+                vec![TxOutput {
+                    owner: to,
+                    amount: 9,
+                }],
                 0,
             )
         };

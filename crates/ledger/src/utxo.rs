@@ -161,10 +161,7 @@ impl UtxoSet {
 
 /// Validates a transaction against every involved shard's UTXO set, as the
 /// referee committee conceptually does when it combines committee verdicts.
-pub fn validate_across_shards(
-    tx: &Transaction,
-    shards: &[UtxoSet],
-) -> Result<(), ValidationError> {
+pub fn validate_across_shards(tx: &Transaction, shards: &[UtxoSet]) -> Result<(), ValidationError> {
     for shard_idx in tx.input_shards(shards.len()) {
         shards[shard_idx].validate(tx)?;
     }

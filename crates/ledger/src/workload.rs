@@ -99,7 +99,10 @@ impl Workload {
     /// Builds a workload: mints genesis UTXOs and groups accounts by shard.
     pub fn new(config: WorkloadConfig) -> Workload {
         assert!(config.num_shards > 0);
-        assert!(config.accounts_per_shard > 1, "need at least two accounts per shard");
+        assert!(
+            config.accounts_per_shard > 1,
+            "need at least two accounts per shard"
+        );
         assert!((0.0..=1.0).contains(&config.cross_shard_ratio));
         assert!((0.0..=1.0).contains(&config.invalid_ratio));
         let m = config.num_shards;
@@ -107,7 +110,10 @@ impl Workload {
         // Walk account ids until every shard has its quota; the hash-based shard
         // assignment means ids are spread roughly uniformly.
         let mut next_id = 0u64;
-        while accounts_by_shard.iter().any(|s| s.len() < config.accounts_per_shard) {
+        while accounts_by_shard
+            .iter()
+            .any(|s| s.len() < config.accounts_per_shard)
+        {
             let account = AccountId(next_id);
             next_id += 1;
             let shard = account.shard(m);
@@ -219,7 +225,7 @@ impl Workload {
         if roll_invalid {
             // Alternate between the two invalid flavours.
             let (outpoint, output) = self.pools[src_shard][pick];
-            if nonce % 2 == 0 {
+            if nonce.is_multiple_of(2) {
                 // Missing input: reference an outpoint that was never created.
                 let ghost = OutPoint {
                     tx_id: cycledger_crypto::sha256::hash_parts(&[b"ghost", &nonce.to_be_bytes()]),
@@ -279,7 +285,10 @@ impl Workload {
         let fee = 1.min(output.amount.saturating_sub(1));
         let pay = (output.amount - fee) / 2 + 1;
         let change = output.amount - fee - pay;
-        let mut outputs = vec![TxOutput { owner: to, amount: pay }];
+        let mut outputs = vec![TxOutput {
+            owner: to,
+            amount: pay,
+        }];
         if change > 0 {
             outputs.push(TxOutput {
                 owner: output.owner,
@@ -444,7 +453,11 @@ mod tests {
             wl.confirm_pending();
         }
         let after: u64 = sets.iter().map(|s| s.total_value()).sum();
-        assert_eq!(initial, after + fees, "value only leaves the system as fees");
+        assert_eq!(
+            initial,
+            after + fees,
+            "value only leaves the system as fees"
+        );
     }
 
     #[test]

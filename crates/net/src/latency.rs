@@ -121,7 +121,10 @@ mod tests {
         assert!(cfg.gamma < cfg.partial_bound);
         assert_eq!(cfg.bound(LinkClass::IntraCommittee), cfg.delta);
         assert_eq!(cfg.bound(LinkClass::KeyMemberMesh), cfg.gamma);
-        assert_eq!(cfg.bound(LinkClass::PartiallySynchronous), cfg.partial_bound);
+        assert_eq!(
+            cfg.bound(LinkClass::PartiallySynchronous),
+            cfg.partial_bound
+        );
     }
 
     #[test]

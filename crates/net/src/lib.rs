@@ -22,7 +22,7 @@ pub mod time;
 pub mod topology;
 
 pub use latency::{LatencyConfig, LatencySampler, LinkClass};
-pub use metrics::{Counters, MetricsSink, Phase};
+pub use metrics::{Counters, MetricsSink, Phase, WorkerSinkPool};
 pub use network::{Envelope, SimNetwork};
 pub use time::{SimDuration, SimTime};
 pub use topology::{ChannelSet, NodeId, Role, RoundTopology};

@@ -44,6 +44,22 @@ impl Phase {
         Phase::Recovery,
     ];
 
+    /// A stable small integer identifying the phase, used for canonical
+    /// (sorted) serialization of metrics. Independent of declaration order
+    /// tricks: this is the protocol order of [`Phase::ALL`].
+    pub fn stable_id(self) -> u8 {
+        match self {
+            Phase::CommitteeConfiguration => 0,
+            Phase::SemiCommitmentExchange => 1,
+            Phase::IntraCommitteeConsensus => 2,
+            Phase::InterCommitteeConsensus => 3,
+            Phase::ReputationUpdate => 4,
+            Phase::KeyMemberSelection => 5,
+            Phase::BlockGeneration => 6,
+            Phase::Recovery => 7,
+        }
+    }
+
     /// Human-readable label used in reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -123,7 +139,10 @@ impl MetricsSink {
 
     /// Counters for one `(node, phase)` pair.
     pub fn node_phase(&self, node: NodeId, phase: Phase) -> Counters {
-        self.counters.get(&(node, phase)).copied().unwrap_or_default()
+        self.counters
+            .get(&(node, phase))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Sums counters for a node across all phases.
@@ -186,6 +205,78 @@ impl MetricsSink {
     pub fn entry_count(&self) -> usize {
         self.counters.len()
     }
+
+    /// All entries in canonical `(node, phase)` order, independent of the
+    /// underlying hash map's iteration order.
+    pub fn canonical_entries(&self) -> Vec<((NodeId, Phase), Counters)> {
+        let mut entries: Vec<((NodeId, Phase), Counters)> =
+            self.counters.iter().map(|(k, c)| (*k, *c)).collect();
+        entries.sort_by_key(|((node, phase), _)| (node.0, phase.stable_id()));
+        entries
+    }
+
+    /// Appends a canonical byte encoding of the sink to `out`: entries sorted
+    /// by `(node, phase)` with fixed-width big-endian counters. Two sinks with
+    /// equal content produce identical bytes regardless of insertion order or
+    /// the process's hash seed — the basis of the engine's determinism checks.
+    pub fn write_canonical_bytes(&self, out: &mut Vec<u8>) {
+        let entries = self.canonical_entries();
+        out.extend_from_slice(&(entries.len() as u64).to_be_bytes());
+        for ((node, phase), c) in entries {
+            out.extend_from_slice(&node.0.to_be_bytes());
+            out.push(phase.stable_id());
+            out.extend_from_slice(&c.msgs_sent.to_be_bytes());
+            out.extend_from_slice(&c.msgs_received.to_be_bytes());
+            out.extend_from_slice(&c.bytes_sent.to_be_bytes());
+            out.extend_from_slice(&c.bytes_received.to_be_bytes());
+            out.extend_from_slice(&c.storage_bytes.to_be_bytes());
+        }
+    }
+}
+
+/// Per-worker metric sinks with a deterministic merge order.
+///
+/// Parallel phase execution must not make measurement nondeterministic: each
+/// worker slot owns a private [`MetricsSink`] (no locks, no sharing — a worker
+/// writes only to the slot of the task it is running), and
+/// [`WorkerSinkPool::merge_into`] folds the slots into the round-level sink in
+/// slot order, which the engine fixes to committee order. The merged result is
+/// therefore identical whether the tasks ran on one thread or sixteen.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerSinkPool {
+    slots: Vec<MetricsSink>,
+}
+
+impl WorkerSinkPool {
+    /// A pool with `slots` empty per-task sinks.
+    pub fn new(slots: usize) -> Self {
+        WorkerSinkPool {
+            slots: vec![MetricsSink::new(); slots],
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the pool has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Exclusive access to all slots, for handing one to each parallel task.
+    pub fn slots_mut(&mut self) -> &mut [MetricsSink] {
+        &mut self.slots
+    }
+
+    /// Folds every slot into `target` in ascending slot order, leaving the
+    /// pool empty. Merge order is part of the determinism contract.
+    pub fn merge_into(&mut self, target: &mut MetricsSink) {
+        for sink in self.slots.drain(..) {
+            target.merge(&sink);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -206,7 +297,10 @@ mod tests {
         let n2 = sink.node_phase(NodeId(2), Phase::IntraCommitteeConsensus);
         assert_eq!(n2.msgs_received, 1);
         assert_eq!(n2.bytes_received, 100);
-        assert_eq!(sink.node_phase(NodeId(9), Phase::Recovery), Counters::default());
+        assert_eq!(
+            sink.node_phase(NodeId(9), Phase::Recovery),
+            Counters::default()
+        );
     }
 
     #[test]
@@ -246,9 +340,67 @@ mod tests {
     }
 
     #[test]
+    fn canonical_bytes_are_order_independent() {
+        let mut a = MetricsSink::new();
+        let mut b = MetricsSink::new();
+        a.record_message(Phase::Recovery, NodeId(1), NodeId(2), 7);
+        a.record_storage(Phase::BlockGeneration, NodeId(9), 3);
+        b.record_storage(Phase::BlockGeneration, NodeId(9), 3);
+        b.record_message(Phase::Recovery, NodeId(1), NodeId(2), 7);
+        let mut bytes_a = Vec::new();
+        let mut bytes_b = Vec::new();
+        a.write_canonical_bytes(&mut bytes_a);
+        b.write_canonical_bytes(&mut bytes_b);
+        assert_eq!(bytes_a, bytes_b);
+        assert!(!bytes_a.is_empty());
+        let entries = a.canonical_entries();
+        assert!(entries.windows(2).all(|w| {
+            (w[0].0 .0 .0, w[0].0 .1.stable_id()) < (w[1].0 .0 .0, w[1].0 .1.stable_id())
+        }));
+    }
+
+    #[test]
+    fn worker_pool_merges_in_slot_order() {
+        let mut pool = WorkerSinkPool::new(3);
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+        for (i, slot) in pool.slots_mut().iter_mut().enumerate() {
+            slot.record_message(
+                Phase::IntraCommitteeConsensus,
+                NodeId(i as u32),
+                NodeId(99),
+                10,
+            );
+        }
+        let mut merged = MetricsSink::new();
+        pool.merge_into(&mut merged);
+        assert!(pool.is_empty());
+        for i in 0..3u32 {
+            assert_eq!(
+                merged
+                    .node_phase(NodeId(i), Phase::IntraCommitteeConsensus)
+                    .msgs_sent,
+                1
+            );
+        }
+        assert_eq!(
+            merged
+                .node_phase(NodeId(99), Phase::IntraCommitteeConsensus)
+                .msgs_received,
+            3
+        );
+    }
+
+    #[test]
+    fn stable_ids_match_protocol_order() {
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            assert_eq!(phase.stable_id() as usize, i);
+        }
+    }
+
+    #[test]
     fn phase_labels_are_distinct() {
-        let labels: std::collections::HashSet<_> =
-            Phase::ALL.iter().map(|p| p.label()).collect();
+        let labels: std::collections::HashSet<_> = Phase::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), Phase::ALL.len());
     }
 

@@ -169,7 +169,10 @@ impl<M> SimNetwork<M> {
             self.dropped_messages += 1;
             return None;
         }
-        let delay = self.sampler.sample(class, from, to, self.seq).plus(extra_delay);
+        let delay = self
+            .sampler
+            .sample(class, from, to, self.seq)
+            .plus(extra_delay);
         Some(self.enqueue(from, to, payload, bytes, delay))
     }
 
@@ -205,7 +208,10 @@ impl<M> SimNetwork<M> {
     /// time. Returns `None` when the queue is empty.
     pub fn deliver_next(&mut self) -> Option<Envelope<M>> {
         let Reverse(scheduled) = self.queue.pop()?;
-        debug_assert!(scheduled.deliver_at >= self.now, "time must not go backwards");
+        debug_assert!(
+            scheduled.deliver_at >= self.now,
+            "time must not go backwards"
+        );
         self.now = scheduled.deliver_at;
         Some(scheduled.envelope)
     }
@@ -320,7 +326,9 @@ mod tests {
         let sent = net.broadcast(NodeId(2), &targets, LinkClass::IntraCommittee, 7, 10);
         assert_eq!(sent, 4);
         assert_eq!(net.pending(), 4);
-        let sender = net.metrics().node_phase(NodeId(2), Phase::CommitteeConfiguration);
+        let sender = net
+            .metrics()
+            .node_phase(NodeId(2), Phase::CommitteeConfiguration);
         assert_eq!(sender.msgs_sent, 4);
         assert_eq!(sender.bytes_sent, 40);
     }
@@ -367,7 +375,12 @@ mod tests {
         net.send(NodeId(0), NodeId(1), LinkClass::KeyMemberMesh, 1, 32);
         let env = net.deliver_next().unwrap();
         assert_eq!(env.phase, Phase::Recovery);
-        assert_eq!(net.metrics().node_phase(NodeId(0), Phase::Recovery).msgs_sent, 1);
+        assert_eq!(
+            net.metrics()
+                .node_phase(NodeId(0), Phase::Recovery)
+                .msgs_sent,
+            1
+        );
     }
 
     #[test]
@@ -376,7 +389,9 @@ mod tests {
         net.set_phase(Phase::BlockGeneration);
         net.record_storage(NodeId(4), 1234);
         assert_eq!(
-            net.metrics().node_phase(NodeId(4), Phase::BlockGeneration).storage_bytes,
+            net.metrics()
+                .node_phase(NodeId(4), Phase::BlockGeneration)
+                .storage_bytes,
             1234
         );
         let metrics = net.into_metrics();

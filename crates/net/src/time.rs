@@ -82,7 +82,9 @@ mod tests {
         assert_eq!(SimTime::ZERO.since(t), SimDuration::ZERO);
         assert_eq!(SimDuration::from_micros(3).times(8).as_micros(), 24);
         assert_eq!(
-            SimDuration::from_millis(1).plus(SimDuration::from_micros(500)).as_micros(),
+            SimDuration::from_millis(1)
+                .plus(SimDuration::from_micros(500))
+                .as_micros(),
             1_500
         );
     }

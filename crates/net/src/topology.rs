@@ -178,7 +178,11 @@ impl RoundTopology {
 mod tests {
     use super::*;
 
-    fn committee_layout(m: usize, c: usize, referee_size: usize) -> (Vec<Vec<NodeId>>, Vec<NodeId>, usize) {
+    fn committee_layout(
+        m: usize,
+        c: usize,
+        referee_size: usize,
+    ) -> (Vec<Vec<NodeId>>, Vec<NodeId>, usize) {
         let mut next = 0u32;
         let referee: Vec<NodeId> = (0..referee_size)
             .map(|_| {

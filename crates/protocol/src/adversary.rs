@@ -145,9 +145,7 @@ impl AdversaryConfig {
         for &idx in indices.iter().take(malicious_count) {
             behaviors[idx] = match self.mix {
                 BehaviorMix::Fixed(b) => b,
-                BehaviorMix::Uniform => {
-                    MALICIOUS[drbg.next_below(MALICIOUS.len() as u64) as usize]
-                }
+                BehaviorMix::Uniform => MALICIOUS[drbg.next_below(MALICIOUS.len() as u64) as usize],
             };
         }
         behaviors

@@ -200,7 +200,12 @@ pub fn run_inside_consensus(
         .collect();
 
     // Step 1: the leader multicasts the proposal(s).
-    for (idx, &node) in committee.members.iter().enumerate().filter(|(_, &n)| n != leader_node) {
+    for (idx, &node) in committee
+        .members
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n != leader_node)
+    {
         let propose = match (&fault, &alt_propose) {
             (LeaderFault::Equivocate { .. }, Some(alt)) if idx % 2 == 1 => alt.clone(),
             _ => main_propose.clone(),
@@ -227,10 +232,10 @@ pub fn run_inside_consensus(
 
     // Helper that routes a batch of member actions onto the network.
     let dispatch = |from: NodeId,
-                        actions: Vec<MemberAction>,
-                        net: &mut SimNetwork<Alg3Message>,
-                        equivocation: &mut Vec<EquivocationEvidence>,
-                        messages: &mut u64| {
+                    actions: Vec<MemberAction>,
+                    net: &mut SimNetwork<Alg3Message>,
+                    equivocation: &mut Vec<EquivocationEvidence>,
+                    messages: &mut u64| {
         for action in actions {
             match action {
                 MemberAction::BroadcastEcho(echo) => {
@@ -379,12 +384,17 @@ mod tests {
         );
         let cert = outcome.certificate.expect("consensus must complete");
         assert_eq!(cert.verify_majority(&committee.keys), Ok(()));
-        assert_eq!(outcome.accepted_payload.as_deref(), Some(&b"the TXdecSET"[..]));
+        assert_eq!(
+            outcome.accepted_payload.as_deref(),
+            Some(&b"the TXdecSET"[..])
+        );
         assert!(outcome.equivocation.is_empty());
         assert!(outcome.confirms >= committee.majority());
         assert!(outcome.messages > committee.size() as u64);
         // Traffic was charged to the metrics sink.
-        let leader_counters = net.metrics().node_phase(committee.leader, Phase::IntraCommitteeConsensus);
+        let leader_counters = net
+            .metrics()
+            .node_phase(committee.leader, Phase::IntraCommitteeConsensus);
         assert!(leader_counters.msgs_sent as usize >= committee.size() - 1);
     }
 

@@ -44,6 +44,11 @@ pub struct ProtocolConfig {
     /// benches (see `MemberState::set_verify_signatures` for why this does not
     /// change outcomes).
     pub verify_signatures: bool,
+    /// Worker threads of the persistent shard executor: `0` sizes the pool
+    /// from the machine's available parallelism, `1` runs everything inline
+    /// on the driver thread. Simulation output is byte-identical for any
+    /// value (see [`crate::engine`]'s determinism contract).
+    pub worker_threads: usize,
     /// Master seed for all deterministic randomness.
     pub seed: u64,
 }
@@ -66,6 +71,7 @@ impl Default for ProtocolConfig {
             latency: LatencyConfig::default(),
             adversary: AdversaryConfig::default(),
             verify_signatures: true,
+            worker_threads: 0,
             seed: 42,
         }
     }
@@ -123,25 +129,31 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_reported() {
-        let mut cfg = ProtocolConfig::default();
-        cfg.committees = 0;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = ProtocolConfig::default();
-        cfg.committee_size = 3;
-        cfg.partial_set_size = 3;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = ProtocolConfig::default();
-        cfg.referee_size = 1;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = ProtocolConfig::default();
-        cfg.cross_shard_ratio = 1.5;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = ProtocolConfig::default();
-        cfg.accounts_per_shard = 1;
-        assert!(cfg.validate().is_err());
+        let bad_configs = [
+            ProtocolConfig {
+                committees: 0,
+                ..ProtocolConfig::default()
+            },
+            ProtocolConfig {
+                committee_size: 3,
+                partial_set_size: 3,
+                ..ProtocolConfig::default()
+            },
+            ProtocolConfig {
+                referee_size: 1,
+                ..ProtocolConfig::default()
+            },
+            ProtocolConfig {
+                cross_shard_ratio: 1.5,
+                ..ProtocolConfig::default()
+            },
+            ProtocolConfig {
+                accounts_per_shard: 1,
+                ..ProtocolConfig::default()
+            },
+        ];
+        for cfg in bad_configs {
+            assert!(cfg.validate().is_err(), "{cfg:?} must be rejected");
+        }
     }
 }

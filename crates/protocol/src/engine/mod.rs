@@ -1,0 +1,65 @@
+//! # The round engine
+//!
+//! The phase-pipeline engine behind [`crate::round::run_round`]. The seed
+//! implementation was a 400-line monolith that called each phase helper
+//! inline and re-spawned scoped OS threads every round for exactly one phase;
+//! this module replaces it with three explicit pieces:
+//!
+//! * [`RoundContext`] (`context`) — owns all per-round shared state:
+//!   committees, referee, metrics, workload split, eviction ledger, and the
+//!   artifacts each phase produces for its successors.
+//! * [`RoundPhase`] (this module) — the boundary every protocol phase
+//!   implements. A phase declares its inputs and outputs as context
+//!   artifacts, so phase order and data flow are visible in one place
+//!   ([`pipeline::standard_pipeline`]) instead of being threaded through a
+//!   single function body.
+//! * [`ShardExecutor`] (`executor`) — a persistent worker pool created once
+//!   per [`crate::simulation::Simulation`] and reused across rounds. The
+//!   intra-consensus fan-out, the post-recovery consensus retries and the
+//!   per-shard block application all run as executor batches instead of only
+//!   the intra phase on throwaway threads.
+//!
+//! ## Determinism contract
+//!
+//! Identical seeds must yield byte-identical [`crate::SimulationSummary`]
+//! output regardless of worker count. The engine guarantees this by
+//! construction:
+//!
+//! * every executor task is a pure function of explicitly captured inputs
+//!   with its own derived seed,
+//! * results return in submission (= committee) order, never completion
+//!   order, and
+//! * per-worker metric sinks merge through
+//!   [`cycledger_net::metrics::WorkerSinkPool`] in slot order.
+//!
+//! The `determinism_*` tests in `simulation.rs` pin this down for 1, 2 and 8
+//! workers.
+
+pub mod context;
+pub mod executor;
+pub mod pipeline;
+
+pub use context::{RecoveryAttempt, RoundContext};
+pub use executor::ShardExecutor;
+pub use pipeline::standard_pipeline;
+
+/// One protocol phase of the round pipeline.
+///
+/// Implementations read their inputs from earlier phases' artifacts on the
+/// [`RoundContext`] and write their outputs back to it; `execute` runs on the
+/// driver thread and delegates data-parallel work to
+/// [`RoundContext::executor`].
+pub trait RoundPhase {
+    /// Stable identifier of the phase (diagnostics and tracing).
+    fn name(&self) -> &'static str;
+
+    /// Runs the phase against the round's shared state.
+    fn execute(&mut self, ctx: &mut RoundContext<'_>);
+}
+
+/// Drives a pipeline of phases over a context, in order.
+pub fn run_pipeline(ctx: &mut RoundContext<'_>, phases: &mut [Box<dyn RoundPhase>]) {
+    for phase in phases {
+        phase.execute(ctx);
+    }
+}

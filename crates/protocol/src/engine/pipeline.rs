@@ -1,0 +1,441 @@
+//! The standard seven-phase pipeline, each protocol phase as a
+//! [`RoundPhase`] implementation over [`RoundContext`].
+//!
+//! Inputs and outputs of every phase are explicit context artifacts (see the
+//! per-phase docs): a phase only reads artifacts produced by earlier phases
+//! and writes its own, which is what lets the engine hand the parallel ones
+//! to the [`ShardExecutor`](crate::engine::ShardExecutor) without changing
+//! observable behaviour.
+
+use cycledger_consensus::votes::VoteList;
+use cycledger_consensus::witness::Witness;
+use cycledger_ledger::transaction::Transaction;
+use cycledger_net::metrics::WorkerSinkPool;
+use cycledger_net::topology::NodeId;
+
+use crate::engine::context::RoundContext;
+use crate::engine::RoundPhase;
+use crate::phases::block_generation::run_block_generation;
+use crate::phases::configuration::run_committee_configuration;
+use crate::phases::inter::run_inter_consensus;
+use crate::phases::intra::{run_intra_consensus, IntraOutcome};
+use crate::phases::recovery::Accusation;
+use crate::phases::reputation_update::run_reputation_update;
+use crate::phases::selection::run_selection;
+use crate::phases::semi_commitment::run_semi_commitment_exchange;
+use crate::sortition::AssignmentParams;
+
+/// The standard pipeline in protocol order (§IV).
+pub fn standard_pipeline() -> Vec<Box<dyn RoundPhase>> {
+    vec![
+        Box::new(ConfigurationPhase),
+        Box::new(SemiCommitmentPhase),
+        Box::new(IntraConsensusPhase),
+        Box::new(IntraRecoveryPhase),
+        Box::new(InterConsensusPhase),
+        Box::new(ReputationUpdatePhase),
+        Box::new(SelectionPhase),
+        Box::new(BlockGenerationPhase),
+    ]
+}
+
+/// Phase 1 — committee configuration (Alg. 1 & 2).
+///
+/// Inputs: the round assignment. Outputs: configuration traffic in
+/// `ctx.metrics`.
+pub struct ConfigurationPhase;
+
+impl RoundPhase for ConfigurationPhase {
+    fn name(&self) -> &'static str {
+        "committee-configuration"
+    }
+
+    fn execute(&mut self, ctx: &mut RoundContext<'_>) {
+        run_committee_configuration(
+            ctx.registry,
+            ctx.assignment,
+            ctx.config.latency.delta,
+            ctx.config.verify_signatures,
+            &mut ctx.metrics,
+        );
+    }
+}
+
+/// Phase 2 — semi-commitment exchange (Alg. 4), plus recovery for any
+/// commitment-mismatch witness.
+///
+/// Inputs: `ctx.committees`. Outputs: `ctx.witnesses`, evictions in
+/// `ctx.evicted`, mutated committees/reputation on successful impeachment.
+pub struct SemiCommitmentPhase;
+
+impl RoundPhase for SemiCommitmentPhase {
+    fn name(&self) -> &'static str {
+        "semi-commitment-exchange"
+    }
+
+    fn execute(&mut self, ctx: &mut RoundContext<'_>) {
+        let semi = run_semi_commitment_exchange(
+            ctx.registry,
+            &ctx.committees,
+            &ctx.referee,
+            ctx.round,
+            ctx.config.latency,
+            ctx.config.verify_signatures,
+            ctx.config.seed ^ ctx.round,
+            &mut ctx.metrics,
+        );
+        ctx.witnesses += semi.witnesses.len();
+        for witness in semi.witnesses {
+            let k = match &witness {
+                Witness::CommitmentMismatch(e) => e.committee,
+                Witness::Equivocation(_) => continue,
+            };
+            ctx.attempt_recovery(k, Accusation::Signed(witness));
+        }
+    }
+}
+
+/// Phase 3 — intra-committee consensus (Alg. 5), one committee per executor
+/// task.
+///
+/// Inputs: `ctx.intra_per_shard`, `ctx.committees`, the shard UTXO sets.
+/// Outputs: `ctx.intra_outcomes` (committee order) and per-worker metrics
+/// merged in committee order.
+///
+/// When signature verification is on, each task also plays the referee's
+/// part: the certificate forwarded with the `TXdecSET` is checked with the
+/// batched per-shard vote-set verification
+/// ([`QuorumCertificate::verify_batch`]); a certificate that fails is
+/// discarded, which routes the committee through recovery exactly as if the
+/// leader had never produced one.
+///
+/// [`QuorumCertificate::verify_batch`]: cycledger_consensus::quorum::QuorumCertificate::verify_batch
+pub struct IntraConsensusPhase;
+
+impl RoundPhase for IntraConsensusPhase {
+    fn name(&self) -> &'static str {
+        "intra-consensus"
+    }
+
+    fn execute(&mut self, ctx: &mut RoundContext<'_>) {
+        let m = ctx.committee_count();
+        let committees = &ctx.committees;
+        let utxo_sets: &[_] = ctx.utxo_sets;
+        let intra_per_shard = &ctx.intra_per_shard;
+        let registry = ctx.registry;
+        let referee_members = &ctx.assignment.referee;
+        let round = ctx.round;
+        let config = ctx.config;
+
+        // Each task owns one pool slot exclusively for the batch's lifetime —
+        // per-worker sinks without locks, merged in committee order below.
+        let mut pool = WorkerSinkPool::new(m);
+        let tasks: Vec<_> = pool
+            .slots_mut()
+            .iter_mut()
+            .enumerate()
+            .map(|(k, slot)| {
+                move || {
+                    let (mut outcome, sink) = run_intra_consensus(
+                        registry,
+                        &committees[k],
+                        &utxo_sets[k],
+                        &intra_per_shard[k],
+                        referee_members,
+                        round,
+                        config.latency,
+                        config.verify_signatures,
+                        config.seed ^ (round << 8) ^ k as u64,
+                    );
+                    *slot = sink;
+                    if config.verify_signatures {
+                        if let Some(cert) = &outcome.certificate {
+                            let keys = &committees[k].keys;
+                            if cert.verify_batch(keys, keys.majority_threshold()).is_err() {
+                                // Treat a certificate that fails referee-side
+                                // verification exactly like a leader that never
+                                // produced one: its decisions must not reach
+                                // the block builder, and the committee goes
+                                // through recovery.
+                                outcome.certificate = None;
+                                outcome.decided.clear();
+                                outcome.decided_indices.clear();
+                            }
+                        }
+                    }
+                    outcome
+                }
+            })
+            .collect();
+        let outcomes: Vec<IntraOutcome> = ctx.executor.execute(tasks);
+        pool.merge_into(&mut ctx.metrics);
+        debug_assert!(outcomes.iter().enumerate().all(|(k, o)| o.committee == k));
+        ctx.intra_outcomes = outcomes;
+    }
+}
+
+/// Phase 3b — recovery for leaders that failed intra consensus, then one
+/// parallel retry batch under the new leaders.
+///
+/// Inputs: `ctx.intra_outcomes`. Outputs: updated outcomes for recovered
+/// committees, evictions, witnesses, skipped-recovery count.
+///
+/// Impeachments run sequentially in committee order (they mutate the global
+/// reputation table and the referee's metrics), but the retried consensus
+/// instances — pure functions of the post-recovery committees — run as one
+/// executor batch.
+pub struct IntraRecoveryPhase;
+
+impl RoundPhase for IntraRecoveryPhase {
+    fn name(&self) -> &'static str {
+        "intra-recovery"
+    }
+
+    fn execute(&mut self, ctx: &mut RoundContext<'_>) {
+        let m = ctx.committee_count();
+        let mut retries: Vec<usize> = Vec::new();
+        for k in 0..m {
+            let needs_recovery = ctx.intra_outcomes[k].leader_silent
+                || !ctx.intra_outcomes[k].equivocation.is_empty()
+                || (ctx.intra_outcomes[k].certificate.is_none()
+                    && !ctx.intra_per_shard[k].is_empty());
+            if !needs_recovery {
+                continue;
+            }
+            ctx.witnesses += ctx.intra_outcomes[k].equivocation.len();
+            let accusation = if let Some(evidence) = ctx.intra_outcomes[k].equivocation.first() {
+                Accusation::Signed(Witness::Equivocation(evidence.clone()))
+            } else {
+                Accusation::Timeout {
+                    leader: ctx.committees[k].leader,
+                    committee: k,
+                    observed_by_committee: true,
+                }
+            };
+            if let crate::engine::context::RecoveryAttempt::Evicted(_) =
+                ctx.attempt_recovery(k, accusation)
+            {
+                retries.push(k);
+            }
+        }
+        if retries.is_empty() {
+            return;
+        }
+
+        // Retry the intra phase under the new leaders, in parallel. As in the
+        // main intra batch, each task owns one per-worker sink slot; merge
+        // order is retry-list (= committee) order.
+        let committees = &ctx.committees;
+        let utxo_sets: &[_] = ctx.utxo_sets;
+        let intra_per_shard = &ctx.intra_per_shard;
+        let registry = ctx.registry;
+        let referee_members = &ctx.assignment.referee;
+        let round = ctx.round;
+        let config = ctx.config;
+        let mut pool = WorkerSinkPool::new(retries.len());
+        let tasks: Vec<_> = pool
+            .slots_mut()
+            .iter_mut()
+            .zip(&retries)
+            .map(|(slot, &k)| {
+                move || {
+                    let (outcome, sink) = run_intra_consensus(
+                        registry,
+                        &committees[k],
+                        &utxo_sets[k],
+                        &intra_per_shard[k],
+                        referee_members,
+                        round,
+                        config.latency,
+                        config.verify_signatures,
+                        config.seed ^ (round << 8) ^ (0x1_0000 + k as u64),
+                    );
+                    *slot = sink;
+                    outcome
+                }
+            })
+            .collect();
+        let results = ctx.executor.execute(tasks);
+        for (outcome, &k) in results.into_iter().zip(&retries) {
+            ctx.intra_outcomes[k] = outcome;
+        }
+        pool.merge_into(&mut ctx.metrics);
+    }
+}
+
+/// Phase 4 — inter-committee consensus over cross-shard transactions
+/// (§IV-D), plus impeachment of censoring leaders.
+///
+/// Inputs: `ctx.cross_shard`, post-recovery committees. Outputs: `ctx.inter`,
+/// `ctx.censorship_count`, further evictions.
+pub struct InterConsensusPhase;
+
+impl RoundPhase for InterConsensusPhase {
+    fn name(&self) -> &'static str {
+        "inter-consensus"
+    }
+
+    fn execute(&mut self, ctx: &mut RoundContext<'_>) {
+        let inter = run_inter_consensus(
+            ctx.registry,
+            &ctx.committees,
+            ctx.utxo_sets,
+            &ctx.cross_shard,
+            ctx.round,
+            ctx.config.latency,
+            ctx.config.verify_signatures,
+            ctx.config.seed ^ (ctx.round << 16),
+            &mut ctx.metrics,
+        );
+        ctx.witnesses += inter.equivocation.len();
+        ctx.censorship_count = inter.censorship_reports.len();
+        // The reports are only needed for the impeachments below; nothing
+        // downstream reads them out of `ctx.inter` again.
+        let mut inter = inter;
+        let reports = std::mem::take(&mut inter.censorship_reports);
+        ctx.inter = Some(inter);
+        for report in &reports {
+            // The committee observed the timeout; impeach the censoring
+            // leader — unless an earlier phase already replaced it.
+            let k = report.committee;
+            if ctx.evicted.iter().any(|(ek, _)| *ek == k) {
+                continue;
+            }
+            ctx.attempt_recovery_by(k, Accusation::from_censorship(report), report.reporter);
+        }
+    }
+}
+
+/// Phase 5 — reputation updating from the intra-phase votes (§IV-E).
+///
+/// Inputs: `ctx.intra_outcomes`. Outputs: mutated reputation table, traffic
+/// in `ctx.metrics`.
+pub struct ReputationUpdatePhase;
+
+impl RoundPhase for ReputationUpdatePhase {
+    fn name(&self) -> &'static str {
+        "reputation-update"
+    }
+
+    fn execute(&mut self, ctx: &mut RoundContext<'_>) {
+        let inputs: Vec<(usize, VoteList, Vec<i8>, bool)> = ctx
+            .intra_outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.committee,
+                    o.vote_list.clone(),
+                    o.decision.clone(),
+                    o.certificate.is_some(),
+                )
+            })
+            .collect();
+        run_reputation_update(
+            ctx.registry,
+            &ctx.committees,
+            &ctx.assignment.referee,
+            &inputs,
+            ctx.reputation,
+            ctx.config.leader_bonus,
+            ctx.round,
+            ctx.config.latency,
+            ctx.config.verify_signatures,
+            ctx.config.seed ^ (ctx.round << 24),
+            &mut ctx.metrics,
+        );
+    }
+}
+
+/// Phase 6 — beacon, PoW participation, next-round selection (§IV-F).
+///
+/// Inputs: the reputation table after updates. Outputs: `ctx.selection`.
+pub struct SelectionPhase;
+
+impl RoundPhase for SelectionPhase {
+    fn name(&self) -> &'static str {
+        "selection"
+    }
+
+    fn execute(&mut self, ctx: &mut RoundContext<'_>) {
+        ctx.selection = Some(run_selection(
+            ctx.registry,
+            &ctx.assignment.referee,
+            AssignmentParams {
+                committees: ctx.config.committees,
+                partial_set_size: ctx.config.partial_set_size,
+                referee_size: ctx.config.referee_size,
+            },
+            ctx.reputation,
+            ctx.round,
+            ctx.assignment.randomness,
+            ctx.config.pow_difficulty,
+            &mut ctx.metrics,
+        ));
+    }
+}
+
+/// Phase 7 — block generation, propagation and per-shard application
+/// (§IV-G).
+///
+/// Inputs: `ctx.intra_outcomes`, `ctx.inter`, `ctx.selection`. Outputs:
+/// `ctx.block_outcome`, `ctx.cross_packed_ids`, and the block applied to
+/// every shard's UTXO set — one executor task per shard, since the sets are
+/// disjoint.
+pub struct BlockGenerationPhase;
+
+impl RoundPhase for BlockGenerationPhase {
+    fn name(&self) -> &'static str {
+        "block-generation"
+    }
+
+    fn execute(&mut self, ctx: &mut RoundContext<'_>) {
+        let mut candidates: Vec<Transaction> = Vec::new();
+        for outcome in &ctx.intra_outcomes {
+            candidates.extend(outcome.decided.iter().cloned());
+        }
+        if let Some(inter) = &ctx.inter {
+            for txs in &inter.accepted {
+                for tx in txs {
+                    ctx.cross_packed_ids.insert(tx.id());
+                    candidates.push(tx.clone());
+                }
+            }
+        }
+        let all_nodes: Vec<NodeId> = ctx.registry.ids();
+        let block_outcome = run_block_generation(
+            ctx.registry,
+            &ctx.referee,
+            &all_nodes,
+            ctx.selection
+                .as_ref()
+                .and_then(|s| s.next_assignment.as_ref()),
+            candidates,
+            ctx.utxo_sets,
+            ctx.reputation,
+            ctx.prev_hash,
+            ctx.block_height,
+            ctx.config.latency,
+            ctx.config.verify_signatures,
+            ctx.config.seed ^ (ctx.round << 32),
+            &mut ctx.metrics,
+        );
+
+        // Apply the released block to every shard's UTXO set, one executor
+        // task per shard (the per-shard sets are disjoint by construction).
+        if let Some(block) = &block_outcome.block {
+            let tasks: Vec<_> = ctx
+                .utxo_sets
+                .iter_mut()
+                .map(|set| {
+                    move || {
+                        for tx in &block.transactions {
+                            set.apply(tx);
+                        }
+                    }
+                })
+                .collect();
+            let _: Vec<()> = ctx.executor.execute(tasks);
+        }
+        ctx.block_outcome = Some(block_outcome);
+    }
+}

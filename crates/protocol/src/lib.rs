@@ -11,7 +11,9 @@
 //! * [`sortition`] — referee/leader/partial-set selection and VRF sortition.
 //! * [`committee`] — executable committees and network-driven Algorithm 3.
 //! * [`phases`] — the seven phases plus recovery, one module each.
-//! * [`round`] — the per-round driver tying the phases together.
+//! * [`engine`] — the phase-pipeline engine: [`engine::RoundContext`],
+//!   [`engine::RoundPhase`], and the persistent [`engine::ShardExecutor`].
+//! * [`round`] — the per-round input/output types and pipeline entry point.
 //! * [`simulation`] — the multi-round public entry point.
 //! * [`report`] — measurement output consumed by benches and experiments.
 
@@ -20,6 +22,7 @@
 pub mod adversary;
 pub mod committee;
 pub mod config;
+pub mod engine;
 pub mod node;
 pub mod phases;
 pub mod report;
@@ -30,6 +33,7 @@ pub mod sortition;
 pub use adversary::{AdversaryConfig, Behavior, BehaviorMix};
 pub use committee::{Committee, InsideConsensusOutcome, LeaderFault};
 pub use config::ProtocolConfig;
+pub use engine::{RoundContext, RoundPhase, ShardExecutor};
 pub use node::{NodeRegistry, SimNode};
 pub use report::{RoundReport, SimulationSummary};
 pub use simulation::Simulation;

@@ -58,9 +58,7 @@ impl NodeRegistry {
                     };
                 SimNode {
                     id: NodeId(i as u32),
-                    keypair: Keypair::from_seed(
-                        format!("cycledger-node-{seed}-{i}").as_bytes(),
-                    ),
+                    keypair: Keypair::from_seed(format!("cycledger-node-{seed}-{i}").as_bytes()),
                     behavior: behaviors[i],
                     compute_capacity: capacity,
                 }
@@ -110,7 +108,10 @@ impl NodeRegistry {
         if members.is_empty() {
             return 1.0;
         }
-        let honest = members.iter().filter(|&&id| self.node(id).is_honest()).count();
+        let honest = members
+            .iter()
+            .filter(|&&id| self.node(id).is_honest())
+            .count();
         honest as f64 / members.len() as f64
     }
 

@@ -34,8 +34,12 @@ pub struct BlockOutcome {
     pub rewards: Vec<(NodeId, u64)>,
 }
 
-/// Runs block generation, applies the block to the shard UTXO sets, and
-/// distributes fees.
+/// Runs block generation and distributes fees.
+///
+/// The returned block is **not** applied to `utxo_sets`: application is
+/// per-shard-parallel work the engine's block-generation phase hands to the
+/// [`crate::engine::ShardExecutor`] (each shard's set is disjoint), keeping
+/// this function a pure map from candidates to a certified block.
 #[allow(clippy::too_many_arguments)]
 pub fn run_block_generation(
     registry: &NodeRegistry,
@@ -43,7 +47,7 @@ pub fn run_block_generation(
     all_nodes: &[NodeId],
     assignment_next: Option<&RoundAssignment>,
     candidate_txs: Vec<Transaction>,
-    utxo_sets: &mut [UtxoSet],
+    utxo_sets: &[UtxoSet],
     reputation: &ReputationTable,
     prev_hash: cycledger_crypto::sha256::Digest,
     round: u64,
@@ -101,10 +105,7 @@ pub fn run_block_generation(
         &mut net,
         referee,
         registry,
-        ConsensusId {
-            round,
-            seq: 9_000,
-        },
+        ConsensusId { round, seq: 9_000 },
         block.header.hash().as_bytes().to_vec(),
         LeaderFault::None,
         verify_signatures,
@@ -132,14 +133,9 @@ pub fn run_block_generation(
         metrics.record_storage(phase, rm, block_bytes);
     }
 
-    // 5. Committees apply the block to their shard UTXO sets.
-    for set in utxo_sets.iter_mut() {
-        for tx in &block.transactions {
-            set.apply(tx);
-        }
-    }
-
-    // 6. Fees are distributed proportionally to g(reputation) (§IV-G).
+    // 5. Fees are distributed proportionally to g(reputation) (§IV-G).
+    //    (Step numbering from §IV-G; applying the block to the shard UTXO
+    //    sets happens in the engine, one executor task per shard.)
     let rewards = reputation.distribute_fees(all_nodes, block.total_fees());
 
     BlockOutcome {
@@ -198,7 +194,11 @@ mod tests {
             seed,
         });
         let utxo_sets = workload.build_genesis_utxo_sets();
-        let valid: Vec<Transaction> = workload.generate_batch(40).into_iter().map(|g| g.tx).collect();
+        let valid: Vec<Transaction> = workload
+            .generate_batch(40)
+            .into_iter()
+            .map(|g| g.tx)
+            .collect();
         let mut invalid_workload = Workload::new(WorkloadConfig {
             invalid_ratio: 1.0,
             seed: seed + 1,
@@ -244,7 +244,7 @@ mod tests {
             &fx.all_nodes,
             None,
             candidates,
-            &mut fx.utxo_sets,
+            &fx.utxo_sets,
             &fx.reputation,
             Digest::ZERO,
             0,
@@ -257,7 +257,13 @@ mod tests {
         assert_eq!(block.tx_count(), fx.valid.len());
         assert_eq!(outcome.rejected_by_referee, fx.invalid.len());
         assert!(block.verify_structure());
-        // Applying the block conserves value up to fees.
+        // Applying the block (as the engine does per shard) conserves value
+        // up to fees.
+        for set in fx.utxo_sets.iter_mut() {
+            for tx in &block.transactions {
+                set.apply(tx);
+            }
+        }
         let after: u64 = fx.utxo_sets.iter().map(|s| s.total_value()).sum();
         assert_eq!(before, after + block.total_fees());
         // Rewards sum to the collected fees.
@@ -270,7 +276,7 @@ mod tests {
 
     #[test]
     fn intra_round_double_spends_are_caught_by_referee() {
-        let mut fx = fixture(92);
+        let fx = fixture(92);
         // Submit the same transaction twice: the second copy must be rejected.
         let tx = fx.valid[0].clone();
         let outcome = run_block_generation(
@@ -279,7 +285,7 @@ mod tests {
             &fx.all_nodes,
             None,
             vec![tx.clone(), tx],
-            &mut fx.utxo_sets,
+            &fx.utxo_sets,
             &fx.reputation,
             Digest::ZERO,
             0,
@@ -299,7 +305,7 @@ mod tests {
 
     #[test]
     fn next_round_config_is_embedded() {
-        let mut fx = fixture(93);
+        let fx = fixture(93);
         let next = assign_round(
             &fx.registry,
             &fx.registry.ids(),
@@ -318,7 +324,7 @@ mod tests {
             &fx.all_nodes,
             Some(&next),
             fx.valid.clone(),
-            &mut fx.utxo_sets,
+            &fx.utxo_sets,
             &fx.reputation,
             Digest::ZERO,
             0,

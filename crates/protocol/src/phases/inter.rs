@@ -122,7 +122,9 @@ pub fn run_inter_consensus(
             verify_signatures,
         );
         metrics.merge(source_net.metrics());
-        outcome.equivocation.extend(source_consensus.equivocation.clone());
+        outcome
+            .equivocation
+            .extend(source_consensus.equivocation.clone());
         if source_consensus.certificate.is_none() {
             // The input committee could not certify the list (e.g. silent or
             // equivocating leader); these transactions wait for recovery and a
@@ -199,7 +201,9 @@ pub fn run_inter_consensus(
             verify_signatures,
         );
         metrics.merge(dest_net.metrics());
-        outcome.equivocation.extend(dest_consensus.equivocation.clone());
+        outcome
+            .equivocation
+            .extend(dest_consensus.equivocation.clone());
 
         // 4. The destination leader returns the certified result to the source.
         if dest_consensus.certificate.is_some() {
@@ -295,11 +299,20 @@ mod tests {
             &mut metrics,
         );
         let accepted: usize = outcome.accepted.iter().map(|v| v.len()).sum();
-        assert_eq!(accepted, fx.cross.len(), "every valid cross-shard tx accepted");
+        assert_eq!(
+            accepted,
+            fx.cross.len(),
+            "every valid cross-shard tx accepted"
+        );
         assert!(outcome.censorship_reports.is_empty());
         assert!(outcome.equivocation.is_empty());
         assert_eq!(outcome.timeout_delays, 0);
-        assert!(metrics.phase_total(Phase::InterCommitteeConsensus).msgs_sent > 0);
+        assert!(
+            metrics
+                .phase_total(Phase::InterCommitteeConsensus)
+                .msgs_sent
+                > 0
+        );
     }
 
     #[test]

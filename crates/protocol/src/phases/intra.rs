@@ -289,7 +289,10 @@ mod tests {
             .collect();
         assert_eq!(outcome.decided_indices, expected);
         assert_eq!(outcome.decision.len(), fx.offered[0].len());
-        assert!(fx.offered[0].iter().any(|g| !g.kind.is_valid()), "fixture has invalid txs");
+        assert!(
+            fx.offered[0].iter().any(|g| !g.kind.is_valid()),
+            "fixture has invalid txs"
+        );
         // Leader exchanged more bytes than a common member.
         let leader = fx.committees[0].leader;
         let common = *fx.committees[0]
@@ -298,8 +301,12 @@ mod tests {
             .find(|&&m| m != leader && !fx.committees[0].partial_set.contains(&m))
             .unwrap();
         assert!(
-            metrics.node_phase(leader, Phase::IntraCommitteeConsensus).comm_bytes()
-                > metrics.node_phase(common, Phase::IntraCommitteeConsensus).comm_bytes()
+            metrics
+                .node_phase(leader, Phase::IntraCommitteeConsensus)
+                .comm_bytes()
+                > metrics
+                    .node_phase(common, Phase::IntraCommitteeConsensus)
+                    .comm_bytes()
         );
         let _ = TxKind::IntraShard;
     }
@@ -329,7 +336,8 @@ mod tests {
     fn equivocating_leader_is_reported() {
         let mut fx = fixture(53, 0.0);
         let leader = fx.committees[2].leader;
-        fx.registry.set_behavior(leader, Behavior::EquivocatingLeader);
+        fx.registry
+            .set_behavior(leader, Behavior::EquivocatingLeader);
         let (outcome, _) = run_intra_consensus(
             &fx.registry,
             &fx.committees[2],
@@ -378,7 +386,10 @@ mod tests {
             .filter(|(_, g)| g.kind.is_valid())
             .map(|(i, _)| i)
             .collect();
-        assert_eq!(outcome.decided_indices, expected, "honest majority prevails");
+        assert_eq!(
+            outcome.decided_indices, expected,
+            "honest majority prevails"
+        );
     }
 
     #[test]

@@ -21,6 +21,9 @@ use crate::phases::inter::CensorshipReport;
 /// An accusation against a leader, either backed by a signed witness or by a
 /// committee-observable omission (timeout).
 #[derive(Clone, Debug)]
+// A signed witness dwarfs the timeout variant; accusations are rare,
+// short-lived values, so clarity wins over boxing here.
+#[allow(clippy::large_enum_variant)]
 pub enum Accusation {
     /// A leader-signed witness (equivocation / commitment mismatch).
     Signed(Witness),
@@ -197,9 +200,7 @@ mod tests {
     use super::*;
     use crate::adversary::{AdversaryConfig, Behavior};
     use crate::sortition::{assign_round, AssignmentParams};
-    use cycledger_consensus::witness::{
-        member_list_signing_bytes, CommitmentMismatchEvidence,
-    };
+    use cycledger_consensus::witness::{member_list_signing_bytes, CommitmentMismatchEvidence};
     use cycledger_crypto::schnorr::sign;
     use cycledger_crypto::sha256::sha256;
 

@@ -104,7 +104,12 @@ pub fn run_reputation_update(
                 .map(|c| c.wire_size())
                 .unwrap_or(0);
             for &rm in referee_members {
-                metrics.record_message(phase, committee.leader, rm, payload.len() as u64 + cert_bytes);
+                metrics.record_message(
+                    phase,
+                    committee.leader,
+                    rm,
+                    payload.len() as u64 + cert_bytes,
+                );
                 metrics.record_storage(phase, rm, payload.len() as u64);
             }
             // The referee committee applies the scores and the leader bonus.
@@ -153,10 +158,12 @@ mod tests {
         (registry, committees, assignment.referee)
     }
 
-    fn vote_list_for(committee: &Committee, right: &[NodeId], wrong: &[NodeId]) -> (VoteList, Vec<i8>) {
-        let tx_ids: Vec<_> = (0..4u64)
-            .map(|i| sha256(&i.to_be_bytes()))
-            .collect();
+    fn vote_list_for(
+        committee: &Committee,
+        right: &[NodeId],
+        wrong: &[NodeId],
+    ) -> (VoteList, Vec<i8>) {
+        let tx_ids: Vec<_> = (0..4u64).map(|i| sha256(&i.to_be_bytes())).collect();
         let mut list = VoteList::new(tx_ids);
         for &member in &committee.members {
             let vote = if wrong.contains(&member) {
@@ -198,11 +205,19 @@ mod tests {
         // Correct voters gained a full point, wrong voters lost one, idle zero.
         for &node in &right {
             let expected = if node == committee.leader { 1.1 } else { 1.0 };
-            assert!((reputation.get(node) - expected).abs() < 1e-9, "node {node:?}");
+            assert!(
+                (reputation.get(node) - expected).abs() < 1e-9,
+                "node {node:?}"
+            );
         }
         assert!((reputation.get(wrong[0]) + 1.0).abs() < 1e-9);
         // Referee members received and stored the certified score lists.
-        assert!(metrics.node_phase(referee[0], Phase::ReputationUpdate).msgs_received > 0);
+        assert!(
+            metrics
+                .node_phase(referee[0], Phase::ReputationUpdate)
+                .msgs_received
+                > 0
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub fn run_selection(
     let phase = Phase::KeyMemberSelection;
 
     // 1. Distributed randomness beacon inside C_R.
-    let honesty: Vec<bool> = referee.iter().map(|&rm| registry.node(rm).is_honest()).collect();
+    let honesty: Vec<bool> = referee
+        .iter()
+        .map(|&rm| registry.node(rm).is_honest())
+        .collect();
     let threshold = referee.len() / 2 + 1;
     let mut round_tag = Vec::with_capacity(40);
     round_tag.extend_from_slice(&round.to_be_bytes());
@@ -137,7 +140,11 @@ mod tests {
         );
         assert!(outcome.next_randomness.is_some());
         assert_eq!(outcome.qualified_dealers.len(), 7);
-        assert_eq!(outcome.participants.len(), registry.len(), "difficulty 2 is solvable by all");
+        assert_eq!(
+            outcome.participants.len(),
+            registry.len(),
+            "difficulty 2 is solvable by all"
+        );
         let next = outcome.next_assignment.expect("assignment");
         assert_eq!(next.round, 2);
         assert_eq!(next.committees.len(), 3);

@@ -36,6 +36,7 @@ pub struct SemiCommitmentOutcome {
 }
 
 /// Runs the semi-commitment exchange for all committees.
+#[allow(clippy::too_many_arguments)]
 pub fn run_semi_commitment_exchange(
     registry: &NodeRegistry,
     committees: &[Committee],
@@ -117,10 +118,7 @@ pub fn run_semi_commitment_exchange(
         &mut referee_net,
         referee,
         registry,
-        ConsensusId {
-            round,
-            seq: 0x5e1f,
-        },
+        ConsensusId { round, seq: 0x5e1f },
         payload,
         LeaderFault::None,
         verify_signatures,

@@ -37,6 +37,10 @@ pub struct RoundReport {
     pub evicted_leaders: Vec<(usize, NodeId)>,
     /// Signed witnesses produced this round.
     pub witnesses: usize,
+    /// Recoveries that could not start because the committee's partial set
+    /// had no member left to prosecute (the committee sits the round out
+    /// instead of panicking; the next sortition refills the partial set).
+    pub skipped_recoveries: usize,
     /// Censorship (timeout) reports this round.
     pub censorship_reports: usize,
     /// Total fees distributed.
@@ -75,6 +79,48 @@ impl RoundReport {
             return 0.0;
         }
         self.txs_packed as f64 / self.txs_offered_valid as f64
+    }
+
+    /// Appends a canonical byte encoding of the report to `out`: every field
+    /// in declaration order, metrics in sorted `(node, phase)` order. Equal
+    /// reports produce equal bytes independent of hash-map iteration order —
+    /// the unit of the engine's byte-identical determinism contract.
+    pub fn write_canonical_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.round.to_be_bytes());
+        out.push(u8::from(self.block_produced));
+        for count in [
+            self.txs_offered,
+            self.txs_offered_valid,
+            self.txs_offered_cross_shard,
+            self.txs_packed,
+            self.txs_packed_cross_shard,
+            self.rejected_by_referee,
+            self.witnesses,
+            self.skipped_recoveries,
+            self.censorship_reports,
+            self.channels,
+            self.full_clique_channels,
+        ] {
+            out.extend_from_slice(&(count as u64).to_be_bytes());
+        }
+        out.extend_from_slice(&(self.evicted_leaders.len() as u64).to_be_bytes());
+        for (committee, leader) in &self.evicted_leaders {
+            out.extend_from_slice(&(*committee as u64).to_be_bytes());
+            out.extend_from_slice(&leader.0.to_be_bytes());
+        }
+        out.extend_from_slice(&self.fees_distributed.to_be_bytes());
+        out.extend_from_slice(&self.timeout_delays_us.to_be_bytes());
+        for group in [
+            &self.roles.common_members,
+            &self.roles.key_members,
+            &self.roles.referee_members,
+        ] {
+            out.extend_from_slice(&(group.len() as u64).to_be_bytes());
+            for node in group {
+                out.extend_from_slice(&node.0.to_be_bytes());
+            }
+        }
+        self.metrics.write_canonical_bytes(out);
     }
 }
 
@@ -122,6 +168,26 @@ impl SimulationSummary {
         }
         self.rounds.iter().map(|r| r.acceptance_rate()).sum::<f64>() / self.rounds.len() as f64
     }
+
+    /// Total recoveries skipped for lack of a prosecutor across the run.
+    pub fn total_skipped_recoveries(&self) -> usize {
+        self.rounds.iter().map(|r| r.skipped_recoveries).sum()
+    }
+
+    /// A digest over the summary's canonical byte encoding.
+    ///
+    /// Two summaries with identical content produce identical digests
+    /// regardless of worker count, hash-map iteration order, or process; the
+    /// determinism tests compare runs at 1, 2 and 8 executor threads through
+    /// this.
+    pub fn canonical_digest(&self) -> cycledger_crypto::sha256::Digest {
+        let mut bytes = Vec::with_capacity(4096);
+        bytes.extend_from_slice(&(self.rounds.len() as u64).to_be_bytes());
+        for round in &self.rounds {
+            round.write_canonical_bytes(&mut bytes);
+        }
+        cycledger_crypto::sha256::hash_parts(&[b"cycledger/summary", &bytes])
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +206,7 @@ mod tests {
             rejected_by_referee: 0,
             evicted_leaders: vec![(0, NodeId(1))],
             witnesses: 1,
+            skipped_recoveries: 0,
             censorship_reports: 0,
             fees_distributed: 10,
             channels: 100,
@@ -153,7 +220,11 @@ mod tests {
     #[test]
     fn acceptance_rate_and_summary_aggregation() {
         let summary = SimulationSummary {
-            rounds: vec![dummy_report(0, 8, 10), dummy_report(1, 10, 10), dummy_report(2, 0, 10)],
+            rounds: vec![
+                dummy_report(0, 8, 10),
+                dummy_report(1, 10, 10),
+                dummy_report(2, 0, 10),
+            ],
         };
         assert_eq!(summary.num_rounds(), 3);
         assert_eq!(summary.total_packed(), 18);

@@ -1,25 +1,19 @@
 //! One full protocol round: the seven phases of §IV plus recovery, in order.
+//!
+//! The heavy lifting lives in [`crate::engine`]: this module only defines the
+//! round's public input/output types and hands the input to the standard
+//! phase pipeline. Worker threads come from the caller's persistent
+//! [`ShardExecutor`] — no threads are spawned inside the round itself.
 
-use cycledger_ledger::transaction::Transaction;
 use cycledger_ledger::utxo::UtxoSet;
-use cycledger_ledger::workload::{GeneratedTx, TxKind};
-use cycledger_net::metrics::MetricsSink;
-use cycledger_net::topology::{NodeId, RoundTopology};
+use cycledger_ledger::workload::GeneratedTx;
 use cycledger_reputation::ReputationTable;
 
-use crate::committee::Committee;
 use crate::config::ProtocolConfig;
+use crate::engine::{run_pipeline, standard_pipeline, RoundContext, ShardExecutor};
 use crate::node::NodeRegistry;
-use crate::phases::block_generation::run_block_generation;
-use crate::phases::configuration::run_committee_configuration;
-use crate::phases::inter::run_inter_consensus;
-use crate::phases::intra::{run_intra_consensus, IntraOutcome};
-use crate::phases::recovery::{run_recovery, Accusation};
-use crate::phases::reputation_update::run_reputation_update;
-use crate::phases::selection::run_selection;
-use crate::phases::semi_commitment::run_semi_commitment_exchange;
-use crate::report::{RoleGroups, RoundReport};
-use crate::sortition::{AssignmentParams, RoundAssignment};
+use crate::report::RoundReport;
+use crate::sortition::RoundAssignment;
 
 /// Everything a round needs from the surrounding simulation.
 pub struct RoundInput<'a> {
@@ -53,355 +47,11 @@ pub struct RoundOutput {
     pub report: RoundReport,
 }
 
-fn role_groups(assignment: &RoundAssignment) -> RoleGroups {
-    let mut groups = RoleGroups {
-        referee_members: assignment.referee.clone(),
-        ..Default::default()
-    };
-    for c in &assignment.committees {
-        groups.key_members.push(c.leader);
-        groups.key_members.extend_from_slice(&c.partial_set);
-        groups.common_members.extend_from_slice(c.common_members());
-    }
-    groups
-}
-
-/// Runs one complete round.
-pub fn run_round(input: RoundInput<'_>) -> RoundOutput {
-    let RoundInput {
-        config,
-        registry,
-        assignment,
-        utxo_sets,
-        reputation,
-        offered,
-        prev_hash,
-        block_height,
-    } = input;
-    let round = assignment.round;
-    let m = assignment.committees.len();
-    let mut metrics = MetricsSink::new();
-    let mut evicted: Vec<(usize, NodeId)> = Vec::new();
-    let mut witnesses = 0usize;
-
-    // Committees as executable objects (leaders may change during recovery).
-    let mut committees: Vec<Committee> = assignment
-        .committees
-        .iter()
-        .map(|c| Committee::from_assignment(c, registry))
-        .collect();
-    let referee = Committee {
-        index: usize::MAX,
-        leader: assignment.referee[0],
-        partial_set: Vec::new(),
-        members: assignment.referee.clone(),
-        keys: registry.committee_keys(&assignment.referee),
-    };
-
-    // Phase 1: committee configuration.
-    run_committee_configuration(
-        registry,
-        assignment,
-        config.latency.delta,
-        config.verify_signatures,
-        &mut metrics,
-    );
-
-    // Phase 2: semi-commitment exchange, then recovery for any mismatch witness.
-    let semi = run_semi_commitment_exchange(
-        registry,
-        &committees,
-        &referee,
-        round,
-        config.latency,
-        config.verify_signatures,
-        config.seed ^ round,
-        &mut metrics,
-    );
-    witnesses += semi.witnesses.len();
-    for witness in semi.witnesses {
-        let k = match &witness {
-            cycledger_consensus::witness::Witness::CommitmentMismatch(e) => e.committee,
-            cycledger_consensus::witness::Witness::Equivocation(_) => continue,
-        };
-        let prosecutor = committees[k]
-            .partial_set
-            .iter()
-            .copied()
-            .find(|&pm| registry.node(pm).is_honest())
-            .unwrap_or(committees[k].partial_set[0]);
-        let outcome = run_recovery(
-            registry,
-            &mut committees[k],
-            &referee,
-            Accusation::Signed(witness),
-            prosecutor,
-            reputation,
-            round,
-            &mut metrics,
-        );
-        if let Some(old) = outcome.evicted {
-            evicted.push((k, old));
-        }
-    }
-
-    // Split the offered workload into per-shard intra lists and cross-shard txs.
-    let mut intra_per_shard: Vec<Vec<GeneratedTx>> = vec![Vec::new(); m];
-    let mut cross_shard: Vec<GeneratedTx> = Vec::new();
-    let offered_valid = offered.iter().filter(|g| g.kind.is_valid()).count();
-    let offered_cross = offered.iter().filter(|g| g.kind == TxKind::CrossShard).count();
-    let offered_total = offered.len();
-    for gen in offered {
-        if gen.tx.is_intra_shard(m) {
-            let shard = gen.tx.touched_shards(m).first().copied().unwrap_or(0);
-            intra_per_shard[shard].push(gen);
-        } else {
-            cross_shard.push(gen);
-        }
-    }
-
-    // Phase 3: intra-committee consensus, one committee per worker thread.
-    let mut intra_outcomes: Vec<IntraOutcome> = Vec::with_capacity(m);
-    {
-        let committees_ref = &committees;
-        let utxo_ref: &[UtxoSet] = utxo_sets;
-        let intra_ref = &intra_per_shard;
-        let referee_members = &assignment.referee;
-        let results: Vec<(IntraOutcome, MetricsSink)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..m)
-                .map(|k| {
-                    scope.spawn(move || {
-                        run_intra_consensus(
-                            registry,
-                            &committees_ref[k],
-                            &utxo_ref[k],
-                            &intra_ref[k],
-                            referee_members,
-                            round,
-                            config.latency,
-                            config.verify_signatures,
-                            config.seed ^ (round << 8) ^ k as u64,
-                        )
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("intra worker")).collect()
-        });
-        for (outcome, committee_metrics) in results {
-            metrics.merge(&committee_metrics);
-            intra_outcomes.push(outcome);
-        }
-        intra_outcomes.sort_by_key(|o| o.committee);
-    }
-
-    // Recovery for leaders that failed during intra consensus, then a single
-    // retry with the new leader so the committee still contributes this round.
-    for k in 0..m {
-        let needs_recovery = intra_outcomes[k].leader_silent
-            || !intra_outcomes[k].equivocation.is_empty()
-            || (intra_outcomes[k].certificate.is_none() && !intra_per_shard[k].is_empty());
-        if !needs_recovery {
-            continue;
-        }
-        witnesses += intra_outcomes[k].equivocation.len();
-        let accusation = if let Some(evidence) = intra_outcomes[k].equivocation.first() {
-            Accusation::Signed(cycledger_consensus::witness::Witness::Equivocation(
-                evidence.clone(),
-            ))
-        } else {
-            Accusation::Timeout {
-                leader: committees[k].leader,
-                committee: k,
-                observed_by_committee: true,
-            }
-        };
-        let prosecutor = committees[k]
-            .partial_set
-            .iter()
-            .copied()
-            .find(|&pm| registry.node(pm).is_honest())
-            .unwrap_or(committees[k].partial_set[0]);
-        let outcome = run_recovery(
-            registry,
-            &mut committees[k],
-            &referee,
-            accusation,
-            prosecutor,
-            reputation,
-            round,
-            &mut metrics,
-        );
-        if let Some(old) = outcome.evicted {
-            evicted.push((k, old));
-            // Retry the intra phase under the new leader.
-            let (retry, retry_metrics) = run_intra_consensus(
-                registry,
-                &committees[k],
-                &utxo_sets[k],
-                &intra_per_shard[k],
-                &assignment.referee,
-                round,
-                config.latency,
-                config.verify_signatures,
-                config.seed ^ (round << 8) ^ (0x1_0000 + k as u64),
-            );
-            metrics.merge(&retry_metrics);
-            intra_outcomes[k] = retry;
-        }
-    }
-
-    // Phase 4: inter-committee consensus over the cross-shard transactions.
-    let inter = run_inter_consensus(
-        registry,
-        &committees,
-        utxo_sets,
-        &cross_shard,
-        round,
-        config.latency,
-        config.verify_signatures,
-        config.seed ^ (round << 16),
-        &mut metrics,
-    );
-    witnesses += inter.equivocation.len();
-    let censorship_count = inter.censorship_reports.len();
-    for report in &inter.censorship_reports {
-        // The committee observed the timeout; impeach the censoring leader.
-        let k = report.committee;
-        if evicted.iter().any(|(ek, _)| *ek == k) {
-            continue;
-        }
-        let outcome = run_recovery(
-            registry,
-            &mut committees[k],
-            &referee,
-            Accusation::from_censorship(report),
-            report.reporter,
-            reputation,
-            round,
-            &mut metrics,
-        );
-        if let Some(old) = outcome.evicted {
-            evicted.push((k, old));
-        }
-    }
-
-    // Phase 5: reputation updating from the intra-phase votes.
-    let reputation_inputs: Vec<(usize, cycledger_consensus::votes::VoteList, Vec<i8>, bool)> =
-        intra_outcomes
-            .iter()
-            .map(|o| {
-                (
-                    o.committee,
-                    o.vote_list.clone(),
-                    o.decision.clone(),
-                    o.certificate.is_some(),
-                )
-            })
-            .collect();
-    run_reputation_update(
-        registry,
-        &committees,
-        &assignment.referee,
-        &reputation_inputs,
-        reputation,
-        config.leader_bonus,
-        round,
-        config.latency,
-        config.verify_signatures,
-        config.seed ^ (round << 24),
-        &mut metrics,
-    );
-
-    // Phase 6: beacon, PoW participation, next-round selection.
-    let selection = run_selection(
-        registry,
-        &assignment.referee,
-        AssignmentParams {
-            committees: config.committees,
-            partial_set_size: config.partial_set_size,
-            referee_size: config.referee_size,
-        },
-        reputation,
-        round,
-        assignment.randomness,
-        config.pow_difficulty,
-        &mut metrics,
-    );
-
-    // Phase 7: block generation and propagation.
-    let mut candidates: Vec<Transaction> = Vec::new();
-    for outcome in &intra_outcomes {
-        candidates.extend(outcome.decided.iter().cloned());
-    }
-    let mut cross_packed_ids = std::collections::HashSet::new();
-    for txs in &inter.accepted {
-        for tx in txs {
-            cross_packed_ids.insert(tx.id());
-            candidates.push(tx.clone());
-        }
-    }
-    let all_nodes: Vec<NodeId> = registry.ids();
-    let block_outcome = run_block_generation(
-        registry,
-        &referee,
-        &all_nodes,
-        selection.next_assignment.as_ref(),
-        candidates,
-        utxo_sets,
-        reputation,
-        prev_hash,
-        block_height,
-        config.latency,
-        config.verify_signatures,
-        config.seed ^ (round << 32),
-        &mut metrics,
-    );
-
-    // Connection-burden numbers (Table I).
-    let topology: RoundTopology = assignment.topology(registry.len());
-    let channels = topology.channels.channel_count();
-    let full_clique = RoundTopology::full_clique_channels(registry.len());
-
-    let txs_packed = block_outcome.block.as_ref().map(|b| b.tx_count()).unwrap_or(0);
-    let cross_packed = block_outcome
-        .block
-        .as_ref()
-        .map(|b| {
-            b.transactions
-                .iter()
-                .filter(|t| cross_packed_ids.contains(&t.id()))
-                .count()
-        })
-        .unwrap_or(0);
-    let fees = block_outcome
-        .block
-        .as_ref()
-        .map(|b| b.total_fees())
-        .unwrap_or(0);
-
-    let report = RoundReport {
-        round,
-        block_produced: block_outcome.block.is_some(),
-        txs_offered: offered_total,
-        txs_offered_valid: offered_valid,
-        txs_offered_cross_shard: offered_cross,
-        txs_packed,
-        txs_packed_cross_shard: cross_packed,
-        rejected_by_referee: block_outcome.rejected_by_referee,
-        evicted_leaders: evicted,
-        witnesses,
-        censorship_reports: censorship_count,
-        fees_distributed: fees,
-        channels,
-        full_clique_channels: full_clique,
-        metrics,
-        roles: role_groups(assignment),
-        timeout_delays_us: inter.timeout_delays,
-    };
-
-    RoundOutput {
-        block: block_outcome.block,
-        next_assignment: selection.next_assignment,
-        report,
-    }
+/// Runs one complete round on `executor`'s worker pool by delegating to the
+/// standard phase pipeline.
+pub fn run_round(input: RoundInput<'_>, executor: &ShardExecutor) -> RoundOutput {
+    let mut ctx = RoundContext::new(input, executor);
+    let mut phases = standard_pipeline();
+    run_pipeline(&mut ctx, &mut phases);
+    ctx.into_output()
 }

@@ -131,14 +131,19 @@ pub fn assign_round(
 ) -> RoundAssignment {
     assert!(params.committees > 0, "need at least one committee");
     assert!(
-        participants.len() > params.referee_size + params.committees * (1 + params.partial_set_size),
+        participants.len()
+            > params.referee_size + params.committees * (1 + params.partial_set_size),
         "not enough participants for the requested configuration"
     );
 
     // 1. Referee committee: smallest lottery values.
     let mut by_referee_lottery: Vec<NodeId> = participants.to_vec();
-    by_referee_lottery
-        .sort_by_key(|&id| (lottery_value(round, &randomness, id, "REFEREE_COMMITTEE_MEMBER"), id));
+    by_referee_lottery.sort_by_key(|&id| {
+        (
+            lottery_value(round, &randomness, id, "REFEREE_COMMITTEE_MEMBER"),
+            id,
+        )
+    });
     let referee: Vec<NodeId> = by_referee_lottery[..params.referee_size].to_vec();
     let referee_set: std::collections::HashSet<NodeId> = referee.iter().copied().collect();
 
@@ -159,12 +164,16 @@ pub fn assign_round(
         .filter(|id| !leader_set.contains(id))
         .collect();
     // Sort by (lottery value) so the λ smallest per committee win determinately.
-    remaining.sort_by_key(|&id| (lottery_value(round, &randomness, id, "PARTIAL_SET_MEMBER"), id));
+    remaining.sort_by_key(|&id| {
+        (
+            lottery_value(round, &randomness, id, "PARTIAL_SET_MEMBER"),
+            id,
+        )
+    });
     let mut used: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
     for &id in &remaining {
-        let committee =
-            (lottery_value(round, &randomness, id, "PARTIAL_SET_COMMITTEE") % params.committees as u64)
-                as usize;
+        let committee = (lottery_value(round, &randomness, id, "PARTIAL_SET_COMMITTEE")
+            % params.committees as u64) as usize;
         if partial_sets[committee].len() < params.partial_set_size {
             partial_sets[committee].push(id);
             used.insert(id);
@@ -172,14 +181,14 @@ pub fn assign_round(
     }
     // Backfill any committee whose lottery under-filled (possible for tiny
     // populations) from the unused pool, preserving lottery order.
-    for k in 0..params.committees {
-        if partial_sets[k].len() < params.partial_set_size {
+    for partial_set in partial_sets.iter_mut().take(params.committees) {
+        if partial_set.len() < params.partial_set_size {
             for &id in &remaining {
-                if partial_sets[k].len() >= params.partial_set_size {
+                if partial_set.len() >= params.partial_set_size {
                     break;
                 }
                 if !used.contains(&id) {
-                    partial_sets[k].push(id);
+                    partial_set.push(id);
                     used.insert(id);
                 }
             }
@@ -258,17 +267,17 @@ mod tests {
         all.sort();
         let mut expected = registry.ids();
         expected.sort();
-        assert_eq!(all, expected, "every participant lands in exactly one place");
+        assert_eq!(
+            all, expected,
+            "every participant lands in exactly one place"
+        );
         assert_eq!(assignment.referee.len(), 7);
         assert_eq!(assignment.committees.len(), 4);
         for c in &assignment.committees {
             assert_eq!(c.partial_set.len(), 3);
             assert_eq!(c.members[0], c.leader);
             assert!(c.size() >= 4, "leader + partial set at minimum");
-            assert_eq!(
-                c.common_members().len(),
-                c.size() - 1 - c.partial_set.len()
-            );
+            assert_eq!(c.common_members().len(), c.size() - 1 - c.partial_set.len());
         }
     }
 
@@ -322,23 +331,57 @@ mod tests {
             if assignment.referee.contains(&node) {
                 continue;
             }
-            assert!(leader_set.contains(&node), "high-reputation node {id} must lead");
+            assert!(
+                leader_set.contains(&node),
+                "high-reputation node {id} must lead"
+            );
         }
     }
 
     #[test]
     fn different_randomness_changes_assignment() {
         let (registry, reputation) = setup(80);
-        let a = assign_round(&registry, &registry.ids(), params(), 1, sha256(b"ra"), &reputation);
-        let b = assign_round(&registry, &registry.ids(), params(), 1, sha256(b"rb"), &reputation);
-        assert_ne!(a.referee, b.referee, "referee lottery must depend on randomness");
+        let a = assign_round(
+            &registry,
+            &registry.ids(),
+            params(),
+            1,
+            sha256(b"ra"),
+            &reputation,
+        );
+        let b = assign_round(
+            &registry,
+            &registry.ids(),
+            params(),
+            1,
+            sha256(b"rb"),
+            &reputation,
+        );
+        assert_ne!(
+            a.referee, b.referee,
+            "referee lottery must depend on randomness"
+        );
     }
 
     #[test]
     fn assignment_is_deterministic() {
         let (registry, reputation) = setup(70);
-        let a = assign_round(&registry, &registry.ids(), params(), 5, sha256(b"rx"), &reputation);
-        let b = assign_round(&registry, &registry.ids(), params(), 5, sha256(b"rx"), &reputation);
+        let a = assign_round(
+            &registry,
+            &registry.ids(),
+            params(),
+            5,
+            sha256(b"rx"),
+            &reputation,
+        );
+        let b = assign_round(
+            &registry,
+            &registry.ids(),
+            params(),
+            5,
+            sha256(b"rx"),
+            &reputation,
+        );
         assert_eq!(a.referee, b.referee);
         for (ca, cb) in a.committees.iter().zip(&b.committees) {
             assert_eq!(ca.members, cb.members);
@@ -369,6 +412,13 @@ mod tests {
     #[should_panic(expected = "not enough participants")]
     fn too_few_participants_panics() {
         let (registry, reputation) = setup(20);
-        assign_round(&registry, &registry.ids(), params(), 1, sha256(b"x"), &reputation);
+        assign_round(
+            &registry,
+            &registry.ids(),
+            params(),
+            1,
+            sha256(b"x"),
+            &reputation,
+        );
     }
 }

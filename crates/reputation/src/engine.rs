@@ -109,7 +109,8 @@ impl ReputationTable {
     /// Snapshot of all `(node, reputation)` pairs, sorted by node id (for
     /// deterministic block encoding).
     pub fn snapshot(&self) -> Vec<(NodeId, f64)> {
-        let mut items: Vec<(NodeId, f64)> = self.reputations.iter().map(|(n, r)| (*n, *r)).collect();
+        let mut items: Vec<(NodeId, f64)> =
+            self.reputations.iter().map(|(n, r)| (*n, *r)).collect();
         items.sort_by_key(|(n, _)| *n);
         items
     }

@@ -1,0 +1,53 @@
+//! Fixed-size array strategies (`prop::array::uniform4` and friends).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+macro_rules! uniform_array {
+    ($($name:ident => $n:literal),* $(,)?) => {$(
+        /// A strategy for a fixed-size array whose elements are drawn from
+        /// one element strategy.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*};
+}
+
+uniform_array! {
+    uniform2 => 2,
+    uniform3 => 3,
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform16 => 16,
+    uniform32 => 32,
+}
+
+/// Strategy returned by the `uniformN` constructors.
+#[derive(Clone, Debug)]
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+        core::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn uniform4_fills_all_limbs() {
+        let mut rng = TestRng::from_seed(11);
+        let strategy = uniform4(any::<u64>());
+        let limbs = strategy.generate(&mut rng);
+        assert_eq!(limbs.len(), 4);
+        // Overwhelmingly likely distinct for a 64-bit generator.
+        assert!(limbs.iter().collect::<std::collections::HashSet<_>>().len() > 1);
+    }
+}

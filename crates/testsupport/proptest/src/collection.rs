@@ -1,0 +1,91 @@
+//! `prop::collection::vec` and the size-range conversions it accepts.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive-exclusive length range for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// A strategy for `Vec<T>` with lengths drawn from `size`, mirroring
+/// `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + rng.next_below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_ranges() {
+        let mut rng = TestRng::from_seed(9);
+        let ranged = vec(0u8..3, 1..12);
+        for _ in 0..100 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..12).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 3));
+        }
+        let fixed = vec(0u8..3, 5);
+        assert_eq!(fixed.generate(&mut rng).len(), 5);
+    }
+
+    #[test]
+    fn nested_vec_strategies() {
+        let mut rng = TestRng::from_seed(10);
+        let nested = vec(vec(0u8..3, 5), 1..12);
+        let v = nested.generate(&mut rng);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|row| row.len() == 5));
+    }
+}

@@ -1,0 +1,204 @@
+//! The [`Strategy`] trait and the numeric range strategies.
+
+use core::fmt::Debug;
+use core::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Mirrors `proptest::strategy::Strategy` minus shrinking: `generate` draws one
+/// value from the deterministic test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, mirroring `Strategy::prop_map`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values, regenerating until `f` accepts one (bounded
+    /// retries), mirroring `Strategy::prop_filter`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.inner.generate(rng);
+            if (self.f)(&value) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive values: {}",
+            self.whence
+        );
+    }
+}
+
+/// A strategy that always yields a clone of one value, mirroring `Just`.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Boxed strategies so helper functions can return `-> impl Strategy` or box.
+impl<V: Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty integer range strategy");
+                let span = (hi - lo) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo + offset as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi - lo + 1) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty float range strategy");
+        self.start + rng.next_unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty float range strategy");
+        self.start + (rng.next_unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let v = (0u8..3).generate(&mut rng);
+            assert!(v < 3);
+            let w = (-1i8..=1).generate(&mut rng);
+            assert!((-1..=1).contains(&w));
+            let x = (1usize..50).generate(&mut rng);
+            assert!((1..50).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..200 {
+            let v = (-50.0f64..50.0).generate(&mut rng);
+            assert!((-50.0..50.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::from_seed(5);
+        let doubled = (0u64..10).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            let v = doubled.generate(&mut rng);
+            assert_eq!(v % 2, 0);
+            assert!(v < 20);
+        }
+    }
+
+    #[test]
+    fn filter_and_just() {
+        let mut rng = TestRng::from_seed(6);
+        let even = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        assert_eq!(even.generate(&mut rng) % 2, 0);
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+    }
+}

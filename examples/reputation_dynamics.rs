@@ -46,14 +46,23 @@ fn main() {
             Behavior::WrongVoter => "wrong voter",
             _ => "leader-targeted adversary",
         };
-        groups.entry(label).or_default().push(sim.reputation().get(node.id));
+        groups
+            .entry(label)
+            .or_default()
+            .push(sim.reputation().get(node.id));
     }
-    println!("{:<28} {:>6} {:>10} {:>10} {:>10}", "behaviour", "nodes", "mean rep", "min", "max");
+    println!(
+        "{:<28} {:>6} {:>10} {:>10} {:>10}",
+        "behaviour", "nodes", "mean rep", "min", "max"
+    );
     for (label, reps) in &groups {
         let mean = reps.iter().sum::<f64>() / reps.len() as f64;
         let min = reps.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = reps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        println!("{label:<28} {:>6} {mean:>10.3} {min:>10.3} {max:>10.3}", reps.len());
+        println!(
+            "{label:<28} {:>6} {mean:>10.3} {min:>10.3} {max:>10.3}",
+            reps.len()
+        );
     }
 
     // Correlation between compute capacity and reputation for honest nodes.
@@ -65,10 +74,17 @@ fn main() {
         .collect();
     let mean_x = honest.iter().map(|(x, _)| x).sum::<f64>() / honest.len() as f64;
     let mean_y = honest.iter().map(|(_, y)| y).sum::<f64>() / honest.len() as f64;
-    let cov: f64 = honest.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let cov: f64 = honest
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
     let var_x: f64 = honest.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
     let var_y: f64 = honest.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
-    let corr = if var_x > 0.0 && var_y > 0.0 { cov / (var_x * var_y).sqrt() } else { 0.0 };
+    let corr = if var_x > 0.0 && var_y > 0.0 {
+        cov / (var_x * var_y).sqrt()
+    } else {
+        0.0
+    };
     println!("\ncompute-capacity ↔ reputation correlation among honest nodes: {corr:.3}");
 
     // Reward weights via g(x) for a few representative reputations.

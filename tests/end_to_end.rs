@@ -58,8 +58,15 @@ fn cross_shard_payments_conserve_value_across_the_chain() {
     let summary = sim.run(3);
 
     // Cross-shard transactions were actually exercised and packed.
-    let cross_packed: usize = summary.rounds.iter().map(|r| r.txs_packed_cross_shard).sum();
-    assert!(cross_packed > 0, "workload must exercise the inter-committee path");
+    let cross_packed: usize = summary
+        .rounds
+        .iter()
+        .map(|r| r.txs_packed_cross_shard)
+        .sum();
+    assert!(
+        cross_packed > 0,
+        "workload must exercise the inter-committee path"
+    );
 
     // Conservation: genesis value = remaining UTXO value + all fees collected.
     let total_fees: u64 = summary.rounds.iter().map(|r| r.fees_distributed).sum();
@@ -165,7 +172,10 @@ fn wrong_voters_lose_reputation_and_rewards() {
         honest_mean > wrong_mean,
         "honest mean {honest_mean} must exceed wrong-voter mean {wrong_mean}"
     );
-    assert!(wrong_mean < 0.5, "wrong voters should not accumulate reputation");
+    assert!(
+        wrong_mean < 0.5,
+        "wrong voters should not accumulate reputation"
+    );
 }
 
 #[test]
@@ -194,4 +204,23 @@ fn deterministic_given_the_same_seed() {
     };
     assert_eq!(run(11), run(11));
     assert_ne!(run(11).1, run(12).1);
+}
+
+#[test]
+fn deterministic_across_executor_widths() {
+    // The engine's contract: identical seeds yield byte-identical summaries
+    // (canonical digest) and identical chains no matter how many worker
+    // threads the persistent shard executor runs.
+    let run = |workers: usize| {
+        let mut config = small_config(21);
+        config.cross_shard_ratio = 0.3;
+        config.adversary = AdversaryConfig::with_behavior(0.2, Behavior::EquivocatingLeader);
+        config.worker_threads = workers;
+        let mut sim = Simulation::new(config).expect("valid configuration");
+        let summary = sim.run(2);
+        (summary.canonical_digest(), sim.chain().tip_hash())
+    };
+    let baseline = run(1);
+    assert_eq!(baseline, run(2));
+    assert_eq!(baseline, run(8));
 }

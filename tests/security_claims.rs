@@ -5,8 +5,8 @@
 
 use cycledger::consensus::{semi_commitment, CommitmentMismatchEvidence, Witness};
 use cycledger::crypto::pvss;
-use cycledger::crypto::schnorr::{sign, Keypair};
 use cycledger::crypto::scalar::Scalar;
+use cycledger::crypto::schnorr::{sign, Keypair};
 use cycledger::net::NodeId;
 use cycledger::protocol::{AdversaryConfig, Behavior, ProtocolConfig, Simulation};
 
@@ -65,7 +65,12 @@ fn claim4_honest_leaders_are_never_framed() {
     // Claim 4's premise is an honest-majority referee committee and honest
     // leaders; false accusers sit among members / partial sets. Enforce the
     // premise explicitly (tiny test committees cannot rely on w.h.p. arguments).
-    let leaders: Vec<NodeId> = sim.assignment().committees.iter().map(|c| c.leader).collect();
+    let leaders: Vec<NodeId> = sim
+        .assignment()
+        .committees
+        .iter()
+        .map(|c| c.leader)
+        .collect();
     for l in &leaders {
         sim.registry_mut().set_behavior(*l, Behavior::Honest);
     }
@@ -149,16 +154,23 @@ fn theorem8_cross_shard_safety_under_censoring_leaders() {
     let mut sim = Simulation::new(cfg).expect("valid configuration");
     let censor = sim.assignment().committees[0].leader;
     let honest_dest = sim.assignment().committees[1].leader;
-    sim.registry_mut().set_behavior(censor, Behavior::CensoringLeader);
+    sim.registry_mut()
+        .set_behavior(censor, Behavior::CensoringLeader);
     let report = sim.run_round().clone();
     assert!(report.block_produced);
-    assert!(report.censorship_reports > 0, "the censoring leader must be reported");
+    assert!(
+        report.censorship_reports > 0,
+        "the censoring leader must be reported"
+    );
     assert!(
         report.evicted_leaders.iter().any(|(_, n)| *n == censor),
         "the censoring leader must be evicted"
     );
     assert!(
-        !report.evicted_leaders.iter().any(|(_, n)| *n == honest_dest),
+        !report
+            .evicted_leaders
+            .iter()
+            .any(|(_, n)| *n == honest_dest),
         "the honest destination leader must not be framed (Lemma 7)"
     );
     assert!(

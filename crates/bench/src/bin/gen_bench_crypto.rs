@@ -1,0 +1,75 @@
+//! Emits `BENCH_crypto.json`-shaped numbers for the crypto hot path: Schnorr
+//! signs/sec and verifies/sec, VRF evaluate+verify/sec, and round-engine
+//! rounds/sec at 1 worker and at the machine's parallelism.
+//!
+//! Run with `cargo run --release -p cycledger-bench --bin gen_bench_crypto`;
+//! the JSON is printed to stdout so it can be redirected into
+//! `BENCH_crypto.json` at the repository root.
+
+use std::time::Instant;
+
+use cycledger_bench::bench_config;
+use cycledger_crypto::schnorr::{sign, verify, Keypair};
+use cycledger_crypto::vrf;
+use cycledger_protocol::Simulation;
+
+/// Times `f` repeatedly until at least `min_secs` have elapsed and returns
+/// iterations per second.
+fn ops_per_sec(min_secs: f64, mut f: impl FnMut()) -> f64 {
+    // Warm up (builds lazy tables, fills caches) outside the timed region.
+    f();
+    let mut iters = 0u64;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_secs {
+            return iters as f64 / elapsed;
+        }
+    }
+}
+
+fn rounds_per_sec(workers: usize) -> f64 {
+    let mut config = bench_config(8, 16, 4242);
+    config.worker_threads = workers;
+    let mut sim = Simulation::new(config).expect("valid bench config");
+    ops_per_sec(3.0, || {
+        sim.run_round();
+    })
+}
+
+fn main() {
+    let kp = Keypair::from_seed(b"bench-crypto-json");
+    let msg = b"a consensus message of typical size padded to sixty-four bytes!";
+
+    let signs = ops_per_sec(1.0, || {
+        sign(&kp.secret, msg);
+    });
+    let sig = sign(&kp.secret, msg);
+    let verifies = ops_per_sec(1.0, || {
+        assert!(verify(&kp.public, msg, &sig));
+    });
+    let vrf_evals = ops_per_sec(1.0, || {
+        vrf::evaluate(&kp.secret, b"COMMON_MEMBER|7|seed");
+    });
+    let out = vrf::evaluate(&kp.secret, b"COMMON_MEMBER|7|seed");
+    let vrf_verifies = ops_per_sec(1.0, || {
+        assert!(vrf::verify(&kp.public, b"COMMON_MEMBER|7|seed", &out));
+    });
+
+    let parallel_workers = std::thread::available_parallelism()
+        .map(|n| n.get().max(4))
+        .unwrap_or(4);
+    let rps_1 = rounds_per_sec(1);
+    let rps_n = rounds_per_sec(parallel_workers);
+
+    println!("{{");
+    println!("  \"signs_per_sec\": {signs:.1},");
+    println!("  \"verifies_per_sec\": {verifies:.1},");
+    println!("  \"vrf_evaluates_per_sec\": {vrf_evals:.1},");
+    println!("  \"vrf_verifies_per_sec\": {vrf_verifies:.1},");
+    println!("  \"rounds_per_sec_1_worker\": {rps_1:.3},");
+    println!("  \"rounds_per_sec_{parallel_workers}_workers\": {rps_n:.3}");
+    println!("}}");
+}

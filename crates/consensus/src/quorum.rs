@@ -99,6 +99,11 @@ impl QuorumCertificate {
     /// must be distinct committee members with valid confirm-signatures over
     /// `(id, digest)`, and there must be at least `threshold` of them.
     pub fn verify(&self, keys: &CommitteeKeys, threshold: usize) -> Result<(), QuorumError> {
+        // Cheap structural pre-check before any signature work: the distinct
+        // signer count can never exceed the raw signature count.
+        if self.signatures.len() < threshold {
+            return Err(QuorumError::InsufficientSigners);
+        }
         let mut seen = std::collections::BTreeSet::new();
         for (node, signature) in &self.signatures {
             if !seen.insert(*node) {
@@ -131,6 +136,9 @@ impl QuorumCertificate {
     /// when the batch check fails the slow path re-runs per signature so the
     /// caller still learns *which* rule broke.
     pub fn verify_batch(&self, keys: &CommitteeKeys, threshold: usize) -> Result<(), QuorumError> {
+        if self.signatures.len() < threshold {
+            return Err(QuorumError::InsufficientSigners);
+        }
         let mut seen = std::collections::BTreeSet::new();
         let mut message_bytes = Vec::with_capacity(self.signatures.len());
         for (node, _) in &self.signatures {

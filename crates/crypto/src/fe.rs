@@ -8,10 +8,22 @@
 
 use crate::u256::U256;
 
+/// The secp256k1 base-field prime `p = 2^256 - 2^32 - 977` as a compile-time
+/// constant (little-endian limbs).
+pub const FIELD_PRIME: U256 = U256::from_limbs([
+    0xffff_fffe_ffff_fc2f,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_ffff_ffff,
+]);
+
+/// The single-limb complement `2^256 - p = 2^32 + 977`, used to fold the high
+/// half of products during reduction.
+const P_COMPLEMENT: u64 = (1 << 32) + 977;
+
 /// The secp256k1 base-field prime `p`.
-pub fn field_prime() -> U256 {
-    U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
-        .expect("valid prime literal")
+pub const fn field_prime() -> U256 {
+    FIELD_PRIME
 }
 
 /// An element of GF(p), the secp256k1 base field.
@@ -39,14 +51,14 @@ impl Fe {
         Fe(U256::from_u64(v))
     }
 
-    /// Constructs from a `U256`, reducing modulo `p`.
+    /// Constructs from a `U256`, reducing modulo `p`. Inputs are below 2^256
+    /// and `p > 2^255`, so a single conditional subtraction fully reduces.
     pub fn from_u256(v: U256) -> Fe {
-        let p = field_prime();
-        let mut v = v;
-        while v >= p {
-            v = v.wrapping_sub(&p);
+        if v >= FIELD_PRIME {
+            Fe(v.wrapping_sub(&FIELD_PRIME))
+        } else {
+            Fe(v)
         }
-        Fe(v)
     }
 
     /// Constructs from 32 big-endian bytes, reducing modulo `p`.
@@ -76,12 +88,12 @@ impl Fe {
 
     /// Field addition.
     pub fn add(&self, rhs: &Fe) -> Fe {
-        Fe(self.0.add_mod(&rhs.0, &field_prime()))
+        Fe(self.0.add_mod(&rhs.0, &FIELD_PRIME))
     }
 
     /// Field subtraction.
     pub fn sub(&self, rhs: &Fe) -> Fe {
-        Fe(self.0.sub_mod(&rhs.0, &field_prime()))
+        Fe(self.0.sub_mod(&rhs.0, &FIELD_PRIME))
     }
 
     /// Field negation.
@@ -89,9 +101,10 @@ impl Fe {
         Fe::zero().sub(self)
     }
 
-    /// Field multiplication.
+    /// Field multiplication, reduced via the two-round `c = 2^32 + 977` fold.
     pub fn mul(&self, rhs: &Fe) -> Fe {
-        Fe(self.0.mul_mod(&rhs.0, &field_prime()))
+        let wide = self.0.mul_wide(&rhs.0);
+        Fe(U256::reduce_wide_c64(&wide, &FIELD_PRIME, P_COMPLEMENT))
     }
 
     /// Field squaring.
@@ -99,14 +112,43 @@ impl Fe {
         self.mul(self)
     }
 
-    /// Multiplication by a small constant.
+    /// Multiplication by a small constant via a single limb-by-limb shift/add
+    /// pass and one complement fold — no full 256×256 product.
     pub fn mul_u64(&self, k: u64) -> Fe {
-        self.mul(&Fe::from_u64(k))
+        let (lo, top) = self.0.mul_u64(k);
+        // top·2^256 ≡ top·c (mod p); the product fits u128 because c < 2^34.
+        let (acc, carry) =
+            lo.overflowing_add(&U256::from_u128((top as u128) * (P_COMPLEMENT as u128)));
+        let acc = if carry {
+            acc.wrapping_add(&U256::from_u64(P_COMPLEMENT))
+        } else {
+            acc
+        };
+        Fe::from_u256(acc)
     }
 
     /// Exponentiation by an arbitrary 256-bit exponent.
     pub fn pow(&self, exp: &U256) -> Fe {
-        Fe(self.0.pow_mod(exp, &field_prime()))
+        let mut result = Fe::one();
+        let mut found = false;
+        for i in (0..exp.bits().max(1)).rev() {
+            if found {
+                result = result.square();
+            }
+            if exp.bit(i) {
+                if found {
+                    result = result.mul(self);
+                } else {
+                    result = *self;
+                    found = true;
+                }
+            }
+        }
+        if found {
+            result
+        } else {
+            Fe::one()
+        }
     }
 
     /// Multiplicative inverse via Fermat's little theorem (`a^(p-2)`).
@@ -114,9 +156,34 @@ impl Fe {
     /// Panics if `self` is zero.
     pub fn invert(&self) -> Fe {
         assert!(!self.is_zero(), "cannot invert zero");
-        let p = field_prime();
-        let exp = p.wrapping_sub(&U256::from_u64(2));
+        let exp = FIELD_PRIME.wrapping_sub(&U256::from_u64(2));
         self.pow(&exp)
+    }
+
+    /// Montgomery batch inversion: inverts every nonzero element in place with
+    /// a single field inversion plus `3(n-1)` multiplications. Zero entries
+    /// (which have no inverse) are left untouched, mirroring how
+    /// [`Point::batch_to_affine`](crate::point::Point::batch_to_affine) skips
+    /// the point at infinity.
+    pub fn batch_invert(elements: &mut [Fe]) {
+        let mut prefix = Vec::with_capacity(elements.len());
+        let mut acc = Fe::one();
+        for e in elements.iter() {
+            prefix.push(acc);
+            if !e.is_zero() {
+                acc = acc.mul(e);
+            }
+        }
+        // acc is the product of all nonzero entries (or one, if none).
+        let mut inv = acc.invert();
+        for (e, pre) in elements.iter_mut().zip(prefix).rev() {
+            if e.is_zero() {
+                continue;
+            }
+            let original = *e;
+            *e = inv.mul(&pre);
+            inv = inv.mul(&original);
+        }
     }
 
     /// Square root via the `p ≡ 3 (mod 4)` shortcut: `sqrt(a) = a^((p+1)/4)`.
@@ -159,6 +226,12 @@ mod tests {
         let complement = U256::ZERO.wrapping_sub(&p);
         assert_eq!(complement, U256::from_u64((1u64 << 32) + 977));
         assert!(p.bit(255));
+        // The const limbs match the canonical hex literal.
+        assert_eq!(
+            p,
+            U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+                .unwrap()
+        );
     }
 
     #[test]
@@ -248,6 +321,34 @@ mod tests {
         #[test]
         fn prop_bytes_round_trip(a in arb_fe()) {
             prop_assert_eq!(Fe::from_be_bytes(&a.to_be_bytes()), a);
+        }
+
+        #[test]
+        fn prop_mul_u64_matches_full_mul(a in arb_fe(), k in any::<u64>()) {
+            prop_assert_eq!(a.mul_u64(k), a.mul(&Fe::from_u64(k)));
+        }
+
+        #[test]
+        fn prop_batch_invert_matches_individual(raw in prop::collection::vec(
+            prop::array::uniform4(any::<u64>()), 0..12,
+        )) {
+            let mut elements: Vec<Fe> = raw
+                .into_iter()
+                .map(|l| Fe::from_u256(U256::from_limbs(l)))
+                .collect();
+            // Sprinkle zeros to exercise the skip path.
+            if elements.len() > 2 {
+                elements[0] = Fe::zero();
+                let mid = elements.len() / 2;
+                elements[mid] = Fe::zero();
+            }
+            let expected: Vec<Fe> = elements
+                .iter()
+                .map(|e| if e.is_zero() { Fe::zero() } else { e.invert() })
+                .collect();
+            let mut batched = elements.clone();
+            Fe::batch_invert(&mut batched);
+            prop_assert_eq!(batched, expected);
         }
     }
 }

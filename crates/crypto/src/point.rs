@@ -2,8 +2,24 @@
 //!
 //! Points are stored in Jacobian projective coordinates `(X, Y, Z)` with the
 //! affine point `(X/Z², Y/Z³)`; the point at infinity is encoded as `Z = 0`.
-//! Scalar multiplication is a plain double-and-add ladder — variable time, which
-//! is fine for a protocol simulation (see DESIGN.md, substitutions table).
+//!
+//! Scalar multiplication uses the standard variable-time fast paths (see
+//! `DESIGN-notes.md` in this crate):
+//!
+//! * width-5 wNAF over a per-point odd-multiples table for [`Point::mul`];
+//! * a lazily built fixed-base window table (4-bit windows, no doublings at
+//!   evaluation time) for [`Point::mul_generator`];
+//! * interleaved Strauss–Shamir double multiplication ([`Point::mul_double`])
+//!   for the `a·P + b·Q` shapes every verifier reduces to;
+//! * Montgomery batch inversion ([`Point::batch_to_affine`]) when many points
+//!   are normalized at once.
+//!
+//! Variable time is fine for a protocol simulation (see DESIGN.md,
+//! substitutions table); the naive double-and-add ladder is retained under
+//! `#[cfg(test)]` as a differential oracle.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 use crate::fe::Fe;
 use crate::scalar::Scalar;
@@ -36,17 +52,21 @@ impl Point {
         }
     }
 
-    /// The standard secp256k1 generator `G`.
+    /// The standard secp256k1 generator `G` (parsed once, then served from a
+    /// process-wide cache).
     pub fn generator() -> Point {
-        let gx = Fe::from_u256(
-            U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
-                .expect("generator x"),
-        );
-        let gy = Fe::from_u256(
-            U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
-                .expect("generator y"),
-        );
-        Point::from_affine(AffinePoint { x: gx, y: gy })
+        static GENERATOR: OnceLock<Point> = OnceLock::new();
+        *GENERATOR.get_or_init(|| {
+            let gx = Fe::from_u256(
+                U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798")
+                    .expect("generator x"),
+            );
+            let gy = Fe::from_u256(
+                U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8")
+                    .expect("generator y"),
+            );
+            Point::from_affine(AffinePoint { x: gx, y: gy })
+        })
     }
 
     /// Lifts an affine point into Jacobian coordinates.
@@ -150,8 +170,27 @@ impl Point {
         }
     }
 
-    /// Scalar multiplication `k·P` (double-and-add, MSB first).
+    /// Scalar multiplication `k·P` via width-5 wNAF over a table of odd
+    /// multiples `{P, 3P, …, 15P}` — roughly one addition per five doublings
+    /// instead of one per two for plain double-and-add.
     pub fn mul(&self, k: &Scalar) -> Point {
+        if self.is_infinity() || k.is_zero() {
+            return Point::infinity();
+        }
+        let table = odd_multiples(self);
+        let naf = wnaf5(k.as_u256());
+        let mut acc = Point::infinity();
+        for &digit in naf.iter().rev() {
+            acc = acc.double();
+            acc = add_wnaf_digit(&acc, &table, digit);
+        }
+        acc
+    }
+
+    /// Naive double-and-add ladder (MSB first). Kept only as the differential
+    /// oracle every optimized multiplication path is tested against.
+    #[cfg(test)]
+    pub(crate) fn mul_ladder(&self, k: &Scalar) -> Point {
         let bits = k.as_u256().bits();
         let mut acc = Point::infinity();
         for i in (0..bits).rev() {
@@ -163,9 +202,73 @@ impl Point {
         acc
     }
 
-    /// Convenience: `k·G` for the standard generator.
+    /// `k·G` for the standard generator, via a lazily built fixed-base window
+    /// table: 64 four-bit windows, 15 precomputed odd-and-even multiples per
+    /// window (`d·16^i·G`). Evaluation is at most 64 additions and zero
+    /// doublings.
     pub fn mul_generator(k: &Scalar) -> Point {
-        Point::generator().mul(k)
+        if k.is_zero() {
+            return Point::infinity();
+        }
+        let table = fixed_base_table();
+        let limbs = k.as_u256().limbs;
+        let mut acc = Point::infinity();
+        for window in 0..FB_WINDOWS {
+            let digit = ((limbs[window / 16] >> ((window % 16) * 4)) & 0xf) as usize;
+            if digit != 0 {
+                acc = acc.add(&table[window * FB_DIGITS + digit - 1].to_point());
+            }
+        }
+        acc
+    }
+
+    /// Strauss–Shamir double multiplication `k1·P1 + k2·P2`: both scalars are
+    /// recoded to width-5 wNAF and evaluated over one shared doubling chain,
+    /// so the combination costs one ladder instead of two. This is the shape
+    /// every verifier in the stack reduces to (`s·G − e·PK` for Schnorr,
+    /// `s·G + c·PK` / `s·H + c·Γ` for the VRF DLEQ, `z·R + (z·e)·PK` per batch
+    /// entry).
+    pub fn mul_double(k1: &Scalar, p1: &Point, k2: &Scalar, p2: &Point) -> Point {
+        if k1.is_zero() || p1.is_infinity() {
+            return p2.mul(k2);
+        }
+        if k2.is_zero() || p2.is_infinity() {
+            return p1.mul(k1);
+        }
+        let table1 = odd_multiples_cached(p1);
+        let table2 = odd_multiples_cached(p2);
+        let naf1 = wnaf5(k1.as_u256());
+        let naf2 = wnaf5(k2.as_u256());
+        let mut acc = Point::infinity();
+        for i in (0..naf1.len().max(naf2.len())).rev() {
+            acc = acc.double();
+            acc = add_wnaf_digit(&acc, &table1, naf1.get(i).copied().unwrap_or(0));
+            acc = add_wnaf_digit(&acc, &table2, naf2.get(i).copied().unwrap_or(0));
+        }
+        acc
+    }
+
+    /// Normalizes a whole slice of points to affine form with a single field
+    /// inversion (Montgomery's trick on the `Z` coordinates). Entries at
+    /// infinity come back as `None`.
+    pub fn batch_to_affine(points: &[Point]) -> Vec<Option<AffinePoint>> {
+        let mut zs: Vec<Fe> = points.iter().map(|p| p.z).collect();
+        Fe::batch_invert(&mut zs);
+        points
+            .iter()
+            .zip(zs)
+            .map(|(p, z_inv)| {
+                if p.is_infinity() {
+                    return None;
+                }
+                let z2 = z_inv.square();
+                let z3 = z2.mul(&z_inv);
+                Some(AffinePoint {
+                    x: p.x.mul(&z2),
+                    y: p.y.mul(&z3),
+                })
+            })
+            .collect()
     }
 
     /// True if the (affine form of the) point satisfies the curve equation.
@@ -176,14 +279,110 @@ impl Point {
         }
     }
 
-    /// Group-element equality (compares affine forms).
+    /// Group-element equality via cross-multiplication of the Jacobian
+    /// coordinates (`X1·Z2² == X2·Z1²` and `Y1·Z2³ == Y2·Z1³`) — no field
+    /// inversions.
     pub fn equals(&self, other: &Point) -> bool {
-        match (self.to_affine(), other.to_affine()) {
-            (None, None) => true,
-            (Some(a), Some(b)) => a == b,
-            _ => false,
+        match (self.is_infinity(), other.is_infinity()) {
+            (true, true) => return true,
+            (false, false) => {}
+            _ => return false,
         }
+        let z1_sq = self.z.square();
+        let z2_sq = other.z.square();
+        if self.x.mul(&z2_sq) != other.x.mul(&z1_sq) {
+            return false;
+        }
+        let z1_cu = z1_sq.mul(&self.z);
+        let z2_cu = z2_sq.mul(&other.z);
+        self.y.mul(&z2_cu) == other.y.mul(&z1_cu)
     }
+}
+
+/// Number of 4-bit windows covering a 256-bit scalar.
+const FB_WINDOWS: usize = 64;
+/// Nonzero digits per 4-bit window.
+const FB_DIGITS: usize = 15;
+
+/// The fixed-base table for [`Point::mul_generator`]: `table[15·i + d − 1] =
+/// d·16^i·G` for `i ∈ [0, 64)`, `d ∈ [1, 16)`. Built once per process
+/// (≈ 960 Jacobian additions plus one batched affine conversion, ~90 KiB).
+fn fixed_base_table() -> &'static [AffinePoint] {
+    static TABLE: OnceLock<Vec<AffinePoint>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut jacobian = Vec::with_capacity(FB_WINDOWS * FB_DIGITS);
+        let mut base = Point::generator();
+        for _ in 0..FB_WINDOWS {
+            let mut multiple = base;
+            for _ in 0..FB_DIGITS {
+                jacobian.push(multiple);
+                multiple = multiple.add(&base);
+            }
+            // After 15 additions `multiple` is 16·base: the next window's base.
+            base = multiple;
+        }
+        Point::batch_to_affine(&jacobian)
+            .into_iter()
+            .map(|p| p.expect("d·16^i·G is below the group order, never infinity"))
+            .collect()
+    })
+}
+
+/// Odd multiples `{P, 3P, 5P, …, 15P}` for width-5 wNAF evaluation.
+fn odd_multiples(p: &Point) -> [Point; 8] {
+    let twice = p.double();
+    let mut table = [*p; 8];
+    for i in 1..8 {
+        table[i] = table[i - 1].add(&twice);
+    }
+    table
+}
+
+/// [`odd_multiples`], but served from a process-wide cache when `p` is the
+/// standard generator — every Schnorr / DLEQ verification passes `G` as one
+/// operand of [`Point::mul_double`], so its table is built exactly once.
+fn odd_multiples_cached(p: &Point) -> [Point; 8] {
+    static GENERATOR_ODD: OnceLock<[Point; 8]> = OnceLock::new();
+    let g = Point::generator();
+    if p.x == g.x && p.y == g.y && p.z == g.z {
+        *GENERATOR_ODD.get_or_init(|| odd_multiples(&g))
+    } else {
+        odd_multiples(p)
+    }
+}
+
+/// Adds `digit·P` (for an odd wNAF digit, `|digit| ≤ 15`) from the
+/// odd-multiples table; zero digits are a no-op.
+fn add_wnaf_digit(acc: &Point, table: &[Point; 8], digit: i8) -> Point {
+    match digit.cmp(&0) {
+        core::cmp::Ordering::Greater => acc.add(&table[(digit as usize - 1) / 2]),
+        core::cmp::Ordering::Less => acc.add(&table[((-digit) as usize - 1) / 2].neg()),
+        core::cmp::Ordering::Equal => *acc,
+    }
+}
+
+/// Width-5 non-adjacent form: digits in `{0, ±1, ±3, …, ±15}` with at most one
+/// nonzero digit per five positions. The recoding never overflows because the
+/// scalar is reduced below the group order, which sits well under `2^256 − 15`.
+fn wnaf5(k: &U256) -> Vec<i8> {
+    let mut k = *k;
+    let mut naf = Vec::with_capacity(257);
+    while !k.is_zero() {
+        if k.is_odd() {
+            let low = (k.limbs[0] & 31) as i16;
+            let digit = if low > 16 { low - 32 } else { low };
+            if digit >= 0 {
+                k = k.wrapping_sub(&U256::from_u64(digit as u64));
+            } else {
+                k = k.wrapping_add(&U256::from_u64((-digit) as u64));
+            }
+            naf.push(digit as i8);
+        } else {
+            naf.push(0);
+        }
+        k = k.shr(1);
+    }
+    naf
 }
 
 impl AffinePoint {
@@ -220,6 +419,11 @@ impl AffinePoint {
     }
 }
 
+/// Upper bound on the number of memoized `hash_to_curve` base points; beyond
+/// this the cache is cleared (the working set per simulation round is a
+/// handful of domain-separated inputs, so eviction is essentially never hit).
+const H2C_CACHE_CAP: usize = 256;
+
 /// Hashes arbitrary bytes to a curve point via try-and-increment.
 ///
 /// This is the `H2C` primitive the DLEQ-based VRF needs: for counter values
@@ -227,7 +431,33 @@ impl AffinePoint {
 /// return the first candidate that lies on the curve (choosing the even-y root
 /// for determinism). Roughly half of all x values are valid, so the expected
 /// number of iterations is 2.
+///
+/// The derived base points are memoized process-wide (keyed by a digest of
+/// `domain ‖ data`): every prover/verifier in a round hashes the same few
+/// domain-separated inputs, so the square roots are paid once, not per node.
 pub fn hash_to_curve(domain: &str, data: &[u8]) -> AffinePoint {
+    static CACHE: OnceLock<Mutex<HashMap<[u8; 32], AffinePoint>>> = OnceLock::new();
+    let key = *crate::sha256::hash_parts(&[
+        b"h2c-cache-key",
+        &(domain.len() as u64).to_be_bytes(),
+        domain.as_bytes(),
+        data,
+    ])
+    .as_bytes();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(p) = cache.lock().expect("h2c cache lock").get(&key) {
+        return *p;
+    }
+    let p = hash_to_curve_uncached(domain, data);
+    let mut cache = cache.lock().expect("h2c cache lock");
+    if cache.len() >= H2C_CACHE_CAP {
+        cache.clear();
+    }
+    cache.insert(key, p);
+    p
+}
+
+fn hash_to_curve_uncached(domain: &str, data: &[u8]) -> AffinePoint {
     for ctr in 0u64..=u64::MAX {
         let digest = crate::sha256::hash_parts(&[domain.as_bytes(), data, &ctr.to_be_bytes()]);
         let x = Fe::from_be_bytes(digest.as_bytes());
@@ -327,6 +557,104 @@ mod tests {
         prop::array::uniform4(any::<u64>()).prop_map(|l| Scalar::from_u256(U256::from_limbs(l)))
     }
 
+    /// The edge scalars every multiplication path must agree on: 0, 1, n−1,
+    /// and every power of two that fits a scalar.
+    fn edge_scalars() -> Vec<Scalar> {
+        let mut edges = vec![
+            Scalar::zero(),
+            Scalar::one(),
+            Scalar::from_u256(group_order().wrapping_sub(&U256::ONE)),
+        ];
+        for k in 0..256 {
+            edges.push(Scalar::from_u256(U256::ONE.shl(k)));
+        }
+        edges
+    }
+
+    #[test]
+    fn wnaf_mul_matches_ladder_on_edge_scalars() {
+        let p = Point::generator().mul_ladder(&Scalar::from_u64(0xdead_beef));
+        for k in edge_scalars() {
+            assert!(p.mul(&k).equals(&p.mul_ladder(&k)), "k = {k:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_base_mul_matches_ladder_on_edge_scalars() {
+        let g = Point::generator();
+        for k in edge_scalars() {
+            assert!(
+                Point::mul_generator(&k).equals(&g.mul_ladder(&k)),
+                "k = {k:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mul_double_matches_ladder_on_edge_scalars() {
+        let g = Point::generator();
+        let q = g.mul_ladder(&Scalar::from_u64(0x1234_5678));
+        let pairs = [
+            (Scalar::zero(), Scalar::zero()),
+            (Scalar::zero(), Scalar::from_u64(7)),
+            (Scalar::from_u64(7), Scalar::zero()),
+            (
+                Scalar::from_u256(group_order().wrapping_sub(&U256::ONE)),
+                Scalar::one(),
+            ),
+            (
+                Scalar::from_u256(U256::ONE.shl(255)),
+                Scalar::from_u256(U256::ONE.shl(128)),
+            ),
+        ];
+        for (a, b) in pairs {
+            let expected = g.mul_ladder(&a).add(&q.mul_ladder(&b));
+            assert!(
+                Point::mul_double(&a, &g, &b, &q).equals(&expected),
+                "a = {a:?}, b = {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multiplying_infinity_stays_infinite() {
+        let inf = Point::infinity();
+        assert!(inf.mul(&Scalar::from_u64(12345)).is_infinity());
+        assert!(inf.mul(&Scalar::zero()).is_infinity());
+        assert!(
+            Point::mul_double(&Scalar::from_u64(3), &inf, &Scalar::from_u64(5), &inf).is_infinity()
+        );
+        // A mixed pair degrades to single multiplication of the finite point.
+        let g = Point::generator();
+        let k = Scalar::from_u64(42);
+        assert!(Point::mul_double(&k, &inf, &k, &g).equals(&g.mul_ladder(&k)));
+        assert!(Point::mul_double(&k, &g, &k, &inf).equals(&g.mul_ladder(&k)));
+    }
+
+    #[test]
+    fn batch_to_affine_matches_individual_and_handles_infinity() {
+        let g = Point::generator();
+        let mut points: Vec<Point> = (1u64..20)
+            .map(|k| g.mul_ladder(&Scalar::from_u64(k * k + 1)))
+            .collect();
+        points.insert(0, Point::infinity());
+        points.insert(7, Point::infinity());
+        let batched = Point::batch_to_affine(&points);
+        assert_eq!(batched.len(), points.len());
+        for (p, affine) in points.iter().zip(&batched) {
+            assert_eq!(p.to_affine(), *affine);
+        }
+        assert!(Point::batch_to_affine(&[]).is_empty());
+    }
+
+    #[test]
+    fn hash_to_curve_cache_is_transparent() {
+        // Cached and uncached derivations agree (the cache only memoizes).
+        let a = hash_to_curve("cache-check", b"payload");
+        let b = hash_to_curve_uncached("cache-check", b"payload");
+        assert_eq!(a, b);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -345,6 +673,25 @@ mod tests {
             let rhs = Point::mul_generator(&a.mul(&b));
             prop_assert!(lhs.equals(&rhs));
             prop_assert!(lhs.is_on_curve());
+        }
+
+        #[test]
+        fn prop_wnaf_mul_matches_ladder(a in arb_scalar(), b in arb_scalar()) {
+            let p = Point::generator().mul_ladder(&b);
+            prop_assert!(p.mul(&a).equals(&p.mul_ladder(&a)));
+        }
+
+        #[test]
+        fn prop_fixed_base_matches_ladder(a in arb_scalar()) {
+            prop_assert!(Point::mul_generator(&a).equals(&Point::generator().mul_ladder(&a)));
+        }
+
+        #[test]
+        fn prop_mul_double_matches_ladder(a in arb_scalar(), b in arb_scalar(), k in any::<u64>()) {
+            let g = Point::generator();
+            let q = g.mul_ladder(&Scalar::from_u64(k));
+            let expected = g.mul_ladder(&a).add(&q.mul_ladder(&b));
+            prop_assert!(Point::mul_double(&a, &g, &b, &q).equals(&expected));
         }
     }
 }

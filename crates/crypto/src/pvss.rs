@@ -21,6 +21,22 @@ use crate::point::Point;
 use crate::scalar::Scalar;
 use crate::sha256::{hash_parts, Digest};
 
+/// Canonical byte encoding of a set of group elements: a big-endian length
+/// prefix followed by each point as 64 affine bytes (`x ‖ y`, all-zero for the
+/// identity). All points are normalized with one batched affine conversion
+/// ([`Point::batch_to_affine`]) instead of one field inversion each.
+pub fn encode_point_set(points: &[Point]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + points.len() * 64);
+    out.extend_from_slice(&(points.len() as u64).to_be_bytes());
+    for affine in Point::batch_to_affine(points) {
+        match affine {
+            Some(p) => out.extend_from_slice(&p.to_bytes()),
+            None => out.extend_from_slice(&[0u8; 64]),
+        }
+    }
+    out
+}
+
 /// A share of a dealt secret: the evaluation of the dealer's polynomial at
 /// `x = index` (indices are 1-based; 0 would leak the secret itself).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,17 +105,79 @@ pub fn deal(
 
 /// Publicly verifies a single share against the dealer's commitments:
 /// `value·G == Σ_j index^j · C_j`.
+///
+/// The right-hand side is evaluated with Horner's rule over the commitment
+/// points, `((C_{t−1}·x + C_{t−2})·x + …)·x + C_0`, so every scalar
+/// multiplication is by the *small* index `x` (a 32-bit value) rather than a
+/// full-width power of it.
 pub fn verify_share(commitments: &[Point], share: &Share) -> bool {
     if commitments.is_empty() || share.index == 0 {
         return false;
     }
     let lhs = Point::mul_generator(&share.value);
     let x = Scalar::from_u64(share.index as u64);
-    let mut x_pow = Scalar::one();
     let mut rhs = Point::infinity();
-    for c in commitments {
-        rhs = rhs.add(&c.mul(&x_pow));
-        x_pow = x_pow.mul(&x);
+    for c in commitments.iter().rev() {
+        rhs = rhs.mul(&x).add(c);
+    }
+    lhs.equals(&rhs)
+}
+
+/// Verifies every share of a dealing at once with a single random-linear-
+/// combination check:
+///
+/// `(Σ_i z_i·s_i)·G == Σ_j (Σ_i z_i·x_i^j)·C_j`
+///
+/// which collapses `n` share verifications (each `t` small multiplications
+/// plus one fixed-base) into `t` variable-base multiplications and one
+/// fixed-base, with the coefficients `z_i` derived by hashing the whole
+/// dealing (commitments included, via the batched point-set encoding) so a
+/// malicious dealer cannot choose shares after seeing them. Structural
+/// defects (no commitments, zero/duplicate indices, mismatched threshold)
+/// fail the check outright; on a `false` result callers that need the
+/// offending share fall back to per-share [`verify_share`].
+pub fn verify_dealing(dealing: &Dealing) -> bool {
+    if dealing.commitments.is_empty()
+        || dealing.commitments.len() != dealing.threshold
+        || dealing.shares.is_empty()
+        || dealing.shares.iter().any(|s| s.index == 0)
+    {
+        return false;
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    if !dealing.shares.iter().all(|s| seen.insert(s.index)) {
+        return false;
+    }
+    // Bind the coefficients to the entire dealing content.
+    let mut transcript = encode_point_set(&dealing.commitments);
+    transcript.extend_from_slice(&(dealing.threshold as u64).to_be_bytes());
+    for share in &dealing.shares {
+        transcript.extend_from_slice(&share.index.to_be_bytes());
+        transcript.extend_from_slice(&share.value.to_be_bytes());
+    }
+    let seed = hash_parts(&[b"cycledger/pvss-batch-seed", &transcript]);
+
+    let mut scaled_sum = Scalar::zero();
+    // weights[j] = Σ_i z_i·x_i^j.
+    let mut weights = vec![Scalar::zero(); dealing.commitments.len()];
+    for (i, share) in dealing.shares.iter().enumerate() {
+        let z = Scalar::rlc_coefficient(
+            "cycledger/pvss-batch-coefficient",
+            &seed.as_bytes()[..],
+            i as u64,
+        );
+        scaled_sum = scaled_sum.add(&z.mul(&share.value));
+        let x = Scalar::from_u64(share.index as u64);
+        let mut x_pow = z;
+        for w in weights.iter_mut() {
+            *w = w.add(&x_pow);
+            x_pow = x_pow.mul(&x);
+        }
+    }
+    let lhs = Point::mul_generator(&scaled_sum);
+    let mut rhs = Point::infinity();
+    for (c, w) in dealing.commitments.iter().zip(&weights) {
+        rhs = rhs.add(&c.mul(w));
     }
     lhs.equals(&rhs)
 }
@@ -118,7 +196,10 @@ pub fn reconstruct(shares: &[Share], threshold: usize) -> Result<Scalar, PvssErr
             }
         }
     }
-    let mut secret = Scalar::zero();
+    // Numerators and denominators of the Lagrange basis at zero; all the
+    // denominators are inverted together with one batched inversion.
+    let mut numerators = Vec::with_capacity(used.len());
+    let mut denominators = Vec::with_capacity(used.len());
     for (i, share_i) in used.iter().enumerate() {
         let xi = Scalar::from_u64(share_i.index as u64);
         let mut num = Scalar::one();
@@ -131,8 +212,13 @@ pub fn reconstruct(shares: &[Share], threshold: usize) -> Result<Scalar, PvssErr
             num = num.mul(&xj);
             den = den.mul(&xj.sub(&xi));
         }
-        let lagrange = num.mul(&den.invert());
-        secret = secret.add(&share_i.value.mul(&lagrange));
+        numerators.push(num);
+        denominators.push(den);
+    }
+    Scalar::batch_invert(&mut denominators);
+    let mut secret = Scalar::zero();
+    for ((share, num), den_inv) in used.iter().zip(numerators).zip(denominators) {
+        secret = secret.add(&share.value.mul(&num.mul(&den_inv)));
     }
     Ok(secret)
 }
@@ -146,21 +232,49 @@ pub struct BeaconContribution {
     pub dealing: Dealing,
 }
 
+/// The full outcome of a beacon round: the randomness, the qualified dealer
+/// set, and every published contribution (so callers can meter the exact wire
+/// traffic the round generated).
+#[derive(Clone, Debug)]
+pub struct BeaconTranscript {
+    /// The beacon output — the next round's randomness `R^{r+1}`.
+    pub output: Digest,
+    /// Dealer indices whose dealings qualified (all shares valid).
+    pub qualified: Vec<usize>,
+    /// Every dealer's published contribution, qualified or not.
+    pub contributions: Vec<BeaconContribution>,
+}
+
 /// Runs a complete beacon round among `participants` referee members, of which
 /// the ones listed in `honest` follow the protocol.
 ///
 /// Returns the beacon output (the next round's randomness `R^{r+1}`) together
-/// with the set of dealer indices whose dealings qualified (all shares valid).
-/// Dealers not in `honest` publish corrupted dealings and are excluded — this is
-/// exactly the SCRAPE qualification step.
+/// with the set of dealer indices whose dealings qualified. Dealers not in
+/// `honest` publish corrupted dealings and are excluded — this is exactly the
+/// SCRAPE qualification step. Qualification uses the batched
+/// [`verify_dealing`] check (one random-linear-combination equation per
+/// dealing instead of one per share).
 pub fn run_beacon(
     participants: usize,
     threshold: usize,
     honest: &[bool],
     round_tag: &[u8],
 ) -> Result<(Digest, Vec<usize>), PvssError> {
+    run_beacon_transcript(participants, threshold, honest, round_tag)
+        .map(|t| (t.output, t.qualified))
+}
+
+/// [`run_beacon`], but additionally returning every dealer's contribution so
+/// the protocol layer can encode and meter the actual dealing bytes.
+pub fn run_beacon_transcript(
+    participants: usize,
+    threshold: usize,
+    honest: &[bool],
+    round_tag: &[u8],
+) -> Result<BeaconTranscript, PvssError> {
     assert_eq!(honest.len(), participants);
     let mut qualified = Vec::new();
+    let mut contributions = Vec::with_capacity(participants);
     let mut combined = Scalar::zero();
     for (dealer, &dealer_is_honest) in honest.iter().enumerate() {
         let mut drbg = HmacDrbg::from_parts(
@@ -175,16 +289,13 @@ pub fn run_beacon(
                 first.value = first.value.add(&Scalar::one());
             }
         }
-        let all_valid = dealing
-            .shares
-            .iter()
-            .all(|s| verify_share(&dealing.commitments, s));
-        if all_valid {
+        if verify_dealing(&dealing) {
             // Honest participants jointly reconstruct and fold the secret in.
             let reconstructed = reconstruct(&dealing.shares, threshold)?;
             combined = combined.add(&reconstructed);
             qualified.push(dealer);
         }
+        contributions.push(BeaconContribution { dealer, dealing });
     }
     if qualified.is_empty() {
         return Err(PvssError::NotEnoughShares);
@@ -194,7 +305,11 @@ pub fn run_beacon(
         round_tag,
         &combined.to_be_bytes(),
     ]);
-    Ok((output, qualified))
+    Ok(BeaconTranscript {
+        output,
+        qualified,
+        contributions,
+    })
 }
 
 #[cfg(test)]
@@ -258,6 +373,72 @@ mod tests {
                 value: Scalar::from_u64(777)
             }
         ));
+    }
+
+    #[test]
+    fn batched_dealing_verification_matches_per_share() {
+        let dealing = deal(&Scalar::from_u64(9001), 9, 5, b"batch").unwrap();
+        assert!(verify_dealing(&dealing));
+        // Tampering with any single share fails the batch, exactly as the
+        // per-share path would.
+        for i in 0..dealing.shares.len() {
+            let mut bad = dealing.clone();
+            bad.shares[i].value = bad.shares[i].value.add(&Scalar::one());
+            assert!(!verify_dealing(&bad), "tampered share {i}");
+            assert!(!verify_share(&bad.commitments, &bad.shares[i]));
+        }
+        // Structural defects are rejected.
+        let mut zero_index = dealing.clone();
+        zero_index.shares[0].index = 0;
+        assert!(!verify_dealing(&zero_index));
+        let mut duplicate = dealing.clone();
+        duplicate.shares[1].index = duplicate.shares[0].index;
+        assert!(!verify_dealing(&duplicate));
+        let mut no_commitments = dealing.clone();
+        no_commitments.commitments.clear();
+        assert!(!verify_dealing(&no_commitments));
+        // A dealing with no shares must not verify vacuously.
+        let mut no_shares = dealing.clone();
+        no_shares.shares.clear();
+        assert!(!verify_dealing(&no_shares));
+    }
+
+    #[test]
+    fn point_set_encoding_is_canonical() {
+        let points = [
+            Point::mul_generator(&Scalar::from_u64(3)),
+            Point::infinity(),
+            Point::mul_generator(&Scalar::from_u64(7)),
+        ];
+        let bytes = encode_point_set(&points);
+        assert_eq!(bytes.len(), 8 + 3 * 64);
+        assert_eq!(&bytes[..8], &3u64.to_be_bytes());
+        // The identity encodes as all-zero; finite points as their affine form.
+        assert_eq!(&bytes[8 + 64..8 + 128], &[0u8; 64]);
+        assert_eq!(
+            &bytes[8..8 + 64],
+            &points[0].to_affine().unwrap().to_bytes()
+        );
+        // Jacobian representation does not leak into the encoding: a doubled
+        // representative of the same group element encodes identically.
+        let same = points[0].add(&Point::infinity());
+        assert_eq!(encode_point_set(&[same]), encode_point_set(&[points[0]]));
+    }
+
+    #[test]
+    fn beacon_transcript_carries_contributions() {
+        let honest = vec![true, false, true];
+        let t = run_beacon_transcript(3, 2, &honest, b"round-t").unwrap();
+        assert_eq!(t.qualified, vec![0, 2]);
+        assert_eq!(t.contributions.len(), 3);
+        for (i, c) in t.contributions.iter().enumerate() {
+            assert_eq!(c.dealer, i);
+            assert_eq!(c.dealing.shares.len(), 3);
+            assert_eq!(verify_dealing(&c.dealing), honest[i]);
+        }
+        let (out, qualified) = run_beacon(3, 2, &honest, b"round-t").unwrap();
+        assert_eq!(out, t.output);
+        assert_eq!(qualified, t.qualified);
     }
 
     #[test]

@@ -6,10 +6,22 @@
 use crate::hmac::HmacDrbg;
 use crate::u256::U256;
 
+/// The secp256k1 group order `n` as a compile-time constant (little-endian
+/// limbs).
+pub const GROUP_ORDER: U256 = U256::from_limbs([
+    0xbfd2_5e8c_d036_4141,
+    0xbaae_dce6_af48_a03b,
+    0xffff_ffff_ffff_fffe,
+    0xffff_ffff_ffff_ffff,
+]);
+
+/// The precomputed complement `2^256 - n` (a 129-bit constant), used to fold
+/// the high half of products during reduction.
+const N_COMPLEMENT: U256 = U256::from_limbs([0x402d_a173_2fc9_bebf, 0x4551_2319_50b7_5fc4, 1, 0]);
+
 /// The secp256k1 group order `n`.
-pub fn group_order() -> U256 {
-    U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141")
-        .expect("valid group order literal")
+pub const fn group_order() -> U256 {
+    GROUP_ORDER
 }
 
 /// An element of GF(n), the scalar field of secp256k1.
@@ -32,14 +44,14 @@ impl Scalar {
         Scalar(U256::from_u64(v))
     }
 
-    /// Constructs from a `U256`, reducing modulo `n`.
+    /// Constructs from a `U256`, reducing modulo `n`. Inputs are below 2^256
+    /// and `n > 2^255`, so a single conditional subtraction fully reduces.
     pub fn from_u256(v: U256) -> Scalar {
-        let n = group_order();
-        let mut v = v;
-        while v >= n {
-            v = v.wrapping_sub(&n);
+        if v >= GROUP_ORDER {
+            Scalar(v.wrapping_sub(&GROUP_ORDER))
+        } else {
+            Scalar(v)
         }
-        Scalar(v)
     }
 
     /// Constructs from 32 big-endian bytes, reducing modulo `n`.
@@ -51,6 +63,21 @@ impl Scalar {
     pub fn from_hash(domain: &str, parts: &[&[u8]]) -> Scalar {
         let mut drbg = HmacDrbg::from_parts(domain, parts);
         Scalar::from_be_bytes(&drbg.next_bytes32())
+    }
+
+    /// Derives the `index`-th coefficient of a random-linear-combination
+    /// batch check from a transcript-bound seed. A zero coefficient would
+    /// drop an equation from the weighted sum; the hash output is uniform
+    /// over the group order so zero is unreachable in practice, but it is
+    /// mapped to one to keep the check honest. Shared by the Schnorr batch
+    /// verifier and the PVSS dealing verifier.
+    pub fn rlc_coefficient(domain: &str, seed: &[u8], index: u64) -> Scalar {
+        let z = Scalar::from_hash(domain, &[seed, &index.to_be_bytes()]);
+        if z.is_zero() {
+            Scalar::one()
+        } else {
+            z
+        }
     }
 
     /// Derives a *nonzero* scalar from a DRBG stream (rejection sampling).
@@ -80,12 +107,12 @@ impl Scalar {
 
     /// Scalar addition mod `n`.
     pub fn add(&self, rhs: &Scalar) -> Scalar {
-        Scalar(self.0.add_mod(&rhs.0, &group_order()))
+        Scalar(self.0.add_mod(&rhs.0, &GROUP_ORDER))
     }
 
     /// Scalar subtraction mod `n`.
     pub fn sub(&self, rhs: &Scalar) -> Scalar {
-        Scalar(self.0.sub_mod(&rhs.0, &group_order()))
+        Scalar(self.0.sub_mod(&rhs.0, &GROUP_ORDER))
     }
 
     /// Scalar negation mod `n`.
@@ -93,17 +120,69 @@ impl Scalar {
         Scalar::zero().sub(self)
     }
 
-    /// Scalar multiplication mod `n`.
+    /// Scalar multiplication mod `n`, reduced with the precomputed 129-bit
+    /// complement instead of recomputing it per call.
     pub fn mul(&self, rhs: &Scalar) -> Scalar {
-        Scalar(self.0.mul_mod(&rhs.0, &group_order()))
+        let wide = self.0.mul_wide(&rhs.0);
+        Scalar(U256::reduce_wide_with_complement(
+            &wide,
+            &GROUP_ORDER,
+            &N_COMPLEMENT,
+        ))
+    }
+
+    /// Exponentiation by an arbitrary 256-bit exponent (square-and-multiply),
+    /// mirroring [`crate::fe::Fe::pow`].
+    pub fn pow(&self, exp: &U256) -> Scalar {
+        let mut result = Scalar::one();
+        let mut found = false;
+        for i in (0..exp.bits().max(1)).rev() {
+            if found {
+                result = result.mul(&result);
+            }
+            if exp.bit(i) {
+                if found {
+                    result = result.mul(self);
+                } else {
+                    result = *self;
+                    found = true;
+                }
+            }
+        }
+        if found {
+            result
+        } else {
+            Scalar::one()
+        }
     }
 
     /// Multiplicative inverse via Fermat's little theorem. Panics on zero.
     pub fn invert(&self) -> Scalar {
         assert!(!self.is_zero(), "cannot invert zero scalar");
-        let n = group_order();
-        let exp = n.wrapping_sub(&U256::from_u64(2));
-        Scalar(self.0.pow_mod(&exp, &n))
+        self.pow(&GROUP_ORDER.wrapping_sub(&U256::from_u64(2)))
+    }
+
+    /// Montgomery batch inversion over the scalar field: one inversion plus
+    /// `3(n-1)` multiplications for the whole slice. Zero entries are left
+    /// untouched. Used by Lagrange interpolation in the PVSS layer.
+    pub fn batch_invert(elements: &mut [Scalar]) {
+        let mut prefix = Vec::with_capacity(elements.len());
+        let mut acc = Scalar::one();
+        for e in elements.iter() {
+            prefix.push(acc);
+            if !e.is_zero() {
+                acc = acc.mul(e);
+            }
+        }
+        let mut inv = acc.invert();
+        for (e, pre) in elements.iter_mut().zip(prefix).rev() {
+            if e.is_zero() {
+                continue;
+            }
+            let original = *e;
+            *e = inv.mul(&pre);
+            inv = inv.mul(&original);
+        }
     }
 
     /// Evaluates the polynomial with the given coefficients (constant term first)
@@ -208,6 +287,38 @@ mod tests {
         #[test]
         fn prop_bytes_round_trip(a in arb_scalar()) {
             prop_assert_eq!(Scalar::from_be_bytes(&a.to_be_bytes()), a);
+        }
+
+        #[test]
+        fn prop_pow_matches_generic(a in arb_scalar(), e in any::<u64>()) {
+            let generic = a.as_u256().pow_mod(&U256::from_u64(e), &group_order());
+            prop_assert_eq!(*a.pow(&U256::from_u64(e)).as_u256(), generic);
+        }
+
+        #[test]
+        fn prop_mul_matches_generic_reduction(a in arb_scalar(), b in arb_scalar()) {
+            let generic = a.as_u256().mul_mod(b.as_u256(), &group_order());
+            prop_assert_eq!(*a.mul(&b).as_u256(), generic);
+        }
+
+        #[test]
+        fn prop_batch_invert_matches_individual(raw in prop::collection::vec(
+            prop::array::uniform4(any::<u64>()), 0..10,
+        )) {
+            let mut elements: Vec<Scalar> = raw
+                .into_iter()
+                .map(|l| Scalar::from_u256(U256::from_limbs(l)))
+                .collect();
+            if !elements.is_empty() {
+                elements[0] = Scalar::zero();
+            }
+            let expected: Vec<Scalar> = elements
+                .iter()
+                .map(|e| if e.is_zero() { Scalar::zero() } else { e.invert() })
+                .collect();
+            let mut batched = elements.clone();
+            Scalar::batch_invert(&mut batched);
+            prop_assert_eq!(batched, expected);
         }
 
         #[test]

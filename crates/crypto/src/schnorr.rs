@@ -138,15 +138,20 @@ pub fn sign(sk: &SecretKey, message: &[u8]) -> Signature {
     Signature { r, s }
 }
 
-/// Verifies a Schnorr signature: checks `s·G == R + e·PK`.
+/// Verifies a Schnorr signature: checks `s·G == R + e·PK`, evaluated as the
+/// single Strauss–Shamir combination `s·G − e·PK` compared against `R`.
 pub fn verify(pk: &PublicKey, message: &[u8], sig: &Signature) -> bool {
     if !sig.r.is_on_curve() || !pk.point().is_on_curve() {
         return false;
     }
     let e = challenge(&sig.r, pk, message);
-    let lhs = Point::mul_generator(&sig.s);
-    let rhs = sig.r.to_point().add(&pk.point().to_point().mul(&e));
-    lhs.equals(&rhs)
+    let lhs = Point::mul_double(
+        &sig.s,
+        &Point::generator(),
+        &e.neg(),
+        &pk.point().to_point(),
+    );
+    lhs.equals(&sig.r.to_point())
 }
 
 /// One `(public key, message, signature)` triple of a batch verification.
@@ -202,19 +207,20 @@ pub fn batch_verify(entries: &[BatchEntry<'_>]) -> bool {
         if !entry.signature.r.is_on_curve() || !entry.public_key.point().is_on_curve() {
             return false;
         }
-        let z = Scalar::from_hash(
+        let z = Scalar::rlc_coefficient(
             "cycledger/schnorr-batch-coefficient",
-            &[&seed.as_bytes()[..], &(i as u64).to_be_bytes()],
+            &seed.as_bytes()[..],
+            i as u64,
         );
-        // A zero coefficient would drop an equation from the check; the hash
-        // output is uniform over the group order, so this is unreachable in
-        // practice, but keep the check honest.
-        let z = if z.is_zero() { Scalar::one() } else { z };
         let e = challenge(&entry.signature.r, entry.public_key, entry.message);
         scaled_s = scaled_s.add(&z.mul(&entry.signature.s));
-        rhs = rhs
-            .add(&entry.signature.r.to_point().mul(&z))
-            .add(&entry.public_key.point().to_point().mul(&z.mul(&e)));
+        // One Strauss–Shamir combination per entry: z·R_i + (z·e_i)·PK_i.
+        rhs = rhs.add(&Point::mul_double(
+            &z,
+            &entry.signature.r.to_point(),
+            &z.mul(&e),
+            &entry.public_key.point().to_point(),
+        ));
     }
     Point::mul_generator(&scaled_s).equals(&rhs)
 }

@@ -231,20 +231,50 @@ impl U256 {
         U256 { limbs: out }
     }
 
+    /// Reduces a 512-bit value modulo `modulus = 2^256 - c` where the
+    /// complement `c` fits a single limb — the secp256k1 field prime has
+    /// `c = 2^32 + 977`. Exactly two folds of the high half by `c` plus one
+    /// conditional subtraction, instead of the generic multi-round
+    /// [`reduce_wide`](Self::reduce_wide) loop.
+    pub fn reduce_wide_c64(wide: &Wide, modulus: &U256, c: u64) -> U256 {
+        debug_assert_eq!(U256::ZERO.wrapping_sub(modulus), U256::from_u64(c));
+        let hi = U256::from_limbs([wide[4], wide[5], wide[6], wide[7]]);
+        let lo = U256::from_limbs([wide[0], wide[1], wide[2], wide[3]]);
+        // First fold: hi·2^256 + lo ≡ hi·c + lo (mod m); hi·c spills at most
+        // one limb (`top < c`).
+        let (m, top) = hi.mul_u64(c);
+        let (acc, carry) = lo.overflowing_add(&m);
+        // Second fold: (top + carry)·2^256 ≡ (top + carry)·c, which fits u128.
+        let hi2 = top + carry as u64;
+        let (acc, carry) = acc.overflowing_add(&U256::from_u128((hi2 as u128) * (c as u128)));
+        // A final carry means the true value gained another 2^256 ≡ c; the
+        // wrapped value is tiny, so adding c cannot carry again.
+        let acc = if carry {
+            acc.wrapping_add(&U256::from_u64(c))
+        } else {
+            acc
+        };
+        if acc >= *modulus {
+            acc.wrapping_sub(modulus)
+        } else {
+            acc
+        }
+    }
+
     /// Reduces a 512-bit value modulo `modulus`, using repeated folding of the
-    /// high half by `2^256 mod modulus` followed by conditional subtraction.
+    /// high half by the precomputed complement `c = 2^256 - modulus` followed
+    /// by conditional subtraction.
     ///
     /// Requires `modulus > 2^255` (true for both the secp256k1 field prime and
     /// the group order), which guarantees the fold loop converges quickly.
-    pub fn reduce_wide(wide: &Wide, modulus: &U256) -> U256 {
+    pub fn reduce_wide_with_complement(wide: &Wide, modulus: &U256, c: &U256) -> U256 {
         debug_assert!(modulus.bit(255), "modulus must exceed 2^255");
-        // c = 2^256 - modulus = 2^256 mod modulus.
-        let c = U256::ZERO.wrapping_sub(modulus);
+        debug_assert_eq!(U256::ZERO.wrapping_sub(modulus), *c);
         let mut hi = U256::from_limbs([wide[4], wide[5], wide[6], wide[7]]);
         let mut lo = U256::from_limbs([wide[0], wide[1], wide[2], wide[3]]);
         while !hi.is_zero() {
             // hi * c + lo, recomputed as a fresh 512-bit value.
-            let prod = hi.mul_wide(&c);
+            let prod = hi.mul_wide(c);
             let mut acc = [0u64; 8];
             acc.copy_from_slice(&prod);
             let mut carry = 0u64;
@@ -268,6 +298,15 @@ impl U256 {
             lo = lo.wrapping_sub(modulus);
         }
         lo
+    }
+
+    /// Generic wide reduction; computes the complement on the fly. Prefer
+    /// [`reduce_wide_with_complement`](Self::reduce_wide_with_complement) (or
+    /// [`reduce_wide_c64`](Self::reduce_wide_c64) for single-limb complements)
+    /// on hot paths.
+    pub fn reduce_wide(wide: &Wide, modulus: &U256) -> U256 {
+        let c = U256::ZERO.wrapping_sub(modulus);
+        Self::reduce_wide_with_complement(wide, modulus, &c)
     }
 
     /// Modular addition `(self + rhs) mod modulus`; both inputs must already be
@@ -441,6 +480,22 @@ mod tests {
     }
 
     #[test]
+    fn reduce_wide_c64_extremes() {
+        let p = p();
+        let c = (1u64 << 32) + 977;
+        for wide in [[u64::MAX; 8], {
+            let mut w = [0u64; 8];
+            w[7] = u64::MAX;
+            w
+        }] {
+            assert_eq!(
+                U256::reduce_wide_c64(&wide, &p, c),
+                U256::reduce_wide(&wide, &p)
+            );
+        }
+    }
+
+    #[test]
     fn fermat_inverse_over_prime() {
         let p = p();
         let a = U256::from_hex("123456789abcdef123456789abcdef").unwrap();
@@ -513,6 +568,31 @@ mod tests {
             if a < p {
                 prop_assert_eq!(r, a);
             }
+        }
+
+        #[test]
+        fn prop_reduce_wide_c64_matches_generic(a in arb_u256(), b in arb_u256()) {
+            let p = p();
+            let c = (1u64 << 32) + 977;
+            let wide = a.mul_wide(&b);
+            prop_assert_eq!(
+                U256::reduce_wide_c64(&wide, &p, c),
+                U256::reduce_wide(&wide, &p)
+            );
+        }
+
+        #[test]
+        fn prop_reduce_wide_with_complement_matches_generic(a in arb_u256(), b in arb_u256()) {
+            // Against the secp256k1 group order, whose complement spans three limbs.
+            let n = U256::from_hex(
+                "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141"
+            ).unwrap();
+            let c = U256::ZERO.wrapping_sub(&n);
+            let wide = a.mul_wide(&b);
+            prop_assert_eq!(
+                U256::reduce_wide_with_complement(&wide, &n, &c),
+                U256::reduce_wide(&wide, &n)
+            );
         }
 
         #[test]

@@ -89,21 +89,24 @@ pub fn evaluate(sk: &SecretKey, input: &[u8]) -> VrfOutput {
 
 /// Verifies a VRF output/proof for `pk` on `input`.
 ///
-/// Checks the DLEQ relation `U = s·G + c·PK`, `V = s·H + c·Γ`, re-derives the
-/// challenge, and recomputes the output hash from `Γ`.
+/// Checks the DLEQ relation `U = s·G + c·PK`, `V = s·H + c·Γ` — each side one
+/// Strauss–Shamir double multiplication — re-derives the challenge, and
+/// recomputes the output hash from `Γ`.
 pub fn verify(pk: &PublicKey, input: &[u8], output: &VrfOutput) -> bool {
     if !output.proof.gamma.is_on_curve() || !pk.point().is_on_curve() {
         return false;
     }
     let h = hash_to_curve(H2C_DOMAIN, input);
     let proof = &output.proof;
-    let u = Point::mul_generator(&proof.s).add(&pk.point().to_point().mul(&proof.c));
-    let v = h
-        .to_point()
-        .mul(&proof.s)
-        .add(&proof.gamma.to_point().mul(&proof.c));
-    let (u, v) = match (u.to_affine(), v.to_affine()) {
-        (Some(u), Some(v)) => (u, v),
+    let u = Point::mul_double(
+        &proof.s,
+        &Point::generator(),
+        &proof.c,
+        &pk.point().to_point(),
+    );
+    let v = Point::mul_double(&proof.s, &h.to_point(), &proof.c, &proof.gamma.to_point());
+    let (u, v) = match Point::batch_to_affine(&[u, v]).as_slice() {
+        [Some(u), Some(v)] => (*u, *v),
         _ => return false,
     };
     let c_check = dleq_challenge(pk, &h, &proof.gamma, &u, &v);

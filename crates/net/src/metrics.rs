@@ -8,7 +8,20 @@
 
 use std::collections::HashMap;
 
+use cycledger_crypto::point::Point;
+
 use crate::topology::NodeId;
+
+/// Wire size in bytes of a canonically encoded set of group elements (e.g.
+/// the PVSS commitment vector a dealer broadcasts, or the sortition gamma
+/// points in a configuration proof), as produced by the crypto layer's
+/// [`cycledger_crypto::pvss::encode_point_set`]: an 8-byte length prefix plus
+/// 64 affine bytes per point. The encoding is fixed-width, so the size is
+/// computed arithmetically — no affine conversion or allocation just to meter
+/// a message (a test pins this to the real encoder's output).
+pub fn point_set_wire_bytes(points: &[Point]) -> u64 {
+    8 + points.len() as u64 * 64
+}
 
 /// Protocol phases used as accounting labels (matching §IV and Table II).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -337,6 +350,21 @@ mod tests {
         assert_eq!(a.node_phase(NodeId(1), Phase::Recovery).bytes_sent, 10);
         assert_eq!(a.node_phase(NodeId(5), Phase::Recovery).storage_bytes, 11);
         assert_eq!(a.entry_count(), 3);
+    }
+
+    #[test]
+    fn point_set_wire_bytes_matches_real_encoding() {
+        use cycledger_crypto::pvss::encode_point_set;
+        use cycledger_crypto::scalar::Scalar;
+        assert_eq!(point_set_wire_bytes(&[]), 8);
+        let mut points: Vec<Point> = (1..=3)
+            .map(|k| Point::mul_generator(&Scalar::from_u64(k)))
+            .collect();
+        points.push(Point::infinity());
+        assert_eq!(
+            point_set_wire_bytes(&points),
+            encode_point_set(&points).len() as u64
+        );
     }
 
     #[test]

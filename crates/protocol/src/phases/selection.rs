@@ -9,7 +9,7 @@
 use cycledger_crypto::pow::Puzzle;
 use cycledger_crypto::pvss;
 use cycledger_crypto::sha256::Digest;
-use cycledger_net::metrics::{MetricsSink, Phase};
+use cycledger_net::metrics::{point_set_wire_bytes, MetricsSink, Phase};
 use cycledger_net::topology::NodeId;
 use cycledger_reputation::ReputationTable;
 
@@ -53,22 +53,36 @@ pub fn run_selection(
     let mut round_tag = Vec::with_capacity(40);
     round_tag.extend_from_slice(&round.to_be_bytes());
     round_tag.extend_from_slice(current_randomness.as_bytes());
-    let beacon = pvss::run_beacon(referee.len(), threshold, &honesty, &round_tag);
-    // PVSS traffic: every dealer sends a share + commitments to every other
-    // referee member.
-    let dealing_bytes = (referee.len() as u64) * 32 + (threshold as u64) * 64;
-    for &dealer in referee {
+    let beacon = pvss::run_beacon_transcript(referee.len(), threshold, &honesty, &round_tag);
+    // PVSS traffic: every dealer broadcasts its shares plus its commitment
+    // vector to every other referee member. Sizes come from the actual
+    // published dealings — shares at 4 + 32 bytes each, commitments via the
+    // canonical (batch-converted) point-set encoding.
+    let (next_randomness, qualified_dealers, dealing_bytes) = match beacon {
+        Ok(transcript) => {
+            let sizes: Vec<u64> = transcript
+                .contributions
+                .iter()
+                .map(|c| {
+                    c.dealing.shares.len() as u64 * (4 + 32)
+                        + point_set_wire_bytes(&c.dealing.commitments)
+                })
+                .collect();
+            (Some(transcript.output), transcript.qualified, sizes)
+        }
+        Err(_) => {
+            // Beacon failure (every dealer corrupt): charge the nominal size.
+            let nominal = (referee.len() as u64) * (4 + 32) + 8 + (threshold as u64) * 64;
+            (None, Vec::new(), vec![nominal; referee.len()])
+        }
+    };
+    for (dealer_idx, &dealer) in referee.iter().enumerate() {
         for &receiver in referee {
             if dealer != receiver {
-                metrics.record_message(phase, dealer, receiver, dealing_bytes);
+                metrics.record_message(phase, dealer, receiver, dealing_bytes[dealer_idx]);
             }
         }
     }
-
-    let (next_randomness, qualified_dealers) = match beacon {
-        Ok((digest, qualified)) => (Some(digest), qualified),
-        Err(_) => (None, Vec::new()),
-    };
 
     // 2. PoW participation: every node solves the puzzle bound to the *current*
     //    randomness and submits the solution to the referee committee.

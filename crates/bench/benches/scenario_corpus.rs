@@ -1,0 +1,41 @@
+//! Scenario-corpus bench: rounds/sec over fixed entries of the built-in
+//! scenario registry.
+//!
+//! The scenario subsystem turns the adversary model into named, reproducible
+//! configurations; benchmarking directly against registry entries gives
+//! future performance PRs a corpus that cannot drift from what CI gates —
+//! a perf number quoted for `honest-baseline` or `mixed-adversary` always
+//! refers to the exact committed configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cycledger_protocol::Simulation;
+use cycledger_scenarios::builtin_scenarios;
+
+fn bench_scenario_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_corpus");
+    group.sample_size(10);
+
+    let registry = builtin_scenarios();
+    for name in ["honest-baseline", "mixed-adversary", "scaling-8x8"] {
+        let scenario = registry
+            .iter()
+            .find(|s| s.name == name)
+            .expect("bench names must stay in the registry");
+        let mut config = scenario.config;
+        config.worker_threads = 1;
+        group.bench_with_input(
+            BenchmarkId::new("rounds_per_sec", name),
+            &config,
+            |b, config| {
+                let mut sim = Simulation::new(*config).expect("valid scenario config");
+                b.iter(|| {
+                    sim.run_round();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenario_corpus);
+criterion_main!(benches);

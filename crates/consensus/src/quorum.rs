@@ -132,7 +132,7 @@ impl QuorumCertificate {
     /// This is the entry point the round engine's shard executor uses for
     /// per-shard vote sets: the whole `SigList` is handed to
     /// [`cycledger_crypto::schnorr::batch_verify`] at once. Structural rules
-    /// (membership, deduplication, threshold) are identical to [`verify`], and
+    /// (membership, deduplication, threshold) are identical to [`Self::verify`], and
     /// when the batch check fails the slow path re-runs per signature so the
     /// caller still learns *which* rule broke.
     pub fn verify_batch(&self, keys: &CommitteeKeys, threshold: usize) -> Result<(), QuorumError> {
@@ -174,7 +174,7 @@ impl QuorumCertificate {
         Err(QuorumError::BadSignature)
     }
 
-    /// Batched counterpart of [`verify_majority`].
+    /// Batched counterpart of [`Self::verify_majority`].
     pub fn verify_batch_majority(&self, keys: &CommitteeKeys) -> Result<(), QuorumError> {
         self.verify_batch(keys, keys.majority_threshold())
     }

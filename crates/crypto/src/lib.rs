@@ -3,7 +3,7 @@
 //! Cryptographic substrate for the CycLedger reproduction, implemented from
 //! scratch on top of the standard library:
 //!
-//! * [`sha256`] — SHA-256, the protocol's random oracle `H`.
+//! * [`mod@sha256`] — SHA-256, the protocol's random oracle `H`.
 //! * [`hmac`] — HMAC-SHA256 and an HMAC-DRBG deterministic byte stream.
 //! * [`u256`], [`fe`], [`scalar`], [`point`] — 256-bit integers, the secp256k1
 //!   base field, the scalar field, and group arithmetic.

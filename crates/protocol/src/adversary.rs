@@ -119,13 +119,47 @@ impl AdversaryConfig {
         Ok(())
     }
 
+    /// The largest corrupted-node count the paper's threat model allows for a
+    /// network of `total` nodes: the greatest `t` with `t < total/3` (§III-C).
+    pub fn max_corrupted(total: usize) -> usize {
+        total.saturating_sub(1) / 3
+    }
+
     /// Assigns behaviours to `total` nodes deterministically from `seed`.
     /// Corrupted nodes are spread uniformly over the id space (the paper's
     /// adversary corrupts arbitrary nodes; uniform spread is the natural
     /// worst-case-neutral choice for measuring detection rates).
+    ///
+    /// The corrupted count is deterministically clamped to
+    /// [`Self::max_corrupted`]: a `malicious_fraction` whose floor rounds to
+    /// `≥ ⌊total/3⌋` nodes would silently violate the paper's `t < n/3`
+    /// adversary bound, under which none of the detection/recovery claims
+    /// hold. Experiments that deliberately break the threat model (to show
+    /// *where* the protocol fails) must opt in via
+    /// [`Self::assign_unchecked`].
     pub fn assign(&self, total: usize, seed: u64) -> Vec<Behavior> {
+        self.assign_with_count(
+            total,
+            seed,
+            self.raw_malicious_count(total)
+                .min(Self::max_corrupted(total)),
+        )
+    }
+
+    /// Like [`Self::assign`] but *without* the threat-model clamp: the
+    /// corrupted count is exactly `⌊total · malicious_fraction⌋`, even beyond
+    /// the paper's `t < n/3` bound. Only for experiments that chart where the
+    /// protocol breaks.
+    pub fn assign_unchecked(&self, total: usize, seed: u64) -> Vec<Behavior> {
+        self.assign_with_count(total, seed, self.raw_malicious_count(total))
+    }
+
+    fn raw_malicious_count(&self, total: usize) -> usize {
+        (total as f64 * self.malicious_fraction).floor() as usize
+    }
+
+    fn assign_with_count(&self, total: usize, seed: u64, malicious_count: usize) -> Vec<Behavior> {
         let mut drbg = HmacDrbg::from_parts("cycledger/adversary", &[&seed.to_be_bytes()]);
-        let malicious_count = (total as f64 * self.malicious_fraction).floor() as usize;
         let mut behaviors = vec![Behavior::Honest; total];
         // Choose which nodes are corrupted by a deterministic partial shuffle.
         let mut indices: Vec<usize> = (0..total).collect();
@@ -203,6 +237,55 @@ mod tests {
         assert!(AdversaryConfig::with_behavior(0.5, Behavior::LazyVoter)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn assign_clamps_to_the_paper_bound() {
+        // 0.4 of 300 rounds to 120 corrupted nodes — well past t < n/3. The
+        // clamp caps the assignment at 99 (the largest t with 3t < 300).
+        let cfg = AdversaryConfig::uniform(0.4);
+        assert_eq!(AdversaryConfig::max_corrupted(300), 99);
+        let clamped = cfg.assign(300, 5);
+        assert_eq!(
+            clamped.iter().filter(|b| b.is_malicious()).count(),
+            99,
+            "assign must clamp to the largest t with t < n/3"
+        );
+        // The unchecked variant keeps the raw floor for break-the-protocol
+        // experiments.
+        let raw = cfg.assign_unchecked(300, 5);
+        assert_eq!(raw.iter().filter(|b| b.is_malicious()).count(), 120);
+        // Below the bound the two agree exactly.
+        let mild = AdversaryConfig::uniform(0.25);
+        assert_eq!(mild.assign(300, 5), mild.assign_unchecked(300, 5));
+    }
+
+    #[test]
+    fn max_corrupted_edge_cases() {
+        // t < n/3 boundaries: n divisible by 3 excludes exactly n/3.
+        assert_eq!(AdversaryConfig::max_corrupted(0), 0);
+        assert_eq!(AdversaryConfig::max_corrupted(1), 0);
+        assert_eq!(AdversaryConfig::max_corrupted(3), 0);
+        assert_eq!(AdversaryConfig::max_corrupted(4), 1);
+        assert_eq!(AdversaryConfig::max_corrupted(9), 2);
+        assert_eq!(AdversaryConfig::max_corrupted(10), 3);
+        for n in 1..200usize {
+            let t = AdversaryConfig::max_corrupted(n);
+            assert!(3 * t < n, "t = {t} violates t < {n}/3");
+            assert!(3 * (t + 1) >= n, "t = {t} is not maximal for n = {n}");
+        }
+    }
+
+    #[test]
+    fn clamped_assignment_is_deterministic() {
+        let cfg = AdversaryConfig::with_behavior(0.5, Behavior::WrongVoter);
+        assert_eq!(cfg.assign(64, 9), cfg.assign(64, 9));
+        let bad = cfg
+            .assign(64, 9)
+            .iter()
+            .filter(|b| b.is_malicious())
+            .count();
+        assert_eq!(bad, AdversaryConfig::max_corrupted(64));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::phases::inter::InterOutcome;
 use crate::phases::intra::IntraOutcome;
 use crate::phases::recovery::{run_recovery, Accusation};
 use crate::phases::selection::SelectionOutcome;
-use crate::report::{RoleGroups, RoundReport};
+use crate::report::{RecoveryOutcome, RecoveryRecord, RoleGroups, RoundReport};
 use crate::round::{RoundInput, RoundOutput};
 use crate::sortition::RoundAssignment;
 
@@ -81,8 +81,11 @@ pub struct RoundContext<'a> {
     pub evicted: Vec<(usize, NodeId)>,
     /// Signed witnesses produced so far.
     pub witnesses: usize,
-    /// Recoveries skipped because no prosecutor was available.
-    pub skipped_recoveries: usize,
+    /// Every recovery attempted so far, in attempt order (the invariant
+    /// observation log surfaced through [`RoundReport::recovery_log`]; the
+    /// report's skipped-recovery count is derived from it, so the log is the
+    /// single source of truth).
+    pub recovery_log: Vec<RecoveryRecord>,
 
     /// Per-shard intra-committee transaction lists (workload split).
     pub intra_per_shard: Vec<Vec<GeneratedTx>>,
@@ -178,7 +181,7 @@ impl<'a> RoundContext<'a> {
             metrics: MetricsSink::new(),
             evicted: Vec::new(),
             witnesses: 0,
-            skipped_recoveries: 0,
+            recovery_log: Vec::new(),
             intra_per_shard,
             cross_shard,
             offered_total,
@@ -219,7 +222,14 @@ impl<'a> RoundContext<'a> {
     /// consistent. Returns what happened.
     pub fn attempt_recovery(&mut self, k: usize, accusation: Accusation) -> RecoveryAttempt {
         let Some(prosecutor) = self.pick_prosecutor(k) else {
-            self.skipped_recoveries += 1;
+            let accused = self.committees[k].leader;
+            self.recovery_log.push(RecoveryRecord {
+                committee: k,
+                accused,
+                accused_was_honest: self.registry.node(accused).is_honest(),
+                prosecutor: None,
+                outcome: RecoveryOutcome::Skipped,
+            });
             return RecoveryAttempt::Skipped;
         };
         self.attempt_recovery_by(k, accusation, prosecutor)
@@ -233,6 +243,8 @@ impl<'a> RoundContext<'a> {
         accusation: Accusation,
         prosecutor: NodeId,
     ) -> RecoveryAttempt {
+        let accused = self.committees[k].leader;
+        let accused_was_honest = self.registry.node(accused).is_honest();
         let outcome = run_recovery(
             self.registry,
             &mut self.committees[k],
@@ -243,13 +255,21 @@ impl<'a> RoundContext<'a> {
             self.round,
             &mut self.metrics,
         );
-        match outcome.evicted {
+        let (attempt, logged) = match outcome.evicted {
             Some(old) => {
                 self.evicted.push((k, old));
-                RecoveryAttempt::Evicted(old)
+                (RecoveryAttempt::Evicted(old), RecoveryOutcome::Evicted)
             }
-            None => RecoveryAttempt::Rejected,
-        }
+            None => (RecoveryAttempt::Rejected, RecoveryOutcome::Rejected),
+        };
+        self.recovery_log.push(RecoveryRecord {
+            committee: k,
+            accused,
+            accused_was_honest,
+            prosecutor: Some(prosecutor),
+            outcome: logged,
+        });
+        attempt
     }
 
     /// Role groups of this round's assignment (Table II reporting).
@@ -309,8 +329,13 @@ impl<'a> RoundContext<'a> {
             rejected_by_referee: block_outcome.rejected_by_referee,
             evicted_leaders: self.evicted,
             witnesses: self.witnesses,
-            skipped_recoveries: self.skipped_recoveries,
+            skipped_recoveries: self
+                .recovery_log
+                .iter()
+                .filter(|r| r.outcome == RecoveryOutcome::Skipped)
+                .count(),
             censorship_reports: self.censorship_count,
+            recovery_log: self.recovery_log,
             fees_distributed: fees,
             channels,
             full_clique_channels: full_clique,

@@ -57,9 +57,44 @@ pub trait RoundPhase {
     fn execute(&mut self, ctx: &mut RoundContext<'_>);
 }
 
+/// Observation points the engine exposes to external subsystems.
+///
+/// The scenario runner's invariant checkers implement this to watch a round
+/// as it executes: the engine calls in at every phase boundary with shared
+/// access to the full [`RoundContext`], so an observer can inspect phase
+/// artifacts (eviction ledger, recovery log, witnesses, metrics) exactly as
+/// each phase produced them. Observers must not affect protocol output —
+/// they only read — which keeps the determinism contract intact whether or
+/// not one is attached.
+pub trait RoundObserver {
+    /// Called before a phase executes.
+    fn on_phase_start(&mut self, _phase: &'static str, _ctx: &RoundContext<'_>) {}
+
+    /// Called after a phase has executed and written its artifacts.
+    fn on_phase_end(&mut self, _phase: &'static str, _ctx: &RoundContext<'_>) {}
+}
+
+/// The do-nothing observer used by unobserved runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl RoundObserver for NoopObserver {}
+
 /// Drives a pipeline of phases over a context, in order.
 pub fn run_pipeline(ctx: &mut RoundContext<'_>, phases: &mut [Box<dyn RoundPhase>]) {
+    run_pipeline_observed(ctx, phases, &mut NoopObserver);
+}
+
+/// Drives a pipeline of phases over a context, in order, reporting every
+/// phase boundary to `observer`.
+pub fn run_pipeline_observed(
+    ctx: &mut RoundContext<'_>,
+    phases: &mut [Box<dyn RoundPhase>],
+    observer: &mut dyn RoundObserver,
+) {
     for phase in phases {
+        observer.on_phase_start(phase.name(), ctx);
         phase.execute(ctx);
+        observer.on_phase_end(phase.name(), ctx);
     }
 }

@@ -33,8 +33,8 @@ pub mod sortition;
 pub use adversary::{AdversaryConfig, Behavior, BehaviorMix};
 pub use committee::{Committee, InsideConsensusOutcome, LeaderFault};
 pub use config::ProtocolConfig;
-pub use engine::{RoundContext, RoundPhase, ShardExecutor};
+pub use engine::{NoopObserver, RoundContext, RoundObserver, RoundPhase, ShardExecutor};
 pub use node::{NodeRegistry, SimNode};
-pub use report::{RoundReport, SimulationSummary};
+pub use report::{RecoveryOutcome, RecoveryRecord, RoundReport, SimulationSummary};
 pub use simulation::Simulation;
 pub use sortition::{assign_round, AssignmentParams, CommitteeAssignment, RoundAssignment};

@@ -14,6 +14,66 @@ pub struct RoleGroups {
     pub referee_members: Vec<NodeId>,
 }
 
+/// What one recovery attempt did, as recorded in the round's recovery log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The accused leader was evicted and a partial-set member installed.
+    Evicted,
+    /// The impeachment ran but did not evict (bad evidence or no majority).
+    Rejected,
+    /// No partial-set member was left to prosecute; the committee sat the
+    /// round out.
+    Skipped,
+}
+
+impl RecoveryOutcome {
+    /// Stable one-byte encoding used by the canonical report bytes.
+    fn code(self) -> u8 {
+        match self {
+            RecoveryOutcome::Evicted => 0,
+            RecoveryOutcome::Rejected => 1,
+            RecoveryOutcome::Skipped => 2,
+        }
+    }
+}
+
+/// One entry of the round's recovery log: every impeachment the engine
+/// attempted, with the ground truth needed by external invariant checkers
+/// (the scenario subsystem's "no honest node punished" claim is checked
+/// against `accused_was_honest` captured *at accusation time*, so later
+/// behaviour flips between rounds cannot blur the record).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryRecord {
+    /// Committee the recovery ran in.
+    pub committee: usize,
+    /// The accused leader.
+    pub accused: NodeId,
+    /// Whether the accused was honest (registry ground truth) when accused.
+    pub accused_was_honest: bool,
+    /// The prosecuting partial-set member (`None` when the recovery was
+    /// skipped for lack of one).
+    pub prosecutor: Option<NodeId>,
+    /// What the attempt did.
+    pub outcome: RecoveryOutcome,
+}
+
+impl RecoveryRecord {
+    /// Appends the record's canonical byte encoding to `out`.
+    fn write_canonical_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.committee as u64).to_be_bytes());
+        out.extend_from_slice(&self.accused.0.to_be_bytes());
+        out.push(u8::from(self.accused_was_honest));
+        match self.prosecutor {
+            Some(p) => {
+                out.push(1);
+                out.extend_from_slice(&p.0.to_be_bytes());
+            }
+            None => out.push(0),
+        }
+        out.push(self.outcome.code());
+    }
+}
+
 /// Everything measured during one round.
 #[derive(Clone, Debug)]
 pub struct RoundReport {
@@ -43,6 +103,8 @@ pub struct RoundReport {
     pub skipped_recoveries: usize,
     /// Censorship (timeout) reports this round.
     pub censorship_reports: usize,
+    /// Every recovery the engine attempted this round, in attempt order.
+    pub recovery_log: Vec<RecoveryRecord>,
     /// Total fees distributed.
     pub fees_distributed: u64,
     /// Established reliable channels (Table I "burden on connection").
@@ -71,6 +133,16 @@ impl RoundReport {
             bytes_received: total.bytes_received / role.len() as u64,
             storage_bytes: total.storage_bytes / role.len() as u64,
         }
+    }
+
+    /// Honest nodes evicted by a recovery this round (ground truth captured
+    /// at accusation time). Soundness (Claim 4) demands this stays empty.
+    pub fn punished_honest(&self) -> Vec<NodeId> {
+        self.recovery_log
+            .iter()
+            .filter(|r| r.accused_was_honest && r.outcome == RecoveryOutcome::Evicted)
+            .map(|r| r.accused)
+            .collect()
     }
 
     /// Fraction of offered valid transactions that made it into the block.
@@ -107,6 +179,10 @@ impl RoundReport {
         for (committee, leader) in &self.evicted_leaders {
             out.extend_from_slice(&(*committee as u64).to_be_bytes());
             out.extend_from_slice(&leader.0.to_be_bytes());
+        }
+        out.extend_from_slice(&(self.recovery_log.len() as u64).to_be_bytes());
+        for record in &self.recovery_log {
+            record.write_canonical_bytes(out);
         }
         out.extend_from_slice(&self.fees_distributed.to_be_bytes());
         out.extend_from_slice(&self.timeout_delays_us.to_be_bytes());
@@ -174,6 +250,24 @@ impl SimulationSummary {
         self.rounds.iter().map(|r| r.skipped_recoveries).sum()
     }
 
+    /// Total censorship reports across the run.
+    pub fn total_censorship_reports(&self) -> usize {
+        self.rounds.iter().map(|r| r.censorship_reports).sum()
+    }
+
+    /// Total signed witnesses across the run.
+    pub fn total_witnesses(&self) -> usize {
+        self.rounds.iter().map(|r| r.witnesses).sum()
+    }
+
+    /// Every honest node evicted by a recovery anywhere in the run.
+    pub fn punished_honest(&self) -> Vec<NodeId> {
+        self.rounds
+            .iter()
+            .flat_map(|r| r.punished_honest())
+            .collect()
+    }
+
     /// A digest over the summary's canonical byte encoding.
     ///
     /// Two summaries with identical content produce identical digests
@@ -208,6 +302,13 @@ mod tests {
             witnesses: 1,
             skipped_recoveries: 0,
             censorship_reports: 0,
+            recovery_log: vec![RecoveryRecord {
+                committee: 0,
+                accused: NodeId(1),
+                accused_was_honest: false,
+                prosecutor: Some(NodeId(2)),
+                outcome: RecoveryOutcome::Evicted,
+            }],
             fees_distributed: 10,
             channels: 100,
             full_clique_channels: 1000,
@@ -235,6 +336,51 @@ mod tests {
         let empty = SimulationSummary::default();
         assert_eq!(empty.mean_throughput(), 0.0);
         assert_eq!(empty.mean_acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    fn punished_honest_reads_the_recovery_log() {
+        let mut report = dummy_report(0, 1, 1);
+        assert!(
+            report.punished_honest().is_empty(),
+            "malicious eviction is not punishment of the honest"
+        );
+        report.recovery_log.push(RecoveryRecord {
+            committee: 1,
+            accused: NodeId(9),
+            accused_was_honest: true,
+            prosecutor: Some(NodeId(3)),
+            outcome: RecoveryOutcome::Evicted,
+        });
+        report.recovery_log.push(RecoveryRecord {
+            committee: 1,
+            accused: NodeId(10),
+            accused_was_honest: true,
+            prosecutor: Some(NodeId(3)),
+            outcome: RecoveryOutcome::Rejected,
+        });
+        assert_eq!(report.punished_honest(), vec![NodeId(9)]);
+        let summary = SimulationSummary {
+            rounds: vec![report],
+        };
+        assert_eq!(summary.punished_honest(), vec![NodeId(9)]);
+    }
+
+    #[test]
+    fn recovery_log_reaches_the_canonical_bytes() {
+        let base = dummy_report(0, 1, 1);
+        let mut changed = base.clone();
+        changed.recovery_log[0].accused_was_honest = true;
+        let encode = |r: &RoundReport| {
+            let mut bytes = Vec::new();
+            r.write_canonical_bytes(&mut bytes);
+            bytes
+        };
+        assert_ne!(
+            encode(&base),
+            encode(&changed),
+            "the recovery log must be part of the canonical encoding"
+        );
     }
 
     #[test]

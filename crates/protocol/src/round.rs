@@ -10,7 +10,10 @@ use cycledger_ledger::workload::GeneratedTx;
 use cycledger_reputation::ReputationTable;
 
 use crate::config::ProtocolConfig;
-use crate::engine::{run_pipeline, standard_pipeline, RoundContext, ShardExecutor};
+use crate::engine::{
+    run_pipeline_observed, standard_pipeline, NoopObserver, RoundContext, RoundObserver,
+    ShardExecutor,
+};
 use crate::node::NodeRegistry;
 use crate::report::RoundReport;
 use crate::sortition::RoundAssignment;
@@ -50,8 +53,18 @@ pub struct RoundOutput {
 /// Runs one complete round on `executor`'s worker pool by delegating to the
 /// standard phase pipeline.
 pub fn run_round(input: RoundInput<'_>, executor: &ShardExecutor) -> RoundOutput {
+    run_round_observed(input, executor, &mut NoopObserver)
+}
+
+/// Like [`run_round`], with every phase boundary reported to `observer`
+/// (see [`RoundObserver`]). Observation never changes protocol output.
+pub fn run_round_observed(
+    input: RoundInput<'_>,
+    executor: &ShardExecutor,
+    observer: &mut dyn RoundObserver,
+) -> RoundOutput {
     let mut ctx = RoundContext::new(input, executor);
     let mut phases = standard_pipeline();
-    run_pipeline(&mut ctx, &mut phases);
+    run_pipeline_observed(&mut ctx, &mut phases, observer);
     ctx.into_output()
 }

@@ -20,10 +20,10 @@ use cycledger_ledger::workload::{Workload, WorkloadConfig};
 use cycledger_reputation::ReputationTable;
 
 use crate::config::ProtocolConfig;
-use crate::engine::ShardExecutor;
+use crate::engine::{NoopObserver, RoundObserver, ShardExecutor};
 use crate::node::NodeRegistry;
 use crate::report::{RoundReport, SimulationSummary};
-use crate::round::{run_round, RoundInput};
+use crate::round::{run_round_observed, RoundInput};
 use crate::sortition::{assign_round, AssignmentParams, RoundAssignment};
 
 /// A running CycLedger simulation: persistent chain, UTXO state, reputation and
@@ -135,8 +135,14 @@ impl Simulation {
 
     /// Runs one round and returns its report.
     pub fn run_round(&mut self) -> &RoundReport {
+        self.run_round_observed(&mut NoopObserver)
+    }
+
+    /// Runs one round with every phase boundary reported to `observer` (see
+    /// [`RoundObserver`]); observation never changes protocol output.
+    pub fn run_round_observed(&mut self, observer: &mut dyn RoundObserver) -> &RoundReport {
         let offered = self.workload.generate_batch(self.config.txs_per_round);
-        let output = run_round(
+        let output = run_round_observed(
             RoundInput {
                 config: &self.config,
                 registry: &self.registry,
@@ -148,6 +154,7 @@ impl Simulation {
                 block_height: self.chain.height() as u64,
             },
             &self.executor,
+            observer,
         );
         if let Some(block) = output.block {
             self.chain
@@ -171,8 +178,17 @@ impl Simulation {
 
     /// Runs `rounds` rounds and returns the aggregate summary.
     pub fn run(&mut self, rounds: usize) -> SimulationSummary {
+        self.run_observed(rounds, &mut NoopObserver)
+    }
+
+    /// Runs `rounds` rounds with a phase observer attached to every round.
+    pub fn run_observed(
+        &mut self,
+        rounds: usize,
+        observer: &mut dyn RoundObserver,
+    ) -> SimulationSummary {
         for _ in 0..rounds {
-            self.run_round();
+            self.run_round_observed(observer);
         }
         SimulationSummary {
             rounds: self.reports.clone(),

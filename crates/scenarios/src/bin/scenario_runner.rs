@@ -1,0 +1,244 @@
+//! `scenario-runner` — executes the scenario matrix, emits canonical JSON
+//! reports, and gates them against committed golden files.
+//!
+//! ```text
+//! scenario-runner [--matrix smoke|full] [--scenario NAME ...] [--list]
+//!                 [--scenario-dir DIR] [--out DIR] [--golden DIR]
+//!                 [--bless] [--jobs N]
+//! ```
+//!
+//! Exit status is non-zero when any invariant is violated, any report
+//! drifts from its golden file, or a golden file is missing (run with
+//! `--bless` to write the current reports as the new goldens).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cycledger_scenarios::registry::builtin_scenarios;
+use cycledger_scenarios::report::render_report;
+use cycledger_scenarios::runner::run_matrix;
+use cycledger_scenarios::spec::Scenario;
+use cycledger_scenarios::toml_cfg;
+
+struct Options {
+    matrix: String,
+    names: Vec<String>,
+    list: bool,
+    scenario_dir: Option<PathBuf>,
+    out_dir: PathBuf,
+    golden_dir: PathBuf,
+    bless: bool,
+    jobs: usize,
+}
+
+impl Options {
+    fn parse() -> Result<Options, String> {
+        let mut options = Options {
+            matrix: "full".into(),
+            names: Vec::new(),
+            list: false,
+            scenario_dir: None,
+            out_dir: PathBuf::from("scenarios/reports"),
+            golden_dir: PathBuf::from("scenarios/golden"),
+            bless: false,
+            jobs: 0,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value_of =
+                |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+            match arg.as_str() {
+                "--matrix" => {
+                    options.matrix = value_of("--matrix")?;
+                    if options.matrix != "smoke" && options.matrix != "full" {
+                        return Err(format!(
+                            "--matrix must be `smoke` or `full`, got {:?}",
+                            options.matrix
+                        ));
+                    }
+                }
+                "--scenario" => options.names.push(value_of("--scenario")?),
+                "--list" => options.list = true,
+                "--scenario-dir" => {
+                    options.scenario_dir = Some(PathBuf::from(value_of("--scenario-dir")?))
+                }
+                "--out" => options.out_dir = PathBuf::from(value_of("--out")?),
+                "--golden" => options.golden_dir = PathBuf::from(value_of("--golden")?),
+                "--bless" => options.bless = true,
+                "--jobs" => {
+                    options.jobs = value_of("--jobs")?
+                        .parse()
+                        .map_err(|_| "--jobs needs an integer".to_string())?
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "usage: scenario-runner [--matrix smoke|full] [--scenario NAME ...] \
+                         [--list] [--scenario-dir DIR] [--out DIR] [--golden DIR] [--bless] \
+                         [--jobs N]"
+                    );
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(options)
+    }
+}
+
+/// Builtins plus TOML-loaded scenarios; a loaded scenario with a builtin's
+/// name replaces the builtin (override), new names append.
+fn assemble_scenarios(options: &Options) -> Result<Vec<Scenario>, String> {
+    let mut scenarios = builtin_scenarios();
+    if let Some(dir) = &options.scenario_dir {
+        for loaded in toml_cfg::load_dir(dir)? {
+            match scenarios.iter_mut().find(|s| s.name == loaded.name) {
+                Some(slot) => *slot = loaded,
+                None => scenarios.push(loaded),
+            }
+        }
+    }
+    if !options.names.is_empty() {
+        let mut picked = Vec::new();
+        for name in &options.names {
+            let found = scenarios
+                .iter()
+                .find(|s| &s.name == name)
+                .ok_or_else(|| format!("no scenario named {name:?} (try --list)"))?;
+            picked.push(found.clone());
+        }
+        return Ok(picked);
+    }
+    if options.matrix == "smoke" {
+        scenarios.retain(|s| s.smoke);
+    }
+    Ok(scenarios)
+}
+
+fn main() -> ExitCode {
+    let options = match Options::parse() {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("scenario-runner: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenarios = match assemble_scenarios(&options) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scenario-runner: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if options.list {
+        println!(
+            "{:<24} {:<6} {:<28} {:>6} {:>8} {:>11}",
+            "scenario", "smoke", "paper claim", "rounds", "faults", "invariants"
+        );
+        for s in &scenarios {
+            println!(
+                "{:<24} {:<6} {:<28} {:>6} {:>8} {:>11}",
+                s.name,
+                s.smoke,
+                s.paper_claim,
+                s.rounds,
+                s.faults.len(),
+                s.invariants.len()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if scenarios.is_empty() {
+        eprintln!("scenario-runner: nothing to run");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::create_dir_all(&options.out_dir) {
+        eprintln!(
+            "scenario-runner: creating {}: {e}",
+            options.out_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let started = std::time::Instant::now();
+    let results = run_matrix(&scenarios, options.jobs);
+    let mut failures = 0usize;
+    for (scenario, result) in scenarios.iter().zip(results) {
+        let run = match result {
+            Ok(run) => run,
+            Err(e) => {
+                println!("✗ {:<24} failed to run: {e}", scenario.name);
+                failures += 1;
+                continue;
+            }
+        };
+        let report = render_report(&run);
+        let report_path = options.out_dir.join(format!("{}.json", scenario.name));
+        if let Err(e) = std::fs::write(&report_path, &report) {
+            eprintln!("scenario-runner: writing {}: {e}", report_path.display());
+            return ExitCode::FAILURE;
+        }
+
+        let golden_path = options.golden_dir.join(format!("{}.json", scenario.name));
+        let golden_status = if options.bless {
+            if let Err(e) = std::fs::create_dir_all(&options.golden_dir) {
+                eprintln!(
+                    "scenario-runner: creating {}: {e}",
+                    options.golden_dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = std::fs::write(&golden_path, &report) {
+                eprintln!("scenario-runner: writing {}: {e}", golden_path.display());
+                return ExitCode::FAILURE;
+            }
+            "blessed"
+        } else {
+            match std::fs::read_to_string(&golden_path) {
+                Ok(golden) if golden == report => "golden ok",
+                Ok(_) => {
+                    failures += 1;
+                    "GOLDEN DRIFT"
+                }
+                Err(_) => {
+                    failures += 1;
+                    "GOLDEN MISSING"
+                }
+            }
+        };
+
+        let violations = run.violations();
+        if violations.is_empty() {
+            println!(
+                "✓ {:<24} {:>2} invariants ok, {golden_status} ({})",
+                scenario.name,
+                run.invariants.len(),
+                run.outcome.digest.chars().take(12).collect::<String>()
+            );
+        } else {
+            failures += 1;
+            println!(
+                "✗ {:<24} {} of {} invariants VIOLATED, {golden_status}",
+                scenario.name,
+                violations.len(),
+                run.invariants.len()
+            );
+            for v in violations {
+                println!("    {}: {}", v.invariant, v.detail);
+            }
+        }
+    }
+
+    println!(
+        "\n{} scenario(s) in {:.1}s, {failures} failure(s); reports in {}",
+        scenarios.len(),
+        started.elapsed().as_secs_f64(),
+        options.out_dir.display()
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

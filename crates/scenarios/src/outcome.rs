@@ -1,0 +1,89 @@
+//! What one scenario run produced: everything the invariant checkers and the
+//! JSON report read.
+
+use cycledger_net::topology::NodeId;
+use cycledger_protocol::adversary::Behavior;
+use cycledger_protocol::report::SimulationSummary;
+
+use crate::spec::Scenario;
+
+/// Ground truth about one node after the run (behaviour reflects any
+/// injected faults).
+#[derive(Clone, Debug)]
+pub struct NodeSnapshot {
+    /// The node.
+    pub id: NodeId,
+    /// Whether the node ended the run honest.
+    pub honest: bool,
+    /// Final reputation.
+    pub reputation: f64,
+}
+
+/// A fault injection with its target resolved to a concrete node.
+#[derive(Clone, Copy, Debug)]
+pub struct ResolvedFault {
+    /// Round before which the flip was applied.
+    pub round: u64,
+    /// The node that was flipped.
+    pub node: NodeId,
+    /// The behaviour assigned.
+    pub behavior: Behavior,
+}
+
+/// Everything measured while running one scenario across its worker matrix.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Per-round reports of the baseline run (first worker count).
+    pub summary: SimulationSummary,
+    /// Canonical digest of the baseline summary (hex).
+    pub digest: String,
+    /// `(worker_count, digest)` for every entry of the worker matrix.
+    pub worker_digests: Vec<(usize, String)>,
+    /// Digest of a second, fresh baseline run (run-to-run stability).
+    pub rerun_digest: String,
+    /// Every fault injection, resolved to concrete nodes.
+    pub injected: Vec<ResolvedFault>,
+    /// Final per-node ground truth (sorted by node id).
+    pub nodes: Vec<NodeSnapshot>,
+    /// Number of malicious nodes at the end of the run.
+    pub malicious_count: usize,
+    /// Total simulated nodes.
+    pub total_nodes: usize,
+    /// Final chain height of the baseline run.
+    pub chain_height: usize,
+    /// Phase names each round executed, in execution order (from the
+    /// [`cycledger_protocol::engine::RoundObserver`] hooks).
+    pub phase_trace: Vec<Vec<&'static str>>,
+}
+
+impl ScenarioOutcome {
+    /// Nodes that were flipped to a leader fault by an injection (the
+    /// recovery-completeness invariant checks each one was evicted).
+    pub fn injected_leader_faults(&self) -> Vec<ResolvedFault> {
+        self.injected
+            .iter()
+            .copied()
+            .filter(|f| f.behavior.is_leader_fault())
+            .collect()
+    }
+
+    /// Highest final reputation among honest nodes.
+    pub fn best_honest_reputation(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.honest)
+            .map(|n| n.reputation)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Highest final reputation among malicious nodes (−∞ when none).
+    pub fn best_malicious_reputation(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| !n.honest)
+            .map(|n| n.reputation)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}

@@ -1,0 +1,426 @@
+//! The built-in scenario registry: one named, invariant-gated configuration
+//! per adversarial behaviour of §III-C, plus mixed-adversary, workload and
+//! scaling sweeps. `scenario-runner --list` prints this table; the README
+//! maps each entry to its paper claim.
+
+use cycledger_protocol::adversary::{AdversaryConfig, Behavior, BehaviorMix};
+use cycledger_protocol::config::ProtocolConfig;
+
+use crate::invariant::Invariant;
+use crate::spec::{FaultInjection, FaultTarget, LatencyProfile, Scenario};
+
+/// The small two-committee configuration most security scenarios run on:
+/// large enough to exercise every phase (cross-shard traffic included),
+/// small enough that a full worker-matrix pass stays in the smoke budget.
+fn security_config(seed: u64) -> ProtocolConfig {
+    ProtocolConfig {
+        committees: 2,
+        committee_size: 8,
+        partial_set_size: 2,
+        referee_size: 5,
+        txs_per_round: 40,
+        accounts_per_shard: 32,
+        cross_shard_ratio: 0.25,
+        invalid_ratio: 0.05,
+        pow_difficulty: 2,
+        seed,
+        ..ProtocolConfig::default()
+    }
+}
+
+/// The invariants every scenario asserts: determinism across the worker
+/// matrix and across consecutive runs, the standard pipeline shape, and the
+/// soundness baseline that no honest node is ever punished.
+fn common_invariants() -> Vec<Invariant> {
+    vec![
+        Invariant::DigestMatchesAcrossWorkerCounts,
+        Invariant::DigestStableAcrossRuns,
+        Invariant::PipelineComplete,
+        Invariant::NoHonestNodePunished,
+    ]
+}
+
+fn leader_fault_scenario(
+    name: &str,
+    claim: &str,
+    description: &str,
+    seed: u64,
+    behavior: Behavior,
+    extra: Vec<Invariant>,
+) -> Scenario {
+    let mut scenario = Scenario::new(name, security_config(seed));
+    scenario.description = description.into();
+    scenario.paper_claim = claim.into();
+    scenario.smoke = true;
+    scenario.faults.push(FaultInjection {
+        round: 0,
+        target: FaultTarget::Leader(0),
+        behavior,
+    });
+    scenario.invariants = common_invariants();
+    scenario.invariants.extend([
+        Invariant::AllInjectedLeaderFaultsRecovered,
+        Invariant::MinEvictions(1),
+    ]);
+    scenario.invariants.extend(extra);
+    scenario
+}
+
+/// Builds the full built-in registry.
+pub fn builtin_scenarios() -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+
+    // 1 — honest baseline: liveness and throughput with no adversary.
+    let mut honest = Scenario::new("honest-baseline", security_config(101));
+    honest.description = "No adversary: every round produces a block, nobody is evicted, valid \
+         transactions are accepted at a high rate."
+        .into();
+    honest.paper_claim = "§IV (liveness)".into();
+    honest.smoke = true;
+    honest.invariants = common_invariants();
+    honest.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::NoEvictions,
+        Invariant::MinMeanAcceptanceRate(0.9),
+        Invariant::PackedWithinOfferedValid,
+    ]);
+    scenarios.push(honest);
+
+    // 2-5 — one scenario per leader fault of §III-C.
+    scenarios.push(leader_fault_scenario(
+        "silent-leader",
+        "Claim 3 (completeness)",
+        "A fail-silent leader is detected via the partial set and evicted; \
+         blocks keep flowing.",
+        102,
+        Behavior::SilentLeader,
+        vec![Invariant::BlocksEveryRound],
+    ));
+    scenarios.push(leader_fault_scenario(
+        "equivocating-leader",
+        "Claim 3 / Algorithm 3",
+        "A leader proposing different payloads to different committee halves \
+         is caught by the Algorithm 3 abort, a signed witness is produced, \
+         and the leader is evicted.",
+        103,
+        Behavior::EquivocatingLeader,
+        vec![Invariant::MinWitnesses(1), Invariant::BlocksEveryRound],
+    ));
+    scenarios.push(leader_fault_scenario(
+        "mismatched-commitment",
+        "Theorem 2",
+        "A leader whose semi-commitment does not match the member list is \
+         impeached on an unforgeable witness.",
+        104,
+        Behavior::MismatchedCommitment,
+        vec![Invariant::MinWitnesses(1)],
+    ));
+    let mut censor = leader_fault_scenario(
+        "censoring-leader",
+        "Lemma 6",
+        "A leader concealing cross-shard transaction lists is reported by \
+         timeout, evicted, and the censored transactions still apply via the \
+         partial set.",
+        105,
+        Behavior::CensoringLeader,
+        vec![
+            Invariant::MinCensorshipReports(1),
+            Invariant::CensoredCrossShardTxsEventuallyApply,
+            Invariant::BlocksEveryRound,
+        ],
+    );
+    censor.config.cross_shard_ratio = 0.8;
+    censor.config.invalid_ratio = 0.0;
+    scenarios.push(censor);
+
+    // 6 — wrong voters: reputation punishes systematic misvoting (§VII-B).
+    let mut wrong = Scenario::new("wrong-voters", security_config(106));
+    wrong.config.adversary = AdversaryConfig::with_behavior(0.25, Behavior::WrongVoter);
+    wrong.description = "A quarter of nodes vote the opposite of their honest judgement on \
+         every transaction: blocks still flow and none of them out-earns the \
+         best honest node."
+        .into();
+    wrong.paper_claim = "§VII-B".into();
+    wrong.smoke = true;
+    wrong.invariants = common_invariants();
+    wrong.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::MaliciousNeverOutearnHonest,
+        Invariant::AdversaryBoundRespected,
+    ]);
+    scenarios.push(wrong);
+
+    // 7 — lazy voters: free-riding earns nothing (§VII-A).
+    let mut lazy = Scenario::new("lazy-voters", security_config(107));
+    lazy.config.adversary = AdversaryConfig::with_behavior(0.25, Behavior::LazyVoter);
+    lazy.description = "A quarter of nodes always vote Unknown: their reputation stalls at \
+         the bottom while honest voters accumulate scores."
+        .into();
+    lazy.paper_claim = "§VII-A".into();
+    lazy.smoke = true;
+    lazy.invariants = common_invariants();
+    lazy.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::MaliciousNeverOutearnHonest,
+    ]);
+    scenarios.push(lazy);
+
+    // 8 — false accusers: fabricated witnesses never evict honest leaders
+    // (Claim 4's premise of honest leaders and referees is enforced by
+    // per-round injections, as the paper's w.h.p. argument needs real sizes).
+    let mut framed = Scenario::new("false-accusers", security_config(108));
+    framed.config.adversary = AdversaryConfig::with_behavior(0.3, Behavior::FalseAccuser);
+    framed.description = "Malicious partial-set members submit fabricated witnesses against \
+         honest leaders every round; soundness holds and nobody is evicted."
+        .into();
+    framed.paper_claim = "Claim 4 (soundness)".into();
+    framed.smoke = true;
+    for round in 0..3 {
+        framed.faults.push(FaultInjection {
+            round,
+            target: FaultTarget::AllLeaders,
+            behavior: Behavior::Honest,
+        });
+        framed.faults.push(FaultInjection {
+            round,
+            target: FaultTarget::AllReferees,
+            behavior: Behavior::Honest,
+        });
+    }
+    framed.invariants = common_invariants();
+    framed
+        .invariants
+        .extend([Invariant::NoEvictions, Invariant::BlocksEveryRound]);
+    scenarios.push(framed);
+
+    // 9 — mixed adversary: every behaviour at once under the paper bound.
+    let mut mixed = Scenario::new("mixed-adversary", security_config(109));
+    mixed.config.adversary = AdversaryConfig::uniform(0.25);
+    mixed.config.cross_shard_ratio = 0.3;
+    mixed.description = "A quarter of nodes drawn uniformly over all seven malicious \
+         behaviours: the protocol keeps producing blocks without ever \
+         punishing an honest node."
+        .into();
+    mixed.paper_claim = "§III-C (adversary model)".into();
+    mixed.smoke = true;
+    mixed.invariants = common_invariants();
+    mixed.invariants.extend([
+        Invariant::MinBlocksProduced(2),
+        Invariant::AdversaryBoundRespected,
+    ]);
+    scenarios.push(mixed);
+
+    // 10 — adversary-bound clamp: a nominal 50% adversary is deterministically
+    // clamped to the paper's t < n/3 before assignment.
+    let mut clamp = Scenario::new("adversary-bound-clamp", security_config(110));
+    clamp.config.adversary = AdversaryConfig {
+        malicious_fraction: 0.5,
+        mix: BehaviorMix::Uniform,
+    };
+    clamp.description = "A nominal 50% corruption request is clamped to the paper's t < n/3 \
+         bound at assignment time; under the clamped adversary the protocol \
+         still makes progress."
+        .into();
+    clamp.paper_claim = "§III-C (t < n/3)".into();
+    clamp.smoke = true;
+    clamp.invariants = common_invariants();
+    clamp.invariants.extend([
+        Invariant::AdversaryBoundRespected,
+        Invariant::MinBlocksProduced(1),
+    ]);
+    scenarios.push(clamp);
+
+    // 11 — cross-shard heavy workload (no adversary).
+    let mut cross = Scenario::new("cross-shard-heavy", security_config(111));
+    cross.config.cross_shard_ratio = 0.8;
+    cross.config.invalid_ratio = 0.0;
+    cross.description = "80% cross-shard workload through the inter-committee path: \
+         everything applies, every round."
+        .into();
+    cross.paper_claim = "§IV-D".into();
+    cross.invariants = common_invariants();
+    cross.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::CensoredCrossShardTxsEventuallyApply,
+        Invariant::MinMeanAcceptanceRate(0.8),
+        Invariant::PackedWithinOfferedValid,
+    ]);
+    scenarios.push(cross);
+
+    // 12 — invalid flood: committees filter garbage.
+    let mut invalid = Scenario::new("invalid-flood", security_config(112));
+    invalid.config.invalid_ratio = 0.5;
+    invalid.description = "Half the offered transactions are deliberately invalid: none of \
+         them reaches a block, valid ones still flow."
+        .into();
+    invalid.paper_claim = "§IV-C (validation)".into();
+    invalid.invariants = common_invariants();
+    invalid.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::PackedWithinOfferedValid,
+        Invariant::MinMeanAcceptanceRate(0.8),
+        Invariant::NoEvictions,
+    ]);
+    scenarios.push(invalid);
+
+    // 13 — WAN latency profile: the protocol tolerates stretched bounds.
+    let mut wan = Scenario::new("wan-latency", security_config(113));
+    wan.config.latency = LatencyProfile::Wan.config();
+    wan.rounds = 2;
+    wan.description = "The stretched wide-area latency profile (Δ=150ms, Γ=600ms): \
+         synchrony-bound phases still complete every round."
+        .into();
+    wan.paper_claim = "§III-B (network model)".into();
+    wan.invariants = common_invariants();
+    wan.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::MinMeanAcceptanceRate(0.9),
+    ]);
+    scenarios.push(wan);
+
+    // 14 — scaling sweep: 4 committees x 12 members, signature fast path off.
+    let mut scale4 = Scenario::new(
+        "scaling-4x12",
+        ProtocolConfig {
+            committees: 4,
+            committee_size: 12,
+            partial_set_size: 3,
+            referee_size: 7,
+            txs_per_round: 120,
+            accounts_per_shard: 48,
+            cross_shard_ratio: 0.3,
+            invalid_ratio: 0.05,
+            pow_difficulty: 2,
+            verify_signatures: false,
+            seed: 114,
+            ..ProtocolConfig::default()
+        },
+    );
+    scale4.description = "Four committees of twelve: the failure-probability cross-check ties \
+         the analysis crate's exact hypergeometric bound to the scenario's \
+         (n, t, m, c, λ)."
+        .into();
+    scale4.paper_claim = "§VI / Table I row 4".into();
+    scale4.invariants = common_invariants();
+    scale4.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::FailureProbabilityBelow(0.2),
+    ]);
+    scenarios.push(scale4);
+
+    // 15 — scaling sweep: 8 committees x 8 members.
+    let mut scale8 = Scenario::new(
+        "scaling-8x8",
+        ProtocolConfig {
+            committees: 8,
+            committee_size: 8,
+            partial_set_size: 3,
+            referee_size: 5,
+            txs_per_round: 160,
+            accounts_per_shard: 24,
+            cross_shard_ratio: 0.3,
+            invalid_ratio: 0.05,
+            pow_difficulty: 2,
+            verify_signatures: false,
+            seed: 115,
+            ..ProtocolConfig::default()
+        },
+    );
+    scale8.rounds = 2;
+    scale8.description = "Eight committees of eight: the widest shard fan-out in the matrix, \
+         exercising the executor across more shards than workers."
+        .into();
+    scale8.paper_claim = "§VI (scalability)".into();
+    scale8.invariants = common_invariants();
+    scale8.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::FailureProbabilityBelow(0.35),
+    ]);
+    scenarios.push(scale8);
+
+    scenarios
+}
+
+/// The names of the smoke subset (fast, CI-gated).
+pub fn smoke_names() -> Vec<String> {
+    builtin_scenarios()
+        .into_iter()
+        .filter(|s| s.smoke)
+        .map(|s| s.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn at_least_twelve_builtins_all_valid_with_unique_names() {
+        let scenarios = builtin_scenarios();
+        assert!(scenarios.len() >= 12, "only {} builtins", scenarios.len());
+        let names: HashSet<_> = scenarios.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), scenarios.len(), "duplicate scenario names");
+        for s in &scenarios {
+            assert_eq!(s.validate(), Ok(()), "{}", s.name);
+            assert!(!s.description.is_empty(), "{} has no description", s.name);
+            assert!(!s.paper_claim.is_empty(), "{} has no paper claim", s.name);
+        }
+    }
+
+    #[test]
+    fn every_behavior_variant_is_covered_with_an_invariant() {
+        let scenarios = builtin_scenarios();
+        let mut covered: HashSet<Behavior> = HashSet::new();
+        for s in &scenarios {
+            assert!(!s.invariants.is_empty());
+            for f in &s.faults {
+                covered.insert(f.behavior);
+            }
+            match s.config.adversary.mix {
+                BehaviorMix::Fixed(b) => {
+                    if s.config.adversary.malicious_fraction > 0.0 {
+                        covered.insert(b);
+                    }
+                }
+                BehaviorMix::Uniform => {
+                    // Uniform draws over all malicious behaviours.
+                    covered.extend([
+                        Behavior::SilentLeader,
+                        Behavior::EquivocatingLeader,
+                        Behavior::MismatchedCommitment,
+                        Behavior::CensoringLeader,
+                        Behavior::WrongVoter,
+                        Behavior::LazyVoter,
+                        Behavior::FalseAccuser,
+                    ]);
+                }
+            }
+        }
+        covered.insert(Behavior::Honest); // the baseline scenario
+        assert_eq!(covered.len(), 8, "uncovered behaviours remain");
+        // Beyond mix coverage, every leader fault has a *dedicated* scenario
+        // with a targeted injection.
+        for behavior in [
+            Behavior::SilentLeader,
+            Behavior::EquivocatingLeader,
+            Behavior::MismatchedCommitment,
+            Behavior::CensoringLeader,
+        ] {
+            assert!(
+                scenarios
+                    .iter()
+                    .any(|s| s.faults.iter().any(|f| f.behavior == behavior)),
+                "{behavior:?} has no targeted scenario"
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_subset_is_marked() {
+        let smoke = smoke_names();
+        assert!(smoke.len() >= 8, "smoke matrix too thin: {smoke:?}");
+        assert!(smoke.contains(&"honest-baseline".to_string()));
+        assert!(smoke.contains(&"mixed-adversary".to_string()));
+    }
+}

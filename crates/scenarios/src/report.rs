@@ -1,0 +1,211 @@
+//! Canonical per-scenario JSON reports.
+//!
+//! The renderer is hand-rolled (the workspace is dependency-free) and emits
+//! every field in a fixed order with fixed float formatting, so two runs of
+//! the same scenario produce byte-identical files. Golden gating is plain
+//! string equality against the committed files under `scenarios/golden/`.
+
+use cycledger_protocol::adversary::AdversaryConfig;
+
+use crate::runner::ScenarioRun;
+use crate::spec::{behavior_name, mix_name};
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders the canonical JSON report for one scenario run.
+pub fn render_report(run: &ScenarioRun) -> String {
+    let outcome = &run.outcome;
+    let scenario = &outcome.scenario;
+    let cfg = &scenario.config;
+    let summary = &outcome.summary;
+
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"cycledger-scenario-report/v1\",\n");
+    out.push_str(&format!(
+        "  \"name\": \"{}\",\n",
+        escape_json(&scenario.name)
+    ));
+    out.push_str(&format!(
+        "  \"paper_claim\": \"{}\",\n",
+        escape_json(&scenario.paper_claim)
+    ));
+    out.push_str(&format!(
+        "  \"description\": \"{}\",\n",
+        escape_json(&scenario.description)
+    ));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"rounds\": {},\n", scenario.rounds));
+    out.push_str(&format!("  \"smoke\": {},\n", scenario.smoke));
+
+    out.push_str("  \"config\": {\n");
+    out.push_str(&format!("    \"committees\": {},\n", cfg.committees));
+    out.push_str(&format!(
+        "    \"committee_size\": {},\n",
+        cfg.committee_size
+    ));
+    out.push_str(&format!(
+        "    \"partial_set_size\": {},\n",
+        cfg.partial_set_size
+    ));
+    out.push_str(&format!("    \"referee_size\": {},\n", cfg.referee_size));
+    out.push_str(&format!("    \"total_nodes\": {},\n", cfg.total_nodes()));
+    out.push_str(&format!("    \"txs_per_round\": {},\n", cfg.txs_per_round));
+    out.push_str(&format!(
+        "    \"cross_shard_ratio\": {:?},\n",
+        cfg.cross_shard_ratio
+    ));
+    out.push_str(&format!(
+        "    \"invalid_ratio\": {:?},\n",
+        cfg.invalid_ratio
+    ));
+    out.push_str(&format!(
+        "    \"malicious_fraction\": {:?},\n",
+        cfg.adversary.malicious_fraction
+    ));
+    out.push_str(&format!(
+        "    \"mix\": \"{}\",\n",
+        escape_json(&mix_name(cfg.adversary.mix))
+    ));
+    out.push_str(&format!(
+        "    \"verify_signatures\": {}\n",
+        cfg.verify_signatures
+    ));
+    out.push_str("  },\n");
+
+    out.push_str(&format!("  \"digest\": \"{}\",\n", outcome.digest));
+    out.push_str("  \"worker_digests\": [\n");
+    for (i, (workers, digest)) in outcome.worker_digests.iter().enumerate() {
+        let comma = if i + 1 < outcome.worker_digests.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    {{ \"workers\": {workers}, \"digest\": \"{digest}\" }}{comma}\n"
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"rerun_digest\": \"{}\",\n",
+        outcome.rerun_digest
+    ));
+
+    out.push_str("  \"adversary\": {\n");
+    out.push_str(&format!(
+        "    \"malicious_nodes\": {},\n",
+        outcome.malicious_count
+    ));
+    out.push_str(&format!(
+        "    \"max_corrupted\": {}\n",
+        AdversaryConfig::max_corrupted(outcome.total_nodes)
+    ));
+    out.push_str("  },\n");
+
+    out.push_str("  \"injected_faults\": [\n");
+    for (i, fault) in outcome.injected.iter().enumerate() {
+        let comma = if i + 1 < outcome.injected.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    {{ \"round\": {}, \"node\": {}, \"behavior\": \"{}\" }}{comma}\n",
+            fault.round,
+            fault.node.0,
+            behavior_name(fault.behavior)
+        ));
+    }
+    out.push_str("  ],\n");
+
+    let cross_packed: usize = summary
+        .rounds
+        .iter()
+        .map(|r| r.txs_packed_cross_shard)
+        .sum();
+    out.push_str("  \"metrics\": {\n");
+    out.push_str(&format!(
+        "    \"blocks_produced\": {},\n",
+        summary.blocks_produced()
+    ));
+    out.push_str(&format!(
+        "    \"chain_height\": {},\n",
+        outcome.chain_height
+    ));
+    out.push_str(&format!(
+        "    \"total_packed\": {},\n",
+        summary.total_packed()
+    ));
+    out.push_str(&format!(
+        "    \"total_cross_shard_packed\": {cross_packed},\n"
+    ));
+    out.push_str(&format!(
+        "    \"mean_acceptance_rate\": {:.6},\n",
+        summary.mean_acceptance_rate()
+    ));
+    out.push_str(&format!(
+        "    \"evictions\": {},\n",
+        summary.total_evictions()
+    ));
+    out.push_str(&format!(
+        "    \"witnesses\": {},\n",
+        summary.total_witnesses()
+    ));
+    out.push_str(&format!(
+        "    \"censorship_reports\": {},\n",
+        summary.total_censorship_reports()
+    ));
+    out.push_str(&format!(
+        "    \"skipped_recoveries\": {},\n",
+        summary.total_skipped_recoveries()
+    ));
+    out.push_str(&format!(
+        "    \"punished_honest\": {}\n",
+        summary.punished_honest().len()
+    ));
+    out.push_str("  },\n");
+
+    out.push_str("  \"invariants\": [\n");
+    for (i, result) in run.invariants.iter().enumerate() {
+        let comma = if i + 1 < run.invariants.len() {
+            ","
+        } else {
+            ""
+        };
+        let status = if result.passed { "pass" } else { "FAIL" };
+        out.push_str(&format!(
+            "    {{ \"invariant\": \"{}\", \"status\": \"{status}\", \"detail\": \"{}\" }}{comma}\n",
+            escape_json(&result.invariant),
+            escape_json(&result.detail)
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,306 @@
+//! Executes scenarios: single runs, worker-matrix cross-checks, and the
+//! parallel matrix runner on the protocol's [`ShardExecutor`].
+
+use cycledger_net::topology::NodeId;
+use cycledger_protocol::engine::{RoundContext, RoundObserver, ShardExecutor};
+use cycledger_protocol::report::SimulationSummary;
+use cycledger_protocol::simulation::Simulation;
+
+use crate::invariant::InvariantResult;
+use crate::outcome::{NodeSnapshot, ResolvedFault, ScenarioOutcome};
+use crate::spec::{FaultTarget, Scenario};
+
+/// A scenario together with its checked invariants.
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// Everything the run measured.
+    pub outcome: ScenarioOutcome,
+    /// One result per declared invariant, in declaration order.
+    pub invariants: Vec<InvariantResult>,
+}
+
+impl ScenarioRun {
+    /// True when every invariant held.
+    pub fn passed(&self) -> bool {
+        self.invariants.iter().all(|r| r.passed)
+    }
+
+    /// The invariants that failed.
+    pub fn violations(&self) -> Vec<&InvariantResult> {
+        self.invariants.iter().filter(|r| !r.passed).collect()
+    }
+}
+
+/// Collects the phase names each round executed, through the engine's
+/// [`RoundObserver`] hooks.
+#[derive(Default)]
+struct PhaseTraceObserver {
+    rounds: Vec<Vec<&'static str>>,
+}
+
+impl PhaseTraceObserver {
+    fn begin_round(&mut self) {
+        self.rounds.push(Vec::new());
+    }
+}
+
+impl RoundObserver for PhaseTraceObserver {
+    fn on_phase_end(&mut self, phase: &'static str, _ctx: &RoundContext<'_>) {
+        self.rounds
+            .last_mut()
+            .expect("begin_round precedes every pipeline run")
+            .push(phase);
+    }
+}
+
+/// What one simulation pass produces (shared by the baseline and the
+/// cross-check passes).
+struct SimPass {
+    summary: SimulationSummary,
+    digest: String,
+    injected: Vec<ResolvedFault>,
+    nodes: Vec<NodeSnapshot>,
+    malicious_count: usize,
+    total_nodes: usize,
+    chain_height: usize,
+    phase_trace: Vec<Vec<&'static str>>,
+}
+
+fn resolve_targets(
+    sim: &Simulation,
+    target: FaultTarget,
+    scenario: &Scenario,
+) -> Result<Vec<NodeId>, String> {
+    let assignment = sim.assignment();
+    Ok(match target {
+        FaultTarget::Leader(k) => vec![assignment.committees[k].leader],
+        FaultTarget::PartialSetMember { committee, index } => {
+            let partial = &assignment.committees[committee].partial_set;
+            match partial.get(index) {
+                Some(&node) => vec![node],
+                None => {
+                    return Err(format!(
+                        "scenario {:?}: partial set of committee {committee} has {} members, fault wants index {index}",
+                        scenario.name,
+                        partial.len()
+                    ))
+                }
+            }
+        }
+        FaultTarget::Node(id) => {
+            if id as usize >= sim.registry().len() {
+                return Err(format!(
+                    "scenario {:?}: fault targets node {id} of {}",
+                    scenario.name,
+                    sim.registry().len()
+                ));
+            }
+            vec![NodeId(id)]
+        }
+        FaultTarget::AllLeaders => assignment.committees.iter().map(|c| c.leader).collect(),
+        FaultTarget::AllReferees => assignment.referee.clone(),
+    })
+}
+
+/// Runs one simulation pass of a scenario at a fixed worker count.
+fn run_pass(scenario: &Scenario, worker_threads: usize) -> Result<SimPass, String> {
+    let mut config = scenario.config;
+    config.worker_threads = worker_threads;
+    let mut sim = Simulation::new(config)?;
+    let mut observer = PhaseTraceObserver::default();
+    let mut injected = Vec::new();
+    for round in 0..scenario.rounds as u64 {
+        for fault in scenario.faults.iter().filter(|f| f.round == round) {
+            for node in resolve_targets(&sim, fault.target, scenario)? {
+                sim.registry_mut().set_behavior(node, fault.behavior);
+                injected.push(ResolvedFault {
+                    round,
+                    node,
+                    behavior: fault.behavior,
+                });
+            }
+        }
+        observer.begin_round();
+        sim.run_round_observed(&mut observer);
+    }
+    let summary = SimulationSummary {
+        rounds: sim.reports().to_vec(),
+    };
+    let digest = summary.canonical_digest().to_hex();
+    let nodes: Vec<NodeSnapshot> = sim
+        .registry()
+        .iter()
+        .map(|n| NodeSnapshot {
+            id: n.id,
+            honest: n.is_honest(),
+            reputation: sim.reputation().get(n.id),
+        })
+        .collect();
+    Ok(SimPass {
+        digest,
+        injected,
+        malicious_count: sim.registry().malicious_count(),
+        total_nodes: sim.registry().len(),
+        chain_height: sim.chain().height(),
+        phase_trace: observer.rounds,
+        nodes,
+        summary,
+    })
+}
+
+/// Runs a scenario across its whole worker matrix (plus one repeat of the
+/// baseline for run-to-run stability) and checks every declared invariant.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, String> {
+    scenario.validate()?;
+    let baseline_workers = scenario.workers[0];
+    let baseline = run_pass(scenario, baseline_workers)?;
+    let mut worker_digests = vec![(baseline_workers, baseline.digest.clone())];
+    for &workers in &scenario.workers[1..] {
+        let pass = run_pass(scenario, workers)?;
+        worker_digests.push((workers, pass.digest));
+    }
+    let rerun = run_pass(scenario, baseline_workers)?;
+
+    let outcome = ScenarioOutcome {
+        scenario: scenario.clone(),
+        digest: baseline.digest,
+        worker_digests,
+        rerun_digest: rerun.digest,
+        injected: baseline.injected,
+        nodes: baseline.nodes,
+        malicious_count: baseline.malicious_count,
+        total_nodes: baseline.total_nodes,
+        chain_height: baseline.chain_height,
+        phase_trace: baseline.phase_trace,
+        summary: baseline.summary,
+    };
+    let invariants = scenario
+        .invariants
+        .iter()
+        .map(|inv| inv.check(&outcome))
+        .collect();
+    Ok(ScenarioRun {
+        outcome,
+        invariants,
+    })
+}
+
+/// Runs a whole matrix of scenarios in parallel on a [`ShardExecutor`]
+/// (`jobs == 0` sizes the pool from the machine). Results come back in
+/// scenario order; a scenario that fails to even run is reported as an
+/// `Err` in its slot.
+pub fn run_matrix(scenarios: &[Scenario], jobs: usize) -> Vec<Result<ScenarioRun, String>> {
+    let executor = ShardExecutor::new(jobs);
+    let tasks: Vec<_> = scenarios
+        .iter()
+        .map(|scenario| move || run_scenario(scenario))
+        .collect();
+    executor.execute(tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant::Invariant;
+    use crate::registry;
+    use cycledger_protocol::adversary::Behavior;
+    use cycledger_protocol::config::ProtocolConfig;
+
+    fn tiny_scenario() -> Scenario {
+        let config = ProtocolConfig {
+            committees: 2,
+            committee_size: 8,
+            partial_set_size: 2,
+            referee_size: 5,
+            txs_per_round: 30,
+            accounts_per_shard: 24,
+            cross_shard_ratio: 0.2,
+            invalid_ratio: 0.0,
+            pow_difficulty: 2,
+            verify_signatures: false,
+            seed: 11,
+            ..ProtocolConfig::default()
+        };
+        let mut scenario = Scenario::new("tiny", config);
+        scenario.rounds = 2;
+        scenario.workers = vec![1, 2];
+        scenario.invariants = vec![
+            Invariant::BlocksEveryRound,
+            Invariant::DigestMatchesAcrossWorkerCounts,
+            Invariant::DigestStableAcrossRuns,
+            Invariant::PipelineComplete,
+            Invariant::NoHonestNodePunished,
+        ];
+        scenario
+    }
+
+    #[test]
+    fn tiny_scenario_passes_and_traces_phases() {
+        let run = run_scenario(&tiny_scenario()).expect("runs");
+        assert!(run.passed(), "violations: {:?}", run.violations());
+        assert_eq!(run.outcome.phase_trace.len(), 2);
+        assert_eq!(
+            run.outcome.phase_trace[0],
+            crate::invariant::STANDARD_PHASES.to_vec()
+        );
+        assert_eq!(run.outcome.chain_height, 2);
+    }
+
+    #[test]
+    fn injected_leader_fault_is_resolved_and_recovered() {
+        let mut scenario = tiny_scenario();
+        scenario.name = "tiny-silent".into();
+        scenario.faults.push(crate::spec::FaultInjection {
+            round: 0,
+            target: FaultTarget::Leader(0),
+            behavior: Behavior::SilentLeader,
+        });
+        scenario.invariants = vec![
+            Invariant::AllInjectedLeaderFaultsRecovered,
+            Invariant::MinEvictions(1),
+            Invariant::NoHonestNodePunished,
+        ];
+        let run = run_scenario(&scenario).expect("runs");
+        assert_eq!(run.outcome.injected.len(), 1);
+        assert!(run.passed(), "violations: {:?}", run.violations());
+    }
+
+    #[test]
+    fn a_failing_invariant_is_reported_not_panicked() {
+        let mut scenario = tiny_scenario();
+        scenario.name = "tiny-impossible".into();
+        // An honest network produces no evictions, so this must fail.
+        scenario.invariants = vec![Invariant::MinEvictions(5)];
+        let run = run_scenario(&scenario).expect("runs");
+        assert!(!run.passed());
+        assert_eq!(run.violations().len(), 1);
+        assert!(run.violations()[0].detail.contains("0 evictions"));
+    }
+
+    #[test]
+    fn matrix_runner_preserves_scenario_order() {
+        let scenarios = vec![tiny_scenario(), {
+            let mut s = tiny_scenario();
+            s.name = "tiny-2".into();
+            s.config.seed = 12;
+            s
+        }];
+        let results = run_matrix(&scenarios, 2);
+        assert_eq!(results.len(), 2);
+        for (scenario, result) in scenarios.iter().zip(&results) {
+            let run = result.as_ref().expect("runs");
+            assert_eq!(run.outcome.scenario.name, scenario.name);
+        }
+        // Different seeds, different digests.
+        let a = results[0].as_ref().unwrap().outcome.digest.clone();
+        let b = results[1].as_ref().unwrap().outcome.digest.clone();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn builtins_all_validate() {
+        for scenario in registry::builtin_scenarios() {
+            assert_eq!(scenario.validate(), Ok(()), "{}", scenario.name);
+        }
+    }
+}

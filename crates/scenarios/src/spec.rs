@@ -1,0 +1,381 @@
+//! The declarative [`Scenario`] specification.
+//!
+//! A scenario names one complete simulation setup — protocol parameters,
+//! adversary mix, latency profile, workload shape, targeted fault
+//! injections — plus the list of machine-checkable [`Invariant`]s the run
+//! must satisfy. Scenarios are plain data: they can be built in code (the
+//! [`crate::registry`] builtins), loaded from TOML files
+//! ([`crate::toml_cfg`]), and executed by the [`crate::runner`].
+//!
+//! [`Invariant`]: crate::invariant::Invariant
+
+use cycledger_net::latency::LatencyConfig;
+use cycledger_protocol::adversary::{AdversaryConfig, Behavior, BehaviorMix};
+use cycledger_protocol::config::ProtocolConfig;
+
+use crate::invariant::Invariant;
+
+/// Who a fault injection targets, resolved against the round assignment in
+/// force when the injection fires (targets are positional, so the same spec
+/// is reproducible for any seed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The current leader of committee `k`.
+    Leader(usize),
+    /// The `i`-th partial-set member of committee `k`.
+    PartialSetMember {
+        /// Committee index.
+        committee: usize,
+        /// Index within the partial set.
+        index: usize,
+    },
+    /// A node by global id.
+    Node(u32),
+    /// Every current committee leader.
+    AllLeaders,
+    /// Every current referee-committee member.
+    AllReferees,
+}
+
+impl FaultTarget {
+    /// Canonical string form (`leader:0`, `partial:1:0`, `node:12`,
+    /// `all-leaders`, `all-referees`) used by the TOML schema.
+    pub fn to_spec(self) -> String {
+        match self {
+            FaultTarget::Leader(k) => format!("leader:{k}"),
+            FaultTarget::PartialSetMember { committee, index } => {
+                format!("partial:{committee}:{index}")
+            }
+            FaultTarget::Node(id) => format!("node:{id}"),
+            FaultTarget::AllLeaders => "all-leaders".into(),
+            FaultTarget::AllReferees => "all-referees".into(),
+        }
+    }
+
+    /// Parses the canonical string form.
+    pub fn from_spec(s: &str) -> Result<FaultTarget, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        match parts.as_slice() {
+            ["all-leaders"] => Ok(FaultTarget::AllLeaders),
+            ["all-referees"] => Ok(FaultTarget::AllReferees),
+            ["leader", k] => k
+                .parse()
+                .map(FaultTarget::Leader)
+                .map_err(|_| format!("bad committee index in target {s:?}")),
+            ["node", id] => id
+                .parse()
+                .map(FaultTarget::Node)
+                .map_err(|_| format!("bad node id in target {s:?}")),
+            ["partial", k, i] => {
+                let committee = k
+                    .parse()
+                    .map_err(|_| format!("bad committee index in target {s:?}"))?;
+                let index = i
+                    .parse()
+                    .map_err(|_| format!("bad partial-set index in target {s:?}"))?;
+                Ok(FaultTarget::PartialSetMember { committee, index })
+            }
+            _ => Err(format!("unknown fault target {s:?}")),
+        }
+    }
+}
+
+/// One targeted behaviour flip, applied between rounds (corruption takes a
+/// round to take effect in the paper's mildly adaptive model, so injections
+/// never fire mid-round).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// The round before which the flip is applied (0 = before the first).
+    pub round: u64,
+    /// Who is flipped.
+    pub target: FaultTarget,
+    /// The behaviour assigned.
+    pub behavior: Behavior,
+}
+
+/// Canonical kebab-case name of a behaviour (TOML schema + reports).
+pub fn behavior_name(behavior: Behavior) -> &'static str {
+    match behavior {
+        Behavior::Honest => "honest",
+        Behavior::SilentLeader => "silent-leader",
+        Behavior::EquivocatingLeader => "equivocating-leader",
+        Behavior::MismatchedCommitment => "mismatched-commitment",
+        Behavior::CensoringLeader => "censoring-leader",
+        Behavior::WrongVoter => "wrong-voter",
+        Behavior::LazyVoter => "lazy-voter",
+        Behavior::FalseAccuser => "false-accuser",
+    }
+}
+
+/// Parses a kebab-case behaviour name.
+pub fn behavior_from_name(name: &str) -> Result<Behavior, String> {
+    Ok(match name {
+        "honest" => Behavior::Honest,
+        "silent-leader" => Behavior::SilentLeader,
+        "equivocating-leader" => Behavior::EquivocatingLeader,
+        "mismatched-commitment" => Behavior::MismatchedCommitment,
+        "censoring-leader" => Behavior::CensoringLeader,
+        "wrong-voter" => Behavior::WrongVoter,
+        "lazy-voter" => Behavior::LazyVoter,
+        "false-accuser" => Behavior::FalseAccuser,
+        other => return Err(format!("unknown behaviour {other:?}")),
+    })
+}
+
+/// Canonical string form of a behaviour mix (`honest`, `uniform`, or a
+/// behaviour name for a fixed mix).
+pub fn mix_name(mix: BehaviorMix) -> String {
+    match mix {
+        BehaviorMix::Uniform => "uniform".into(),
+        BehaviorMix::Fixed(Behavior::Honest) => "honest".into(),
+        BehaviorMix::Fixed(b) => behavior_name(b).into(),
+    }
+}
+
+/// Parses the canonical mix form.
+pub fn mix_from_name(name: &str) -> Result<BehaviorMix, String> {
+    if name == "uniform" {
+        return Ok(BehaviorMix::Uniform);
+    }
+    behavior_from_name(name).map(BehaviorMix::Fixed)
+}
+
+/// One named, reproducible, invariant-gated simulation configuration.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Unique name (also the report / golden file stem).
+    pub name: String,
+    /// Human-readable description of what the scenario exercises.
+    pub description: String,
+    /// The paper claim the scenario pins down (e.g. "Claim 3", "Lemma 6").
+    pub paper_claim: String,
+    /// Rounds to simulate.
+    pub rounds: usize,
+    /// Whether the scenario is part of the fast `smoke` matrix CI runs.
+    pub smoke: bool,
+    /// Worker counts the runner cross-checks digests over (first entry is the
+    /// baseline whose summary feeds the report).
+    pub workers: Vec<usize>,
+    /// The full protocol configuration (adversary, latency, workload shape).
+    pub config: ProtocolConfig,
+    /// Targeted behaviour flips applied between rounds.
+    pub faults: Vec<FaultInjection>,
+    /// The machine-checkable claims the run must satisfy.
+    pub invariants: Vec<Invariant>,
+}
+
+impl Scenario {
+    /// A scenario skeleton around a configuration, with the default worker
+    /// matrix `[1, 2, 8]` and three rounds.
+    pub fn new(name: &str, config: ProtocolConfig) -> Scenario {
+        Scenario {
+            name: name.into(),
+            description: String::new(),
+            paper_claim: String::new(),
+            rounds: 3,
+            smoke: false,
+            workers: vec![1, 2, 8],
+            config,
+            faults: Vec::new(),
+            invariants: Vec::new(),
+        }
+    }
+
+    /// Validates the scenario (configuration included).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario name must not be empty".into());
+        }
+        if self
+            .name
+            .chars()
+            .any(|c| !c.is_ascii_alphanumeric() && c != '-' && c != '_')
+        {
+            return Err(format!(
+                "scenario name {:?} must be alphanumeric/dash/underscore (it becomes a file name)",
+                self.name
+            ));
+        }
+        if self.rounds == 0 {
+            return Err(format!(
+                "scenario {:?} must run at least one round",
+                self.name
+            ));
+        }
+        if self.workers.is_empty() {
+            return Err(format!(
+                "scenario {:?} needs at least one worker count",
+                self.name
+            ));
+        }
+        if self.invariants.is_empty() {
+            return Err(format!(
+                "scenario {:?} must assert at least one invariant",
+                self.name
+            ));
+        }
+        for fault in &self.faults {
+            if fault.round >= self.rounds as u64 {
+                return Err(format!(
+                    "scenario {:?}: fault at round {} beyond the {}-round run",
+                    self.name, fault.round, self.rounds
+                ));
+            }
+            match fault.target {
+                FaultTarget::Leader(k) if k >= self.config.committees => {
+                    return Err(format!(
+                        "scenario {:?}: fault targets committee {k} of {}",
+                        self.name, self.config.committees
+                    ));
+                }
+                FaultTarget::PartialSetMember { committee, index } => {
+                    if committee >= self.config.committees {
+                        return Err(format!(
+                            "scenario {:?}: fault targets committee {committee} of {}",
+                            self.name, self.config.committees
+                        ));
+                    }
+                    if index >= self.config.partial_set_size {
+                        return Err(format!(
+                            "scenario {:?}: fault targets partial-set slot {index} of {}",
+                            self.name, self.config.partial_set_size
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.config
+            .validate()
+            .map_err(|e| format!("scenario {:?}: {e}", self.name))
+    }
+}
+
+/// A named latency profile for the TOML schema and the builtins; custom
+/// `latency_*_us` keys override the profile field-by-field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LatencyProfile {
+    /// The default Δ=50ms / Γ=200ms / 1s profile.
+    Default,
+    /// A tight datacenter profile (Δ=5ms / Γ=20ms / 100ms).
+    Lan,
+    /// A stretched wide-area profile (Δ=150ms / Γ=600ms / 3s).
+    Wan,
+}
+
+impl LatencyProfile {
+    /// The concrete latency configuration of the profile.
+    pub fn config(self) -> LatencyConfig {
+        match self {
+            LatencyProfile::Default => LatencyConfig::default(),
+            LatencyProfile::Lan => LatencyConfig::lan(),
+            LatencyProfile::Wan => LatencyConfig::wan(),
+        }
+    }
+}
+
+/// Builds an [`AdversaryConfig`] from the TOML-facing pair.
+pub fn adversary_from_parts(fraction: f64, mix: BehaviorMix) -> AdversaryConfig {
+    AdversaryConfig {
+        malicious_fraction: fraction,
+        mix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_target_specs_round_trip() {
+        let targets = [
+            FaultTarget::Leader(3),
+            FaultTarget::PartialSetMember {
+                committee: 1,
+                index: 2,
+            },
+            FaultTarget::Node(17),
+            FaultTarget::AllLeaders,
+            FaultTarget::AllReferees,
+        ];
+        for t in targets {
+            assert_eq!(FaultTarget::from_spec(&t.to_spec()), Ok(t));
+        }
+        assert!(FaultTarget::from_spec("chief:0").is_err());
+        assert!(FaultTarget::from_spec("leader:x").is_err());
+    }
+
+    #[test]
+    fn behavior_names_round_trip() {
+        for b in [
+            Behavior::Honest,
+            Behavior::SilentLeader,
+            Behavior::EquivocatingLeader,
+            Behavior::MismatchedCommitment,
+            Behavior::CensoringLeader,
+            Behavior::WrongVoter,
+            Behavior::LazyVoter,
+            Behavior::FalseAccuser,
+        ] {
+            assert_eq!(behavior_from_name(behavior_name(b)), Ok(b));
+        }
+        assert!(behavior_from_name("sleepy-leader").is_err());
+        assert_eq!(mix_from_name("uniform"), Ok(BehaviorMix::Uniform));
+        assert_eq!(
+            mix_from_name(&mix_name(BehaviorMix::Fixed(Behavior::LazyVoter))),
+            Ok(BehaviorMix::Fixed(Behavior::LazyVoter))
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_scenarios() {
+        let base = crate::registry::builtin_scenarios();
+        let good = &base[0];
+        assert_eq!(good.validate(), Ok(()));
+
+        let mut unnamed = good.clone();
+        unnamed.name.clear();
+        assert!(unnamed.validate().is_err());
+
+        let mut weird_name = good.clone();
+        weird_name.name = "has/slash".into();
+        assert!(weird_name.validate().is_err());
+
+        let mut no_rounds = good.clone();
+        no_rounds.rounds = 0;
+        assert!(no_rounds.validate().is_err());
+
+        let mut no_invariants = good.clone();
+        no_invariants.invariants.clear();
+        assert!(no_invariants.validate().is_err());
+
+        let mut late_fault = good.clone();
+        late_fault.faults.push(FaultInjection {
+            round: 99,
+            target: FaultTarget::Leader(0),
+            behavior: Behavior::SilentLeader,
+        });
+        assert!(late_fault.validate().is_err());
+
+        let mut bad_committee = good.clone();
+        bad_committee.faults.push(FaultInjection {
+            round: 0,
+            target: FaultTarget::Leader(99),
+            behavior: Behavior::SilentLeader,
+        });
+        assert!(bad_committee.validate().is_err());
+    }
+
+    #[test]
+    fn latency_profiles_are_ordered() {
+        for profile in [
+            LatencyProfile::Lan,
+            LatencyProfile::Default,
+            LatencyProfile::Wan,
+        ] {
+            let cfg = profile.config();
+            assert!(cfg.delta < cfg.gamma);
+            assert!(cfg.gamma < cfg.partial_bound);
+        }
+    }
+}

@@ -1,0 +1,613 @@
+//! Loading and saving scenarios as TOML, with no external dependencies.
+//!
+//! The workspace is fully offline, so this module implements the small TOML
+//! subset the scenario schema needs: `[[scenario]]` array-of-table headers
+//! (plus `[[scenario.faults]]` sub-tables), `key = value` pairs with
+//! strings, integers, floats, booleans and single-line arrays, and `#`
+//! comments. Unknown keys are rejected — a typo in a scenario file should
+//! fail loudly, not silently fall back to a default.
+//!
+//! The serializer writes every field in a fixed order, and
+//! `parse(serialize(s))` reproduces `s` exactly — pinned by the round-trip
+//! tests in `tests/scenario_matrix.rs`.
+
+use cycledger_net::latency::LatencyConfig;
+use cycledger_net::time::SimDuration;
+use cycledger_protocol::adversary::Behavior;
+use cycledger_protocol::config::ProtocolConfig;
+
+use crate::invariant::Invariant;
+use crate::spec::{
+    behavior_from_name, behavior_name, mix_from_name, mix_name, FaultInjection, FaultTarget,
+    Scenario,
+};
+
+/// A parsed TOML value (the subset the scenario schema uses).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A single-line array.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(format!("expected a string, got {}", other.type_name())),
+        }
+    }
+
+    fn as_usize(&self) -> Result<usize, String> {
+        match self {
+            Value::Int(i) if *i >= 0 => Ok(*i as usize),
+            other => Err(format!(
+                "expected a non-negative integer, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Value::Int(i) if *i >= 0 => Ok(*i as u64),
+            other => Err(format!(
+                "expected a non-negative integer, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_u32(&self) -> Result<u32, String> {
+        let v = self.as_u64()?;
+        u32::try_from(v).map_err(|_| format!("{v} does not fit in 32 bits"))
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(format!("expected a number, got {}", other.type_name())),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!("expected a boolean, got {}", other.type_name())),
+        }
+    }
+}
+
+/// One `[header]` / `[[header]]` section with its key/value pairs.
+#[derive(Clone, Debug)]
+struct Section {
+    header: String,
+    entries: Vec<(String, Value)>,
+    line: usize,
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    if chars.next().map(|(_, c)| c) != Some('"') {
+        return Err(format!("expected a quoted string at {s:?}"));
+    }
+    let mut escaped = false;
+    for (i, c) in chars {
+        if escaped {
+            match c {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                other => return Err(format!("unsupported escape \\{other}")),
+            }
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => return Ok((out, &s[i + 1..])),
+            other => out.push(other),
+        }
+    }
+    Err(format!("unterminated string at {s:?}"))
+}
+
+fn parse_scalar(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        return s
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("bad float {s:?}"));
+    }
+    s.parse::<i64>()
+        .map(Value::Int)
+        .map_err(|_| format!("bad value {s:?}"))
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if s.starts_with('"') {
+        let (string, rest) = parse_string(s)?;
+        if !rest.trim().is_empty() {
+            return Err(format!("trailing data after string: {rest:?}"));
+        }
+        return Ok(Value::Str(string));
+    }
+    if let Some(inner) = s.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unterminated array {s:?}"))?;
+        let mut items = Vec::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            if rest.starts_with('"') {
+                let (string, after) = parse_string(rest)?;
+                items.push(Value::Str(string));
+                rest = after.trim_start().strip_prefix(',').unwrap_or(after).trim();
+            } else {
+                let (item, after) = match rest.find(',') {
+                    Some(i) => (&rest[..i], &rest[i + 1..]),
+                    None => (rest, ""),
+                };
+                items.push(parse_scalar(item)?);
+                rest = after.trim();
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    parse_scalar(s)
+}
+
+/// Counts the bracket balance of a line, ignoring brackets inside strings.
+fn bracket_balance(line: &str) -> i64 {
+    let mut balance = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '[' if !in_string => balance += 1,
+            ']' if !in_string => balance -= 1,
+            _ => {}
+        }
+    }
+    balance
+}
+
+/// Parses a TOML document into its sections (top-level keys before any
+/// header are rejected — the scenario schema has none). Arrays may span
+/// multiple lines; continuation lines are joined until brackets balance.
+fn parse_sections(text: &str) -> Result<Vec<Section>, String> {
+    let mut sections: Vec<Section> = Vec::new();
+    let mut lines = text.lines().enumerate();
+    while let Some((idx, raw)) = lines.next() {
+        let mut line = strip_comment(raw).trim().to_string();
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        // Join continuation lines of a multi-line array.
+        if line.contains('=') {
+            let mut balance = bracket_balance(&line);
+            while balance > 0 {
+                let Some((_, next)) = lines.next() else {
+                    return Err(format!("line {lineno}: unterminated multi-line array"));
+                };
+                let next = strip_comment(next).trim().to_string();
+                balance += bracket_balance(&next);
+                line.push(' ');
+                line.push_str(&next);
+            }
+        }
+        let line = line.as_str();
+        if let Some(header) = line
+            .strip_prefix("[[")
+            .and_then(|h| h.strip_suffix("]]"))
+            .or_else(|| line.strip_prefix('[').and_then(|h| h.strip_suffix(']')))
+        {
+            sections.push(Section {
+                header: header.trim().to_string(),
+                entries: Vec::new(),
+                line: lineno,
+            });
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {lineno}: expected `key = value`, got {line:?}"))?;
+        let section = sections
+            .last_mut()
+            .ok_or_else(|| format!("line {lineno}: key outside any [[scenario]] section"))?;
+        let value =
+            parse_value(value).map_err(|e| format!("line {lineno} ({}): {e}", key.trim()))?;
+        section.entries.push((key.trim().to_string(), value));
+    }
+    Ok(sections)
+}
+
+fn apply_scenario_key(scenario: &mut Scenario, key: &str, value: &Value) -> Result<(), String> {
+    match key {
+        "name" => scenario.name = value.as_str()?.to_string(),
+        "description" => scenario.description = value.as_str()?.to_string(),
+        "paper_claim" => scenario.paper_claim = value.as_str()?.to_string(),
+        "rounds" => scenario.rounds = value.as_usize()?,
+        "smoke" => scenario.smoke = value.as_bool()?,
+        "workers" => {
+            let Value::Array(items) = value else {
+                return Err("workers must be an array of integers".into());
+            };
+            scenario.workers = items
+                .iter()
+                .map(|v| v.as_usize())
+                .collect::<Result<Vec<_>, _>>()?;
+        }
+        "seed" => scenario.config.seed = value.as_u64()?,
+        "committees" => scenario.config.committees = value.as_usize()?,
+        "committee_size" => scenario.config.committee_size = value.as_usize()?,
+        "partial_set_size" => scenario.config.partial_set_size = value.as_usize()?,
+        "referee_size" => scenario.config.referee_size = value.as_usize()?,
+        "txs_per_round" => scenario.config.txs_per_round = value.as_usize()?,
+        "cross_shard_ratio" => scenario.config.cross_shard_ratio = value.as_f64()?,
+        "invalid_ratio" => scenario.config.invalid_ratio = value.as_f64()?,
+        "accounts_per_shard" => scenario.config.accounts_per_shard = value.as_usize()?,
+        "pow_difficulty" => scenario.config.pow_difficulty = value.as_u32()?,
+        "base_compute_capacity" => scenario.config.base_compute_capacity = value.as_u32()?,
+        "compute_capacity_spread" => scenario.config.compute_capacity_spread = value.as_u32()?,
+        "leader_bonus" => scenario.config.leader_bonus = value.as_f64()?,
+        "latency_delta_us" => {
+            scenario.config.latency.delta = SimDuration::from_micros(value.as_u64()?)
+        }
+        "latency_gamma_us" => {
+            scenario.config.latency.gamma = SimDuration::from_micros(value.as_u64()?)
+        }
+        "latency_partial_us" => {
+            scenario.config.latency.partial_bound = SimDuration::from_micros(value.as_u64()?)
+        }
+        "verify_signatures" => scenario.config.verify_signatures = value.as_bool()?,
+        "malicious_fraction" => scenario.config.adversary.malicious_fraction = value.as_f64()?,
+        "mix" => scenario.config.adversary.mix = mix_from_name(value.as_str()?)?,
+        "invariants" => {
+            let Value::Array(items) = value else {
+                return Err("invariants must be an array of strings".into());
+            };
+            scenario.invariants = items
+                .iter()
+                .map(|v| Invariant::from_spec(v.as_str()?))
+                .collect::<Result<Vec<_>, _>>()?;
+        }
+        other => return Err(format!("unknown scenario key {other:?}")),
+    }
+    Ok(())
+}
+
+fn fault_from_section(section: &Section) -> Result<FaultInjection, String> {
+    let mut round: Option<u64> = None;
+    let mut target: Option<FaultTarget> = None;
+    let mut behavior: Option<Behavior> = None;
+    for (key, value) in &section.entries {
+        match key.as_str() {
+            "round" => round = Some(value.as_u64()?),
+            "target" => target = Some(FaultTarget::from_spec(value.as_str()?)?),
+            "behavior" => behavior = Some(behavior_from_name(value.as_str()?)?),
+            other => return Err(format!("unknown fault key {other:?}")),
+        }
+    }
+    Ok(FaultInjection {
+        round: round.ok_or("fault needs a round")?,
+        target: target.ok_or("fault needs a target")?,
+        behavior: behavior.ok_or("fault needs a behavior")?,
+    })
+}
+
+/// Parses scenarios from a TOML document. Every `[[scenario]]` starts from
+/// the library defaults ([`ProtocolConfig::default`] with an empty fault and
+/// invariant list), so a file only states what differs.
+pub fn scenarios_from_toml(text: &str) -> Result<Vec<Scenario>, String> {
+    let sections = parse_sections(text)?;
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    for section in &sections {
+        match section.header.as_str() {
+            "scenario" => {
+                let mut scenario = Scenario::new("", ProtocolConfig::default());
+                for (key, value) in &section.entries {
+                    apply_scenario_key(&mut scenario, key, value)
+                        .map_err(|e| format!("line {}: {e}", section.line))?;
+                }
+                scenarios.push(scenario);
+            }
+            "scenario.faults" => {
+                let scenario = scenarios.last_mut().ok_or_else(|| {
+                    format!(
+                        "line {}: [[scenario.faults]] before any [[scenario]]",
+                        section.line
+                    )
+                })?;
+                let fault = fault_from_section(section)
+                    .map_err(|e| format!("line {}: {e}", section.line))?;
+                scenario.faults.push(fault);
+            }
+            other => {
+                return Err(format!(
+                    "line {}: unknown section [[{other}]] (expected [[scenario]] or [[scenario.faults]])",
+                    section.line
+                ))
+            }
+        }
+    }
+    for scenario in &scenarios {
+        scenario.validate()?;
+    }
+    Ok(scenarios)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Serializes scenarios to the canonical TOML form (every field, fixed
+/// order; `parse(serialize(s))` reproduces `s` exactly).
+pub fn scenarios_to_toml(scenarios: &[Scenario]) -> String {
+    let mut out = String::new();
+    for scenario in scenarios {
+        let cfg: &ProtocolConfig = &scenario.config;
+        let lat: &LatencyConfig = &cfg.latency;
+        out.push_str("[[scenario]]\n");
+        out.push_str(&format!("name = \"{}\"\n", escape(&scenario.name)));
+        out.push_str(&format!(
+            "description = \"{}\"\n",
+            escape(&scenario.description)
+        ));
+        out.push_str(&format!(
+            "paper_claim = \"{}\"\n",
+            escape(&scenario.paper_claim)
+        ));
+        out.push_str(&format!("rounds = {}\n", scenario.rounds));
+        out.push_str(&format!("smoke = {}\n", scenario.smoke));
+        let workers: Vec<String> = scenario.workers.iter().map(|w| w.to_string()).collect();
+        out.push_str(&format!("workers = [{}]\n", workers.join(", ")));
+        out.push_str(&format!("seed = {}\n", cfg.seed));
+        out.push_str(&format!("committees = {}\n", cfg.committees));
+        out.push_str(&format!("committee_size = {}\n", cfg.committee_size));
+        out.push_str(&format!("partial_set_size = {}\n", cfg.partial_set_size));
+        out.push_str(&format!("referee_size = {}\n", cfg.referee_size));
+        out.push_str(&format!("txs_per_round = {}\n", cfg.txs_per_round));
+        out.push_str(&format!(
+            "cross_shard_ratio = {:?}\n",
+            cfg.cross_shard_ratio
+        ));
+        out.push_str(&format!("invalid_ratio = {:?}\n", cfg.invalid_ratio));
+        out.push_str(&format!(
+            "accounts_per_shard = {}\n",
+            cfg.accounts_per_shard
+        ));
+        out.push_str(&format!("pow_difficulty = {}\n", cfg.pow_difficulty));
+        out.push_str(&format!(
+            "base_compute_capacity = {}\n",
+            cfg.base_compute_capacity
+        ));
+        out.push_str(&format!(
+            "compute_capacity_spread = {}\n",
+            cfg.compute_capacity_spread
+        ));
+        out.push_str(&format!("leader_bonus = {:?}\n", cfg.leader_bonus));
+        out.push_str(&format!("latency_delta_us = {}\n", lat.delta.as_micros()));
+        out.push_str(&format!("latency_gamma_us = {}\n", lat.gamma.as_micros()));
+        out.push_str(&format!(
+            "latency_partial_us = {}\n",
+            lat.partial_bound.as_micros()
+        ));
+        out.push_str(&format!("verify_signatures = {}\n", cfg.verify_signatures));
+        out.push_str(&format!(
+            "malicious_fraction = {:?}\n",
+            cfg.adversary.malicious_fraction
+        ));
+        out.push_str(&format!("mix = \"{}\"\n", mix_name(cfg.adversary.mix)));
+        let invariants: Vec<String> = scenario
+            .invariants
+            .iter()
+            .map(|i| format!("\"{}\"", escape(&i.to_spec())))
+            .collect();
+        out.push_str(&format!("invariants = [{}]\n", invariants.join(", ")));
+        for fault in &scenario.faults {
+            out.push_str("\n[[scenario.faults]]\n");
+            out.push_str(&format!("round = {}\n", fault.round));
+            out.push_str(&format!("target = \"{}\"\n", fault.target.to_spec()));
+            out.push_str(&format!(
+                "behavior = \"{}\"\n",
+                behavior_name(fault.behavior)
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Loads every `*.toml` file in a directory (sorted by file name for
+/// deterministic ordering) and returns all scenarios found.
+pub fn load_dir(dir: &std::path::Path) -> Result<Vec<Scenario>, String> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    let mut scenarios = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let parsed = scenarios_from_toml(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        scenarios.extend(parsed);
+    }
+    Ok(scenarios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_parsing_covers_the_subset() {
+        assert_eq!(parse_value("\"hi\"").unwrap(), Value::Str("hi".into()));
+        assert_eq!(
+            parse_value("\"a \\\"b\\\" \\\\ c\"").unwrap(),
+            Value::Str("a \"b\" \\ c".into())
+        );
+        assert_eq!(parse_value("42").unwrap(), Value::Int(42));
+        assert_eq!(parse_value("-3").unwrap(), Value::Int(-3));
+        assert_eq!(parse_value("0.25").unwrap(), Value::Float(0.25));
+        assert_eq!(parse_value("1e-3").unwrap(), Value::Float(0.001));
+        assert_eq!(parse_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(
+            parse_value("[1, 2, 8]").unwrap(),
+            Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(8)])
+        );
+        assert_eq!(
+            parse_value("[\"a\", \"b\"]").unwrap(),
+            Value::Array(vec![Value::Str("a".into()), Value::Str("b".into())])
+        );
+        assert!(parse_value("\"unterminated").is_err());
+        assert!(parse_value("[1, 2").is_err());
+        assert!(parse_value("nonsense words").is_err());
+    }
+
+    #[test]
+    fn multi_line_arrays_with_trailing_commas_parse() {
+        let text = r#"
+[[scenario]]
+name = "multi"
+rounds = 1
+workers = [1]
+invariants = [
+    "blocks-every-round",   # comments survive inside arrays
+    "no-evictions",
+]
+"#;
+        let scenarios = scenarios_from_toml(text).expect("parses");
+        assert_eq!(scenarios[0].invariants.len(), 2);
+        assert!(scenarios_from_toml("[[scenario]]\ninvariants = [\n\"x\"\n")
+            .unwrap_err()
+            .contains("unterminated"));
+    }
+
+    #[test]
+    fn comments_respect_strings() {
+        assert_eq!(strip_comment("a = 1 # note"), "a = 1 ");
+        assert_eq!(strip_comment("a = \"x # y\""), "a = \"x # y\"");
+    }
+
+    #[test]
+    fn a_minimal_scenario_file_parses() {
+        let text = r#"
+# A handwritten override file.
+[[scenario]]
+name = "custom"
+description = "hand-written"
+paper_claim = "Claim 3"
+rounds = 2
+smoke = true
+workers = [1, 2]
+seed = 7
+committees = 2
+committee_size = 8
+partial_set_size = 2
+referee_size = 5
+txs_per_round = 30
+accounts_per_shard = 24
+pow_difficulty = 2
+invariants = ["blocks-every-round", "min-evictions:1"]
+
+[[scenario.faults]]
+round = 0
+target = "leader:1"
+behavior = "silent-leader"
+"#;
+        let scenarios = scenarios_from_toml(text).expect("parses");
+        assert_eq!(scenarios.len(), 1);
+        let s = &scenarios[0];
+        assert_eq!(s.name, "custom");
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.config.committees, 2);
+        assert_eq!(s.faults.len(), 1);
+        assert_eq!(s.faults[0].target, FaultTarget::Leader(1));
+        assert_eq!(s.invariants.len(), 2);
+        // Unstated keys keep the library defaults.
+        assert_eq!(s.config.leader_bonus, 0.1);
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_rejected() {
+        assert!(scenarios_from_toml("[[scenario]]\nnmae = \"typo\"\n")
+            .unwrap_err()
+            .contains("unknown scenario key"));
+        assert!(scenarios_from_toml("[[experiment]]\n")
+            .unwrap_err()
+            .contains("unknown section"));
+        assert!(scenarios_from_toml("stray = 1\n")
+            .unwrap_err()
+            .contains("outside any"));
+        assert!(scenarios_from_toml("[[scenario.faults]]\nround = 0\n")
+            .unwrap_err()
+            .contains("before any"));
+    }
+}

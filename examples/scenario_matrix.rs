@@ -1,0 +1,44 @@
+//! Scenario matrix from code: run named entries of the built-in registry
+//! through the scenarios API and print their invariant verdicts.
+//!
+//! The same matrix is what `scenario-runner` executes and CI gates against
+//! the golden reports under `scenarios/golden/`; this example shows the
+//! library-level entry point (pick scenarios, run, inspect results) that
+//! experiments can build on without shelling out to the CLI.
+//!
+//! ```text
+//! cargo run --release --example scenario_matrix
+//! ```
+
+use cycledger::scenarios::{builtin_scenarios, run_scenario};
+
+fn main() {
+    let picks = ["honest-baseline", "censoring-leader", "mixed-adversary"];
+    for scenario in builtin_scenarios()
+        .into_iter()
+        .filter(|s| picks.contains(&s.name.as_str()))
+    {
+        println!(
+            "== {} ({}) — {}",
+            scenario.name, scenario.paper_claim, scenario.description
+        );
+        let run = run_scenario(&scenario).expect("builtin scenarios are valid");
+        for result in &run.invariants {
+            println!(
+                "   [{}] {:<42} {}",
+                if result.passed { "pass" } else { "FAIL" },
+                result.invariant,
+                result.detail
+            );
+        }
+        let summary = &run.outcome.summary;
+        println!(
+            "   digest {} | {} blocks, {} txs packed, {} evictions\n",
+            run.outcome.digest,
+            summary.blocks_produced(),
+            summary.total_packed(),
+            summary.total_evictions()
+        );
+        assert!(run.passed(), "builtin scenario must hold its invariants");
+    }
+}

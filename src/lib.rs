@@ -14,6 +14,8 @@
 //! * [`protocol`] — the full round/simulation driver (the paper's contribution).
 //! * [`analysis`] — failure-probability and complexity analysis (Fig. 5, Tables I–II).
 //! * [`baselines`] — Elastico / OmniLedger / RapidChain comparison models.
+//! * [`scenarios`] — declarative, invariant-gated scenario matrix (the
+//!   `scenario-runner` CLI and the golden-report regression gate).
 //!
 //! ## Quickstart
 //!
@@ -39,3 +41,4 @@ pub use cycledger_ledger as ledger;
 pub use cycledger_net as net;
 pub use cycledger_protocol as protocol;
 pub use cycledger_reputation as reputation;
+pub use cycledger_scenarios as scenarios;

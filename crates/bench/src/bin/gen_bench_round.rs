@@ -1,0 +1,110 @@
+//! Emits `BENCH_round.json`-shaped numbers for the round-engine data plane:
+//! rounds/sec and heap allocations/round at the standard 8x16 bench
+//! configuration, at 1 worker and at the machine's parallelism.
+//!
+//! The binary installs [`alloccount::CountingAllocator`] as the global
+//! allocator (built with counting enabled), so the reported allocation counts
+//! cover every heap allocation the round engine performs — worker threads
+//! included.
+//!
+//! Run with `cargo run --release -p cycledger-bench --bin gen_bench_round`;
+//! the JSON is printed to stdout so it can be redirected into
+//! `BENCH_round.json` at the repository root. Pass `--smoke` for a CI-sized
+//! run (one measured round, no thresholds) that only proves the binary and
+//! the counting allocator still work.
+
+use std::time::Instant;
+
+use cycledger_bench::bench_config;
+use cycledger_protocol::Simulation;
+
+#[global_allocator]
+static ALLOC: alloccount::CountingAllocator = alloccount::CountingAllocator;
+
+struct RoundSeries {
+    rounds_per_sec: f64,
+    allocations_per_round: f64,
+    alloc_mib_per_round: f64,
+    reallocations_per_round: f64,
+    rounds_measured: u64,
+}
+
+/// Runs rounds for at least `min_secs` (at least `min_rounds`) and reports
+/// throughput plus per-round allocation activity.
+fn measure(workers: usize, min_secs: f64, min_rounds: u64) -> RoundSeries {
+    let mut config = bench_config(8, 16, 4242);
+    config.worker_threads = workers;
+    let mut sim = Simulation::new(config).expect("valid bench config");
+    // Warm-up round: lazy crypto tables, executor spin-up, genesis state.
+    sim.run_round();
+
+    let start_alloc = alloccount::snapshot();
+    let start = Instant::now();
+    let mut rounds = 0u64;
+    loop {
+        sim.run_round();
+        rounds += 1;
+        if start.elapsed().as_secs_f64() >= min_secs && rounds >= min_rounds {
+            break;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let d = alloccount::snapshot().since(&start_alloc);
+    RoundSeries {
+        rounds_per_sec: rounds as f64 / elapsed,
+        allocations_per_round: d.allocations as f64 / rounds as f64,
+        alloc_mib_per_round: d.allocated_bytes as f64 / rounds as f64 / (1024.0 * 1024.0),
+        reallocations_per_round: d.reallocations as f64 / rounds as f64,
+        rounds_measured: rounds,
+    }
+}
+
+fn print_series(label: &str, s: &RoundSeries, trailing_comma: bool) {
+    println!("  \"{label}\": {{");
+    println!("    \"rounds_per_sec\": {:.3},", s.rounds_per_sec);
+    println!(
+        "    \"allocations_per_round\": {:.0},",
+        s.allocations_per_round
+    );
+    println!("    \"alloc_mib_per_round\": {:.2},", s.alloc_mib_per_round);
+    println!(
+        "    \"reallocations_per_round\": {:.0},",
+        s.reallocations_per_round
+    );
+    println!("    \"rounds_measured\": {}", s.rounds_measured);
+    println!("  }}{}", if trailing_comma { "," } else { "" });
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    assert!(
+        alloccount::counting_enabled(),
+        "bench must be built with the alloccount `count` feature"
+    );
+
+    if smoke {
+        // CI guard: one measured round, no thresholds — just prove the bench
+        // binary runs and the counting allocator observes the round engine.
+        let s = measure(1, 0.0, 1);
+        assert!(
+            s.allocations_per_round > 0.0,
+            "counting allocator saw no allocations"
+        );
+        println!("{{");
+        print_series("smoke_1_worker", &s, false);
+        println!("}}");
+        return;
+    }
+
+    let parallel_workers = std::thread::available_parallelism()
+        .map(|n| n.get().max(4))
+        .unwrap_or(4);
+    let one = measure(1, 3.0, 3);
+    let many = measure(parallel_workers, 3.0, 3);
+
+    println!("{{");
+    println!("  \"bench_config\": \"8 committees x 16 members, seed 4242, pow_difficulty 2, verify_signatures off\",");
+    print_series("one_worker", &one, true);
+    print_series(&format!("{parallel_workers}_workers"), &many, false);
+    println!("}}");
+}

@@ -1,0 +1,55 @@
+//! Per-phase wall-clock profile of the round engine at the standard 8x16
+//! bench configuration: runs a few rounds with a timing [`RoundObserver`]
+//! attached and prints where the round's time goes. This is the tool that
+//! located the data-plane hot spots (inter-consensus message churn, latency
+//! DRBG instantiation, signature generation) — keep it handy before chasing
+//! the next bottleneck.
+//!
+//! Run with `cargo run --release -p cycledger-bench --bin phase_profile`.
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use cycledger_bench::bench_config;
+use cycledger_protocol::engine::{RoundContext, RoundObserver};
+use cycledger_protocol::Simulation;
+
+#[derive(Default)]
+struct Prof {
+    start: Option<Instant>,
+    totals: BTreeMap<&'static str, f64>,
+}
+
+impl RoundObserver for Prof {
+    fn on_phase_start(&mut self, _phase: &'static str, _ctx: &RoundContext<'_>) {
+        self.start = Some(Instant::now());
+    }
+    fn on_phase_end(&mut self, phase: &'static str, _ctx: &RoundContext<'_>) {
+        let dt = self.start.take().unwrap().elapsed().as_secs_f64();
+        *self.totals.entry(phase).or_default() += dt;
+    }
+}
+
+fn main() {
+    let mut config = bench_config(8, 16, 4242);
+    config.worker_threads = 1;
+    let mut sim = Simulation::new(config).unwrap();
+    sim.run(1);
+    let mut prof = Prof::default();
+    let t = Instant::now();
+    let rounds = 5;
+    for _ in 0..rounds {
+        sim.run_round_observed(&mut prof);
+    }
+    let total = t.elapsed().as_secs_f64();
+    println!("total {:.3}s for {rounds} rounds", total);
+    let mut in_phases = 0.0;
+    for (k, v) in &prof.totals {
+        println!("{k:28} {:7.3}s  {:5.1}%", v, v / total * 100.0);
+        in_phases += v;
+    }
+    println!(
+        "outside phases               {:7.3}s  {:5.1}%",
+        total - in_phases,
+        (total - in_phases) / total * 100.0
+    );
+}

@@ -18,8 +18,8 @@ use cycledger_crypto::sha256::Digest;
 use cycledger_net::topology::NodeId;
 
 use crate::messages::{
-    make_confirm, make_echo, verify_confirm, verify_echo, verify_propose, Confirm, ConsensusId,
-    Echo, Propose,
+    make_confirm, make_confirm_unsigned, make_echo, make_echo_unsigned, verify_confirm,
+    verify_echo, verify_propose, Confirm, ConsensusId, Echo, Propose,
 };
 use crate::quorum::{CommitteeKeys, QuorumCertificate};
 use crate::witness::EquivocationEvidence;
@@ -45,8 +45,8 @@ pub struct MemberState {
     keys: CommitteeKeys,
     /// The first valid leader proposal we accepted: `(digest, leader signature)`.
     accepted: Option<(Digest, Signature)>,
-    /// Payload of the accepted proposal.
-    payload: Option<Vec<u8>>,
+    /// Payload of the accepted proposal (shared with the proposal itself).
+    payload: Option<std::sync::Arc<Vec<u8>>>,
     /// Echo signatures collected for the accepted digest.
     echoes: BTreeMap<NodeId, Signature>,
     confirmed: bool,
@@ -78,16 +78,28 @@ impl MemberState {
         }
     }
 
-    /// Disables cryptographic verification of incoming messages.
+    /// Disables cryptographic verification of incoming messages **and**
+    /// generation of this member's own signatures (placeholder signatures are
+    /// attached instead, keeping message shapes and wire sizes identical).
     ///
     /// This is a *simulation fast path*: in the simulator, honest nodes only ever
     /// emit messages they could legitimately sign, so skipping verification does
     /// not change any protocol outcome — it only removes the O(c²) signature
-    /// checks per instance that dominate wall-clock time at large committee
-    /// sizes. Large-scale benches enable it; tests and examples keep full
-    /// verification on.
+    /// checks per instance *and* the O(c) signing multiplications that dominate
+    /// wall-clock time at large committee sizes. Large-scale benches enable it;
+    /// tests and examples keep full verification on.
     pub fn set_verify_signatures(&mut self, verify: bool) {
         self.verify_signatures = verify;
+    }
+
+    /// Echo for an accepted proposal: real signature when verification is on,
+    /// placeholder on the fast path (nothing will check it).
+    fn build_echo(&self, propose: &Propose) -> Echo {
+        if self.verify_signatures {
+            make_echo(propose, self.me, &self.keypair.secret)
+        } else {
+            make_echo_unsigned(propose, self.me)
+        }
     }
 
     /// Majority threshold of the committee (`⌊C/2⌋ + 1`).
@@ -103,7 +115,7 @@ impl MemberState {
     /// The payload this member accepted (if any) — what it will treat as the
     /// committee's working data when the instance completes.
     pub fn accepted_payload(&self) -> Option<&[u8]> {
-        self.payload.as_deref()
+        self.payload.as_deref().map(|v| v.as_slice())
     }
 
     /// True once the member has sent its CONFIRM.
@@ -128,7 +140,7 @@ impl MemberState {
             None => {
                 self.accepted = Some((propose.digest, propose.signature));
                 self.payload = Some(propose.payload.clone());
-                let echo = make_echo(propose, self.me, &self.keypair.secret);
+                let echo = self.build_echo(propose);
                 // A member counts its own echo.
                 self.echoes.insert(self.me, echo.signature);
                 let mut actions = vec![MemberAction::BroadcastEcho(echo)];
@@ -141,7 +153,7 @@ impl MemberState {
                 // the payload has arrived we can echo and, if the quorum of
                 // echoes is already in, confirm.
                 self.payload = Some(propose.payload.clone());
-                let echo = make_echo(propose, self.me, &self.keypair.secret);
+                let echo = self.build_echo(propose);
                 self.echoes.insert(self.me, echo.signature);
                 let mut actions = vec![MemberAction::BroadcastEcho(echo)];
                 actions.extend(self.maybe_confirm());
@@ -217,13 +229,17 @@ impl MemberState {
         if self.echoes.len() >= self.threshold() {
             self.confirmed = true;
             let echo_signatures = self.echoes.iter().map(|(n, s)| (*n, *s)).collect();
-            let confirm = make_confirm(
-                self.id,
-                digest,
-                self.me,
-                &self.keypair.secret,
-                echo_signatures,
-            );
+            let confirm = if self.verify_signatures {
+                make_confirm(
+                    self.id,
+                    digest,
+                    self.me,
+                    &self.keypair.secret,
+                    echo_signatures,
+                )
+            } else {
+                make_confirm_unsigned(self.id, digest, self.me, echo_signatures)
+            };
             return vec![MemberAction::SendConfirm(confirm)];
         }
         Vec::new()

@@ -10,6 +10,8 @@
 //! *provable* (a witness needs a leader-signed message, Claim 4) and what makes
 //! a quorum certificate transferable to the referee committee.
 
+use std::sync::Arc;
+
 use cycledger_crypto::schnorr::{sign, verify, PublicKey, SecretKey, Signature};
 use cycledger_crypto::sha256::Digest;
 use cycledger_net::topology::NodeId;
@@ -40,8 +42,10 @@ pub struct Propose {
     pub id: ConsensusId,
     /// Digest `H(M)` of the proposed payload.
     pub digest: Digest,
-    /// The payload `M` itself.
-    pub payload: Vec<u8>,
+    /// The payload `M` itself. Shared behind an `Arc`: the leader multicasts
+    /// the same proposal to every member, so per-recipient clones must not
+    /// copy the payload bytes.
+    pub payload: Arc<Vec<u8>>,
     /// Leader who proposed.
     pub leader: NodeId,
     /// Leader's signature over `(PROPOSE, id, digest)`.
@@ -134,6 +138,17 @@ pub fn confirm_signing_bytes(id: &ConsensusId, digest: &Digest, member: NodeId) 
     out
 }
 
+/// A fixed, precomputed signature used when the simulation fast path skips
+/// signature generation (see [`make_propose_unsigned`]). Deterministic, so
+/// runs with signing disabled stay byte-identical across worker counts.
+pub fn placeholder_signature() -> Signature {
+    static PLACEHOLDER: std::sync::OnceLock<Signature> = std::sync::OnceLock::new();
+    *PLACEHOLDER.get_or_init(|| {
+        let key = SecretKey::from_seed(b"cycledger/alg3-placeholder");
+        sign(&key, b"cycledger/alg3-placeholder-signature")
+    })
+}
+
 /// Builds a signed PROPOSE for a payload.
 pub fn make_propose(
     id: ConsensusId,
@@ -146,9 +161,28 @@ pub fn make_propose(
     Propose {
         id,
         digest,
-        payload,
+        payload: Arc::new(payload),
         leader,
         signature,
+    }
+}
+
+/// Builds a PROPOSE carrying a placeholder signature.
+///
+/// **Simulation fast path**: when signature verification is disabled for a
+/// run, nothing ever checks the Schnorr signatures, yet producing them
+/// dominated wall-clock time (one curve multiplication per message). The
+/// payload digest — which drives echo matching and equivocation detection —
+/// is still computed exactly as in [`make_propose`], and message sizes are
+/// accounted identically, so protocol decisions and metrics are unchanged.
+pub fn make_propose_unsigned(id: ConsensusId, payload: Vec<u8>, leader: NodeId) -> Propose {
+    let digest = cycledger_crypto::sha256::hash_parts(&[b"cycledger/alg3-payload", &payload]);
+    Propose {
+        id,
+        digest,
+        payload: Arc::new(payload),
+        leader,
+        signature: placeholder_signature(),
     }
 }
 
@@ -179,6 +213,20 @@ pub fn make_echo(propose: &Propose, member: NodeId, member_key: &SecretKey) -> E
         digest: propose.digest,
         member,
         signature,
+        leader: propose.leader,
+        propose_signature: propose.signature,
+    }
+}
+
+/// Builds an ECHO with a placeholder member signature (simulation fast path;
+/// see [`make_propose_unsigned`]). The relayed leader signature is still
+/// copied from the proposal so equivocation evidence keeps its shape.
+pub fn make_echo_unsigned(propose: &Propose, member: NodeId) -> Echo {
+    Echo {
+        id: propose.id,
+        digest: propose.digest,
+        member,
+        signature: placeholder_signature(),
         leader: propose.leader,
         propose_signature: propose.signature,
     }
@@ -215,6 +263,23 @@ pub fn make_confirm(
     }
 }
 
+/// Builds a CONFIRM with a placeholder signature (simulation fast path; see
+/// [`make_propose_unsigned`]).
+pub fn make_confirm_unsigned(
+    id: ConsensusId,
+    digest: Digest,
+    member: NodeId,
+    echo_signatures: Vec<(NodeId, Signature)>,
+) -> Confirm {
+    Confirm {
+        id,
+        digest,
+        member,
+        signature: placeholder_signature(),
+        echo_signatures,
+    }
+}
+
 /// Verifies a CONFIRM's own signature (echo signatures are verified by the
 /// quorum-certificate logic, which knows everyone's keys).
 pub fn verify_confirm(confirm: &Confirm, member_pk: &PublicKey) -> bool {
@@ -246,7 +311,7 @@ mod tests {
     fn propose_with_wrong_digest_rejected() {
         let leader = Keypair::from_seed(b"leader");
         let mut p = make_propose(id(), b"payload".to_vec(), NodeId(0), &leader.secret);
-        p.payload = b"swapped".to_vec();
+        p.payload = Arc::new(b"swapped".to_vec());
         assert!(!verify_propose(&p, &leader.public));
     }
 

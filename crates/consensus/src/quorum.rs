@@ -8,6 +8,7 @@
 //! consensus result" (§IV-D).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use cycledger_crypto::schnorr::{PublicKey, Signature};
 use cycledger_crypto::sha256::Digest;
@@ -16,16 +17,21 @@ use cycledger_net::topology::NodeId;
 use crate::messages::{confirm_signing_bytes, ConsensusId};
 
 /// The public keys of a committee, indexed by node id.
+///
+/// The directory is immutable once built and shared behind an `Arc`: one
+/// Algorithm 3 instance hands a copy to every member state machine, so a
+/// clone must be a reference-count bump, not a fresh `O(C)` tree of 64-byte
+/// keys per member (the seed paid that `O(C²)` copy per instance).
 #[derive(Clone, Debug, Default)]
 pub struct CommitteeKeys {
-    keys: BTreeMap<NodeId, PublicKey>,
+    keys: Arc<BTreeMap<NodeId, PublicKey>>,
 }
 
 impl CommitteeKeys {
     /// Builds the key directory from `(node, key)` pairs.
     pub fn new(pairs: impl IntoIterator<Item = (NodeId, PublicKey)>) -> Self {
         CommitteeKeys {
-            keys: pairs.into_iter().collect(),
+            keys: Arc::new(pairs.into_iter().collect()),
         }
     }
 

@@ -1,0 +1,130 @@
+//! A dependency-free FxHash-style hasher for in-process hash maps.
+//!
+//! The simulator's hot maps (`UtxoSet` entries keyed by outpoint, the metrics
+//! sink keyed by `(node, phase)`, packed-transaction id sets) are keyed by
+//! values an attacker cannot choose: outpoints are SHA-256 digests of
+//! transactions the protocol itself admitted, and node/phase pairs come from
+//! the round assignment. DoS-resistant SipHash therefore buys nothing on
+//! these paths while costing a long dependency chain of rounds per lookup;
+//! the rustc-style Fx fold (rotate, xor, multiply by a fixed odd constant)
+//! hashes a 36-byte outpoint in a handful of cycles.
+//!
+//! **Not** a cryptographic hash: nothing protocol-visible (digests, canonical
+//! bytes, determinism checks) may depend on these hash values. Everything
+//! protocol-visible that iterates one of these maps must sort first — exactly
+//! the contract the metrics sink's canonical encoding already enforces.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from FxHash (the golden-ratio-derived odd constant rustc uses).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx folding hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.fold(u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            self.fold(u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as u64);
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.fold(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.fold(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.fold(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.fold(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        // Unlike the std RandomState, Fx has no per-process seed.
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&[1u8; 36]), hash_of(&[1u8; 36]));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let values: Vec<u64> = (0..1000).map(|i| hash_of(&(i as u64))).collect();
+        let distinct: std::collections::HashSet<_> = values.iter().collect();
+        assert_eq!(distinct.len(), values.len());
+    }
+
+    #[test]
+    fn byte_stream_chunking_matches_width_writes() {
+        // A 36-byte key (digest + index) exercises the 8/4-byte chunk path.
+        let mut a = FxHasher::default();
+        a.write(&[7u8; 36]);
+        let mut b = FxHasher::default();
+        b.write(&[7u8; 32]);
+        b.write(&[7u8; 4]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+    }
+}

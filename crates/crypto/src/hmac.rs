@@ -59,29 +59,36 @@ impl HmacDrbg {
     }
 
     /// Instantiates the DRBG from several seed parts (domain separation included).
+    ///
+    /// Streams the same length-prefixed encoding `hash_parts` would produce
+    /// directly into the hasher — a DRBG is instantiated per simulated
+    /// message for latency sampling, so this constructor must not allocate.
     pub fn from_parts(domain: &str, parts: &[&[u8]]) -> Self {
-        let seed = crate::sha256::hash_parts(
-            &core::iter::once(domain.as_bytes())
-                .chain(parts.iter().copied())
-                .collect::<Vec<_>>(),
-        );
-        Self::new(seed.as_bytes())
+        let mut h = crate::sha256::Sha256::new();
+        let d = domain.as_bytes();
+        h.update(&(d.len() as u64).to_le_bytes());
+        h.update(d);
+        for p in parts {
+            h.update(&(p.len() as u64).to_le_bytes());
+            h.update(p);
+        }
+        Self::new(h.finalize().as_bytes())
     }
 
     fn update(&mut self, provided: Option<&[u8]>) {
-        let mut parts: Vec<&[u8]> = vec![&self.v, &[0x00]];
-        if let Some(p) = provided {
-            parts.push(p);
-        }
-        self.k = hmac_sha256_parts(&self.k, &parts).0;
-        self.v = hmac_sha256(&self.k, &self.v).0;
-        if provided.is_some() {
-            let mut parts: Vec<&[u8]> = vec![&self.v, &[0x01]];
-            if let Some(p) = provided {
-                parts.push(p);
+        // Fixed-arity part slices: this runs twice per `fill_bytes` call and
+        // must stay allocation-free (the hashed byte stream is unchanged).
+        match provided {
+            Some(p) => {
+                self.k = hmac_sha256_parts(&self.k, &[&self.v, &[0x00], p]).0;
+                self.v = hmac_sha256(&self.k, &self.v).0;
+                self.k = hmac_sha256_parts(&self.k, &[&self.v, &[0x01], p]).0;
+                self.v = hmac_sha256(&self.k, &self.v).0;
             }
-            self.k = hmac_sha256_parts(&self.k, &parts).0;
-            self.v = hmac_sha256(&self.k, &self.v).0;
+            None => {
+                self.k = hmac_sha256_parts(&self.k, &[&self.v, &[0x00]]).0;
+                self.v = hmac_sha256(&self.k, &self.v).0;
+            }
         }
     }
 

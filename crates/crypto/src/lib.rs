@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod fe;
+pub mod fxhash;
 pub mod hmac;
 pub mod merkle;
 pub mod point;

@@ -12,10 +12,18 @@ use crate::sha256::{hash_parts, Digest};
 const LEAF_DOMAIN: &[u8] = b"cycledger/merkle-leaf";
 const NODE_DOMAIN: &[u8] = b"cycledger/merkle-node";
 
-/// A full Merkle tree retained in memory (level by level, leaves first).
+/// A full Merkle tree retained in memory.
+///
+/// All node digests live in **one flat vector**, level by level (leaves
+/// first, root last), with `level_offsets[i]` marking where level `i`
+/// starts. The flat layout is one allocation of known size instead of a
+/// `Vec<Vec<Digest>>` per build — the tree is rebuilt for every block's
+/// `tx_root`, so build allocation discipline is part of the round hot path.
 #[derive(Clone, Debug)]
 pub struct MerkleTree {
-    levels: Vec<Vec<Digest>>,
+    nodes: Vec<Digest>,
+    level_offsets: Vec<usize>,
+    leaf_count: usize,
 }
 
 /// A Merkle membership proof: the sibling hashes from leaf to root.
@@ -45,41 +53,84 @@ impl MerkleTree {
     /// are handled by promoting the unpaired node (Bitcoin-style duplication is
     /// avoided because it permits distinct leaf sets with equal roots).
     pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> MerkleTree {
-        if leaves.is_empty() {
+        Self::build_from_slices(leaves.iter().map(|l| l.as_ref()))
+    }
+
+    /// Builds a tree from an iterator of **borrowed** leaf payloads.
+    ///
+    /// This is the zero-staging entry point: callers that already hold each
+    /// leaf's bytes (e.g. a block's memoized transaction encodings) hash them
+    /// straight into the flat node vector, with no intermediate
+    /// `Vec<Vec<u8>>` of re-encoded leaves and no per-level vectors.
+    pub fn build_from_slices<'x, I>(leaves: I) -> MerkleTree
+    where
+        I: IntoIterator<Item = &'x [u8]>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let iter = leaves.into_iter();
+        let leaf_count = iter.len();
+        if leaf_count == 0 {
             return MerkleTree {
-                levels: vec![vec![]],
+                nodes: Vec::new(),
+                level_offsets: vec![0],
+                leaf_count: 0,
             };
         }
-        let mut levels: Vec<Vec<Digest>> = Vec::new();
-        levels.push(leaves.iter().map(|l| leaf_hash(l.as_ref())).collect());
-        while levels.last().expect("non-empty").len() > 1 {
-            let prev = levels.last().expect("non-empty");
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
-                if pair.len() == 2 {
-                    next.push(node_hash(&pair[0], &pair[1]));
+        // Total node count over all levels is known up front: one allocation.
+        let mut total = 0usize;
+        let mut width = leaf_count;
+        loop {
+            total += width;
+            if width == 1 {
+                break;
+            }
+            width = width.div_ceil(2);
+        }
+        let mut nodes = Vec::with_capacity(total);
+        nodes.extend(iter.map(leaf_hash));
+        let mut level_offsets = vec![0usize];
+        let mut start = 0usize;
+        let mut len = leaf_count;
+        while len > 1 {
+            for i in (0..len).step_by(2) {
+                let parent = if i + 1 < len {
+                    node_hash(&nodes[start + i], &nodes[start + i + 1])
                 } else {
                     // Promote the odd node unchanged.
-                    next.push(pair[0]);
-                }
+                    nodes[start + i]
+                };
+                nodes.push(parent);
             }
-            levels.push(next);
+            start += len;
+            level_offsets.push(start);
+            len = len.div_ceil(2);
         }
-        MerkleTree { levels }
+        debug_assert_eq!(nodes.len(), total);
+        MerkleTree {
+            nodes,
+            level_offsets,
+            leaf_count,
+        }
     }
 
     /// Number of leaves.
     pub fn leaf_count(&self) -> usize {
-        self.levels[0].len()
+        self.leaf_count
     }
 
     /// The Merkle root ([`Digest::ZERO`] for an empty tree).
     pub fn root(&self) -> Digest {
-        self.levels
-            .last()
-            .and_then(|l| l.first())
+        self.nodes.last().copied().unwrap_or(Digest::ZERO)
+    }
+
+    /// Length of level `i` (levels are indexed from the leaves up).
+    fn level_len(&self, i: usize) -> usize {
+        let end = self
+            .level_offsets
+            .get(i + 1)
             .copied()
-            .unwrap_or(Digest::ZERO)
+            .unwrap_or(self.nodes.len());
+        end - self.level_offsets[i]
     }
 
     /// Generates a membership proof for the leaf at `index`.
@@ -87,12 +138,14 @@ impl MerkleTree {
         if index >= self.leaf_count() {
             return None;
         }
-        let mut siblings = Vec::new();
+        let levels = self.level_offsets.len();
+        let mut siblings = Vec::with_capacity(levels.saturating_sub(1));
         let mut idx = index;
-        for level in &self.levels[..self.levels.len().saturating_sub(1)] {
+        for level in 0..levels.saturating_sub(1) {
+            let offset = self.level_offsets[level];
             let sibling_idx = idx ^ 1;
-            if sibling_idx < level.len() {
-                siblings.push(level[sibling_idx]);
+            if sibling_idx < self.level_len(level) {
+                siblings.push(self.nodes[offset + sibling_idx]);
             } else {
                 // The node was promoted unpaired; record a sentinel the verifier
                 // recognises via the index arithmetic (no sibling consumed).

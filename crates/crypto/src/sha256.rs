@@ -25,14 +25,26 @@ impl Digest {
     }
 
     /// Hex-encodes the digest (lowercase).
+    ///
+    /// One table lookup per input byte writes both nibbles at once into a
+    /// fixed-size buffer; the only allocation is the returned `String`.
     pub fn to_hex(&self) -> String {
-        const HEX: &[u8; 16] = b"0123456789abcdef";
-        let mut s = String::with_capacity(DIGEST_LEN * 2);
-        for &b in &self.0 {
-            s.push(HEX[(b >> 4) as usize] as char);
-            s.push(HEX[(b & 0xf) as usize] as char);
+        /// `HEX_PAIRS[b]` is the two-character lowercase hex encoding of `b`.
+        const HEX_PAIRS: [[u8; 2]; 256] = {
+            const HEX: &[u8; 16] = b"0123456789abcdef";
+            let mut table = [[0u8; 2]; 256];
+            let mut b = 0usize;
+            while b < 256 {
+                table[b] = [HEX[b >> 4], HEX[b & 0xf]];
+                b += 1;
+            }
+            table
+        };
+        let mut out = [0u8; DIGEST_LEN * 2];
+        for (i, &b) in self.0.iter().enumerate() {
+            out[2 * i..2 * i + 2].copy_from_slice(&HEX_PAIRS[b as usize]);
         }
-        s
+        core::str::from_utf8(&out).expect("hex is ASCII").to_owned()
     }
 
     /// Parses a 64-character hex string into a digest.
@@ -139,6 +151,11 @@ impl Sha256 {
     }
 
     /// Absorbs `data` into the hash state.
+    ///
+    /// Streaming contract: the internal buffer only ever holds the sub-block
+    /// tail of the input. Once the buffer completes a block (or was empty to
+    /// begin with), every full 64-byte block is compressed **directly from
+    /// the input slice** — no staging copy through `buf` on the bulk path.
     pub fn update(&mut self, data: &[u8]) -> &mut Self {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
         let mut data = data;
@@ -149,8 +166,9 @@ impl Sha256 {
             self.buf_len += take;
             data = &data[take..];
             if self.buf_len == BLOCK_LEN {
-                let block = self.buf;
-                compress(&mut self.state, &block);
+                // `state` and `buf` are disjoint fields, so the completed
+                // block compresses in place without copying it out first.
+                compress(&mut self.state, &self.buf);
                 self.buf_len = 0;
             }
         }
@@ -193,7 +211,258 @@ impl Sha256 {
     }
 }
 
+/// Compresses one 64-byte block into the state.
+///
+/// Dispatches to the SHA-NI hardware implementation when the CPU supports it
+/// (checked once, cached); the portable scalar implementation is the
+/// fallback and the differential oracle. Both produce bit-identical states —
+/// SHA-256 is fully specified — so every digest, golden file and determinism
+/// check is independent of which path ran.
 fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if shani::available() {
+            // SAFETY: `available()` verified the sha/ssse3/sse4.1 features.
+            unsafe { shani::compress(state, block) };
+            return;
+        }
+    }
+    compress_scalar(state, block);
+}
+
+/// Hardware SHA-256 (x86-64 SHA New Instructions), the standard ABEF/CDGH
+/// two-lane formulation.
+#[cfg(target_arch = "x86_64")]
+mod shani {
+    use super::BLOCK_LEN;
+    use core::arch::x86_64::*;
+
+    /// True when the CPU exposes the SHA extensions (checked once).
+    pub fn available() -> bool {
+        static AVAILABLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("sha")
+                && std::arch::is_x86_feature_detected!("ssse3")
+                && std::arch::is_x86_feature_detected!("sse4.1")
+        })
+    }
+
+    /// # Safety
+    /// Caller must ensure the `sha`, `ssse3` and `sse4.1` CPU features are
+    /// present (see [`available`]).
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    pub unsafe fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
+        // Four rounds per _mm_sha256rnds2_epu32 pair; K constants packed
+        // little-endian into 128-bit lanes (K[i+1]:K[i] per 64-bit half).
+        macro_rules! rounds4 {
+            ($state0:ident, $state1:ident, $msg_vec:expr, $k_hi:expr, $k_lo:expr) => {{
+                let mut msg = _mm_add_epi32($msg_vec, _mm_set_epi64x($k_hi, $k_lo));
+                $state1 = _mm_sha256rnds2_epu32($state1, $state0, msg);
+                msg = _mm_shuffle_epi32(msg, 0x0E);
+                $state0 = _mm_sha256rnds2_epu32($state0, $state1, msg);
+            }};
+        }
+
+        // Load state (a..h) and shuffle into the ABEF / CDGH lane order the
+        // SHA instructions expect.
+        let tmp = _mm_loadu_si128(state.as_ptr().cast::<__m128i>());
+        let mut state1 = _mm_loadu_si128(state.as_ptr().add(4).cast::<__m128i>());
+        let tmp = _mm_shuffle_epi32(tmp, 0xB1); // CDAB
+        state1 = _mm_shuffle_epi32(state1, 0x1B); // EFGH
+        let mut state0 = _mm_alignr_epi8(tmp, state1, 8); // ABEF
+        state1 = _mm_blend_epi16(state1, tmp, 0xF0); // CDGH
+        let abef_save = state0;
+        let cdgh_save = state1;
+
+        // Byte-swap mask: the message words are big-endian in the block.
+        let mask = _mm_set_epi64x(
+            0x0c0d_0e0f_0809_0a0bu64 as i64,
+            0x0405_0607_0001_0203u64 as i64,
+        );
+        let p = block.as_ptr().cast::<__m128i>();
+        let mut msg0 = _mm_shuffle_epi8(_mm_loadu_si128(p), mask);
+        let mut msg1 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(1)), mask);
+        let mut msg2 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(2)), mask);
+        let mut msg3 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(3)), mask);
+
+        // A steady-state group of four rounds t..t+3: `$cur` already holds
+        // w[t..t+3]. The group consumes it, finishes the schedule of `$next`
+        // (w[t+4..t+7]) from `$cur` and `$prev` (w[t-4..t-1]), and runs the
+        // first sha256msg1 step of `$prev`'s successor.
+        macro_rules! schedule4 {
+            ($state0:ident, $state1:ident,
+             $cur:ident, $next:ident, $prev:ident,
+             $k_hi:expr, $k_lo:expr) => {{
+                let mut msg = _mm_add_epi32($cur, _mm_set_epi64x($k_hi, $k_lo));
+                $state1 = _mm_sha256rnds2_epu32($state1, $state0, msg);
+                let tmp = _mm_alignr_epi8($cur, $prev, 4);
+                $next = _mm_add_epi32($next, tmp);
+                $next = _mm_sha256msg2_epu32($next, $cur);
+                msg = _mm_shuffle_epi32(msg, 0x0E);
+                $state0 = _mm_sha256rnds2_epu32($state0, $state1, msg);
+                $prev = _mm_sha256msg1_epu32($prev, $cur);
+                let _ = $prev; // the last groups schedule nothing further
+            }};
+        }
+
+        // Rounds 0-11: raw message words, with the first msg1 steps.
+        rounds4!(
+            state0,
+            state1,
+            msg0,
+            0xE9B5DBA5B5C0FBCFu64 as i64,
+            0x71374491428A2F98u64 as i64
+        );
+        rounds4!(
+            state0,
+            state1,
+            msg1,
+            0xAB1C5ED5923F82A4u64 as i64,
+            0x59F111F13956C25Bu64 as i64
+        );
+        msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+        rounds4!(
+            state0,
+            state1,
+            msg2,
+            0x550C7DC3243185BEu64 as i64,
+            0x12835B01D807AA98u64 as i64
+        );
+        msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+        // Rounds 12-59: steady-state schedule, one vector per group.
+        schedule4!(
+            state0,
+            state1,
+            msg3,
+            msg0,
+            msg2,
+            0xC19BF1749BDC06A7u64 as i64,
+            0x80DEB1FE72BE5D74u64 as i64
+        );
+        schedule4!(
+            state0,
+            state1,
+            msg0,
+            msg1,
+            msg3,
+            0x240CA1CC0FC19DC6u64 as i64,
+            0xEFBE4786E49B69C1u64 as i64
+        );
+        schedule4!(
+            state0,
+            state1,
+            msg1,
+            msg2,
+            msg0,
+            0x76F988DA5CB0A9DCu64 as i64,
+            0x4A7484AA2DE92C6Fu64 as i64
+        );
+        schedule4!(
+            state0,
+            state1,
+            msg2,
+            msg3,
+            msg1,
+            0xBF597FC7B00327C8u64 as i64,
+            0xA831C66D983E5152u64 as i64
+        );
+        schedule4!(
+            state0,
+            state1,
+            msg3,
+            msg0,
+            msg2,
+            0x1429296706CA6351u64 as i64,
+            0xD5A79147C6E00BF3u64 as i64
+        );
+        schedule4!(
+            state0,
+            state1,
+            msg0,
+            msg1,
+            msg3,
+            0x53380D134D2C6DFCu64 as i64,
+            0x2E1B213827B70A85u64 as i64
+        );
+        schedule4!(
+            state0,
+            state1,
+            msg1,
+            msg2,
+            msg0,
+            0x92722C8581C2C92Eu64 as i64,
+            0x766A0ABB650A7354u64 as i64
+        );
+        schedule4!(
+            state0,
+            state1,
+            msg2,
+            msg3,
+            msg1,
+            0xC76C51A3C24B8B70u64 as i64,
+            0xA81A664BA2BFE8A1u64 as i64
+        );
+        schedule4!(
+            state0,
+            state1,
+            msg3,
+            msg0,
+            msg2,
+            0x106AA070F40E3585u64 as i64,
+            0xD6990624D192E819u64 as i64
+        );
+        schedule4!(
+            state0,
+            state1,
+            msg0,
+            msg1,
+            msg3,
+            0x34B0BCB52748774Cu64 as i64,
+            0x1E376C0819A4C116u64 as i64
+        );
+        schedule4!(
+            state0,
+            state1,
+            msg1,
+            msg2,
+            msg0,
+            0x682E6FF35B9CCA4Fu64 as i64,
+            0x4ED8AA4A391C0CB3u64 as i64
+        );
+        schedule4!(
+            state0,
+            state1,
+            msg2,
+            msg3,
+            msg1,
+            0x8CC7020884C87814u64 as i64,
+            0x78A5636F748F82EEu64 as i64
+        );
+
+        // Rounds 60-63: last group, nothing left to schedule.
+        rounds4!(
+            state0,
+            state1,
+            msg3,
+            0xC67178F2BEF9A3F7u64 as i64,
+            0xA4506CEB90BEFFFAu64 as i64
+        );
+
+        // Add the saved state back and restore the a..h word order.
+        state0 = _mm_add_epi32(state0, abef_save);
+        state1 = _mm_add_epi32(state1, cdgh_save);
+        let tmp = _mm_shuffle_epi32(state0, 0x1B); // FEBA
+        state1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+        state0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+        state1 = _mm_alignr_epi8(state1, tmp, 8); // HGFE
+        _mm_storeu_si128(state.as_mut_ptr().cast::<__m128i>(), state0);
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast::<__m128i>(), state1);
+    }
+}
+
+/// Portable scalar compression function (FIPS 180-4 reference formulation).
+fn compress_scalar(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
     let mut w = [0u32; 64];
     for i in 0..16 {
         w[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("word"));
@@ -265,6 +534,146 @@ pub fn hash_domain(domain: &str, data: &[u8]) -> Digest {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// The pre-change hasher: stages *every* byte through the internal buffer
+    /// and only compresses out of it. Kept as a differential oracle for the
+    /// streaming `update` path, which compresses full blocks directly from
+    /// the input slice.
+    struct BufferedSha256 {
+        state: [u32; 8],
+        buf: [u8; BLOCK_LEN],
+        buf_len: usize,
+        total_len: u64,
+    }
+
+    impl BufferedSha256 {
+        fn new() -> Self {
+            BufferedSha256 {
+                state: H0,
+                buf: [0u8; BLOCK_LEN],
+                buf_len: 0,
+                total_len: 0,
+            }
+        }
+
+        fn update(&mut self, data: &[u8]) {
+            self.total_len = self.total_len.wrapping_add(data.len() as u64);
+            for &b in data {
+                self.buf[self.buf_len] = b;
+                self.buf_len += 1;
+                if self.buf_len == BLOCK_LEN {
+                    let block = self.buf;
+                    compress(&mut self.state, &block);
+                    self.buf_len = 0;
+                }
+            }
+        }
+
+        fn finalize(mut self) -> Digest {
+            let bit_len = self.total_len.wrapping_mul(8);
+            let saved = self.total_len;
+            self.update(&[0x80]);
+            while self.buf_len != 56 {
+                self.update(&[0]);
+            }
+            self.update(&bit_len.to_be_bytes());
+            self.total_len = saved;
+            let mut out = [0u8; DIGEST_LEN];
+            for (i, word) in self.state.iter().enumerate() {
+                out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+            }
+            Digest(out)
+        }
+    }
+
+    fn buffered_oracle(data: &[u8]) -> Digest {
+        let mut h = BufferedSha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    #[test]
+    fn streaming_matches_buffered_oracle_at_block_boundaries() {
+        // Multi-block boundary cases around one and two compression blocks.
+        for len in [0usize, 1, 55, 56, 63, 64, 65, 127, 128, 129, 191, 256] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            assert_eq!(sha256(&data), buffered_oracle(&data), "len {len}");
+            // And through a chunked incremental update (chunk straddles the
+            // internal buffer).
+            let mut h = Sha256::new();
+            for c in data.chunks(7) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), buffered_oracle(&data), "chunked len {len}");
+        }
+    }
+
+    #[test]
+    fn hardware_compress_matches_scalar() {
+        // When the SHA-NI path is active, it must agree with the portable
+        // scalar compression on arbitrary states and blocks (on machines
+        // without the extension this degenerates to scalar-vs-scalar).
+        let mut state_a = H0;
+        let mut block = [0u8; BLOCK_LEN];
+        for round in 0u32..64 {
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = ((i as u32).wrapping_mul(37).wrapping_add(round * 101) % 251) as u8;
+            }
+            let mut state_b = state_a;
+            compress(&mut state_a, &block);
+            compress_scalar(&mut state_b, &block);
+            assert_eq!(state_a, state_b, "divergence at round {round}");
+        }
+    }
+
+    #[test]
+    fn long_message_nist_vector() {
+        // NIST "long message" style vector: one million 'a's, streamed through
+        // an unaligned chunk size so full blocks are compressed straight from
+        // the input slice across chunk boundaries.
+        let data = vec![b'a'; 1_000_000];
+        let mut h = Sha256::new();
+        for c in data.chunks(997) {
+            h.update(c);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_chunked_update_matches_oneshot(
+            data in proptest::collection::vec(any::<u8>(), 0..512),
+            splits in proptest::collection::vec(1usize..96, 0..8),
+        ) {
+            let mut h = Sha256::new();
+            let mut rest: &[u8] = &data;
+            for s in splits {
+                let take = s.min(rest.len());
+                let (head, tail) = rest.split_at(take);
+                h.update(head);
+                rest = tail;
+            }
+            h.update(rest);
+            prop_assert_eq!(h.finalize(), sha256(&data));
+        }
+
+        #[test]
+        fn prop_hex_round_trip(bytes in proptest::array::uniform32(any::<u8>())) {
+            let d = Digest(bytes);
+            let hex = d.to_hex();
+            prop_assert_eq!(hex.len(), DIGEST_LEN * 2);
+            prop_assert!(hex.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()));
+            prop_assert_eq!(Digest::from_hex(&hex), Some(d));
+            // Uppercase input parses to the same digest.
+            prop_assert_eq!(Digest::from_hex(&hex.to_uppercase()), Some(d));
+        }
+    }
 
     // FIPS 180-4 / NIST test vectors.
     #[test]

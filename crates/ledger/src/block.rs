@@ -6,6 +6,8 @@
 //! sets, and the next round's randomness `R^{r+1}`. Releasing the block to the
 //! whole network tells every node the configuration of round `r+1`.
 
+use std::sync::OnceLock;
+
 use cycledger_crypto::merkle::MerkleTree;
 use cycledger_crypto::sha256::{hash_parts, Digest};
 
@@ -31,7 +33,23 @@ pub struct NextRoundConfig {
 
 impl NextRoundConfig {
     fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        // Exact encoded size, so the buffer never regrows mid-encode.
+        let capacity = 4
+            + 4 * self.participants.len()
+            + 4
+            + 8 * self.reputations_fp.len()
+            + 4
+            + 4 * self.referee.len()
+            + 4
+            + 4 * self.leaders.len()
+            + 4
+            + self
+                .partial_sets
+                .iter()
+                .map(|ps| 4 + 4 * ps.len())
+                .sum::<usize>()
+            + 32;
+        let mut out = Vec::with_capacity(capacity);
         let push_list = |out: &mut Vec<u8>, xs: &[u32]| {
             out.extend_from_slice(&(xs.len() as u32).to_be_bytes());
             for x in xs {
@@ -81,7 +99,7 @@ impl BlockHeader {
 }
 
 /// A full block: header plus the transactions and next-round configuration.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Block {
     /// The header.
     pub header: BlockHeader,
@@ -89,7 +107,24 @@ pub struct Block {
     pub transactions: Vec<Transaction>,
     /// Configuration of round `r+1`.
     pub next_round: NextRoundConfig,
+    /// Memoized header hash: the hash is consumed at least twice per round
+    /// (referee agreement payload, chain append) and again by every
+    /// tip-chaining caller, so it is computed once on first use. Sound as
+    /// long as the header is not mutated after assembly — the constructor
+    /// path (`assemble`) is the only producer of blocks in the protocol.
+    header_hash: OnceLock<Digest>,
 }
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Self) -> bool {
+        // The memo cache is excluded: equality is over block content.
+        self.header == other.header
+            && self.transactions == other.transactions
+            && self.next_round == other.next_round
+    }
+}
+
+impl Eq for Block {}
 
 impl Block {
     /// Assembles a block for `round` on top of `prev_hash`.
@@ -110,13 +145,20 @@ impl Block {
             },
             transactions,
             next_round,
+            header_hash: OnceLock::new(),
         }
     }
 
-    /// Merkle root over a transaction list.
+    /// The header hash, computed once and memoized.
+    pub fn header_hash(&self) -> Digest {
+        *self.header_hash.get_or_init(|| self.header.hash())
+    }
+
+    /// Merkle root over a transaction list: each transaction's **memoized**
+    /// canonical encoding is hashed straight into the tree's flat node
+    /// vector — no re-encoding, no staged `Vec<Vec<u8>>` of leaves.
     pub fn tx_root(transactions: &[Transaction]) -> Digest {
-        let leaves: Vec<Vec<u8>> = transactions.iter().map(|t| t.encode()).collect();
-        MerkleTree::build(&leaves).root()
+        MerkleTree::build_from_slices(transactions.iter().map(|t| t.encoded_bytes())).root()
     }
 
     /// Verifies internal consistency: the header commits to exactly this body.
@@ -147,20 +189,24 @@ impl Block {
 #[derive(Clone, Debug, Default)]
 pub struct Chain {
     blocks: Vec<Block>,
+    /// Hash of the tip header, maintained on append. The seed recomputed the
+    /// tip header hash on every `tip_hash()` call; it is now served from the
+    /// appended block's memoized header digest.
+    tip_hash: Digest,
 }
 
 impl Chain {
     /// Creates an empty chain.
     pub fn new() -> Chain {
-        Chain { blocks: Vec::new() }
+        Chain {
+            blocks: Vec::new(),
+            tip_hash: Digest::ZERO,
+        }
     }
 
     /// Hash of the latest block header, or [`Digest::ZERO`] for an empty chain.
     pub fn tip_hash(&self) -> Digest {
-        self.blocks
-            .last()
-            .map(|b| b.header.hash())
-            .unwrap_or(Digest::ZERO)
+        self.tip_hash
     }
 
     /// Height (number of blocks).
@@ -170,7 +216,7 @@ impl Chain {
 
     /// Appends a block after checking it extends the tip and is well formed.
     pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
-        if block.header.prev_hash != self.tip_hash() {
+        if block.header.prev_hash != self.tip_hash {
             return Err(ChainError::WrongParent);
         }
         if block.header.round != self.blocks.len() as u64 {
@@ -179,6 +225,7 @@ impl Chain {
         if !block.verify_structure() {
             return Err(ChainError::BadStructure);
         }
+        self.tip_hash = block.header_hash();
         self.blocks.push(block);
         Ok(())
     }
@@ -248,6 +295,23 @@ mod tests {
         let mut tampered = block.clone();
         tampered.next_round.leaders[0] = 99;
         assert!(!tampered.verify_structure());
+    }
+
+    #[test]
+    fn memoized_header_hash_matches_direct_hash_and_serves_the_tip() {
+        let block = sample_block(0, Digest::ZERO);
+        assert_eq!(block.header_hash(), block.header.hash());
+        // Repeated calls return the memo.
+        assert_eq!(block.header_hash(), block.header_hash());
+        let mut chain = Chain::new();
+        assert_eq!(chain.tip_hash(), Digest::ZERO);
+        let expected = block.header.hash();
+        chain.append(block).unwrap();
+        assert_eq!(
+            chain.tip_hash(),
+            expected,
+            "tip served from the memoized digest"
+        );
     }
 
     #[test]

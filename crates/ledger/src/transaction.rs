@@ -10,7 +10,22 @@
 //! is orthogonal to committee consensus), so modelling them would only add
 //! constant-factor noise to the measurements. The shard of an account is
 //! `H(account) mod m`, mirroring the paper's uniform user partition.
+//!
+//! ## Memoized canonical encoding
+//!
+//! A transaction's canonical byte encoding and its digest are computed **once,
+//! at construction**, and shared behind an `Arc`: `encoded_bytes()`, `id()`
+//! and `wire_size()` are lookups, and cloning a transaction anywhere in the
+//! round pipeline is a reference-count bump instead of a re-allocation of its
+//! input/output vectors. This is sound because a transaction is immutable
+//! after construction — there is no way to change inputs, outputs or nonce
+//! without building a new transaction, so the cached encoding can never go
+//! stale.
 
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use cycledger_crypto::fxhash::FxHashMap;
 use cycledger_crypto::sha256::{hash_parts, Digest};
 
 /// A user account identifier.
@@ -21,8 +36,30 @@ impl AccountId {
     /// The shard (committee index) responsible for this account.
     pub fn shard(&self, m: usize) -> usize {
         assert!(m > 0, "at least one shard");
-        let digest = hash_parts(&[b"cycledger/account-shard", &self.0.to_be_bytes()]);
-        (digest.prefix_u64() % m as u64) as usize
+        (self.shard_key() % m as u64) as usize
+    }
+
+    /// The account's shard-routing key: the first 8 bytes of
+    /// `H("cycledger/account-shard" || account)`, independent of the shard
+    /// count. Memoized per thread — shard routing is consulted for every
+    /// input and output of every transaction on the round hot path, and the
+    /// active account set is small and stable, so the SHA-256 evaluation
+    /// happens once per account per worker thread instead of per lookup.
+    fn shard_key(&self) -> u64 {
+        thread_local! {
+            static SHARD_KEYS: RefCell<FxHashMap<u64, u64>> = RefCell::new(FxHashMap::default());
+        }
+        SHARD_KEYS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            // Bound the memo so pathological workloads (unbounded fresh
+            // accounts) cannot grow it without limit.
+            if cache.len() > (1 << 16) {
+                cache.clear();
+            }
+            *cache.entry(self.0).or_insert_with(|| {
+                hash_parts(&[b"cycledger/account-shard", &self.0.to_be_bytes()]).prefix_u64()
+            })
+        })
     }
 }
 
@@ -60,80 +97,129 @@ pub struct TxInput {
     pub amount: u64,
 }
 
+/// The immutable body shared by every clone of a transaction.
+#[derive(Debug)]
+struct TxBody {
+    inputs: Vec<TxInput>,
+    outputs: Vec<TxOutput>,
+    nonce: u64,
+    /// Canonical encoding, computed once at construction.
+    encoded: Vec<u8>,
+    /// `H("cycledger/txid" || encoded)`, computed once at construction.
+    id: TxId,
+}
+
 /// A transfer of value from a set of UTXOs to a set of new outputs.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Immutable after construction; clones share the body (and its memoized
+/// canonical encoding and digest) behind an `Arc`.
+#[derive(Clone, Debug)]
 pub struct Transaction {
-    /// Consumed UTXOs.
-    pub inputs: Vec<TxInput>,
-    /// Created UTXOs.
-    pub outputs: Vec<TxOutput>,
-    /// Salt making otherwise-identical transfers distinct (e.g. two equal
-    /// payments between the same accounts in one round).
-    pub nonce: u64,
+    body: Arc<TxBody>,
+}
+
+impl PartialEq for Transaction {
+    fn eq(&self, other: &Self) -> bool {
+        // The canonical encoding is injective over (inputs, outputs, nonce).
+        Arc::ptr_eq(&self.body, &other.body) || self.body.encoded == other.body.encoded
+    }
+}
+
+impl Eq for Transaction {}
+
+impl std::hash::Hash for Transaction {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Consistent with Eq: equal encodings have equal ids.
+        self.body.id.hash(state);
+    }
 }
 
 impl Transaction {
-    /// Creates a transaction.
+    /// Creates a transaction, computing its canonical encoding and digest.
     pub fn new(inputs: Vec<TxInput>, outputs: Vec<TxOutput>, nonce: u64) -> Self {
+        let encoded = Self::encode_parts(&inputs, &outputs, nonce);
+        let id = hash_parts(&[b"cycledger/txid", &encoded]);
         Transaction {
-            inputs,
-            outputs,
-            nonce,
+            body: Arc::new(TxBody {
+                inputs,
+                outputs,
+                nonce,
+                encoded,
+                id,
+            }),
         }
     }
 
     /// A coinbase/genesis transaction with no inputs, used to mint the initial
     /// UTXO set handed to each shard at simulation start.
     pub fn genesis(outputs: Vec<TxOutput>, nonce: u64) -> Self {
-        Transaction {
-            inputs: Vec::new(),
-            outputs,
-            nonce,
-        }
+        Transaction::new(Vec::new(), outputs, nonce)
+    }
+
+    /// Consumed UTXOs.
+    pub fn inputs(&self) -> &[TxInput] {
+        &self.body.inputs
+    }
+
+    /// Created UTXOs.
+    pub fn outputs(&self) -> &[TxOutput] {
+        &self.body.outputs
+    }
+
+    /// Salt making otherwise-identical transfers distinct (e.g. two equal
+    /// payments between the same accounts in one round).
+    pub fn nonce(&self) -> u64 {
+        self.body.nonce
     }
 
     /// True if this is a genesis (input-less) transaction.
     pub fn is_genesis(&self) -> bool {
-        self.inputs.is_empty()
+        self.body.inputs.is_empty()
     }
 
-    /// Canonical encoding used for hashing and for wire-size estimation.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.inputs.len() * 52 + self.outputs.len() * 16);
-        out.extend_from_slice(&self.nonce.to_be_bytes());
-        out.extend_from_slice(&(self.inputs.len() as u32).to_be_bytes());
-        for input in &self.inputs {
+    fn encode_parts(inputs: &[TxInput], outputs: &[TxOutput], nonce: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + inputs.len() * 52 + outputs.len() * 16);
+        out.extend_from_slice(&nonce.to_be_bytes());
+        out.extend_from_slice(&(inputs.len() as u32).to_be_bytes());
+        for input in inputs {
             out.extend_from_slice(input.outpoint.tx_id.as_bytes());
             out.extend_from_slice(&input.outpoint.index.to_be_bytes());
             out.extend_from_slice(&input.owner.0.to_be_bytes());
             out.extend_from_slice(&input.amount.to_be_bytes());
         }
-        out.extend_from_slice(&(self.outputs.len() as u32).to_be_bytes());
-        for output in &self.outputs {
+        out.extend_from_slice(&(outputs.len() as u32).to_be_bytes());
+        for output in outputs {
             out.extend_from_slice(&output.owner.0.to_be_bytes());
             out.extend_from_slice(&output.amount.to_be_bytes());
         }
         out
     }
 
-    /// The transaction identifier (hash of the canonical encoding).
+    /// The memoized canonical encoding, used for hashing, Merkle leaves and
+    /// wire-size estimation.
+    pub fn encoded_bytes(&self) -> &[u8] {
+        &self.body.encoded
+    }
+
+    /// The transaction identifier (hash of the canonical encoding), memoized
+    /// at construction.
     pub fn id(&self) -> TxId {
-        hash_parts(&[b"cycledger/txid", &self.encode()])
+        self.body.id
     }
 
     /// Wire size in bytes, used when charging the transaction to the network.
     pub fn wire_size(&self) -> u64 {
-        self.encode().len() as u64
+        self.body.encoded.len() as u64
     }
 
     /// Total input value.
     pub fn input_sum(&self) -> u64 {
-        self.inputs.iter().map(|i| i.amount).sum()
+        self.inputs().iter().map(|i| i.amount).sum()
     }
 
     /// Total output value.
     pub fn output_sum(&self) -> u64 {
-        self.outputs.iter().map(|o| o.amount).sum()
+        self.outputs().iter().map(|o| o.amount).sum()
     }
 
     /// Transaction fee (`inputs - outputs`); zero for genesis transactions.
@@ -148,7 +234,7 @@ impl Transaction {
     /// The outpoints this transaction creates, paired with their outputs.
     pub fn created_utxos(&self) -> Vec<(OutPoint, TxOutput)> {
         let id = self.id();
-        self.outputs
+        self.outputs()
             .iter()
             .enumerate()
             .map(|(i, o)| {
@@ -165,7 +251,7 @@ impl Transaction {
 
     /// Shards that hold an *input* of this transaction (they must validate it).
     pub fn input_shards(&self, m: usize) -> Vec<usize> {
-        let mut shards: Vec<usize> = self.inputs.iter().map(|i| i.owner.shard(m)).collect();
+        let mut shards: Vec<usize> = self.inputs().iter().map(|i| i.owner.shard(m)).collect();
         shards.sort_unstable();
         shards.dedup();
         shards
@@ -173,7 +259,7 @@ impl Transaction {
 
     /// Shards that receive an *output* of this transaction.
     pub fn output_shards(&self, m: usize) -> Vec<usize> {
-        let mut shards: Vec<usize> = self.outputs.iter().map(|o| o.owner.shard(m)).collect();
+        let mut shards: Vec<usize> = self.outputs().iter().map(|o| o.owner.shard(m)).collect();
         shards.sort_unstable();
         shards.dedup();
         shards
@@ -232,12 +318,30 @@ mod tests {
     fn id_is_deterministic_and_sensitive() {
         let tx = sample_tx();
         assert_eq!(tx.id(), tx.id());
-        let mut other = tx.clone();
-        other.nonce += 1;
+        let other = Transaction::new(tx.inputs().to_vec(), tx.outputs().to_vec(), tx.nonce() + 1);
         assert_ne!(tx.id(), other.id());
-        let mut other = tx.clone();
-        other.outputs[0].amount += 1;
+        let mut outputs = tx.outputs().to_vec();
+        outputs[0].amount += 1;
+        let other = Transaction::new(tx.inputs().to_vec(), outputs, tx.nonce());
         assert_ne!(tx.id(), other.id());
+    }
+
+    #[test]
+    fn memoized_encoding_matches_rebuild_and_clone_shares_it() {
+        let tx = sample_tx();
+        // Rebuilding from the same parts yields the same bytes and id.
+        let rebuilt = Transaction::new(tx.inputs().to_vec(), tx.outputs().to_vec(), tx.nonce());
+        assert_eq!(tx.encoded_bytes(), rebuilt.encoded_bytes());
+        assert_eq!(tx.id(), rebuilt.id());
+        assert_eq!(tx, rebuilt, "structurally equal without shared body");
+        // Clones share the body: same encoding address, no re-encode.
+        let clone = tx.clone();
+        assert_eq!(
+            tx.encoded_bytes().as_ptr(),
+            clone.encoded_bytes().as_ptr(),
+            "clone must share the memoized encoding"
+        );
+        assert_eq!(tx, clone);
     }
 
     #[test]
@@ -269,6 +373,18 @@ mod tests {
                 let s = AccountId(account).shard(m);
                 assert!(s < m);
                 assert_eq!(s, AccountId(account).shard(m));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_key_memo_matches_direct_hash() {
+        // The thread-local memo must return exactly the uncached digest prefix.
+        for account in [0u64, 1, 42, u64::MAX] {
+            let direct =
+                hash_parts(&[b"cycledger/account-shard", &account.to_be_bytes()]).prefix_u64();
+            for m in [1usize, 3, 7] {
+                assert_eq!(AccountId(account).shard(m), (direct % m as u64) as usize);
             }
         }
     }
@@ -333,7 +449,7 @@ mod tests {
     #[test]
     fn wire_size_tracks_encoding() {
         let tx = sample_tx();
-        assert_eq!(tx.wire_size(), tx.encode().len() as u64);
+        assert_eq!(tx.wire_size(), tx.encoded_bytes().len() as u64);
         assert!(tx.wire_size() > 60);
     }
 }

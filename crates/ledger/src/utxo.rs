@@ -12,7 +12,9 @@
 //! transactions each involved committee checks its own inputs and the referee
 //! committee combines the verdicts.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cycledger_crypto::fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 
 use crate::transaction::{OutPoint, Transaction, TxOutput};
 
@@ -33,23 +35,51 @@ pub enum ValidationError {
 }
 
 /// The UTXO set of a single shard.
-#[derive(Clone, Debug, Default)]
+///
+/// Entries live in an [`FxHashMap`]: outpoints are SHA-256 digests the
+/// protocol itself admitted (not attacker-chosen map keys), so the SipHash
+/// DoS defence of the std hasher buys nothing on this per-input-lookup hot
+/// path. Nothing protocol-visible iterates the map unordered —
+/// [`UtxoSet::sorted_outpoints`] sorts first.
+#[derive(Debug, Default)]
 pub struct UtxoSet {
     /// Which shard this set belongs to.
     shard: usize,
     /// Number of shards in the system (for ownership routing).
     num_shards: usize,
-    entries: HashMap<OutPoint, TxOutput>,
+    entries: FxHashMap<OutPoint, TxOutput>,
+    /// Counts calls to [`UtxoSet::sorted_outpoints`] — the call is O(n log n)
+    /// and restricted to report-time; a regression test pins that `apply` and
+    /// `validate` never touch it.
+    sorted_queries: AtomicU64,
+}
+
+impl Clone for UtxoSet {
+    fn clone(&self) -> Self {
+        UtxoSet {
+            shard: self.shard,
+            num_shards: self.num_shards,
+            entries: self.entries.clone(),
+            sorted_queries: AtomicU64::new(self.sorted_queries.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl UtxoSet {
     /// Creates an empty UTXO set for `shard` out of `num_shards`.
     pub fn new(shard: usize, num_shards: usize) -> Self {
+        Self::with_capacity(shard, num_shards, 0)
+    }
+
+    /// Creates an empty UTXO set pre-sized for `capacity` outpoints, so the
+    /// steady-state working set never pays rehash-and-move churn.
+    pub fn with_capacity(shard: usize, num_shards: usize, capacity: usize) -> Self {
         assert!(num_shards > 0 && shard < num_shards);
         UtxoSet {
             shard,
             num_shards,
-            entries: HashMap::new(),
+            entries: FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
+            sorted_queries: AtomicU64::new(0),
         }
     }
 
@@ -95,24 +125,9 @@ impl UtxoSet {
     /// Structural checks (double-spend-within-tx, value conservation, non-empty
     /// outputs) are performed by every shard since they need no state.
     pub fn validate(&self, tx: &Transaction) -> Result<(), ValidationError> {
-        if tx.outputs.is_empty() {
-            return Err(ValidationError::Empty);
-        }
-        // Structural: duplicate inputs.
-        for (i, a) in tx.inputs.iter().enumerate() {
-            for b in &tx.inputs[i + 1..] {
-                if a.outpoint == b.outpoint {
-                    return Err(ValidationError::DoubleSpendWithinTx);
-                }
-            }
-        }
-        // Structural: conservation of value (claimed amounts; the per-shard
-        // existence check below pins the claims to the actual UTXO set).
-        if !tx.is_genesis() && tx.output_sum() > tx.input_sum() {
-            return Err(ValidationError::ValueCreated);
-        }
+        validate_structural(tx)?;
         // Stateful: inputs owned by this shard must exist and match.
-        for input in &tx.inputs {
+        for input in tx.inputs() {
             if input.owner.shard(self.num_shards) != self.shard {
                 continue;
             }
@@ -136,15 +151,22 @@ impl UtxoSet {
     /// on every involved shard (that is exactly what block application does).
     pub fn apply(&mut self, tx: &Transaction) -> usize {
         let mut touched = 0;
-        for input in &tx.inputs {
+        for input in tx.inputs() {
             if input.owner.shard(self.num_shards) == self.shard
                 && self.entries.remove(&input.outpoint).is_some()
             {
                 touched += 1;
             }
         }
-        for (outpoint, output) in tx.created_utxos() {
-            if self.credit(outpoint, output) {
+        // Credit outputs owned by this shard straight from the memoized id —
+        // no intermediate created-utxos vector on the apply hot path.
+        let id = tx.id();
+        for (index, output) in tx.outputs().iter().enumerate() {
+            let outpoint = OutPoint {
+                tx_id: id,
+                index: index as u32,
+            };
+            if self.credit(outpoint, *output) {
                 touched += 1;
             }
         }
@@ -152,26 +174,184 @@ impl UtxoSet {
     }
 
     /// Iterates over held outpoints (sorted, for deterministic snapshots).
+    ///
+    /// O(n log n) per call: **report-time only**. The per-round pipeline
+    /// (`validate`, `apply`, block application) must never call this — a
+    /// regression test checks the call counter stays at zero across heavy
+    /// validate/apply traffic.
     pub fn sorted_outpoints(&self) -> Vec<OutPoint> {
+        self.sorted_queries.fetch_add(1, Ordering::Relaxed);
         let mut keys: Vec<OutPoint> = self.entries.keys().copied().collect();
         keys.sort();
         keys
+    }
+
+    /// Number of times [`UtxoSet::sorted_outpoints`] has been called on this
+    /// set (regression instrumentation for the report-time-only restriction).
+    pub fn sorted_outpoint_queries(&self) -> u64 {
+        self.sorted_queries.load(Ordering::Relaxed)
+    }
+}
+
+/// The state-free parts of the authentication function `V`: non-empty
+/// outputs, no duplicate inputs, conservation of value. Shared by the
+/// per-shard [`UtxoSet::validate`] and the overlay validation used during
+/// block assembly.
+fn validate_structural(tx: &Transaction) -> Result<(), ValidationError> {
+    if tx.outputs().is_empty() {
+        return Err(ValidationError::Empty);
+    }
+    let inputs = tx.inputs();
+    for (i, a) in inputs.iter().enumerate() {
+        for b in &inputs[i + 1..] {
+            if a.outpoint == b.outpoint {
+                return Err(ValidationError::DoubleSpendWithinTx);
+            }
+        }
+    }
+    // Conservation of value over claimed amounts; the stateful existence
+    // checks pin the claims to the actual UTXO sets.
+    if !tx.is_genesis() && tx.output_sum() > tx.input_sum() {
+        return Err(ValidationError::ValueCreated);
+    }
+    Ok(())
+}
+
+/// A copy-free view of "the UTXO state after applying these candidates" used
+/// by the referee committee while it assembles a block.
+///
+/// The seed cloned **every shard's entire UTXO set** each round just to
+/// re-validate candidates incrementally. The overlay records only the round's
+/// deltas — outpoints spent and outputs created by already-accepted
+/// candidates — and resolves lookups as `created − spent` over the untouched
+/// base sets. `clear()` keeps the allocations for the next round, making the
+/// referee's re-validation allocation-free at steady state.
+#[derive(Debug, Default)]
+pub struct UtxoOverlay {
+    spent: FxHashSet<OutPoint>,
+    created: FxHashMap<OutPoint, TxOutput>,
+}
+
+impl UtxoOverlay {
+    /// Creates an empty overlay.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets all deltas but keeps the allocated capacity.
+    pub fn clear(&mut self) {
+        self.spent.clear();
+        self.created.clear();
+    }
+
+    /// True when no deltas are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spent.is_empty() && self.created.is_empty()
+    }
+
+    /// Resolves `outpoint` as shard `shard` of `base` would see it after the
+    /// recorded deltas.
+    fn lookup<'a>(
+        &'a self,
+        base: &'a [UtxoSet],
+        shard: usize,
+        outpoint: &OutPoint,
+    ) -> Option<&'a TxOutput> {
+        if self.spent.contains(outpoint) {
+            return None;
+        }
+        if let Some(created) = self.created.get(outpoint) {
+            // Created outputs are routed to their owner's shard, mirroring
+            // `UtxoSet::credit`'s refusal to hold foreign outputs.
+            if created.owner.shard(base.len()) == shard {
+                return Some(created);
+            }
+            return None;
+        }
+        base[shard].get(outpoint)
+    }
+
+    /// Validates `tx` against every involved shard as
+    /// [`validate_across_shards`] does, but over `base + deltas` instead of a
+    /// cloned working copy.
+    pub fn validate_across(
+        &self,
+        tx: &Transaction,
+        base: &[UtxoSet],
+    ) -> Result<(), ValidationError> {
+        let m = base.len();
+        let input_shards = tx.input_shards(m);
+        for &shard in &input_shards {
+            self.validate_for_shard(tx, base, shard)?;
+        }
+        if !tx.is_genesis() && tx.inputs().is_empty() {
+            return Err(ValidationError::Empty);
+        }
+        if input_shards.is_empty() && !base.is_empty() {
+            // Covers genesis transactions: run the structural checks once,
+            // exactly as `validate_across_shards` does via the first shard.
+            self.validate_for_shard(tx, base, base[0].shard())?;
+        }
+        Ok(())
+    }
+
+    fn validate_for_shard(
+        &self,
+        tx: &Transaction,
+        base: &[UtxoSet],
+        shard: usize,
+    ) -> Result<(), ValidationError> {
+        validate_structural(tx)?;
+        let m = base.len();
+        for input in tx.inputs() {
+            if input.owner.shard(m) != shard {
+                continue;
+            }
+            match self.lookup(base, shard, &input.outpoint) {
+                None => return Err(ValidationError::MissingInput),
+                Some(existing) => {
+                    if existing.owner != input.owner || existing.amount != input.amount {
+                        return Err(ValidationError::InputMismatch);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Records an accepted transaction's deltas: all inputs become spent, all
+    /// created outputs become visible to their owners' shards.
+    pub fn apply(&mut self, tx: &Transaction) {
+        for input in tx.inputs() {
+            self.spent.insert(input.outpoint);
+        }
+        let id = tx.id();
+        for (index, output) in tx.outputs().iter().enumerate() {
+            self.created.insert(
+                OutPoint {
+                    tx_id: id,
+                    index: index as u32,
+                },
+                *output,
+            );
+        }
     }
 }
 
 /// Validates a transaction against every involved shard's UTXO set, as the
 /// referee committee conceptually does when it combines committee verdicts.
 pub fn validate_across_shards(tx: &Transaction, shards: &[UtxoSet]) -> Result<(), ValidationError> {
-    for shard_idx in tx.input_shards(shards.len()) {
+    let input_shards = tx.input_shards(shards.len());
+    for &shard_idx in &input_shards {
         shards[shard_idx].validate(tx)?;
     }
     // A transaction with no inputs in any shard (non-genesis) cannot be valid.
-    if !tx.is_genesis() && tx.inputs.is_empty() {
+    if !tx.is_genesis() && tx.inputs().is_empty() {
         return Err(ValidationError::Empty);
     }
     // Still run the structural checks at least once even if it has no inputs in
     // range (covers genesis and fully-foreign transactions).
-    if tx.input_shards(shards.len()).is_empty() {
+    if input_shards.is_empty() {
         if let Some(first) = shards.first() {
             first.validate(tx)?;
         }
@@ -394,5 +574,90 @@ mod tests {
         let b = shards[0].sorted_outpoints();
         assert_eq!(a, b);
         assert_eq!(a.len(), shards[0].len());
+    }
+
+    #[test]
+    fn apply_and_validate_never_call_sorted_outpoints() {
+        // Regression: sorted_outpoints is O(n log n) and report-time only.
+        // Heavy validate/apply traffic must leave its call counter untouched.
+        let (mut shards, created) = setup(2, 40);
+        for (i, from) in created.iter().enumerate().take(30) {
+            let tx = spend(*from, AccountId((i as u64 + 1) % 40), 40);
+            let _ = validate_across_shards(&tx, &shards);
+            for s in shards.iter_mut() {
+                s.validate(&tx).unwrap();
+                s.apply(&tx);
+            }
+        }
+        for s in &shards {
+            assert_eq!(
+                s.sorted_outpoint_queries(),
+                0,
+                "validate/apply must not sort the UTXO set"
+            );
+        }
+        // An explicit report-time call is counted.
+        let _ = shards[0].sorted_outpoints();
+        assert_eq!(shards[0].sorted_outpoint_queries(), 1);
+    }
+
+    #[test]
+    fn overlay_matches_cloned_working_sets() {
+        // The overlay must make exactly the accept/reject decisions the old
+        // clone-and-apply working copy made, over a mix of valid spends,
+        // double submissions and chained spends.
+        let (shards, created) = setup(3, 30);
+        let mut candidates: Vec<Transaction> = Vec::new();
+        for (i, from) in created.iter().enumerate().take(12) {
+            let tx = spend(*from, AccountId((i as u64 + 7) % 30), 40);
+            if i % 3 == 0 {
+                // Duplicate submission: second copy must be rejected.
+                candidates.push(tx.clone());
+            }
+            candidates.push(tx);
+        }
+        // A chained spend: consume an output created by an earlier candidate.
+        let parent = &candidates[0];
+        let parent_out = parent.created_utxos()[0];
+        candidates.push(Transaction::new(
+            vec![TxInput {
+                outpoint: parent_out.0,
+                owner: parent_out.1.owner,
+                amount: parent_out.1.amount,
+            }],
+            vec![TxOutput {
+                owner: AccountId(2),
+                amount: parent_out.1.amount.saturating_sub(1),
+            }],
+            999,
+        ));
+
+        // Reference: clone the sets and apply incrementally (the seed's way).
+        let mut working: Vec<UtxoSet> = shards.to_vec();
+        let mut expected = Vec::new();
+        for tx in &candidates {
+            let ok = validate_across_shards(tx, &working).is_ok();
+            if ok {
+                for set in working.iter_mut() {
+                    set.apply(tx);
+                }
+            }
+            expected.push(ok);
+        }
+
+        // Overlay: same decisions, no cloned sets.
+        let mut overlay = UtxoOverlay::new();
+        for (tx, &want) in candidates.iter().zip(&expected) {
+            let got = overlay.validate_across(tx, &shards).is_ok();
+            assert_eq!(got, want, "overlay decision diverged for {:?}", tx.id());
+            if got {
+                overlay.apply(tx);
+            }
+        }
+        assert!(!overlay.is_empty());
+        overlay.clear();
+        assert!(overlay.is_empty());
+        assert!(expected.iter().any(|&b| b));
+        assert!(expected.iter().any(|&b| !b));
     }
 }

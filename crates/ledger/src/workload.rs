@@ -179,7 +179,12 @@ impl Workload {
     /// Builds fresh per-shard UTXO sets seeded with the genesis outputs.
     pub fn build_genesis_utxo_sets(&self) -> Vec<UtxoSet> {
         let m = self.config.num_shards;
-        let mut sets: Vec<UtxoSet> = (0..m).map(|s| UtxoSet::new(s, m)).collect();
+        // Pre-size for the steady-state working set: the genesis UTXOs plus
+        // the change/payment churn of a few rounds in flight.
+        let capacity = self.config.accounts_per_shard * 4;
+        let mut sets: Vec<UtxoSet> = (0..m)
+            .map(|s| UtxoSet::with_capacity(s, m, capacity))
+            .collect();
         for tx in &self.genesis {
             for set in sets.iter_mut() {
                 set.apply(tx);

@@ -6,8 +6,7 @@
 //! currently active phase label, and protocol code reports storage via
 //! [`MetricsSink::record_storage`].
 
-use std::collections::HashMap;
-
+use cycledger_crypto::fxhash::{FxBuildHasher, FxHashMap};
 use cycledger_crypto::point::Point;
 
 use crate::topology::NodeId;
@@ -120,15 +119,27 @@ impl Counters {
 }
 
 /// Accumulates counters keyed by `(node, phase)`.
+///
+/// Keys come from the round assignment (never attacker-chosen), so the map
+/// uses the fast Fx hasher; every protocol-visible read goes through the
+/// sorted [`MetricsSink::canonical_entries`] path, never raw iteration order.
 #[derive(Clone, Debug, Default)]
 pub struct MetricsSink {
-    counters: HashMap<(NodeId, Phase), Counters>,
+    counters: FxHashMap<(NodeId, Phase), Counters>,
 }
 
 impl MetricsSink {
     /// Creates an empty sink.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a sink pre-sized for roughly `nodes` participants (each node
+    /// typically accrues a few phase entries per round).
+    pub fn with_node_capacity(nodes: usize) -> Self {
+        MetricsSink {
+            counters: FxHashMap::with_capacity_and_hasher(nodes * 4, FxBuildHasher::default()),
+        }
     }
 
     fn entry(&mut self, node: NodeId, phase: Phase) -> &mut Counters {
@@ -234,6 +245,9 @@ impl MetricsSink {
     /// the process's hash seed — the basis of the engine's determinism checks.
     pub fn write_canonical_bytes(&self, out: &mut Vec<u8>) {
         let entries = self.canonical_entries();
+        // Fixed-width records: reserve the exact output size up front so the
+        // caller's scratch buffer is extended at most once per sink.
+        out.reserve(8 + entries.len() * 45);
         out.extend_from_slice(&(entries.len() as u64).to_be_bytes());
         for ((node, phase), c) in entries {
             out.extend_from_slice(&node.0.to_be_bytes());

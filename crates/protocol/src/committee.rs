@@ -11,7 +11,9 @@
 use std::collections::BTreeMap;
 
 use cycledger_consensus::alg3::{LeaderState, MemberAction, MemberState};
-use cycledger_consensus::messages::{make_propose, Alg3Message, ConsensusId};
+use cycledger_consensus::messages::{
+    make_propose, make_propose_unsigned, Alg3Message, ConsensusId,
+};
 use cycledger_consensus::quorum::{CommitteeKeys, QuorumCertificate};
 use cycledger_consensus::witness::EquivocationEvidence;
 use cycledger_net::latency::LinkClass;
@@ -163,15 +165,21 @@ pub fn run_inside_consensus(
         };
     }
 
-    // Build the proposals the leader will distribute.
-    let main_propose = make_propose(id, payload.clone(), leader_node, &leader_key.secret);
+    // Build the proposals the leader will distribute. On the fast path
+    // (verification off) nothing will ever check the Schnorr signatures, so
+    // the leader attaches placeholders instead of paying a curve
+    // multiplication per proposal; digests and wire sizes are unchanged.
+    let main_propose = if verify_signatures {
+        make_propose(id, payload, leader_node, &leader_key.secret)
+    } else {
+        make_propose_unsigned(id, payload, leader_node)
+    };
     let alt_propose = match &fault {
-        LeaderFault::Equivocate { alternate } => Some(make_propose(
-            id,
-            alternate.clone(),
-            leader_node,
-            &leader_key.secret,
-        )),
+        LeaderFault::Equivocate { alternate } => Some(if verify_signatures {
+            make_propose(id, alternate.clone(), leader_node, &leader_key.secret)
+        } else {
+            make_propose_unsigned(id, alternate.clone(), leader_node)
+        }),
         _ => None,
     };
 

@@ -1,7 +1,6 @@
 //! [`RoundContext`]: the per-round shared state every phase reads and writes.
 
-use std::collections::HashSet;
-
+use cycledger_crypto::fxhash::FxHashSet;
 use cycledger_crypto::sha256::Digest;
 use cycledger_ledger::transaction::TxId;
 use cycledger_ledger::utxo::UtxoSet;
@@ -12,6 +11,7 @@ use cycledger_reputation::ReputationTable;
 
 use crate::committee::Committee;
 use crate::config::ProtocolConfig;
+use crate::engine::arena::RoundArena;
 use crate::engine::executor::ShardExecutor;
 use crate::node::NodeRegistry;
 use crate::phases::block_generation::BlockOutcome;
@@ -58,6 +58,9 @@ pub struct RoundContext<'a> {
     pub assignment: &'a RoundAssignment,
     /// The persistent worker pool shared by all parallel phases.
     pub executor: &'a ShardExecutor,
+    /// Reusable scratch buffers recycled across rounds (reset on context
+    /// construction; drained and refilled by the phases).
+    pub arena: &'a mut RoundArena,
     /// The round number.
     pub round: u64,
     /// Hash of the previous block.
@@ -110,7 +113,7 @@ pub struct RoundContext<'a> {
     pub block_outcome: Option<BlockOutcome>,
     /// Ids of cross-shard transactions offered to the block builder (for the
     /// packed-cross-shard report column).
-    pub cross_packed_ids: HashSet<TxId>,
+    pub cross_packed_ids: FxHashSet<TxId>,
 }
 
 impl<'a> RoundContext<'a> {
@@ -127,7 +130,9 @@ impl<'a> RoundContext<'a> {
             offered,
             prev_hash,
             block_height,
+            arena,
         } = input;
+        arena.begin_round();
         let round = assignment.round;
         let committee_count = assignment.committees.len();
 
@@ -171,6 +176,7 @@ impl<'a> RoundContext<'a> {
             registry,
             assignment,
             executor,
+            arena,
             round,
             prev_hash,
             block_height,
@@ -178,7 +184,7 @@ impl<'a> RoundContext<'a> {
             reputation,
             committees,
             referee,
-            metrics: MetricsSink::new(),
+            metrics: MetricsSink::with_node_capacity(registry.len()),
             evicted: Vec::new(),
             witnesses: 0,
             recovery_log: Vec::new(),
@@ -192,7 +198,7 @@ impl<'a> RoundContext<'a> {
             censorship_count: 0,
             selection: None,
             block_outcome: None,
-            cross_packed_ids: HashSet::new(),
+            cross_packed_ids: FxHashSet::default(),
         }
     }
 
@@ -253,6 +259,7 @@ impl<'a> RoundContext<'a> {
             prosecutor,
             self.reputation,
             self.round,
+            self.config.verify_signatures,
             &mut self.metrics,
         );
         let (attempt, logged) = match outcome.evicted {

@@ -35,10 +35,12 @@
 //! The `determinism_*` tests in `simulation.rs` pin this down for 1, 2 and 8
 //! workers.
 
+pub mod arena;
 pub mod context;
 pub mod executor;
 pub mod pipeline;
 
+pub use arena::{RoundArena, ShardScratch};
 pub use context::{RecoveryAttempt, RoundContext};
 pub use executor::ShardExecutor;
 pub use pipeline::standard_pipeline;

@@ -127,14 +127,17 @@ impl RoundPhase for IntraConsensusPhase {
         let round = ctx.round;
         let config = ctx.config;
 
-        // Each task owns one pool slot exclusively for the batch's lifetime —
-        // per-worker sinks without locks, merged in committee order below.
+        // Each task owns one pool slot and one arena scratch slot exclusively
+        // for the batch's lifetime — per-worker sinks and reusable validity
+        // tables without locks, merged/recycled in committee order below.
+        let scratch_slots = ctx.arena.shard_slots(m);
         let mut pool = WorkerSinkPool::new(m);
         let tasks: Vec<_> = pool
             .slots_mut()
             .iter_mut()
+            .zip(scratch_slots.iter_mut())
             .enumerate()
-            .map(|(k, slot)| {
+            .map(|(k, (slot, scratch))| {
                 move || {
                     let (mut outcome, sink) = run_intra_consensus(
                         registry,
@@ -146,6 +149,7 @@ impl RoundPhase for IntraConsensusPhase {
                         config.latency,
                         config.verify_signatures,
                         config.seed ^ (round << 8) ^ k as u64,
+                        scratch,
                     );
                     *slot = sink;
                     if config.verify_signatures {
@@ -232,12 +236,24 @@ impl RoundPhase for IntraRecoveryPhase {
         let referee_members = &ctx.assignment.referee;
         let round = ctx.round;
         let config = ctx.config;
+        // Arena scratch slots for the retried committees only (the validity
+        // tables computed by the main batch are simply recomputed — the
+        // offered list is unchanged, but the slot may have been resized).
+        let retry_scratch: Vec<&mut crate::engine::arena::ShardScratch> = ctx
+            .arena
+            .shard_slots(m)
+            .iter_mut()
+            .enumerate()
+            .filter(|(k, _)| retries.contains(k))
+            .map(|(_, scratch)| scratch)
+            .collect();
         let mut pool = WorkerSinkPool::new(retries.len());
         let tasks: Vec<_> = pool
             .slots_mut()
             .iter_mut()
+            .zip(retry_scratch)
             .zip(&retries)
-            .map(|(slot, &k)| {
+            .map(|((slot, scratch), &k)| {
                 move || {
                     let (outcome, sink) = run_intra_consensus(
                         registry,
@@ -249,6 +265,7 @@ impl RoundPhase for IntraRecoveryPhase {
                         config.latency,
                         config.verify_signatures,
                         config.seed ^ (round << 8) ^ (0x1_0000 + k as u64),
+                        scratch,
                     );
                     *slot = sink;
                     outcome
@@ -285,6 +302,7 @@ impl RoundPhase for InterConsensusPhase {
             ctx.config.latency,
             ctx.config.verify_signatures,
             ctx.config.seed ^ (ctx.round << 16),
+            ctx.executor,
             &mut ctx.metrics,
         );
         ctx.witnesses += inter.equivocation.len();
@@ -318,14 +336,16 @@ impl RoundPhase for ReputationUpdatePhase {
     }
 
     fn execute(&mut self, ctx: &mut RoundContext<'_>) {
-        let inputs: Vec<(usize, VoteList, Vec<i8>, bool)> = ctx
+        // Borrow the vote lists and decisions straight out of the intra
+        // outcomes — the seed cloned both per committee per round.
+        let inputs: Vec<(usize, &VoteList, &[i8], bool)> = ctx
             .intra_outcomes
             .iter()
             .map(|o| {
                 (
                     o.committee,
-                    o.vote_list.clone(),
-                    o.decision.clone(),
+                    &o.vote_list,
+                    o.decision.as_slice(),
                     o.certificate.is_some(),
                 )
             })
@@ -389,15 +409,19 @@ impl RoundPhase for BlockGenerationPhase {
     }
 
     fn execute(&mut self, ctx: &mut RoundContext<'_>) {
-        let mut candidates: Vec<Transaction> = Vec::new();
-        for outcome in &ctx.intra_outcomes {
-            candidates.extend(outcome.decided.iter().cloned());
+        // Stage candidates in the arena's reusable buffer, taking ownership
+        // of the decided/accepted transactions instead of cloning them (no
+        // later phase reads them, and `Transaction` clones would still pay
+        // an Arc bump each).
+        let mut candidates: Vec<Transaction> = std::mem::take(&mut ctx.arena.candidates);
+        for outcome in &mut ctx.intra_outcomes {
+            candidates.append(&mut outcome.decided);
         }
-        if let Some(inter) = &ctx.inter {
-            for txs in &inter.accepted {
-                for tx in txs {
+        if let Some(inter) = &mut ctx.inter {
+            for txs in &mut inter.accepted {
+                for tx in txs.drain(..) {
                     ctx.cross_packed_ids.insert(tx.id());
-                    candidates.push(tx.clone());
+                    candidates.push(tx);
                 }
             }
         }
@@ -409,8 +433,9 @@ impl RoundPhase for BlockGenerationPhase {
             ctx.selection
                 .as_ref()
                 .and_then(|s| s.next_assignment.as_ref()),
-            candidates,
+            &mut candidates,
             ctx.utxo_sets,
+            &mut ctx.arena.overlay,
             ctx.reputation,
             ctx.prev_hash,
             ctx.block_height,
@@ -419,6 +444,8 @@ impl RoundPhase for BlockGenerationPhase {
             ctx.config.seed ^ (ctx.round << 32),
             &mut ctx.metrics,
         );
+        // Return the (drained) buffer to the arena for the next round.
+        ctx.arena.candidates = candidates;
 
         // Apply the released block to every shard's UTXO set, one executor
         // task per shard (the per-shard sets are disjoint by construction).

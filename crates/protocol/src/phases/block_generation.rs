@@ -10,7 +10,7 @@
 use cycledger_consensus::messages::ConsensusId;
 use cycledger_ledger::block::{Block, NextRoundConfig};
 use cycledger_ledger::transaction::Transaction;
-use cycledger_ledger::utxo::{validate_across_shards, UtxoSet};
+use cycledger_ledger::utxo::{UtxoOverlay, UtxoSet};
 use cycledger_net::latency::LatencyConfig;
 use cycledger_net::metrics::{MetricsSink, Phase};
 use cycledger_net::network::SimNetwork;
@@ -46,8 +46,9 @@ pub fn run_block_generation(
     referee: &Committee,
     all_nodes: &[NodeId],
     assignment_next: Option<&RoundAssignment>,
-    candidate_txs: Vec<Transaction>,
+    candidate_txs: &mut Vec<Transaction>,
     utxo_sets: &[UtxoSet],
+    overlay: &mut UtxoOverlay,
     reputation: &ReputationTable,
     prev_hash: cycledger_crypto::sha256::Digest,
     round: u64,
@@ -60,15 +61,16 @@ pub fn run_block_generation(
 
     // 1. Re-validate candidate transactions against the current UTXO state,
     //    applying them incrementally so intra-round chains (A→B then B→C) are
-    //    honoured and double-spends across committees are caught.
-    let mut working: Vec<UtxoSet> = utxo_sets.to_vec();
-    let mut accepted = Vec::new();
+    //    honoured and double-spends across committees are caught. The seed
+    //    cloned every shard's UTXO set for this; the overlay records only the
+    //    candidates' deltas over the untouched base sets (see `UtxoOverlay`),
+    //    making the same accept/reject decisions without the copy.
+    overlay.clear();
+    let mut accepted = Vec::with_capacity(candidate_txs.len());
     let mut rejected = 0usize;
-    for tx in candidate_txs {
-        if validate_across_shards(&tx, &working).is_ok() {
-            for set in working.iter_mut() {
-                set.apply(&tx);
-            }
+    for tx in candidate_txs.drain(..) {
+        if overlay.validate_across(&tx, utxo_sets).is_ok() {
+            overlay.apply(&tx);
             accepted.push(tx);
         } else {
             rejected += 1;
@@ -106,7 +108,7 @@ pub fn run_block_generation(
         referee,
         registry,
         ConsensusId { round, seq: 9_000 },
-        block.header.hash().as_bytes().to_vec(),
+        block.header_hash().as_bytes().to_vec(),
         LeaderFault::None,
         verify_signatures,
     );
@@ -232,7 +234,7 @@ mod tests {
         let mut fx = fixture(91);
         let mut metrics = MetricsSink::new();
         let before: u64 = fx.utxo_sets.iter().map(|s| s.total_value()).sum();
-        let candidates: Vec<Transaction> = fx
+        let mut candidates: Vec<Transaction> = fx
             .valid
             .iter()
             .cloned()
@@ -243,8 +245,9 @@ mod tests {
             &fx.referee,
             &fx.all_nodes,
             None,
-            candidates,
+            &mut candidates,
             &fx.utxo_sets,
+            &mut UtxoOverlay::new(),
             &fx.reputation,
             Digest::ZERO,
             0,
@@ -284,8 +287,9 @@ mod tests {
             &fx.referee,
             &fx.all_nodes,
             None,
-            vec![tx.clone(), tx],
+            &mut vec![tx.clone(), tx],
             &fx.utxo_sets,
+            &mut UtxoOverlay::new(),
             &fx.reputation,
             Digest::ZERO,
             0,
@@ -323,8 +327,9 @@ mod tests {
             &fx.referee,
             &fx.all_nodes,
             Some(&next),
-            fx.valid.clone(),
+            &mut fx.valid.clone(),
             &fx.utxo_sets,
+            &mut UtxoOverlay::new(),
             &fx.reputation,
             Digest::ZERO,
             0,

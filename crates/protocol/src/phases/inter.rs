@@ -26,8 +26,9 @@ use cycledger_net::topology::NodeId;
 
 use crate::adversary::Behavior;
 use crate::committee::{run_inside_consensus, Committee, LeaderFault};
+use crate::engine::ShardExecutor;
 use crate::node::NodeRegistry;
-use crate::phases::intra::cast_votes;
+use crate::phases::intra::votes_from_validity;
 
 /// A leader liveness complaint raised by a partial-set member after the `2Γ`
 /// timeout (censored cross-shard traffic). Unlike signed witnesses, this is an
@@ -60,7 +61,25 @@ pub struct InterOutcome {
     pub timeout_delays: u64,
 }
 
+/// What one `(input shard, output shard)` pair produced, folded into the
+/// phase outcome in pair order.
+struct PairResult {
+    input_shard: usize,
+    accepted: Vec<Transaction>,
+    vote_list: Option<VoteList>,
+    censorship: Option<CensorshipReport>,
+    equivocation: Vec<EquivocationEvidence>,
+    timeout_delays: u64,
+    metrics: MetricsSink,
+}
+
 /// Runs inter-committee consensus over the cross-shard portion of the workload.
+///
+/// The `(i, j)` pairs are independent — each runs its own seeded simulated
+/// networks and touches only read-shared state — so they execute as one
+/// batch on the persistent [`ShardExecutor`]. Results fold back in pair
+/// (submission) order with per-pair metric sinks, keeping the output
+/// byte-identical for any worker count.
 #[allow(clippy::too_many_arguments)]
 pub fn run_inter_consensus(
     registry: &NodeRegistry,
@@ -71,9 +90,9 @@ pub fn run_inter_consensus(
     latency: LatencyConfig,
     verify_signatures: bool,
     seed: u64,
+    executor: &ShardExecutor,
     metrics: &mut MetricsSink,
 ) -> InterOutcome {
-    let phase = Phase::InterCommitteeConsensus;
     let m = committees.len();
     let mut outcome = InterOutcome {
         accepted: vec![Vec::new(); m],
@@ -96,132 +115,192 @@ pub fn run_inter_consensus(
         by_pair.entry((i, j)).or_default().push(gen);
     }
 
-    for ((i, j), txs) in by_pair {
-        let source = &committees[i];
-        let dest = &committees[j];
-        let source_leader_behavior = registry.node(source.leader).behavior;
-
-        // 1. The input committee agrees on TXList_{i,j}.
-        let mut source_net: SimNetwork<cycledger_consensus::messages::Alg3Message> =
-            SimNetwork::new(latency, seed ^ ((i as u64) << 32 | j as u64));
-        source_net.set_phase(phase);
-        let mut payload = Vec::with_capacity(txs.len() * 32);
-        for gen in &txs {
-            payload.extend_from_slice(gen.tx.id().as_bytes());
-        }
-        let source_consensus = run_inside_consensus(
-            &mut source_net,
-            source,
-            registry,
-            ConsensusId {
-                round,
-                seq: 2_000 + (i as u64) * 64 + j as u64,
-            },
-            payload,
-            LeaderFault::from_behavior(source_leader_behavior, b"cross"),
-            verify_signatures,
-        );
-        metrics.merge(source_net.metrics());
-        outcome
-            .equivocation
-            .extend(source_consensus.equivocation.clone());
-        if source_consensus.certificate.is_none() {
-            // The input committee could not certify the list (e.g. silent or
-            // equivocating leader); these transactions wait for recovery and a
-            // later round.
-            continue;
-        }
-
-        // 2. The (certified) list travels to the destination leader + partials.
-        let list_bytes: u64 = txs.iter().map(|g| g.tx.wire_size()).sum::<u64>()
-            + source_consensus
-                .certificate
-                .as_ref()
-                .map(|c| c.wire_size())
-                .unwrap_or(0);
-        let forwarder: NodeId = if source_leader_behavior == Behavior::CensoringLeader {
-            // Lemma 6: an honest partial-set member notices after 2Γ and
-            // forwards the certified list itself, then reports the leader.
-            let reporter = source
-                .partial_set
-                .iter()
-                .copied()
-                .find(|&pm| registry.node(pm).is_honest())
-                .expect("a partial set contains at least one honest node w.h.p.");
-            outcome.censorship_reports.push(CensorshipReport {
-                committee: i,
-                leader: source.leader,
-                reporter,
-                withheld: txs.len(),
-            });
-            outcome.timeout_delays += 2 * latency.gamma.as_micros();
-            reporter
-        } else {
-            source.leader
-        };
-        metrics.record_message(phase, forwarder, dest.leader, list_bytes);
-        for &pm in &dest.partial_set {
-            metrics.record_message(phase, forwarder, pm, list_bytes);
-        }
-
-        // 3. The destination committee votes on the list and agrees.
-        let tx_refs: Vec<GeneratedTx> = txs.iter().map(|g| (*g).clone()).collect();
-        let tx_ids: Vec<_> = tx_refs.iter().map(|g| g.tx.id()).collect();
-        let mut vote_list = VoteList::new(tx_ids);
-        for &member in &dest.members {
-            let votes = cast_votes(registry, member, &utxo_sets[i], &tx_refs);
-            if member != dest.leader {
-                metrics.record_message(
-                    phase,
-                    member,
-                    dest.leader,
-                    VoteVector::new(member, votes.clone()).wire_size() + 96,
-                );
+    let tasks: Vec<_> = by_pair
+        .into_iter()
+        .map(|((i, j), txs)| {
+            move || {
+                run_inter_pair(
+                    registry,
+                    committees,
+                    utxo_sets,
+                    i,
+                    j,
+                    &txs,
+                    round,
+                    latency,
+                    verify_signatures,
+                    seed,
+                )
             }
-            vote_list.record(VoteVector::new(member, votes));
-        }
-        let tally = vote_list.tally(dest.size());
-        let mut dest_net: SimNetwork<cycledger_consensus::messages::Alg3Message> =
-            SimNetwork::new(latency, seed ^ 0xdead ^ ((j as u64) << 16 | i as u64));
-        dest_net.set_phase(phase);
-        let mut dest_payload = Vec::new();
-        for &k in &tally.accepted_indices {
-            dest_payload.extend_from_slice(tx_refs[k].tx.id().as_bytes());
-        }
-        let dest_consensus = run_inside_consensus(
-            &mut dest_net,
-            dest,
-            registry,
-            ConsensusId {
-                round,
-                seq: 3_000 + (j as u64) * 64 + i as u64,
-            },
-            dest_payload,
-            LeaderFault::from_behavior(registry.node(dest.leader).behavior, b"cross-reply"),
-            verify_signatures,
-        );
-        metrics.merge(dest_net.metrics());
-        outcome
-            .equivocation
-            .extend(dest_consensus.equivocation.clone());
-
-        // 4. The destination leader returns the certified result to the source.
-        if dest_consensus.certificate.is_some() {
-            let reply_bytes = dest_consensus
-                .certificate
-                .as_ref()
-                .map(|c| c.wire_size())
-                .unwrap_or(0)
-                + tally.accepted_indices.len() as u64 * 32;
-            metrics.record_message(phase, dest.leader, source.leader, reply_bytes);
-            for &k in &tally.accepted_indices {
-                outcome.accepted[i].push(tx_refs[k].tx.clone());
-            }
-        }
-        outcome.vote_lists.push(vote_list);
+        })
+        .collect();
+    for pair in executor.execute(tasks) {
+        metrics.merge(&pair.metrics);
+        outcome.accepted[pair.input_shard].extend(pair.accepted);
+        outcome.vote_lists.extend(pair.vote_list);
+        outcome.censorship_reports.extend(pair.censorship);
+        outcome.equivocation.extend(pair.equivocation);
+        outcome.timeout_delays += pair.timeout_delays;
     }
 
     outcome
+}
+
+/// One `(i, j)` pair: source-committee agreement, forwarding, destination
+/// vote + agreement. Pure function of its inputs plus the derived seeds.
+#[allow(clippy::too_many_arguments)]
+fn run_inter_pair(
+    registry: &NodeRegistry,
+    committees: &[Committee],
+    utxo_sets: &[UtxoSet],
+    i: usize,
+    j: usize,
+    txs: &[&GeneratedTx],
+    round: u64,
+    latency: LatencyConfig,
+    verify_signatures: bool,
+    seed: u64,
+) -> PairResult {
+    let phase = Phase::InterCommitteeConsensus;
+    let mut result = PairResult {
+        input_shard: i,
+        accepted: Vec::new(),
+        vote_list: None,
+        censorship: None,
+        equivocation: Vec::new(),
+        timeout_delays: 0,
+        metrics: MetricsSink::new(),
+    };
+    let source = &committees[i];
+    let dest = &committees[j];
+    let source_leader_behavior = registry.node(source.leader).behavior;
+
+    // 1. The input committee agrees on TXList_{i,j}.
+    let mut source_net: SimNetwork<cycledger_consensus::messages::Alg3Message> =
+        SimNetwork::new(latency, seed ^ ((i as u64) << 32 | j as u64));
+    source_net.set_phase(phase);
+    let mut payload = Vec::with_capacity(txs.len() * 32);
+    for gen in txs {
+        payload.extend_from_slice(gen.tx.id().as_bytes());
+    }
+    let mut source_consensus = run_inside_consensus(
+        &mut source_net,
+        source,
+        registry,
+        ConsensusId {
+            round,
+            seq: 2_000 + (i as u64) * 64 + j as u64,
+        },
+        payload,
+        LeaderFault::from_behavior(source_leader_behavior, b"cross"),
+        verify_signatures,
+    );
+    result.metrics.merge(source_net.metrics());
+    result
+        .equivocation
+        .append(&mut source_consensus.equivocation);
+    if source_consensus.certificate.is_none() {
+        // The input committee could not certify the list (e.g. silent or
+        // equivocating leader); these transactions wait for recovery and a
+        // later round.
+        return result;
+    }
+
+    // 2. The (certified) list travels to the destination leader + partials.
+    let list_bytes: u64 = txs.iter().map(|g| g.tx.wire_size()).sum::<u64>()
+        + source_consensus
+            .certificate
+            .as_ref()
+            .map(|c| c.wire_size())
+            .unwrap_or(0);
+    let forwarder: NodeId = if source_leader_behavior == Behavior::CensoringLeader {
+        // Lemma 6: an honest partial-set member notices after 2Γ and
+        // forwards the certified list itself, then reports the leader.
+        let reporter = source
+            .partial_set
+            .iter()
+            .copied()
+            .find(|&pm| registry.node(pm).is_honest())
+            .expect("a partial set contains at least one honest node w.h.p.");
+        result.censorship = Some(CensorshipReport {
+            committee: i,
+            leader: source.leader,
+            reporter,
+            withheld: txs.len(),
+        });
+        result.timeout_delays += 2 * latency.gamma.as_micros();
+        reporter
+    } else {
+        source.leader
+    };
+    result
+        .metrics
+        .record_message(phase, forwarder, dest.leader, list_bytes);
+    for &pm in &dest.partial_set {
+        result
+            .metrics
+            .record_message(phase, forwarder, pm, list_bytes);
+    }
+
+    // 3. The destination committee votes on the list and agrees. The
+    //    authentication function runs once per transaction (ground truth
+    //    shared by every member), not once per member per transaction.
+    let tx_ids: Vec<_> = txs.iter().map(|g| g.tx.id()).collect();
+    let validity: Vec<bool> = txs
+        .iter()
+        .map(|g| utxo_sets[i].validate(&g.tx).is_ok())
+        .collect();
+    let mut vote_list = VoteList::new(tx_ids);
+    for &member in &dest.members {
+        let votes = votes_from_validity(registry, member, &validity);
+        let vector = VoteVector::new(member, votes);
+        if member != dest.leader {
+            result
+                .metrics
+                .record_message(phase, member, dest.leader, vector.wire_size() + 96);
+        }
+        vote_list.record(vector);
+    }
+    let tally = vote_list.tally(dest.size());
+    let mut dest_net: SimNetwork<cycledger_consensus::messages::Alg3Message> =
+        SimNetwork::new(latency, seed ^ 0xdead ^ ((j as u64) << 16 | i as u64));
+    dest_net.set_phase(phase);
+    let mut dest_payload = Vec::with_capacity(tally.accepted_indices.len() * 32);
+    for &k in &tally.accepted_indices {
+        dest_payload.extend_from_slice(txs[k].tx.id().as_bytes());
+    }
+    let mut dest_consensus = run_inside_consensus(
+        &mut dest_net,
+        dest,
+        registry,
+        ConsensusId {
+            round,
+            seq: 3_000 + (j as u64) * 64 + i as u64,
+        },
+        dest_payload,
+        LeaderFault::from_behavior(registry.node(dest.leader).behavior, b"cross-reply"),
+        verify_signatures,
+    );
+    result.metrics.merge(dest_net.metrics());
+    result.equivocation.append(&mut dest_consensus.equivocation);
+
+    // 4. The destination leader returns the certified result to the source.
+    if dest_consensus.certificate.is_some() {
+        let reply_bytes = dest_consensus
+            .certificate
+            .as_ref()
+            .map(|c| c.wire_size())
+            .unwrap_or(0)
+            + tally.accepted_indices.len() as u64 * 32;
+        result
+            .metrics
+            .record_message(phase, dest.leader, source.leader, reply_bytes);
+        for &k in &tally.accepted_indices {
+            result.accepted.push(txs[k].tx.clone());
+        }
+    }
+    result.vote_list = Some(vote_list);
+    result
 }
 
 #[cfg(test)]
@@ -296,6 +375,7 @@ mod tests {
             LatencyConfig::default(),
             true,
             1,
+            &ShardExecutor::new(1),
             &mut metrics,
         );
         let accepted: usize = outcome.accepted.iter().map(|v| v.len()).sum();
@@ -333,6 +413,7 @@ mod tests {
             LatencyConfig::default(),
             true,
             2,
+            &ShardExecutor::new(1),
             &mut metrics,
         );
         assert!(!outcome.censorship_reports.is_empty());
@@ -363,6 +444,7 @@ mod tests {
             LatencyConfig::default(),
             true,
             3,
+            &ShardExecutor::new(1),
             &mut metrics,
         );
         // Lists whose input shard is committee 0 cannot be certified this round.

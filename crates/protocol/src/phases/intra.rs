@@ -20,6 +20,7 @@ use cycledger_net::topology::NodeId;
 
 use crate::adversary::Behavior;
 use crate::committee::{run_inside_consensus, Committee, LeaderFault};
+use crate::engine::arena::ShardScratch;
 use crate::node::NodeRegistry;
 
 /// Result of one committee's intra-shard consensus.
@@ -44,17 +45,44 @@ pub struct IntraOutcome {
 }
 
 /// Casts one member's votes over the offered transactions.
+///
+/// Convenience wrapper that evaluates the authentication function `V`
+/// itself; the phase drivers precompute the validity table once per
+/// committee with [`precompute_validity`] and call [`votes_from_validity`]
+/// per member, since `V` is deterministic and member-independent.
 pub fn cast_votes(
     registry: &NodeRegistry,
     member: NodeId,
     utxo: &UtxoSet,
     txs: &[GeneratedTx],
 ) -> Vec<Vote> {
+    let validity: Vec<bool> = txs.iter().map(|g| utxo.validate(&g.tx).is_ok()).collect();
+    votes_from_validity(registry, member, &validity)
+}
+
+/// Evaluates `V` for every offered transaction into `validity` (cleared
+/// first). Runs once per committee per round; every member's vote derives
+/// from this shared table.
+pub fn precompute_validity(utxo: &UtxoSet, txs: &[GeneratedTx], validity: &mut Vec<bool>) {
+    validity.clear();
+    validity.reserve(txs.len());
+    validity.extend(txs.iter().map(|g| utxo.validate(&g.tx).is_ok()));
+}
+
+/// Casts one member's votes given the precomputed ground-truth validity of
+/// each offered transaction. Behaviour (lazy/wrong voters) and the member's
+/// compute budget are applied on top of the shared table.
+pub fn votes_from_validity(
+    registry: &NodeRegistry,
+    member: NodeId,
+    validity: &[bool],
+) -> Vec<Vote> {
     let node = registry.node(member);
     let capacity = node.compute_capacity as usize;
-    txs.iter()
+    validity
+        .iter()
         .enumerate()
-        .map(|(i, gen)| {
+        .map(|(i, &valid)| {
             if node.behavior == Behavior::LazyVoter {
                 return Vote::Unknown;
             }
@@ -62,11 +90,7 @@ pub fn cast_votes(
                 // Out of compute budget: an honest node admits it cannot judge.
                 return Vote::Unknown;
             }
-            let honest_vote = if utxo.validate(&gen.tx).is_ok() {
-                Vote::Yes
-            } else {
-                Vote::No
-            };
+            let honest_vote = if valid { Vote::Yes } else { Vote::No };
             if node.behavior == Behavior::WrongVoter {
                 match honest_vote {
                     Vote::Yes => Vote::No,
@@ -95,6 +119,7 @@ pub fn run_intra_consensus(
     latency: LatencyConfig,
     verify_signatures: bool,
     seed: u64,
+    scratch: &mut ShardScratch,
 ) -> (IntraOutcome, MetricsSink) {
     let phase = Phase::IntraCommitteeConsensus;
     let mut net: SimNetwork<cycledger_consensus::messages::Alg3Message> =
@@ -131,9 +156,12 @@ pub fn run_intra_consensus(
         }
     }
 
-    // 2. Every member votes and replies to the leader.
+    // 2. Every member votes and replies to the leader. Ground truth is
+    //    computed once per committee (V is deterministic and member-
+    //    independent); each member's vote derives from the shared table.
+    precompute_validity(utxo, offered, &mut scratch.validity);
     for &member in &committee.members {
-        let votes = cast_votes(registry, member, utxo, offered);
+        let votes = votes_from_validity(registry, member, &scratch.validity);
         let vector = VoteVector::new(member, votes);
         if member != committee.leader {
             net.account_message(member, committee.leader, vector.wire_size() + 96);
@@ -277,6 +305,7 @@ mod tests {
             LatencyConfig::default(),
             true,
             1,
+            &mut ShardScratch::default(),
         );
         assert!(!outcome.leader_silent);
         assert!(outcome.certificate.is_some());
@@ -326,6 +355,7 @@ mod tests {
             LatencyConfig::default(),
             true,
             2,
+            &mut ShardScratch::default(),
         );
         assert!(outcome.leader_silent);
         assert!(outcome.decided.is_empty());
@@ -348,6 +378,7 @@ mod tests {
             LatencyConfig::default(),
             true,
             3,
+            &mut ShardScratch::default(),
         );
         assert!(!outcome.equivocation.is_empty());
         for ev in &outcome.equivocation {
@@ -379,6 +410,7 @@ mod tests {
             LatencyConfig::default(),
             true,
             4,
+            &mut ShardScratch::default(),
         );
         let expected: Vec<usize> = fx.offered[0]
             .iter()

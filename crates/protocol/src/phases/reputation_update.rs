@@ -47,7 +47,7 @@ pub fn run_reputation_update(
     registry: &NodeRegistry,
     committees: &[Committee],
     referee_members: &[NodeId],
-    inputs: &[(usize, VoteList, Vec<i8>, bool)],
+    inputs: &[(usize, &VoteList, &[i8], bool)],
     reputation: &mut ReputationTable,
     leader_bonus: f64,
     round: u64,
@@ -58,13 +58,13 @@ pub fn run_reputation_update(
 ) -> Vec<CommitteeScores> {
     let phase = Phase::ReputationUpdate;
     let mut all_scores = Vec::new();
-    for (committee_index, vote_list, decision, leader_ok) in inputs {
-        let committee = &committees[*committee_index];
+    for &(committee_index, vote_list, decision, leader_ok) in inputs {
+        let committee = &committees[committee_index];
         if !leader_ok || vote_list.tx_ids.is_empty() {
             // A silent/evicted leader produced no decision this round; the
             // committee's members keep their reputation unchanged.
             all_scores.push(CommitteeScores {
-                committee: *committee_index,
+                committee: committee_index,
                 scores: Vec::new(),
                 certified: false,
             });
@@ -74,22 +74,23 @@ pub fn run_reputation_update(
 
         // The leader broadcasts ScoreList + V List and the committee certifies it.
         let mut net: SimNetwork<cycledger_consensus::messages::Alg3Message> =
-            SimNetwork::new(latency, seed ^ (0xabc0 + *committee_index as u64));
+            SimNetwork::new(latency, seed ^ (0xabc0 + committee_index as u64));
         net.set_phase(phase);
         let mut payload = Vec::with_capacity(scores.len() * 12);
         for (node, score) in &scores {
             payload.extend_from_slice(&node.0.to_be_bytes());
             payload.extend_from_slice(&ReputationTable::to_fixed_point(*score).to_be_bytes());
         }
+        let payload_len = payload.len() as u64;
         let consensus = run_inside_consensus(
             &mut net,
             committee,
             registry,
             ConsensusId {
                 round,
-                seq: 4_000 + *committee_index as u64,
+                seq: 4_000 + committee_index as u64,
             },
-            payload.clone(),
+            payload,
             LeaderFault::None,
             verify_signatures,
         );
@@ -104,13 +105,8 @@ pub fn run_reputation_update(
                 .map(|c| c.wire_size())
                 .unwrap_or(0);
             for &rm in referee_members {
-                metrics.record_message(
-                    phase,
-                    committee.leader,
-                    rm,
-                    payload.len() as u64 + cert_bytes,
-                );
-                metrics.record_storage(phase, rm, payload.len() as u64);
+                metrics.record_message(phase, committee.leader, rm, payload_len + cert_bytes);
+                metrics.record_storage(phase, rm, payload_len);
             }
             // The referee committee applies the scores and the leader bonus.
             for (node, score) in &scores {
@@ -119,7 +115,7 @@ pub fn run_reputation_update(
             reputation.grant_leader_bonus(committee.leader, leader_bonus);
         }
         all_scores.push(CommitteeScores {
-            committee: *committee_index,
+            committee: committee_index,
             scores,
             certified,
         });
@@ -191,7 +187,7 @@ mod tests {
             &registry,
             &committees,
             &referee,
-            &[(0, vote_list, decision, true)],
+            &[(0, &vote_list, &decision, true)],
             &mut reputation,
             0.1,
             1,
@@ -230,7 +226,7 @@ mod tests {
             &registry,
             &committees,
             &referee,
-            &[(1, vote_list, decision, false)],
+            &[(1, &vote_list, &decision, false)],
             &mut reputation,
             0.1,
             1,

@@ -11,8 +11,8 @@ use cycledger_reputation::ReputationTable;
 
 use crate::config::ProtocolConfig;
 use crate::engine::{
-    run_pipeline_observed, standard_pipeline, NoopObserver, RoundContext, RoundObserver,
-    ShardExecutor,
+    run_pipeline_observed, standard_pipeline, NoopObserver, RoundArena, RoundContext,
+    RoundObserver, ShardExecutor,
 };
 use crate::node::NodeRegistry;
 use crate::report::RoundReport;
@@ -38,6 +38,9 @@ pub struct RoundInput<'a> {
     /// round). Usually equals the round number; it diverges only if an earlier
     /// round failed to produce a block.
     pub block_height: u64,
+    /// Reusable per-round scratch buffers (see [`RoundArena`]); the caller
+    /// keeps the arena alive across rounds so its capacity is recycled.
+    pub arena: &'a mut RoundArena,
 }
 
 /// The result of one round.

@@ -20,7 +20,7 @@ use cycledger_ledger::workload::{Workload, WorkloadConfig};
 use cycledger_reputation::ReputationTable;
 
 use crate::config::ProtocolConfig;
-use crate::engine::{NoopObserver, RoundObserver, ShardExecutor};
+use crate::engine::{NoopObserver, RoundArena, RoundObserver, ShardExecutor};
 use crate::node::NodeRegistry;
 use crate::report::{RoundReport, SimulationSummary};
 use crate::round::{run_round_observed, RoundInput};
@@ -39,6 +39,8 @@ pub struct Simulation {
     assignment: RoundAssignment,
     reports: Vec<RoundReport>,
     executor: ShardExecutor,
+    /// Per-round scratch buffers recycled across rounds (see [`RoundArena`]).
+    arena: RoundArena,
 }
 
 impl Simulation {
@@ -88,6 +90,7 @@ impl Simulation {
             assignment,
             reports: Vec::new(),
             executor,
+            arena: RoundArena::new(),
         })
     }
 
@@ -152,6 +155,7 @@ impl Simulation {
                 offered,
                 prev_hash: self.chain.tip_hash(),
                 block_height: self.chain.height() as u64,
+                arena: &mut self.arena,
             },
             &self.executor,
             observer,
@@ -288,6 +292,32 @@ mod tests {
         let mut sim = Simulation::new(config).unwrap();
         let summary = sim.run(rounds);
         format!("{:?}", summary.canonical_digest())
+    }
+
+    #[test]
+    fn fast_path_recoveries_match_full_verification() {
+        // The signature fast path attaches placeholder signatures instead of
+        // real ones; witness-backed impeachments must still evict exactly as
+        // they do under full verification (regression: placeholder-signed
+        // equivocation evidence used to fail the recovery evidence check).
+        for verify in [true, false] {
+            let mut config = small_config();
+            config.verify_signatures = verify;
+            let mut sim = Simulation::new(config).unwrap();
+            let leader = sim.assignment().committees[0].leader;
+            sim.registry_mut()
+                .set_behavior(leader, Behavior::EquivocatingLeader);
+            let summary = sim.run(2);
+            assert!(
+                summary.total_evictions() >= 1,
+                "equivocator must be evicted (verify_signatures={verify})"
+            );
+            assert_eq!(
+                summary.blocks_produced(),
+                2,
+                "recovery keeps blocks flowing (verify_signatures={verify})"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! A counting wrapper around the system allocator.
+//!
+//! Install it as the `#[global_allocator]` of a benchmark binary and read
+//! [`snapshot`] before/after a measured region to obtain the number of heap
+//! allocations and allocated bytes the region performed. Counting is gated
+//! behind the `count` cargo feature: without it every hook compiles down to a
+//! direct call into [`System`], so the allocator can stay installed in
+//! binaries that only sometimes measure.
+//!
+//! The counters are global, relaxed atomics. That is exactly what an
+//! allocations-per-round benchmark needs (totals across all worker threads)
+//! and deliberately nothing more: no per-thread attribution, no backtraces,
+//! no peak tracking.
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+#[cfg(feature = "count")]
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[cfg(feature = "count")]
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "count")]
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+#[cfg(feature = "count")]
+static REALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Counters observed at one point in time; subtract two snapshots to get the
+/// allocation activity of the region between them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Number of `alloc` calls (fresh heap allocations).
+    pub allocations: u64,
+    /// Total bytes requested by `alloc` calls.
+    pub allocated_bytes: u64,
+    /// Number of `realloc` calls (growth of existing allocations).
+    pub reallocations: u64,
+}
+
+impl AllocSnapshot {
+    /// Activity since an earlier snapshot.
+    pub fn since(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocations: self.allocations.wrapping_sub(earlier.allocations),
+            allocated_bytes: self.allocated_bytes.wrapping_sub(earlier.allocated_bytes),
+            reallocations: self.reallocations.wrapping_sub(earlier.reallocations),
+        }
+    }
+}
+
+/// Reads the current counters. Always zero when the `count` feature is off.
+pub fn snapshot() -> AllocSnapshot {
+    #[cfg(feature = "count")]
+    {
+        AllocSnapshot {
+            allocations: ALLOC_CALLS.load(Ordering::Relaxed),
+            allocated_bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+            reallocations: REALLOC_CALLS.load(Ordering::Relaxed),
+        }
+    }
+    #[cfg(not(feature = "count"))]
+    {
+        AllocSnapshot::default()
+    }
+}
+
+/// True when the crate was built with counting enabled.
+pub fn counting_enabled() -> bool {
+    cfg!(feature = "count")
+}
+
+/// The counting allocator. Wraps [`System`]; counts when the `count` feature
+/// is enabled, passes through untouched otherwise.
+pub struct CountingAllocator;
+
+// SAFETY: every method forwards to `System` with the caller's layout
+// unchanged; the only extra work is relaxed atomic counter updates, which
+// allocate nothing themselves.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        #[cfg(feature = "count")]
+        {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        #[cfg(feature = "count")]
+        {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        #[cfg(feature = "count")]
+        {
+            REALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(
+                new_size.saturating_sub(layout.size()) as u64,
+                Ordering::Relaxed,
+            );
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_direct_allocator_calls() {
+        // The test harness does not install CountingAllocator as the global
+        // allocator, so drive it directly through the GlobalAlloc API.
+        let a = snapshot();
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        unsafe {
+            let p = CountingAllocator.alloc(layout);
+            assert!(!p.is_null());
+            CountingAllocator.dealloc(p, layout);
+        }
+        let d = snapshot().since(&a);
+        if counting_enabled() {
+            assert!(d.allocations >= 1);
+            assert!(d.allocated_bytes >= 4096);
+        } else {
+            assert_eq!(d, AllocSnapshot::default());
+        }
+    }
+}

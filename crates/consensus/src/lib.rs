@@ -3,6 +3,9 @@
 //! The intra-committee consensus machinery of CycLedger:
 //!
 //! * [`messages`] — signed PROPOSE / ECHO / CONFIRM messages of Algorithm 3.
+//! * [`envelope`] — typed committee-traffic envelopes ([`CommitteeMessage`])
+//!   for the message-driven data plane, where votes, list forwards and
+//!   recovery accusations travel through the discrete-event network.
 //! * [`alg3`] — per-node state machines for Algorithm 3, including equivocation
 //!   detection from conflicting leader-signed proposals.
 //! * [`quorum`] — transferable quorum certificates ("SigList") and their
@@ -18,12 +21,14 @@
 #![warn(missing_docs)]
 
 pub mod alg3;
+pub mod envelope;
 pub mod messages;
 pub mod quorum;
 pub mod votes;
 pub mod witness;
 
 pub use alg3::{LeaderState, MemberAction, MemberState};
+pub use envelope::{CarriesAlg3, CommitteeMessage};
 pub use messages::{Alg3Message, Confirm, ConsensusId, Echo, Propose};
 pub use quorum::{CommitteeKeys, QuorumCertificate, QuorumError};
 pub use votes::{Tally, Vote, VoteList, VoteVector};

@@ -10,7 +10,7 @@
 
 use cycledger_crypto::hmac::HmacDrbg;
 
-use crate::transaction::{AccountId, OutPoint, Transaction, TxInput, TxOutput};
+use crate::transaction::{AccountId, OutPoint, Transaction, TxId, TxInput, TxOutput};
 use crate::utxo::UtxoSet;
 
 /// Workload configuration.
@@ -74,20 +74,30 @@ pub struct GeneratedTx {
     pub kind: TxKind,
 }
 
+/// One generated-but-unconfirmed transaction in the generator's view: the
+/// pool entry it consumed and the outputs it would create if it confirms.
+struct PendingTx {
+    id: TxId,
+    input: (OutPoint, TxOutput),
+    outputs: Vec<(OutPoint, TxOutput)>,
+}
+
 /// The workload generator.
 ///
 /// Outputs created by generated transactions are *not* immediately spendable:
-/// they sit in a pending pool until [`Workload::confirm_pending`] is called
-/// (which the simulation does once the round's block has been applied). This
-/// mirrors real external users — they only spend confirmed UTXOs — and keeps
-/// every transaction within one batch independently valid against the
+/// they sit in a pending pool until [`Workload::confirm_pending`] (or its
+/// packed-aware sibling [`Workload::confirm_packed`]) is called — the
+/// simulation does so once the round's block has been applied. This mirrors
+/// real external users — they only spend confirmed UTXOs — and keeps every
+/// transaction within one batch independently valid against the
 /// beginning-of-round UTXO state.
 pub struct Workload {
     config: WorkloadConfig,
     /// Spendable (confirmed) UTXOs per shard, from the generator's view.
     pools: Vec<Vec<(OutPoint, TxOutput)>>,
-    /// Outputs created by generated-but-not-yet-confirmed transactions.
-    pending: Vec<(OutPoint, TxOutput)>,
+    /// Generated-but-not-yet-confirmed transactions: the input each consumed
+    /// from the pool and the outputs it would create.
+    pending: Vec<PendingTx>,
     /// Accounts grouped by shard.
     accounts_by_shard: Vec<Vec<AccountId>>,
     drbg: HmacDrbg,
@@ -154,16 +164,45 @@ impl Workload {
     /// so automatically); until then, generated transactions never spend each
     /// other's outputs, so every batch is independently valid against the
     /// beginning-of-round UTXO state.
+    ///
+    /// This is the *optimistic* form: every pending transaction is assumed to
+    /// have landed in the block. The fully synchronous simulation packs every
+    /// valid offered transaction, so the assumption holds there; runs where
+    /// network faults can genuinely lose transactions use
+    /// [`Workload::confirm_packed`] instead.
     pub fn confirm_pending(&mut self) {
         let m = self.config.num_shards;
-        for (outpoint, output) in self.pending.drain(..) {
-            self.pools[output.owner.shard(m)].push((outpoint, output));
+        for tx in self.pending.drain(..) {
+            for (outpoint, output) in tx.outputs {
+                self.pools[output.owner.shard(m)].push((outpoint, output));
+            }
+        }
+    }
+
+    /// Confirms exactly the pending transactions for which `packed` returns
+    /// true: their outputs become spendable. The rest *expired unconfirmed* —
+    /// their consumed inputs return to the pool (on chain those coins were
+    /// never spent, so the user simply respends them later), and their
+    /// outputs never existed. Keeps the generator's UTXO view consistent
+    /// with the chain when partitions or timeouts keep transactions out of
+    /// blocks.
+    pub fn confirm_packed(&mut self, packed: impl Fn(&crate::transaction::TxId) -> bool) {
+        let m = self.config.num_shards;
+        for tx in self.pending.drain(..) {
+            if packed(&tx.id) {
+                for (outpoint, output) in tx.outputs {
+                    self.pools[output.owner.shard(m)].push((outpoint, output));
+                }
+            } else {
+                let (outpoint, output) = tx.input;
+                self.pools[output.owner.shard(m)].push((outpoint, output));
+            }
         }
     }
 
     /// Number of outputs currently awaiting confirmation.
     pub fn pending_outputs(&self) -> usize {
-        self.pending.len()
+        self.pending.iter().map(|tx| tx.outputs.len()).sum()
     }
 
     /// The configuration in use.
@@ -309,9 +348,20 @@ impl Workload {
             outputs,
             nonce,
         );
-        // New outputs become spendable only after confirm_pending() (i.e. after
-        // the block that contains this transaction has been applied).
-        self.pending.extend(tx.created_utxos());
+        // New outputs become spendable only after confirm_pending() /
+        // confirm_packed() (i.e. after the block that contains this
+        // transaction has been applied).
+        self.pending.push(PendingTx {
+            id: tx.id(),
+            input: (
+                outpoint,
+                TxOutput {
+                    owner: output.owner,
+                    amount: output.amount,
+                },
+            ),
+            outputs: tx.created_utxos(),
+        });
         let kind = if dst_shard == src_shard && tx.is_intra_shard(m) {
             TxKind::IntraShard
         } else {
@@ -380,6 +430,41 @@ mod tests {
             wl.confirm_pending();
         }
         assert_eq!(wl.pending_outputs(), 0);
+    }
+
+    #[test]
+    fn packed_aware_confirmation_keeps_the_generator_consistent_with_the_chain() {
+        // Half the batch "lands in the block", half expires unconfirmed
+        // (e.g. a partition kept its committee from certifying). Later
+        // batches must still be fully valid against the chain state: packed
+        // outputs are spendable, expired transactions' inputs are respent.
+        let mut wl = Workload::new(config(0.2, 0.0));
+        let mut sets = wl.build_genesis_utxo_sets();
+        let batch = wl.generate_batch(40);
+        let packed: std::collections::HashSet<TxId> = batch
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .map(|(_, gen)| gen.tx.id())
+            .collect();
+        for gen in &batch {
+            if packed.contains(&gen.tx.id()) {
+                for set in sets.iter_mut() {
+                    set.apply(&gen.tx);
+                }
+            }
+        }
+        wl.confirm_packed(|id| packed.contains(id));
+        assert_eq!(wl.pending_outputs(), 0);
+        let next = wl.generate_batch(40);
+        assert_eq!(next.len(), 40, "expired inputs return to the pool");
+        for gen in &next {
+            assert_eq!(
+                validate_across_shards(&gen.tx, &sets),
+                Ok(()),
+                "post-expiry batch must validate against the real chain state"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Deterministic network-fault model: partitions, targeted delay, loss.
+//!
+//! A [`FaultPlan`] describes how the adversary (or plain bad weather) perturbs
+//! the network during one [`SimNetwork`](crate::network::SimNetwork)'s life.
+//! Every decision the plan makes is a pure function of `(seed, src, dst,
+//! sequence number, virtual time)`, so a faulted run is exactly as
+//! reproducible as a clean one: same seed ⇒ same drops, same delays, same
+//! delivery order, independent of worker threads or wall-clock.
+//!
+//! The model extends the two knobs the network already had:
+//!
+//! * [`LatencyConfig`](crate::latency::LatencyConfig) bounds honest delay per
+//!   link class; the plan layers *extra* delay on top — uniform reorder
+//!   jitter and per-node targeted delay (a delay attack pushes a victim's
+//!   traffic past protocol deadlines without dropping a byte);
+//! * the `silence` mechanism drops all traffic *from* one node forever; a
+//!   [`Partition`] generalises it to a group severed from the rest of the
+//!   world for a virtual-time window, healing automatically at `until`.
+//!
+//! Faults act at *send* time: a message crossing an active partition
+//! boundary, or sampled into a loss event, is never enqueued and never
+//! charged to the metrics sink — exactly like a silenced sender. The network
+//! counts each category separately so tests can reconcile books exactly
+//! (see `dropped_by_partition` & friends on the network).
+
+use cycledger_crypto::hmac::HmacDrbg;
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::NodeId;
+
+/// Parts per million, the fixed-point probability unit used for loss rates
+/// (1_000_000 = drop everything).
+pub const PPM: u32 = 1_000_000;
+
+/// One partition span: `group` is severed from every node outside it between
+/// `from` (inclusive) and `until` (exclusive). `until = None` means the
+/// partition never heals within this network's life.
+///
+/// Messages *inside* the group still flow, as does traffic wholly outside
+/// it — the span cuts exactly the boundary. Overlapping spans compose: a
+/// link is severed while any active span separates its endpoints.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// The severed group.
+    pub group: Vec<NodeId>,
+    /// Start of the span (inclusive).
+    pub from: SimTime,
+    /// Heal time (exclusive); `None` = never heals.
+    pub until: Option<SimTime>,
+}
+
+impl Partition {
+    /// True while the span is active at `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        now >= self.from && self.until.is_none_or(|until| now < until)
+    }
+
+    /// True if the span separates `a` and `b` at `now`.
+    pub fn severs(&self, now: SimTime, a: NodeId, b: NodeId) -> bool {
+        self.active_at(now) && (self.group.contains(&a) != self.group.contains(&b))
+    }
+}
+
+/// Extra deterministic delay on every message sent *or* received by one node
+/// (a targeted delay attack: the adversary holds the victim's links at the
+/// synchrony bound and beyond).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TargetedDelay {
+    /// The delayed node.
+    pub node: NodeId,
+    /// Extra delay added on top of the sampled link latency.
+    pub extra: SimDuration,
+}
+
+/// A window of elevated uniform loss (e.g. a congested backbone): every
+/// message sent in `[from, until)` is dropped with probability
+/// `drop_ppm / 1e6`, sampled deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LossBurst {
+    /// Start of the burst (inclusive).
+    pub from: SimTime,
+    /// End of the burst (exclusive).
+    pub until: SimTime,
+    /// Drop probability inside the window, in parts per million.
+    pub drop_ppm: u32,
+}
+
+/// The full fault model for one simulated network.
+///
+/// The default plan is empty — a network built with it behaves exactly like
+/// one built without a plan, byte for byte.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Partition/heal schedule entries.
+    pub partitions: Vec<Partition>,
+    /// Per-node targeted extra delays.
+    pub delays: Vec<TargetedDelay>,
+    /// Baseline uniform loss applied to every message, in parts per million.
+    pub drop_ppm: u32,
+    /// Reorder jitter: every message gets an extra deterministic delay drawn
+    /// uniformly from `[0, jitter]`, which perturbs delivery order relative
+    /// to send order without violating `bound + jitter`.
+    pub jitter: SimDuration,
+    /// Windows of elevated loss.
+    pub bursts: Vec<LossBurst>,
+}
+
+impl FaultPlan {
+    /// True when the plan perturbs nothing (the network skips all fault
+    /// bookkeeping in that case).
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+            && self.delays.is_empty()
+            && self.drop_ppm == 0
+            && self.jitter == SimDuration::ZERO
+            && self.bursts.is_empty()
+    }
+
+    /// A plan that only severs `group` from the rest of the world for the
+    /// whole network life (the common "round-long partition" shape the
+    /// scenario layer emits).
+    pub fn partition(group: Vec<NodeId>) -> FaultPlan {
+        FaultPlan {
+            partitions: vec![Partition {
+                group,
+                from: SimTime::ZERO,
+                until: None,
+            }],
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Adds a partition span to the schedule (builder style).
+    pub fn with_partition(
+        mut self,
+        group: Vec<NodeId>,
+        from: SimTime,
+        until: Option<SimTime>,
+    ) -> FaultPlan {
+        self.partitions.push(Partition { group, from, until });
+        self
+    }
+
+    /// Adds a targeted delay (builder style).
+    pub fn with_delay(mut self, node: NodeId, extra: SimDuration) -> FaultPlan {
+        self.delays.push(TargetedDelay { node, extra });
+        self
+    }
+
+    /// True if any active partition separates `from` and `to` at `now`.
+    pub fn severed(&self, now: SimTime, from: NodeId, to: NodeId) -> bool {
+        self.partitions.iter().any(|p| p.severs(now, from, to))
+    }
+
+    /// The total targeted extra delay for a `(from, to)` link: delays on the
+    /// sender and on the receiver both apply (the attack holds the victim's
+    /// links in both directions).
+    pub fn extra_delay(&self, from: NodeId, to: NodeId) -> SimDuration {
+        self.delays
+            .iter()
+            .filter(|d| d.node == from || d.node == to)
+            .fold(SimDuration::ZERO, |acc, d| acc.plus(d.extra))
+    }
+
+    /// The effective loss probability (ppm, saturating) for a message sent at
+    /// `now`: the baseline rate plus any active burst.
+    pub fn drop_ppm_at(&self, now: SimTime) -> u32 {
+        let burst: u32 = self
+            .bursts
+            .iter()
+            .filter(|b| now >= b.from && now < b.until)
+            .map(|b| b.drop_ppm)
+            .fold(0, u32::saturating_add);
+        self.drop_ppm.saturating_add(burst).min(PPM)
+    }
+
+    /// Deterministically decides whether send attempt number `attempt` from
+    /// `from` to `to` at `now` is lost. Pure in `(seed, from, to, attempt,
+    /// now)`. The caller must advance `attempt` for *every* send attempt —
+    /// including dropped ones — or the first sampled drop on a link would
+    /// repeat forever.
+    pub fn drops(&self, seed: u64, now: SimTime, from: NodeId, to: NodeId, attempt: u64) -> bool {
+        let ppm = self.drop_ppm_at(now);
+        if ppm == 0 {
+            return false;
+        }
+        if ppm >= PPM {
+            return true;
+        }
+        let mut drbg = HmacDrbg::from_parts(
+            "cycledger/net-loss",
+            &[
+                &seed.to_be_bytes(),
+                &from.0.to_be_bytes(),
+                &to.0.to_be_bytes(),
+                &attempt.to_be_bytes(),
+            ],
+        );
+        drbg.next_below(PPM as u64) < ppm as u64
+    }
+
+    /// Deterministic reorder jitter for send attempt `attempt` from `from`
+    /// to `to`: uniform in `[0, jitter]`.
+    pub fn jitter_for(&self, seed: u64, from: NodeId, to: NodeId, attempt: u64) -> SimDuration {
+        if self.jitter == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let mut drbg = HmacDrbg::from_parts(
+            "cycledger/net-jitter",
+            &[
+                &seed.to_be_bytes(),
+                &from.0.to_be_bytes(),
+                &to.0.to_be_bytes(),
+                &attempt.to_be_bytes(),
+            ],
+        );
+        SimDuration::from_micros(drbg.next_below(self.jitter.as_micros() + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert!(!plan.severed(SimTime(0), NodeId(0), NodeId(1)));
+        assert_eq!(plan.extra_delay(NodeId(0), NodeId(1)), SimDuration::ZERO);
+        assert_eq!(plan.drop_ppm_at(SimTime(0)), 0);
+        assert!(!plan.drops(1, SimTime(0), NodeId(0), NodeId(1), 0));
+        assert_eq!(
+            plan.jitter_for(1, NodeId(0), NodeId(1), 0),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn partition_severs_only_the_boundary_within_its_window() {
+        let plan = FaultPlan::default().with_partition(
+            vec![NodeId(1), NodeId(2)],
+            SimTime(100),
+            Some(SimTime(200)),
+        );
+        // Before the window: nothing severed.
+        assert!(!plan.severed(SimTime(99), NodeId(1), NodeId(5)));
+        // Inside: the boundary is cut in both directions…
+        assert!(plan.severed(SimTime(100), NodeId(1), NodeId(5)));
+        assert!(plan.severed(SimTime(150), NodeId(5), NodeId(2)));
+        // …but intra-group and outside-outside links still work.
+        assert!(!plan.severed(SimTime(150), NodeId(1), NodeId(2)));
+        assert!(!plan.severed(SimTime(150), NodeId(5), NodeId(6)));
+        // Heal time is exclusive.
+        assert!(!plan.severed(SimTime(200), NodeId(1), NodeId(5)));
+    }
+
+    #[test]
+    fn unhealed_partition_lasts_forever() {
+        let plan = FaultPlan::partition(vec![NodeId(7)]);
+        assert!(plan.severed(SimTime(u64::MAX), NodeId(7), NodeId(0)));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn targeted_delay_applies_to_both_directions_and_sums() {
+        let plan = FaultPlan::default()
+            .with_delay(NodeId(3), SimDuration::from_millis(10))
+            .with_delay(NodeId(4), SimDuration::from_millis(5));
+        assert_eq!(
+            plan.extra_delay(NodeId(3), NodeId(9)),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(
+            plan.extra_delay(NodeId(9), NodeId(3)),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(
+            plan.extra_delay(NodeId(3), NodeId(4)),
+            SimDuration::from_millis(15)
+        );
+        assert_eq!(plan.extra_delay(NodeId(8), NodeId(9)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn loss_rates_compose_and_saturate() {
+        let plan = FaultPlan {
+            drop_ppm: 100_000,
+            bursts: vec![LossBurst {
+                from: SimTime(10),
+                until: SimTime(20),
+                drop_ppm: PPM,
+            }],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.drop_ppm_at(SimTime(0)), 100_000);
+        assert_eq!(plan.drop_ppm_at(SimTime(10)), PPM);
+        assert_eq!(plan.drop_ppm_at(SimTime(20)), 100_000);
+        // Inside a total-loss burst everything drops, deterministically.
+        assert!(plan.drops(42, SimTime(15), NodeId(0), NodeId(1), 7));
+    }
+
+    #[test]
+    fn drop_sampling_is_deterministic_and_seed_sensitive() {
+        let plan = FaultPlan {
+            drop_ppm: 500_000,
+            ..FaultPlan::default()
+        };
+        let pattern = |seed: u64| -> Vec<bool> {
+            (0..64)
+                .map(|seq| plan.drops(seed, SimTime(0), NodeId(1), NodeId(2), seq))
+                .collect()
+        };
+        assert_eq!(pattern(5), pattern(5));
+        assert_ne!(pattern(5), pattern(6));
+        let dropped = pattern(5).iter().filter(|&&d| d).count();
+        assert!((10..=54).contains(&dropped), "≈50% loss, got {dropped}/64");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_varies() {
+        let plan = FaultPlan {
+            jitter: SimDuration::from_millis(2),
+            ..FaultPlan::default()
+        };
+        let mut distinct = std::collections::HashSet::new();
+        for seq in 0..50 {
+            let j = plan.jitter_for(9, NodeId(0), NodeId(1), seq);
+            assert!(j <= SimDuration::from_millis(2));
+            distinct.insert(j);
+        }
+        assert!(distinct.len() > 10, "jitter should not be constant");
+    }
+}

@@ -102,6 +102,12 @@ impl LatencySampler {
         &self.config
     }
 
+    /// The seed all samples derive from (shared with the fault model so one
+    /// network seed fixes latency, loss and jitter together).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Samples the delivery delay for the `seq`-th message from `from` to `to`
     /// over a link of class `class`.
     ///

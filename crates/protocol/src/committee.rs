@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 
 use cycledger_consensus::alg3::{LeaderState, MemberAction, MemberState};
+use cycledger_consensus::envelope::CarriesAlg3;
 use cycledger_consensus::messages::{
     make_propose, make_propose_unsigned, Alg3Message, ConsensusId,
 };
@@ -138,9 +139,17 @@ pub struct InsideConsensusOutcome {
 /// `malicious_members` (typically nodes whose behaviour is malicious and who are
 /// not the leader) stay silent during the instance — the worst they can do to an
 /// instance led by an honest leader, since forged messages are rejected anyway.
+///
+/// Generic over the envelope type: the classic phase drivers run it over a
+/// plain [`Alg3Message`] network, the message-driven drivers over a
+/// [`cycledger_consensus::envelope::CommitteeMessage`] network (whose
+/// non-Alg3 envelopes still in flight — e.g. late vote replies — are drained
+/// and ignored). The event loop ends at quiescence, so a network whose fault
+/// plan severs part of the committee simply yields fewer CONFIRMs and
+/// possibly no certificate — the caller's recovery path takes it from there.
 #[allow(clippy::too_many_arguments)]
-pub fn run_inside_consensus(
-    net: &mut SimNetwork<Alg3Message>,
+pub fn run_inside_consensus<M: CarriesAlg3>(
+    net: &mut SimNetwork<M>,
     committee: &Committee,
     registry: &NodeRegistry,
     id: ConsensusId,
@@ -218,12 +227,13 @@ pub fn run_inside_consensus(
             (LeaderFault::Equivocate { .. }, Some(alt)) if idx % 2 == 1 => alt.clone(),
             _ => main_propose.clone(),
         };
-        let size = Alg3Message::Propose(propose.clone()).wire_size();
+        let message = Alg3Message::Propose(propose);
+        let size = message.wire_size();
         net.send(
             leader_node,
             node,
             LinkClass::IntraCommittee,
-            Alg3Message::Propose(propose),
+            M::from_alg3(message),
             size,
         );
         messages += 1;
@@ -241,7 +251,7 @@ pub fn run_inside_consensus(
     // Helper that routes a batch of member actions onto the network.
     let dispatch = |from: NodeId,
                     actions: Vec<MemberAction>,
-                    net: &mut SimNetwork<Alg3Message>,
+                    net: &mut SimNetwork<M>,
                     equivocation: &mut Vec<EquivocationEvidence>,
                     messages: &mut u64| {
         for action in actions {
@@ -254,12 +264,13 @@ pub fn run_inside_consensus(
                         if target == from {
                             continue;
                         }
-                        let size = Alg3Message::Echo(echo.clone()).wire_size();
+                        let message = Alg3Message::Echo(echo.clone());
+                        let size = message.wire_size();
                         net.send(
                             from,
                             target,
                             LinkClass::IntraCommittee,
-                            Alg3Message::Echo(echo.clone()),
+                            M::from_alg3(message),
                             size,
                         );
                         *messages += 1;
@@ -269,12 +280,13 @@ pub fn run_inside_consensus(
                     if silent_members.contains(&from) {
                         continue;
                     }
-                    let size = Alg3Message::Confirm(confirm.clone()).wire_size();
+                    let message = Alg3Message::Confirm(confirm);
+                    let size = message.wire_size();
                     net.send(
                         from,
                         leader_node,
                         LinkClass::IntraCommittee,
-                        Alg3Message::Confirm(confirm),
+                        M::from_alg3(message),
                         size,
                     );
                     *messages += 1;
@@ -290,10 +302,16 @@ pub fn run_inside_consensus(
         dispatch(from, actions, net, &mut equivocation, &mut messages);
     }
 
-    // Event loop: pump the network until the instance quiesces.
+    // Event loop: pump the network until the instance quiesces. Envelopes
+    // that are not Algorithm 3 traffic (possible on a shared message-driven
+    // network, e.g. vote replies that missed the leader's deadline) are
+    // drained and ignored.
     while let Some(envelope) = net.deliver_next() {
         let to = envelope.to;
-        match envelope.payload {
+        let Some(alg3) = envelope.payload.into_alg3() else {
+            continue;
+        };
+        match alg3 {
             Alg3Message::Propose(p) => {
                 if let Some(state) = members.get_mut(&to) {
                     let actions = state.handle_propose(&p);
@@ -379,7 +397,7 @@ mod tests {
     #[test]
     fn honest_committee_reaches_consensus_over_network() {
         let (committee, registry) = build_committee(AdversaryConfig::default(), 5);
-        let mut net = SimNetwork::new(LatencyConfig::default(), 1);
+        let mut net: SimNetwork<Alg3Message> = SimNetwork::new(LatencyConfig::default(), 1);
         net.set_phase(Phase::IntraCommitteeConsensus);
         let outcome = run_inside_consensus(
             &mut net,
@@ -409,7 +427,7 @@ mod tests {
     #[test]
     fn silent_leader_produces_nothing() {
         let (committee, registry) = build_committee(AdversaryConfig::default(), 6);
-        let mut net = SimNetwork::new(LatencyConfig::default(), 2);
+        let mut net: SimNetwork<Alg3Message> = SimNetwork::new(LatencyConfig::default(), 2);
         let outcome = run_inside_consensus(
             &mut net,
             &committee,
@@ -427,7 +445,7 @@ mod tests {
     #[test]
     fn equivocating_leader_is_detected() {
         let (committee, registry) = build_committee(AdversaryConfig::default(), 7);
-        let mut net = SimNetwork::new(LatencyConfig::default(), 3);
+        let mut net: SimNetwork<Alg3Message> = SimNetwork::new(LatencyConfig::default(), 3);
         let outcome = run_inside_consensus(
             &mut net,
             &committee,
@@ -465,7 +483,7 @@ mod tests {
         for &member in non_leader.iter().take(corrupt) {
             registry.set_behavior(member, Behavior::WrongVoter);
         }
-        let mut net = SimNetwork::new(LatencyConfig::default(), 4);
+        let mut net: SimNetwork<Alg3Message> = SimNetwork::new(LatencyConfig::default(), 4);
         let outcome = run_inside_consensus(
             &mut net,
             &committee,
@@ -483,7 +501,7 @@ mod tests {
     fn fast_path_without_verification_matches_outcome() {
         let (committee, registry) = build_committee(AdversaryConfig::default(), 9);
         let run = |verify: bool| {
-            let mut net = SimNetwork::new(LatencyConfig::default(), 5);
+            let mut net: SimNetwork<Alg3Message> = SimNetwork::new(LatencyConfig::default(), 5);
             run_inside_consensus(
                 &mut net,
                 &committee,

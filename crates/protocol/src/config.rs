@@ -44,6 +44,13 @@ pub struct ProtocolConfig {
     /// benches (see `MemberState::set_verify_signatures` for why this does not
     /// change outcomes).
     pub verify_signatures: bool,
+    /// Route committee traffic (TXList announcements, votes, Algorithm 3,
+    /// cross-shard list forwards, recovery accusations) through the
+    /// discrete-event network as typed envelopes with virtual-time quorum
+    /// timeouts, so network faults (partitions, targeted delay, loss) can
+    /// perturb consensus. `false` keeps the fully synchronous fast path,
+    /// whose output is byte-identical to the pre-message-driven engine.
+    pub message_driven: bool,
     /// Worker threads of the persistent shard executor: `0` sizes the pool
     /// from the machine's available parallelism, `1` runs everything inline
     /// on the driver thread. Simulation output is byte-identical for any
@@ -71,6 +78,7 @@ impl Default for ProtocolConfig {
             latency: LatencyConfig::default(),
             adversary: AdversaryConfig::default(),
             verify_signatures: true,
+            message_driven: false,
             worker_threads: 0,
             seed: 42,
         }

@@ -58,6 +58,8 @@ pub struct RoundContext<'a> {
     pub assignment: &'a RoundAssignment,
     /// The persistent worker pool shared by all parallel phases.
     pub executor: &'a ShardExecutor,
+    /// Network faults in force this round (message-driven mode only).
+    pub faults: &'a cycledger_net::faults::FaultPlan,
     /// Reusable scratch buffers recycled across rounds (reset on context
     /// construction; drained and refilled by the phases).
     pub arena: &'a mut RoundArena,
@@ -89,6 +91,18 @@ pub struct RoundContext<'a> {
     /// report's skipped-recovery count is derived from it, so the log is the
     /// single source of truth).
     pub recovery_log: Vec<RecoveryRecord>,
+    /// Message-driven mode: vote-collection deadlines that fired with votes
+    /// missing, across the intra and inter phases.
+    pub quorum_timeouts: usize,
+    /// Message-driven mode: cross-shard list forwards that missed their
+    /// destination deadline (the pair deferred to a later round).
+    pub list_timeouts: usize,
+    /// Message-driven mode: individual votes missing at collection
+    /// deadlines (each recorded as an all-`Unknown` row).
+    pub votes_missing: usize,
+    /// Message-driven mode: envelopes dropped by the fault plan across every
+    /// phase network this round.
+    pub net_dropped: u64,
 
     /// Per-shard intra-committee transaction lists (workload split).
     pub intra_per_shard: Vec<Vec<GeneratedTx>>,
@@ -131,6 +145,7 @@ impl<'a> RoundContext<'a> {
             prev_hash,
             block_height,
             arena,
+            faults,
         } = input;
         arena.begin_round();
         let round = assignment.round;
@@ -176,6 +191,7 @@ impl<'a> RoundContext<'a> {
             registry,
             assignment,
             executor,
+            faults,
             arena,
             round,
             prev_hash,
@@ -188,6 +204,10 @@ impl<'a> RoundContext<'a> {
             evicted: Vec::new(),
             witnesses: 0,
             recovery_log: Vec::new(),
+            quorum_timeouts: 0,
+            list_timeouts: 0,
+            votes_missing: 0,
+            net_dropped: 0,
             intra_per_shard,
             cross_shard,
             offered_total,
@@ -251,17 +271,44 @@ impl<'a> RoundContext<'a> {
     ) -> RecoveryAttempt {
         let accused = self.committees[k].leader;
         let accused_was_honest = self.registry.node(accused).is_honest();
-        let outcome = run_recovery(
-            self.registry,
-            &mut self.committees[k],
-            &self.referee,
-            accusation,
-            prosecutor,
-            self.reputation,
-            self.round,
-            self.config.verify_signatures,
-            &mut self.metrics,
-        );
+        let outcome = if self.config.message_driven {
+            // Message-driven mode: the accusation broadcast and impeachment
+            // votes ride the faulted network. Recoveries run sequentially on
+            // the driver thread, so the attempt index makes the seed unique
+            // and deterministic.
+            let seed = self.config.seed
+                ^ (self.round << 40)
+                ^ ((self.recovery_log.len() as u64) << 8)
+                ^ k as u64;
+            let (outcome, dropped) = crate::phases::driven::run_recovery_driven(
+                self.registry,
+                &mut self.committees[k],
+                &self.referee,
+                accusation,
+                prosecutor,
+                self.reputation,
+                self.round,
+                self.config.verify_signatures,
+                self.config.latency,
+                self.faults,
+                seed,
+                &mut self.metrics,
+            );
+            self.net_dropped += dropped;
+            outcome
+        } else {
+            run_recovery(
+                self.registry,
+                &mut self.committees[k],
+                &self.referee,
+                accusation,
+                prosecutor,
+                self.reputation,
+                self.round,
+                self.config.verify_signatures,
+                &mut self.metrics,
+            )
+        };
         let (attempt, logged) = match outcome.evicted {
             Some(old) => {
                 self.evicted.push((k, old));
@@ -349,6 +396,11 @@ impl<'a> RoundContext<'a> {
             metrics: self.metrics,
             roles,
             timeout_delays_us: inter.timeout_delays,
+            message_driven: self.config.message_driven,
+            quorum_timeouts: self.quorum_timeouts,
+            list_timeouts: self.list_timeouts,
+            votes_missing: self.votes_missing,
+            net_dropped_messages: self.net_dropped,
         };
 
         RoundOutput {

@@ -17,6 +17,7 @@ use crate::engine::context::RoundContext;
 use crate::engine::RoundPhase;
 use crate::phases::block_generation::run_block_generation;
 use crate::phases::configuration::run_committee_configuration;
+use crate::phases::driven::run_intra_consensus_driven;
 use crate::phases::inter::run_inter_consensus;
 use crate::phases::intra::{run_intra_consensus, IntraOutcome};
 use crate::phases::recovery::Accusation;
@@ -126,6 +127,7 @@ impl RoundPhase for IntraConsensusPhase {
         let referee_members = &ctx.assignment.referee;
         let round = ctx.round;
         let config = ctx.config;
+        let faults = ctx.faults;
 
         // Each task owns one pool slot and one arena scratch slot exclusively
         // for the batch's lifetime — per-worker sinks and reusable validity
@@ -139,18 +141,35 @@ impl RoundPhase for IntraConsensusPhase {
             .enumerate()
             .map(|(k, (slot, scratch))| {
                 move || {
-                    let (mut outcome, sink) = run_intra_consensus(
-                        registry,
-                        &committees[k],
-                        &utxo_sets[k],
-                        &intra_per_shard[k],
-                        referee_members,
-                        round,
-                        config.latency,
-                        config.verify_signatures,
-                        config.seed ^ (round << 8) ^ k as u64,
-                        scratch,
-                    );
+                    let seed = config.seed ^ (round << 8) ^ k as u64;
+                    let (mut outcome, sink) = if config.message_driven {
+                        run_intra_consensus_driven(
+                            registry,
+                            &committees[k],
+                            &utxo_sets[k],
+                            &intra_per_shard[k],
+                            referee_members,
+                            round,
+                            config.latency,
+                            config.verify_signatures,
+                            seed,
+                            scratch,
+                            faults,
+                        )
+                    } else {
+                        run_intra_consensus(
+                            registry,
+                            &committees[k],
+                            &utxo_sets[k],
+                            &intra_per_shard[k],
+                            referee_members,
+                            round,
+                            config.latency,
+                            config.verify_signatures,
+                            seed,
+                            scratch,
+                        )
+                    };
                     *slot = sink;
                     if config.verify_signatures {
                         if let Some(cert) = &outcome.certificate {
@@ -174,6 +193,9 @@ impl RoundPhase for IntraConsensusPhase {
         let outcomes: Vec<IntraOutcome> = ctx.executor.execute(tasks);
         pool.merge_into(&mut ctx.metrics);
         debug_assert!(outcomes.iter().enumerate().all(|(k, o)| o.committee == k));
+        ctx.quorum_timeouts += outcomes.iter().filter(|o| o.quorum_timeout).count();
+        ctx.votes_missing += outcomes.iter().map(|o| o.votes_missing).sum::<usize>();
+        ctx.net_dropped += outcomes.iter().map(|o| o.net_dropped).sum::<u64>();
         ctx.intra_outcomes = outcomes;
     }
 }
@@ -236,6 +258,7 @@ impl RoundPhase for IntraRecoveryPhase {
         let referee_members = &ctx.assignment.referee;
         let round = ctx.round;
         let config = ctx.config;
+        let faults = ctx.faults;
         // Arena scratch slots for the retried committees only (the validity
         // tables computed by the main batch are simply recomputed — the
         // offered list is unchanged, but the slot may have been resized).
@@ -255,18 +278,35 @@ impl RoundPhase for IntraRecoveryPhase {
             .zip(&retries)
             .map(|((slot, scratch), &k)| {
                 move || {
-                    let (outcome, sink) = run_intra_consensus(
-                        registry,
-                        &committees[k],
-                        &utxo_sets[k],
-                        &intra_per_shard[k],
-                        referee_members,
-                        round,
-                        config.latency,
-                        config.verify_signatures,
-                        config.seed ^ (round << 8) ^ (0x1_0000 + k as u64),
-                        scratch,
-                    );
+                    let seed = config.seed ^ (round << 8) ^ (0x1_0000 + k as u64);
+                    let (outcome, sink) = if config.message_driven {
+                        run_intra_consensus_driven(
+                            registry,
+                            &committees[k],
+                            &utxo_sets[k],
+                            &intra_per_shard[k],
+                            referee_members,
+                            round,
+                            config.latency,
+                            config.verify_signatures,
+                            seed,
+                            scratch,
+                            faults,
+                        )
+                    } else {
+                        run_intra_consensus(
+                            registry,
+                            &committees[k],
+                            &utxo_sets[k],
+                            &intra_per_shard[k],
+                            referee_members,
+                            round,
+                            config.latency,
+                            config.verify_signatures,
+                            seed,
+                            scratch,
+                        )
+                    };
                     *slot = sink;
                     outcome
                 }
@@ -274,6 +314,11 @@ impl RoundPhase for IntraRecoveryPhase {
             .collect();
         let results = ctx.executor.execute(tasks);
         for (outcome, &k) in results.into_iter().zip(&retries) {
+            // Both attempts really happened this round: fold the retry's
+            // driven-mode counters in on top of the main batch's.
+            ctx.quorum_timeouts += usize::from(outcome.quorum_timeout);
+            ctx.votes_missing += outcome.votes_missing;
+            ctx.net_dropped += outcome.net_dropped;
             ctx.intra_outcomes[k] = outcome;
         }
         pool.merge_into(&mut ctx.metrics);
@@ -293,18 +338,38 @@ impl RoundPhase for InterConsensusPhase {
     }
 
     fn execute(&mut self, ctx: &mut RoundContext<'_>) {
-        let inter = run_inter_consensus(
-            ctx.registry,
-            &ctx.committees,
-            ctx.utxo_sets,
-            &ctx.cross_shard,
-            ctx.round,
-            ctx.config.latency,
-            ctx.config.verify_signatures,
-            ctx.config.seed ^ (ctx.round << 16),
-            ctx.executor,
-            &mut ctx.metrics,
-        );
+        let inter = if ctx.config.message_driven {
+            crate::phases::driven::run_inter_consensus_driven(
+                ctx.registry,
+                &ctx.committees,
+                ctx.utxo_sets,
+                &ctx.cross_shard,
+                ctx.round,
+                ctx.config.latency,
+                ctx.config.verify_signatures,
+                ctx.config.seed ^ (ctx.round << 16),
+                ctx.executor,
+                &mut ctx.metrics,
+                ctx.faults,
+            )
+        } else {
+            run_inter_consensus(
+                ctx.registry,
+                &ctx.committees,
+                ctx.utxo_sets,
+                &ctx.cross_shard,
+                ctx.round,
+                ctx.config.latency,
+                ctx.config.verify_signatures,
+                ctx.config.seed ^ (ctx.round << 16),
+                ctx.executor,
+                &mut ctx.metrics,
+            )
+        };
+        ctx.quorum_timeouts += inter.quorum_timeouts;
+        ctx.list_timeouts += inter.list_timeouts;
+        ctx.votes_missing += inter.votes_missing;
+        ctx.net_dropped += inter.net_dropped;
         ctx.witnesses += inter.equivocation.len();
         ctx.censorship_count = inter.censorship_reports.len();
         // The reports are only needed for the impeachments below; nothing

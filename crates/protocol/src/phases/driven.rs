@@ -1,0 +1,857 @@
+//! Message-driven phase drivers: consensus over the discrete-event network.
+//!
+//! The synchronous drivers in [`crate::phases::intra`] and
+//! [`crate::phases::inter`] compute ground-truth votes directly and only
+//! *account* the traffic, so network asynchrony cannot perturb consensus.
+//! The drivers here route every committee interaction as typed
+//! [`CommitteeMessage`] envelopes through a
+//! [`SimNetwork`] built with the round's [`FaultPlan`]:
+//!
+//! * the leader *sends* the `TXList` announcement; members vote only when it
+//!   arrives, and their replies ride the network back;
+//! * the leader collects votes under a virtual-time deadline
+//!   ([`vote_deadline`], `4Δ`: one `Δ` per leg plus equal slack for jitter).
+//!   When the deadline fires with votes missing — the **quorum-timeout
+//!   fallback** — the missing members are recorded as all-`Unknown`
+//!   (§IV-C step 4) and the tally proceeds over what arrived, so a
+//!   partitioned minority degrades decisions instead of deadlocking, and
+//!   fewer than a majority of votes yields an empty `TXdecSET`;
+//! * Algorithm 3 itself runs on the *same* faulted network
+//!   ([`run_inside_consensus`] is generic over the envelope), so a partition
+//!   can suppress the quorum certificate — which routes the committee
+//!   through recovery exactly like a silent leader;
+//! * cross-shard list forwards and replies travel the key-member mesh with a
+//!   [`list_deadline`] (`4Γ`, sized so the Lemma 6 censorship takeover at
+//!   `2Γ` still makes it); a forward that misses the deadline defers the
+//!   pair's transactions to a later round;
+//! * recovery accusations and impeachment votes are envelopes too
+//!   ([`run_recovery_driven`]): members severed from the prosecutor cannot
+//!   approve, so an impeachment under partition can fail for lack of a
+//!   majority.
+//!
+//! Determinism: each committee/pair/recovery network derives its seed from
+//! `(config seed, round, instance)`, and every delivery time is a pure
+//! function of that seed — so the engine's 1/2/8-worker digest contract
+//! holds in message-driven mode too (delivery order is seeded virtual time,
+//! never thread order).
+
+use cycledger_consensus::envelope::CommitteeMessage;
+use cycledger_consensus::messages::ConsensusId;
+use cycledger_consensus::votes::{VoteList, VoteVector};
+use cycledger_ledger::transaction::Transaction;
+use cycledger_ledger::utxo::UtxoSet;
+use cycledger_ledger::workload::GeneratedTx;
+use cycledger_net::faults::FaultPlan;
+use cycledger_net::latency::{LatencyConfig, LinkClass};
+use cycledger_net::metrics::{MetricsSink, Phase};
+use cycledger_net::network::{NetEvent, SimNetwork};
+use cycledger_net::time::SimDuration;
+use cycledger_net::topology::NodeId;
+use cycledger_reputation::ReputationTable;
+
+use crate::adversary::Behavior;
+use crate::committee::{run_inside_consensus, Committee, LeaderFault};
+use crate::engine::arena::ShardScratch;
+use crate::engine::ShardExecutor;
+use crate::node::NodeRegistry;
+use crate::phases::inter::{CensorshipReport, InterOutcome};
+use crate::phases::intra::{precompute_validity, votes_from_validity, IntraOutcome};
+use crate::phases::recovery::{Accusation, RecoveryOutcome};
+
+/// Timer key: the leader's vote-collection deadline.
+const VOTE_TIMER: u64 = 1;
+/// Timer key: the destination committee's list-forward deadline.
+const LIST_TIMER: u64 = 2;
+/// Timer key: the prosecutor's impeachment-vote deadline.
+const IMPEACH_TIMER: u64 = 3;
+
+/// The leader's vote-collection deadline: `4Δ` of virtual time. An honest
+/// round trip (TXList out, votes back) takes at most `2Δ`, so honest votes
+/// always make it with `2Δ` of slack for reorder jitter; a partition or a
+/// targeted delay beyond the slack pushes a member onto the timeout path.
+pub fn vote_deadline(latency: &LatencyConfig) -> SimDuration {
+    latency.delta.times(4)
+}
+
+/// The destination committee's deadline for a forwarded cross-shard list:
+/// `4Γ`. Honest forwards arrive within `Γ`; the Lemma 6 takeover (an honest
+/// partial-set member forwarding after the `2Γ` censorship timeout) arrives
+/// within `3Γ`, so only genuine network faults miss this deadline.
+pub fn list_deadline(latency: &LatencyConfig) -> SimDuration {
+    latency.gamma.times(4)
+}
+
+/// Announces a `TXList` to `committee` and collects vote replies under the
+/// `4Δ` deadline — the shared vote-collection loop of the intra driver and
+/// the inter driver's destination side. The leader's own votes are recorded
+/// locally; members vote when the announcement reaches them; members whose
+/// replies miss the deadline are backfilled as all-`Unknown` rows
+/// (§IV-C step 4 — the quorum-timeout fallback). Returns how many votes
+/// were missing at the deadline. Any unexpired deadline timer or late vote
+/// reply left in flight is consumed and ignored by the caller's subsequent
+/// Algorithm 3 run and tail drain.
+#[allow(clippy::too_many_arguments)]
+fn collect_votes_under_deadline(
+    net: &mut SimNetwork<CommitteeMessage>,
+    registry: &NodeRegistry,
+    committee: &Committee,
+    validity: &[bool],
+    announce_bytes: u64,
+    latency: &LatencyConfig,
+    record_storage: bool,
+    vote_list: &mut VoteList,
+) -> usize {
+    let leader = committee.leader;
+    let announce = CommitteeMessage::TxList {
+        committee: committee.index as u32,
+        count: validity.len() as u32,
+    };
+    for &member in &committee.members {
+        if member != leader {
+            net.send(
+                leader,
+                member,
+                LinkClass::IntraCommittee,
+                announce.clone(),
+                announce_bytes,
+            );
+        }
+    }
+    let leader_votes = votes_from_validity(registry, leader, validity);
+    vote_list.record(VoteVector::new(leader, leader_votes));
+    if record_storage {
+        net.record_storage(leader, validity.len() as u64);
+    }
+
+    net.schedule_timer(vote_deadline(latency), VOTE_TIMER);
+    while let Some(event) = net.next_event() {
+        match event {
+            NetEvent::Message(env) => match env.payload {
+                CommitteeMessage::TxList { .. } if committee.contains(env.to) => {
+                    let votes = votes_from_validity(registry, env.to, validity);
+                    let vector = VoteVector::new(env.to, votes);
+                    if record_storage {
+                        // Common members only keep their own opinion.
+                        net.record_storage(env.to, validity.len() as u64);
+                    }
+                    let bytes = vector.wire_size() + 96;
+                    net.send(
+                        env.to,
+                        leader,
+                        LinkClass::IntraCommittee,
+                        CommitteeMessage::Votes(vector),
+                        bytes,
+                    );
+                }
+                CommitteeMessage::Votes(vector) if env.to == leader => {
+                    vote_list.record(vector);
+                }
+                _ => {}
+            },
+            NetEvent::Timer {
+                key: VOTE_TIMER, ..
+            } => break,
+            NetEvent::Timer { .. } => {}
+        }
+        if vote_list.voter_count() == committee.size() {
+            // Every vote arrived early; no need to sit out the deadline.
+            break;
+        }
+    }
+
+    let missing = committee.size() - vote_list.voter_count();
+    for &member in &committee.members {
+        if !vote_list.votes.iter().any(|v| v.voter == member) {
+            vote_list.record(VoteVector::all_unknown(member, validity.len()));
+        }
+    }
+    missing
+}
+
+/// Runs one committee's intra-shard consensus with every message — `TXList`
+/// announcement, vote replies, the Algorithm 3 exchange, the certificate
+/// forward — travelling through a faulted discrete-event network.
+///
+/// Mirrors [`crate::phases::intra::run_intra_consensus`]'s contract (same
+/// inputs plus the fault plan, same outcome/metrics split) so the pipeline
+/// can switch drivers per [`crate::config::ProtocolConfig::message_driven`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_intra_consensus_driven(
+    registry: &NodeRegistry,
+    committee: &Committee,
+    utxo: &UtxoSet,
+    offered: &[GeneratedTx],
+    referee_members: &[NodeId],
+    round: u64,
+    latency: LatencyConfig,
+    verify_signatures: bool,
+    seed: u64,
+    scratch: &mut ShardScratch,
+    plan: &FaultPlan,
+) -> (IntraOutcome, MetricsSink) {
+    let phase = Phase::IntraCommitteeConsensus;
+    let mut net: SimNetwork<CommitteeMessage> =
+        SimNetwork::with_faults(latency, seed, plan.clone());
+    net.set_phase(phase);
+
+    let leader = committee.leader;
+    let leader_behavior = registry.node(leader).behavior;
+    let tx_ids: Vec<_> = offered.iter().map(|g| g.tx.id()).collect();
+    let mut vote_list = VoteList::new(tx_ids);
+
+    if leader_behavior == Behavior::SilentLeader {
+        // No TXList is ever broadcast; members have nothing to vote on.
+        let metrics = net.into_metrics();
+        return (
+            IntraOutcome {
+                committee: committee.index,
+                decided: Vec::new(),
+                decided_indices: Vec::new(),
+                vote_list,
+                decision: vec![-1; offered.len()],
+                certificate: None,
+                equivocation: Vec::new(),
+                leader_silent: true,
+                quorum_timeout: false,
+                votes_missing: 0,
+                net_dropped: 0,
+            },
+            metrics,
+        );
+    }
+
+    // 1-2. The leader announces the TXList as real envelopes and collects
+    //      vote replies under the 4Δ deadline. Ground truth is computed once
+    //      per committee; each member derives its votes from the shared
+    //      table *when the announcement reaches it*.
+    precompute_validity(utxo, offered, &mut scratch.validity);
+    let txlist_bytes: u64 = offered.iter().map(|g| g.tx.wire_size()).sum::<u64>() + 96;
+    let votes_missing = collect_votes_under_deadline(
+        &mut net,
+        registry,
+        committee,
+        &scratch.validity,
+        txlist_bytes,
+        &latency,
+        true,
+        &mut vote_list,
+    );
+    let quorum_timeout = votes_missing > 0;
+
+    // 3. The leader tallies and runs Algorithm 3 over the decision, on the
+    //    same faulted network.
+    let tally = vote_list.tally(committee.size());
+    let decided_indices = tally.accepted_indices.clone();
+    let decided: Vec<Transaction> = decided_indices
+        .iter()
+        .map(|&i| offered[i].tx.clone())
+        .collect();
+    let mut payload = Vec::with_capacity(decided.len() * 32 + 8);
+    payload.extend_from_slice(&(decided.len() as u64).to_be_bytes());
+    for tx in &decided {
+        payload.extend_from_slice(tx.id().as_bytes());
+    }
+    let fault = LeaderFault::from_behavior(leader_behavior, &payload);
+    let consensus = run_inside_consensus(
+        &mut net,
+        committee,
+        registry,
+        ConsensusId {
+            round,
+            seq: 1_000 + committee.index as u64,
+        },
+        payload,
+        fault,
+        verify_signatures,
+    );
+
+    // 4. The certified TXdecSET travels to the referee committee as
+    //    envelopes over the key-member mesh. (The pipeline's referee-side
+    //    certificate check reads the outcome directly — losing a forward
+    //    here costs metrics, not ground truth.)
+    if consensus.certificate.is_some() {
+        let cert_bytes = consensus
+            .certificate
+            .as_ref()
+            .map(|c| c.wire_size())
+            .unwrap_or(0);
+        let decided_bytes: u64 = decided.iter().map(|t| t.wire_size()).sum();
+        let forward = CommitteeMessage::CertForward {
+            committee: committee.index as u32,
+            decided: decided.len() as u32,
+        };
+        for &rm in referee_members {
+            net.send(
+                leader,
+                rm,
+                LinkClass::KeyMemberMesh,
+                forward.clone(),
+                decided_bytes + cert_bytes,
+            );
+        }
+        net.record_storage(leader, cert_bytes + decided_bytes);
+        for &pm in &committee.partial_set {
+            net.record_storage(pm, cert_bytes);
+        }
+    }
+
+    // Drain stragglers (late votes, in-flight forwards, unexpired timers) so
+    // the network quiesces before the books close.
+    while net.next_event().is_some() {}
+    let net_dropped = net.dropped_messages();
+    let metrics = net.into_metrics();
+    (
+        IntraOutcome {
+            committee: committee.index,
+            decided,
+            decided_indices,
+            vote_list,
+            decision: tally.decision,
+            certificate: consensus.certificate,
+            equivocation: consensus.equivocation,
+            leader_silent: false,
+            quorum_timeout,
+            votes_missing,
+            net_dropped,
+        },
+        metrics,
+    )
+}
+
+/// What one message-driven `(i, j)` pair produced.
+struct DrivenPairResult {
+    input_shard: usize,
+    accepted: Vec<Transaction>,
+    vote_list: Option<VoteList>,
+    censorship: Option<CensorshipReport>,
+    equivocation: Vec<cycledger_consensus::witness::EquivocationEvidence>,
+    timeout_delays: u64,
+    quorum_timeout: bool,
+    list_timeout: bool,
+    votes_missing: usize,
+    net_dropped: u64,
+    metrics: MetricsSink,
+}
+
+/// Runs inter-committee consensus with the whole pair flow — source
+/// agreement, list forward, destination votes and agreement, result reply —
+/// on one faulted network per `(i, j)` pair, so a partition or delay on any
+/// leg perturbs the outcome. Mirrors
+/// [`crate::phases::inter::run_inter_consensus`]'s contract.
+#[allow(clippy::too_many_arguments)]
+pub fn run_inter_consensus_driven(
+    registry: &NodeRegistry,
+    committees: &[Committee],
+    utxo_sets: &[UtxoSet],
+    cross_shard: &[GeneratedTx],
+    round: u64,
+    latency: LatencyConfig,
+    verify_signatures: bool,
+    seed: u64,
+    executor: &ShardExecutor,
+    metrics: &mut MetricsSink,
+    plan: &FaultPlan,
+) -> InterOutcome {
+    let m = committees.len();
+    let mut outcome = InterOutcome {
+        accepted: vec![Vec::new(); m],
+        vote_lists: Vec::new(),
+        ..Default::default()
+    };
+
+    // Group cross-shard transactions by (input shard, output shard) — same
+    // deterministic grouping as the synchronous driver.
+    let mut by_pair: std::collections::BTreeMap<(usize, usize), Vec<&GeneratedTx>> =
+        std::collections::BTreeMap::new();
+    for gen in cross_shard {
+        let inputs = gen.tx.input_shards(m);
+        let outputs = gen.tx.output_shards(m);
+        let i = inputs.first().copied().unwrap_or(0);
+        let j = outputs
+            .iter()
+            .copied()
+            .find(|&s| s != i)
+            .unwrap_or_else(|| outputs.first().copied().unwrap_or(0));
+        by_pair.entry((i, j)).or_default().push(gen);
+    }
+
+    let tasks: Vec<_> = by_pair
+        .into_iter()
+        .map(|((i, j), txs)| {
+            move || {
+                run_inter_pair_driven(
+                    registry,
+                    committees,
+                    utxo_sets,
+                    i,
+                    j,
+                    &txs,
+                    round,
+                    latency,
+                    verify_signatures,
+                    seed,
+                    plan,
+                )
+            }
+        })
+        .collect();
+    for pair in executor.execute(tasks) {
+        metrics.merge(&pair.metrics);
+        outcome.accepted[pair.input_shard].extend(pair.accepted);
+        outcome.vote_lists.extend(pair.vote_list);
+        outcome.censorship_reports.extend(pair.censorship);
+        outcome.equivocation.extend(pair.equivocation);
+        outcome.timeout_delays += pair.timeout_delays;
+        outcome.quorum_timeouts += usize::from(pair.quorum_timeout);
+        outcome.list_timeouts += usize::from(pair.list_timeout);
+        outcome.votes_missing += pair.votes_missing;
+        outcome.net_dropped += pair.net_dropped;
+    }
+
+    outcome
+}
+
+/// One message-driven `(i, j)` pair on its own faulted network.
+#[allow(clippy::too_many_arguments)]
+fn run_inter_pair_driven(
+    registry: &NodeRegistry,
+    committees: &[Committee],
+    utxo_sets: &[UtxoSet],
+    i: usize,
+    j: usize,
+    txs: &[&GeneratedTx],
+    round: u64,
+    latency: LatencyConfig,
+    verify_signatures: bool,
+    seed: u64,
+    plan: &FaultPlan,
+) -> DrivenPairResult {
+    let phase = Phase::InterCommitteeConsensus;
+    let mut result = DrivenPairResult {
+        input_shard: i,
+        accepted: Vec::new(),
+        vote_list: None,
+        censorship: None,
+        equivocation: Vec::new(),
+        timeout_delays: 0,
+        quorum_timeout: false,
+        list_timeout: false,
+        votes_missing: 0,
+        net_dropped: 0,
+        metrics: MetricsSink::new(),
+    };
+    let source = &committees[i];
+    let dest = &committees[j];
+    let source_leader_behavior = registry.node(source.leader).behavior;
+    let mut net: SimNetwork<CommitteeMessage> =
+        SimNetwork::with_faults(latency, seed ^ ((i as u64) << 32 | j as u64), plan.clone());
+    net.set_phase(phase);
+
+    // Close the pair's books: drain to quiescence, collect drops, fold the
+    // network's metrics into the pair sink.
+    macro_rules! finish {
+        ($net:ident, $result:ident) => {{
+            while $net.next_event().is_some() {}
+            $result.net_dropped = $net.dropped_messages();
+            $result.metrics.merge($net.metrics());
+            return $result;
+        }};
+    }
+
+    // 1. The input committee agrees on TXList_{i,j} (Algorithm 3 over the
+    //    faulted network).
+    let mut payload = Vec::with_capacity(txs.len() * 32);
+    for gen in txs {
+        payload.extend_from_slice(gen.tx.id().as_bytes());
+    }
+    let mut source_consensus = run_inside_consensus(
+        &mut net,
+        source,
+        registry,
+        ConsensusId {
+            round,
+            seq: 2_000 + (i as u64) * 64 + j as u64,
+        },
+        payload,
+        LeaderFault::from_behavior(source_leader_behavior, b"cross"),
+        verify_signatures,
+    );
+    result
+        .equivocation
+        .append(&mut source_consensus.equivocation);
+    if source_consensus.certificate.is_none() {
+        // The input committee could not certify the list; these transactions
+        // wait for recovery and a later round.
+        finish!(net, result);
+    }
+
+    // 2. The certified list travels the key-member mesh to the destination
+    //    leader and partial set. A censoring source leader withholds it; an
+    //    honest partial-set member notices after 2Γ, forwards it itself
+    //    (Lemma 6) and reports the leader.
+    let list_bytes: u64 = txs.iter().map(|g| g.tx.wire_size()).sum::<u64>()
+        + source_consensus
+            .certificate
+            .as_ref()
+            .map(|c| c.wire_size())
+            .unwrap_or(0);
+    let censoring = source_leader_behavior == Behavior::CensoringLeader;
+    let forwarder: NodeId = if censoring {
+        let honest_pm = source
+            .partial_set
+            .iter()
+            .copied()
+            .find(|&pm| registry.node(pm).is_honest());
+        let Some(reporter) = honest_pm else {
+            // Every key member colludes in the concealment (the w.h.p.
+            // honest-partial-member argument failed at this scale): nobody
+            // forwards, nobody reports, and the destination's deadline
+            // defers the transactions to a later round.
+            result.list_timeout = true;
+            finish!(net, result);
+        };
+        result.censorship = Some(CensorshipReport {
+            committee: i,
+            leader: source.leader,
+            reporter,
+            withheld: txs.len(),
+        });
+        result.timeout_delays += 2 * latency.gamma.as_micros();
+        reporter
+    } else {
+        source.leader
+    };
+    let takeover_delay = if censoring {
+        latency.gamma.times(2)
+    } else {
+        SimDuration::ZERO
+    };
+    let forward = CommitteeMessage::ListForward {
+        input: i as u32,
+        output: j as u32,
+        count: txs.len() as u32,
+    };
+    net.send_after(
+        forwarder,
+        dest.leader,
+        LinkClass::KeyMemberMesh,
+        forward.clone(),
+        list_bytes,
+        takeover_delay,
+    );
+    for &pm in &dest.partial_set {
+        net.send_after(
+            forwarder,
+            pm,
+            LinkClass::KeyMemberMesh,
+            forward.clone(),
+            list_bytes,
+            takeover_delay,
+        );
+    }
+
+    // 3. The destination leader waits for the list under the 4Γ deadline.
+    net.schedule_timer(list_deadline(&latency), LIST_TIMER);
+    let mut list_arrived = false;
+    while let Some(event) = net.next_event() {
+        match event {
+            NetEvent::Message(env) => {
+                if matches!(env.payload, CommitteeMessage::ListForward { .. })
+                    && env.to == dest.leader
+                {
+                    list_arrived = true;
+                    break;
+                }
+            }
+            NetEvent::Timer {
+                key: LIST_TIMER, ..
+            } => break,
+            NetEvent::Timer { .. } => {}
+        }
+    }
+    if !list_arrived {
+        // The forward leg was severed or delayed past the deadline: the
+        // pair's transactions defer to a later round.
+        result.list_timeout = true;
+        finish!(net, result);
+    }
+
+    // 4. The destination committee votes on the list — the leader announces
+    //    it to the members, replies ride back under the 4Δ deadline, and
+    //    missing votes become all-Unknown rows (the same shared collection
+    //    loop as the intra driver, minus the intra storage accounting).
+    let tx_ids: Vec<_> = txs.iter().map(|g| g.tx.id()).collect();
+    let validity: Vec<bool> = txs
+        .iter()
+        .map(|g| utxo_sets[i].validate(&g.tx).is_ok())
+        .collect();
+    let mut vote_list = VoteList::new(tx_ids);
+    result.votes_missing = collect_votes_under_deadline(
+        &mut net,
+        registry,
+        dest,
+        &validity,
+        list_bytes,
+        &latency,
+        false,
+        &mut vote_list,
+    );
+    result.quorum_timeout = result.votes_missing > 0;
+
+    // 5. The destination committee agrees on the vote result and returns it.
+    let tally = vote_list.tally(dest.size());
+    let mut dest_payload = Vec::with_capacity(tally.accepted_indices.len() * 32);
+    for &k in &tally.accepted_indices {
+        dest_payload.extend_from_slice(txs[k].tx.id().as_bytes());
+    }
+    let mut dest_consensus = run_inside_consensus(
+        &mut net,
+        dest,
+        registry,
+        ConsensusId {
+            round,
+            seq: 3_000 + (j as u64) * 64 + i as u64,
+        },
+        dest_payload,
+        LeaderFault::from_behavior(registry.node(dest.leader).behavior, b"cross-reply"),
+        verify_signatures,
+    );
+    result.equivocation.append(&mut dest_consensus.equivocation);
+
+    if dest_consensus.certificate.is_some() {
+        let reply_bytes = dest_consensus
+            .certificate
+            .as_ref()
+            .map(|c| c.wire_size())
+            .unwrap_or(0)
+            + tally.accepted_indices.len() as u64 * 32;
+        net.send(
+            dest.leader,
+            source.leader,
+            LinkClass::KeyMemberMesh,
+            CommitteeMessage::ListReply {
+                input: i as u32,
+                output: j as u32,
+                accepted: tally.accepted_indices.len() as u32,
+            },
+            reply_bytes,
+        );
+        for &k in &tally.accepted_indices {
+            result.accepted.push(txs[k].tx.clone());
+        }
+    }
+    result.vote_list = Some(vote_list);
+    finish!(net, result);
+}
+
+/// Runs the recovery procedure with the accusation broadcast, impeachment
+/// votes and referee notifications travelling as envelopes under a `4Δ`
+/// approval deadline. Members the fault plan severs from the prosecutor
+/// cannot approve, so an impeachment under partition can fail for lack of a
+/// majority — the sole behavioural difference from
+/// [`crate::phases::recovery::run_recovery`], whose evidence rules are
+/// reused verbatim.
+#[allow(clippy::too_many_arguments)]
+pub fn run_recovery_driven(
+    registry: &NodeRegistry,
+    committee: &mut Committee,
+    referee: &Committee,
+    accusation: Accusation,
+    prosecutor: NodeId,
+    reputation: &mut ReputationTable,
+    round: u64,
+    verify_signatures: bool,
+    latency: LatencyConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    metrics: &mut MetricsSink,
+) -> (RecoveryOutcome, u64) {
+    let phase = Phase::Recovery;
+    let accused = accusation.accused();
+    let mut net: SimNetwork<CommitteeMessage> =
+        SimNetwork::with_faults(latency, seed, plan.clone());
+    net.set_phase(phase);
+
+    // Evidence validity: same rules as the synchronous recovery (see
+    // `run_recovery` for the fast-path contract on placeholder signatures).
+    let evidence_valid = match &accusation {
+        Accusation::Signed(w) => {
+            accused == committee.leader
+                && (!verify_signatures || w.verify(&registry.node(accused).keypair.public))
+        }
+        Accusation::Timeout {
+            observed_by_committee,
+            ..
+        } => accused == committee.leader && *observed_by_committee,
+    };
+    let witness_bytes = match &accusation {
+        Accusation::Signed(w) => w.wire_size(),
+        Accusation::Timeout { .. } => 64,
+    };
+
+    // 1. The prosecutor broadcasts the accusation.
+    let envelope = CommitteeMessage::Accusation {
+        committee: committee.index as u32,
+        accused,
+    };
+    for &member in &committee.members {
+        if member != prosecutor {
+            net.send(
+                prosecutor,
+                member,
+                LinkClass::IntraCommittee,
+                envelope.clone(),
+                witness_bytes,
+            );
+        }
+    }
+
+    // 2. Members vote on the impeachment; approvals must reach the
+    //    prosecutor by the 4Δ deadline.
+    let member_approves = |member: NodeId| {
+        if registry.node(member).is_honest() {
+            evidence_valid
+        } else {
+            // Malicious members approve anything (worst case for a framed
+            // leader) — but they are a minority, so their approvals never
+            // carry a vote alone.
+            true
+        }
+    };
+    let mut approvals = 0usize;
+    if prosecutor != accused && member_approves(prosecutor) {
+        approvals += 1;
+    }
+    net.schedule_timer(vote_deadline(&latency), IMPEACH_TIMER);
+    while let Some(event) = net.next_event() {
+        match event {
+            NetEvent::Message(env) => match env.payload {
+                CommitteeMessage::Accusation { .. } => {
+                    if env.to == accused {
+                        continue;
+                    }
+                    let approve = member_approves(env.to);
+                    net.send(
+                        env.to,
+                        prosecutor,
+                        LinkClass::IntraCommittee,
+                        CommitteeMessage::ImpeachVote {
+                            committee: committee.index as u32,
+                            approve,
+                        },
+                        8,
+                    );
+                }
+                CommitteeMessage::ImpeachVote { approve, .. }
+                    if env.to == prosecutor && approve =>
+                {
+                    approvals += 1;
+                }
+                _ => {}
+            },
+            NetEvent::Timer {
+                key: IMPEACH_TIMER, ..
+            } => break,
+            NetEvent::Timer { .. } => {}
+        }
+    }
+
+    // Close the driven books and return.
+    let mut finish = |net: SimNetwork<CommitteeMessage>, outcome: RecoveryOutcome| {
+        let mut net = net;
+        while net.next_event().is_some() {}
+        let dropped = net.dropped_messages();
+        metrics.merge(net.metrics());
+        (outcome, dropped)
+    };
+
+    if approvals < committee.majority() {
+        return finish(
+            net,
+            RecoveryOutcome {
+                committee: committee.index,
+                evicted: None,
+                new_leader: None,
+                rejection_reason: Some("impeachment did not reach a committee majority"),
+            },
+        );
+    }
+
+    // 3. The prosecutor forwards accusation + vote certificate to C_R, which
+    //    re-verifies the evidence itself (Claim 4).
+    for &rm in &referee.members {
+        net.send(
+            prosecutor,
+            rm,
+            LinkClass::KeyMemberMesh,
+            envelope.clone(),
+            witness_bytes + 8 * approvals as u64,
+        );
+    }
+    if !evidence_valid {
+        return finish(
+            net,
+            RecoveryOutcome {
+                committee: committee.index,
+                evicted: None,
+                new_leader: None,
+                rejection_reason: Some("referee committee rejected the evidence"),
+            },
+        );
+    }
+
+    // 4. C_R notifies the committee of the new leader, chosen from the
+    //    partial set by the same hash lottery as the synchronous recovery.
+    for &rm in &referee.members {
+        for &member in &committee.members {
+            net.send(
+                rm,
+                member,
+                LinkClass::KeyMemberMesh,
+                CommitteeMessage::Accusation {
+                    committee: committee.index as u32,
+                    accused,
+                },
+                16,
+            );
+        }
+    }
+    let candidates: Vec<NodeId> = committee
+        .partial_set
+        .iter()
+        .copied()
+        .filter(|&n| n != accused)
+        .collect();
+    if candidates.is_empty() {
+        return finish(
+            net,
+            RecoveryOutcome {
+                committee: committee.index,
+                evicted: None,
+                new_leader: None,
+                rejection_reason: Some("no partial-set member available to take over"),
+            },
+        );
+    }
+    let pick = cycledger_crypto::sha256::hash_parts(&[
+        b"cycledger/new-leader",
+        &round.to_be_bytes(),
+        &(committee.index as u64).to_be_bytes(),
+        &accused.0.to_be_bytes(),
+    ])
+    .prefix_u64() as usize
+        % candidates.len();
+    let new_leader = candidates[pick];
+    committee.install_leader(new_leader);
+    reputation.punish_leader(accused);
+
+    finish(
+        net,
+        RecoveryOutcome {
+            committee: committee.index,
+            evicted: Some(accused),
+            new_leader: Some(new_leader),
+            rejection_reason: None,
+        },
+    )
+}

@@ -59,6 +59,18 @@ pub struct InterOutcome {
     pub equivocation: Vec<EquivocationEvidence>,
     /// Extra latency incurred by `2Γ` timeouts (microseconds of simulated time).
     pub timeout_delays: u64,
+    /// Message-driven mode: destination committees whose vote-collection
+    /// deadline fired with votes missing. Always 0 on the synchronous path.
+    pub quorum_timeouts: usize,
+    /// Message-driven mode: `(i, j)` pairs abandoned because the certified
+    /// list never reached the destination by its deadline (partitioned or
+    /// delayed forward leg). Always 0 on the synchronous path.
+    pub list_timeouts: usize,
+    /// Message-driven mode: destination-committee votes missing at their
+    /// collection deadlines (recorded as all-`Unknown`).
+    pub votes_missing: usize,
+    /// Message-driven mode: envelopes dropped across all pair networks.
+    pub net_dropped: u64,
 }
 
 /// What one `(input shard, output shard)` pair produced, folded into the
@@ -216,12 +228,18 @@ fn run_inter_pair(
     let forwarder: NodeId = if source_leader_behavior == Behavior::CensoringLeader {
         // Lemma 6: an honest partial-set member notices after 2Γ and
         // forwards the certified list itself, then reports the leader.
-        let reporter = source
+        let honest_pm = source
             .partial_set
             .iter()
             .copied()
-            .find(|&pm| registry.node(pm).is_honest())
-            .expect("a partial set contains at least one honest node w.h.p.");
+            .find(|&pm| registry.node(pm).is_honest());
+        let Some(reporter) = honest_pm else {
+            // Every key member colludes in the concealment (the w.h.p.
+            // honest-partial-member argument failed at this scale): the list
+            // is never forwarded and the pair's transactions wait for a
+            // later round. The seed panicked here.
+            return result;
+        };
         result.censorship = Some(CensorshipReport {
             committee: i,
             leader: source.leader,

@@ -42,6 +42,16 @@ pub struct IntraOutcome {
     pub equivocation: Vec<EquivocationEvidence>,
     /// True when the leader never proposed anything (fail-silent leader).
     pub leader_silent: bool,
+    /// Message-driven mode: the leader's vote-collection deadline fired with
+    /// votes still missing (the quorum-timeout fallback path was taken).
+    /// Always `false` on the synchronous path.
+    pub quorum_timeout: bool,
+    /// Message-driven mode: members whose votes never arrived by the
+    /// deadline (recorded as all-`Unknown`, §IV-C step 4).
+    pub votes_missing: usize,
+    /// Message-driven mode: envelopes the network dropped (partition/loss)
+    /// while this committee ran. Always 0 on the synchronous path.
+    pub net_dropped: u64,
 }
 
 /// Casts one member's votes over the offered transactions.
@@ -143,6 +153,9 @@ pub fn run_intra_consensus(
                 certificate: None,
                 equivocation: Vec::new(),
                 leader_silent: true,
+                quorum_timeout: false,
+                votes_missing: 0,
+                net_dropped: 0,
             },
             metrics,
         );
@@ -226,6 +239,9 @@ pub fn run_intra_consensus(
             certificate: consensus.certificate,
             equivocation: consensus.equivocation,
             leader_silent: false,
+            quorum_timeout: false,
+            votes_missing: 0,
+            net_dropped: 0,
         },
         metrics,
     )

@@ -41,6 +41,11 @@ pub struct RoundInput<'a> {
     /// Reusable per-round scratch buffers (see [`RoundArena`]); the caller
     /// keeps the arena alive across rounds so its capacity is recycled.
     pub arena: &'a mut RoundArena,
+    /// Network faults in force this round (partitions, targeted delay,
+    /// loss). Only consulted when the configuration enables the
+    /// message-driven data plane; the synchronous fast path never builds a
+    /// faulted network.
+    pub faults: &'a cycledger_net::faults::FaultPlan,
 }
 
 /// The result of one round.

@@ -41,6 +41,9 @@ pub struct Simulation {
     executor: ShardExecutor,
     /// Per-round scratch buffers recycled across rounds (see [`RoundArena`]).
     arena: RoundArena,
+    /// Network faults in force for subsequent rounds (message-driven mode;
+    /// see [`Simulation::set_fault_plan`]).
+    fault_plan: cycledger_net::faults::FaultPlan,
 }
 
 impl Simulation {
@@ -91,7 +94,22 @@ impl Simulation {
             reports: Vec::new(),
             executor,
             arena: RoundArena::new(),
+            fault_plan: cycledger_net::faults::FaultPlan::default(),
         })
+    }
+
+    /// Installs the network-fault plan applied to every subsequent round's
+    /// phase networks (message-driven mode only; the synchronous path never
+    /// consults it). Scenario drivers call this between rounds to activate
+    /// and heal partitions, targeted delays and loss windows — passing the
+    /// default (empty) plan heals everything.
+    pub fn set_fault_plan(&mut self, plan: cycledger_net::faults::FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// The network-fault plan currently in force.
+    pub fn fault_plan(&self) -> &cycledger_net::faults::FaultPlan {
+        &self.fault_plan
     }
 
     /// The persistent shard executor backing the round pipeline.
@@ -156,18 +174,33 @@ impl Simulation {
                 prev_hash: self.chain.tip_hash(),
                 block_height: self.chain.height() as u64,
                 arena: &mut self.arena,
+                faults: &self.fault_plan,
             },
             &self.executor,
             observer,
         );
+        let mut packed: cycledger_crypto::fxhash::FxHashSet<cycledger_ledger::transaction::TxId> =
+            cycledger_crypto::fxhash::FxHashSet::default();
         if let Some(block) = output.block {
+            if self.config.message_driven {
+                packed.extend(block.transactions.iter().map(|t| t.id()));
+            }
             self.chain
                 .append(block)
                 .expect("round driver produced a block that does not extend the chain");
         }
         // The block is applied: previously generated outputs are now spendable
-        // by the external users feeding the workload.
-        self.workload.confirm_pending();
+        // by the external users feeding the workload. The synchronous path
+        // packs every valid offered transaction, so it keeps the historical
+        // optimistic confirmation (byte-identical to pre-message-driven
+        // runs); under the message-driven plane network faults can genuinely
+        // keep transactions out of the block, so only packed transactions
+        // confirm — the rest expire and their inputs return to the users.
+        if self.config.message_driven {
+            self.workload.confirm_packed(|id| packed.contains(id));
+        } else {
+            self.workload.confirm_pending();
+        }
         if let Some(next) = output.next_assignment {
             self.assignment = next;
         } else {

@@ -71,6 +71,25 @@ pub enum Invariant {
     /// Every round executed the eight standard phases in protocol order
     /// (checked through the engine's observer hooks).
     PipelineComplete,
+    /// Message-driven mode: at least this many quorum-timeout fallbacks
+    /// fired across the run (a fault scenario must actually perturb the
+    /// vote collection, or it proves nothing).
+    MinQuorumTimeouts(usize),
+    /// Message-driven mode: no quorum timeout ever fired (a clean or
+    /// merely-jittered run stays on the fast path).
+    NoQuorumTimeouts,
+    /// Message-driven mode: the network dropped at least this many
+    /// envelopes (the partition/loss schedule really cut traffic).
+    MinNetDroppedMessages(u64),
+    /// Liveness resumes after a heal: every round from `r` on produced a
+    /// block.
+    BlocksFromRound(u64),
+    /// Acceptance recovers after a heal: the mean acceptance rate over
+    /// rounds `>= r` is at least the given rate.
+    MinAcceptanceFromRound(u64, f64),
+    /// Safety: no transaction was committed twice across the whole chain
+    /// (the partition/reorder schedule never double-applied anything).
+    NoDoubleCommit,
 }
 
 /// Outcome of checking one invariant.
@@ -111,6 +130,14 @@ impl Invariant {
             Invariant::AdversaryBoundRespected => "adversary-bound-respected".into(),
             Invariant::FailureProbabilityBelow(p) => format!("failure-probability-below:{p:?}"),
             Invariant::PipelineComplete => "pipeline-complete".into(),
+            Invariant::MinQuorumTimeouts(n) => format!("min-quorum-timeouts:{n}"),
+            Invariant::NoQuorumTimeouts => "no-quorum-timeouts".into(),
+            Invariant::MinNetDroppedMessages(n) => format!("min-net-dropped:{n}"),
+            Invariant::BlocksFromRound(r) => format!("blocks-from-round:{r}"),
+            Invariant::MinAcceptanceFromRound(r, rate) => {
+                format!("min-acceptance-from:{r}:{rate:?}")
+            }
+            Invariant::NoDoubleCommit => "no-double-commit".into(),
         }
     }
 
@@ -150,6 +177,37 @@ impl Invariant {
             "adversary-bound-respected" => Invariant::AdversaryBoundRespected,
             "failure-probability-below" => Invariant::FailureProbabilityBelow(need_f64(param)?),
             "pipeline-complete" => Invariant::PipelineComplete,
+            "min-quorum-timeouts" => Invariant::MinQuorumTimeouts(need_usize(param)?),
+            "no-quorum-timeouts" => Invariant::NoQuorumTimeouts,
+            "min-net-dropped" => {
+                let n = param
+                    .ok_or_else(|| format!("invariant {s:?} needs a numeric parameter"))?
+                    .parse()
+                    .map_err(|_| format!("bad numeric parameter in invariant {s:?}"))?;
+                Invariant::MinNetDroppedMessages(n)
+            }
+            "blocks-from-round" => {
+                let r = param
+                    .ok_or_else(|| format!("invariant {s:?} needs a round parameter"))?
+                    .parse()
+                    .map_err(|_| format!("bad round parameter in invariant {s:?}"))?;
+                Invariant::BlocksFromRound(r)
+            }
+            "min-acceptance-from" => {
+                let rest =
+                    param.ok_or_else(|| format!("invariant {s:?} needs round:rate parameters"))?;
+                let (round, rate) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("invariant {s:?} needs round:rate parameters"))?;
+                Invariant::MinAcceptanceFromRound(
+                    round
+                        .parse()
+                        .map_err(|_| format!("bad round parameter in invariant {s:?}"))?,
+                    rate.parse()
+                        .map_err(|_| format!("bad rate parameter in invariant {s:?}"))?,
+                )
+            }
+            "no-double-commit" => Invariant::NoDoubleCommit,
             other => return Err(format!("unknown invariant {other:?}")),
         })
     }
@@ -338,6 +396,60 @@ impl Invariant {
                     format!("exact per-round failure probability {p:.3e} (need <= {bound:.3e})"),
                 )
             }
+            Invariant::MinQuorumTimeouts(min) => {
+                let fired = summary.total_quorum_timeouts();
+                (
+                    fired >= min,
+                    format!("{fired} quorum timeout(s) fired (need >= {min})"),
+                )
+            }
+            Invariant::NoQuorumTimeouts => {
+                let fired = summary.total_quorum_timeouts();
+                (fired == 0, format!("{fired} quorum timeout(s) fired"))
+            }
+            Invariant::MinNetDroppedMessages(min) => {
+                let dropped = summary.total_net_dropped_messages();
+                (
+                    dropped >= min,
+                    format!("{dropped} envelope(s) dropped by the fault plan (need >= {min})"),
+                )
+            }
+            Invariant::BlocksFromRound(from) => {
+                let missing: Vec<u64> = summary
+                    .rounds
+                    .iter()
+                    .filter(|r| r.round >= from && !r.block_produced)
+                    .map(|r| r.round)
+                    .collect();
+                (
+                    missing.is_empty(),
+                    format!("rounds >= {from} without a block: {missing:?}"),
+                )
+            }
+            Invariant::MinAcceptanceFromRound(from, min) => {
+                let tail: Vec<f64> = summary
+                    .rounds
+                    .iter()
+                    .filter(|r| r.round >= from)
+                    .map(|r| r.acceptance_rate())
+                    .collect();
+                if tail.is_empty() {
+                    (false, format!("no rounds at or after round {from}"))
+                } else {
+                    let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+                    (
+                        mean >= min,
+                        format!("mean acceptance {mean:.4} over rounds >= {from} (need >= {min})"),
+                    )
+                }
+            }
+            Invariant::NoDoubleCommit => {
+                let dupes = outcome.duplicate_packed_txs;
+                (
+                    dupes == 0,
+                    format!("{dupes} transaction(s) committed more than once"),
+                )
+            }
             Invariant::PipelineComplete => {
                 let bad_round = outcome
                     .phase_trace
@@ -386,6 +498,12 @@ mod tests {
             Invariant::AdversaryBoundRespected,
             Invariant::FailureProbabilityBelow(0.25),
             Invariant::PipelineComplete,
+            Invariant::MinQuorumTimeouts(2),
+            Invariant::NoQuorumTimeouts,
+            Invariant::MinNetDroppedMessages(10),
+            Invariant::BlocksFromRound(2),
+            Invariant::MinAcceptanceFromRound(2, 0.9),
+            Invariant::NoDoubleCommit,
         ];
         for inv in all {
             assert_eq!(Invariant::from_spec(&inv.to_spec()), Ok(inv));

@@ -56,6 +56,10 @@ pub struct ScenarioOutcome {
     /// Phase names each round executed, in execution order (from the
     /// [`cycledger_protocol::engine::RoundObserver`] hooks).
     pub phase_trace: Vec<Vec<&'static str>>,
+    /// Transactions that appear in more than one block of the baseline
+    /// run's chain (safety: must be 0; see
+    /// [`crate::invariant::Invariant::NoDoubleCommit`]).
+    pub duplicate_packed_txs: usize,
 }
 
 impl ScenarioOutcome {

@@ -7,7 +7,9 @@ use cycledger_protocol::adversary::{AdversaryConfig, Behavior, BehaviorMix};
 use cycledger_protocol::config::ProtocolConfig;
 
 use crate::invariant::Invariant;
-use crate::spec::{FaultInjection, FaultTarget, LatencyProfile, Scenario};
+use crate::spec::{
+    FaultInjection, FaultTarget, LatencyProfile, NetFaultInjection, NetFaultKind, Scenario,
+};
 
 /// The small two-committee configuration most security scenarios run on:
 /// large enough to exercise every phase (cross-shard traffic included),
@@ -337,6 +339,194 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
         Invariant::FailureProbabilityBelow(0.35),
     ]);
     scenarios.push(scale8);
+
+    scenarios.extend(message_driven_scenarios());
+
+    scenarios
+}
+
+/// A message-driven configuration: same shape as [`security_config`] but with
+/// committee traffic routed through the discrete-event network, so the
+/// net-fault schedule can actually perturb consensus.
+fn driven_config(seed: u64) -> ProtocolConfig {
+    ProtocolConfig {
+        message_driven: true,
+        ..security_config(seed)
+    }
+}
+
+/// The message-driven / network-fault family: partitions with heal points,
+/// a delay attack, a loss window, and clean baselines pinning that the
+/// driven data plane itself neither times out nor drifts.
+fn message_driven_scenarios() -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+
+    // 16 — clean message-driven baseline: the envelope data plane changes no
+    // outcome on a healthy network.
+    let mut baseline = Scenario::new("message-driven-baseline", driven_config(120));
+    baseline.description = "Committee traffic (TXList, votes, Algorithm 3, forwards, recovery) \
+         rides the discrete-event network with virtual-time deadlines; on a \
+         healthy network no deadline ever fires and every valid transaction \
+         still lands."
+        .into();
+    baseline.paper_claim = "§III-B (network model)".into();
+    baseline.smoke = true;
+    baseline.invariants = common_invariants();
+    baseline.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::NoQuorumTimeouts,
+        Invariant::MinMeanAcceptanceRate(0.9),
+        Invariant::PackedWithinOfferedValid,
+        Invariant::NoDoubleCommit,
+        Invariant::NoEvictions,
+    ]);
+    scenarios.push(baseline);
+
+    // 17 — partition of a committee majority's worth of common members, with
+    // a heal: the quorum-timeout fallback fires, decisions degrade, the
+    // impeachment triggered by the missing certificate is itself blocked by
+    // the partition (so the honest leader keeps its seat), and liveness
+    // fully resumes after the heal.
+    let mut partition = Scenario::new("partition-minority", driven_config(121));
+    partition.rounds = 4;
+    partition.description = "Four of committee 0's five common members are severed for rounds \
+         0-1 and healed from round 2: vote deadlines fire, the committee's \
+         TXdecSET collapses, the impeachment cannot reach a majority under \
+         the same partition, and acceptance returns to normal after the heal."
+        .into();
+    partition.paper_claim = "§III-B (synchrony bounds) / Claim 4 (soundness)".into();
+    partition.smoke = true;
+    partition.net_faults.push(NetFaultInjection {
+        from_round: 0,
+        until_round: 2,
+        kind: NetFaultKind::IsolateCommons {
+            committee: 0,
+            count: 4,
+        },
+    });
+    partition.invariants = common_invariants();
+    partition.invariants.extend([
+        Invariant::MinQuorumTimeouts(2),
+        Invariant::MinNetDroppedMessages(1),
+        Invariant::BlocksEveryRound,
+        Invariant::NoEvictions,
+        Invariant::MinAcceptanceFromRound(2, 0.9),
+        Invariant::NoDoubleCommit,
+    ]);
+    scenarios.push(partition);
+
+    // 18 — isolated leader: a leader severed from its whole committee is
+    // indistinguishable from a fail-silent one, so the committee impeaches
+    // and replaces it and the round still completes. The synchrony
+    // assumption is violated *for that node*, so this is the one documented
+    // case where an honest node loses its seat — which is why the scenario
+    // asserts eviction rather than `NoHonestNodePunished`.
+    let mut isolated = Scenario::new("partition-isolated-leader", driven_config(122));
+    isolated.rounds = 3;
+    isolated.description = "The leader of committee 0 is severed from everyone in round 0 and \
+         healed afterwards: no TXList or proposal escapes the partition, the \
+         committee times out, impeaches the unreachable leader, retries under \
+         a partial-set member, and keeps producing blocks."
+        .into();
+    isolated.paper_claim = "Claim 3 (completeness, under a synchrony violation)".into();
+    isolated.net_faults.push(NetFaultInjection {
+        from_round: 0,
+        until_round: 1,
+        kind: NetFaultKind::IsolateLeader { committee: 0 },
+    });
+    isolated.invariants = vec![
+        Invariant::DigestMatchesAcrossWorkerCounts,
+        Invariant::DigestStableAcrossRuns,
+        Invariant::PipelineComplete,
+        Invariant::MinQuorumTimeouts(1),
+        Invariant::MinEvictions(1),
+        Invariant::BlocksEveryRound,
+        Invariant::BlocksFromRound(1),
+        Invariant::NoDoubleCommit,
+    ];
+    scenarios.push(isolated);
+
+    // 19 — targeted delay attack: a partial-set straggler's votes are pushed
+    // past the 4Δ deadline without a single message being lost. The timeout
+    // path is taken every partitioned round, yet decisions are unchanged
+    // (the other seven members carry the strict majority) — a pure timing
+    // perturbation.
+    let mut straggler = Scenario::new("targeted-delay-straggler", driven_config(123));
+    straggler.rounds = 3;
+    straggler.description = "All traffic to and from one partial-set member of committee 0 is \
+         delayed by 600 ms for rounds 0-1 (the vote deadline is 4Δ = 200 ms): \
+         its votes expire to Unknown, the quorum-timeout path fires, and \
+         nothing else changes — no losses, no evictions, full acceptance."
+        .into();
+    straggler.paper_claim = "§III-B (delay attacks within synchrony bounds)".into();
+    straggler.smoke = true;
+    straggler.net_faults.push(NetFaultInjection {
+        from_round: 0,
+        until_round: 2,
+        kind: NetFaultKind::Delay {
+            target: FaultTarget::PartialSetMember {
+                committee: 0,
+                index: 0,
+            },
+            micros: 600_000,
+        },
+    });
+    straggler.invariants = common_invariants();
+    straggler.invariants.extend([
+        Invariant::MinQuorumTimeouts(2),
+        Invariant::BlocksEveryRound,
+        Invariant::MinMeanAcceptanceRate(0.9),
+        Invariant::NoEvictions,
+        Invariant::NoDoubleCommit,
+    ]);
+    scenarios.push(straggler);
+
+    // 20 — loss burst: a lossy window over the first two rounds, healed
+    // afterwards. Dropped envelopes perturb vote collection; liveness and
+    // safety hold throughout and acceptance recovers once the loss clears.
+    let mut lossy = Scenario::new("loss-burst", driven_config(124));
+    lossy.rounds = 4;
+    lossy.description = "Every message is dropped with probability 15% during rounds 0-1 \
+         (deterministically sampled): some votes and echoes vanish, deadlines \
+         fire, blocks keep flowing, nothing commits twice, and acceptance \
+         recovers from round 2 on."
+        .into();
+    lossy.paper_claim = "§III-B (partial synchrony)".into();
+    lossy.net_faults.push(NetFaultInjection {
+        from_round: 0,
+        until_round: 2,
+        kind: NetFaultKind::Loss { ppm: 150_000 },
+    });
+    lossy.invariants = vec![
+        Invariant::DigestMatchesAcrossWorkerCounts,
+        Invariant::DigestStableAcrossRuns,
+        Invariant::PipelineComplete,
+        Invariant::MinNetDroppedMessages(10),
+        Invariant::MinBlocksProduced(3),
+        Invariant::BlocksFromRound(2),
+        Invariant::MinAcceptanceFromRound(2, 0.9),
+        Invariant::NoDoubleCommit,
+    ];
+    scenarios.push(lossy);
+
+    // 21 — WAN + message-driven: deadlines are derived from Δ/Γ, so the
+    // stretched profile produces no spurious timeouts.
+    let mut wan = Scenario::new("message-driven-wan", driven_config(125));
+    wan.config.latency = LatencyProfile::Wan.config();
+    wan.rounds = 2;
+    wan.description = "The message-driven plane under the wide-area profile (Δ=150ms, \
+         Γ=600ms): virtual-time deadlines scale with the synchrony bounds, so \
+         a healthy WAN round never times out."
+        .into();
+    wan.paper_claim = "§III-B (network model)".into();
+    wan.invariants = common_invariants();
+    wan.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::NoQuorumTimeouts,
+        Invariant::MinMeanAcceptanceRate(0.9),
+        Invariant::NoDoubleCommit,
+    ]);
+    scenarios.push(wan);
 
     scenarios
 }

@@ -81,10 +81,16 @@ pub fn render_report(run: &ScenarioRun) -> String {
         "    \"mix\": \"{}\",\n",
         escape_json(&mix_name(cfg.adversary.mix))
     ));
+    // `message_driven` is emitted only when on, so reports (and goldens) of
+    // classic synchronous scenarios keep their exact pre-extension bytes.
     out.push_str(&format!(
-        "    \"verify_signatures\": {}\n",
-        cfg.verify_signatures
+        "    \"verify_signatures\": {}{}\n",
+        cfg.verify_signatures,
+        if cfg.message_driven { "," } else { "" }
     ));
+    if cfg.message_driven {
+        out.push_str("    \"message_driven\": true\n");
+    }
     out.push_str("  },\n");
 
     out.push_str(&format!("  \"digest\": \"{}\",\n", outcome.digest));
@@ -132,6 +138,41 @@ pub fn render_report(run: &ScenarioRun) -> String {
     }
     out.push_str("  ],\n");
 
+    // Scheduled network faults (message-driven scenarios only; omitted
+    // entirely otherwise so classic reports keep their exact bytes).
+    if !scenario.net_faults.is_empty() {
+        out.push_str("  \"net_faults\": [\n");
+        for (i, fault) in scenario.net_faults.iter().enumerate() {
+            let comma = if i + 1 < scenario.net_faults.len() {
+                ","
+            } else {
+                ""
+            };
+            let detail = match fault.kind {
+                crate::spec::NetFaultKind::IsolateLeader { committee } => {
+                    format!("\"committee\": {committee}")
+                }
+                crate::spec::NetFaultKind::IsolateCommons { committee, count } => {
+                    format!("\"committee\": {committee}, \"count\": {count}")
+                }
+                crate::spec::NetFaultKind::Delay { target, micros } => {
+                    format!(
+                        "\"target\": \"{}\", \"delay_us\": {micros}",
+                        escape_json(&target.to_spec())
+                    )
+                }
+                crate::spec::NetFaultKind::Loss { ppm } => format!("\"loss_ppm\": {ppm}"),
+            };
+            out.push_str(&format!(
+                "    {{ \"from_round\": {}, \"until_round\": {}, \"kind\": \"{}\", {detail} }}{comma}\n",
+                fault.from_round,
+                fault.until_round,
+                fault.kind.name()
+            ));
+        }
+        out.push_str("  ],\n");
+    }
+
     let cross_packed: usize = summary
         .rounds
         .iter()
@@ -178,6 +219,32 @@ pub fn render_report(run: &ScenarioRun) -> String {
         summary.punished_honest().len()
     ));
     out.push_str("  },\n");
+
+    // Message-driven network measurements (omitted for classic scenarios).
+    if cfg.message_driven {
+        out.push_str("  \"network\": {\n");
+        out.push_str(&format!(
+            "    \"quorum_timeouts\": {},\n",
+            summary.total_quorum_timeouts()
+        ));
+        out.push_str(&format!(
+            "    \"list_timeouts\": {},\n",
+            summary.total_list_timeouts()
+        ));
+        out.push_str(&format!(
+            "    \"votes_missing\": {},\n",
+            summary.total_votes_missing()
+        ));
+        out.push_str(&format!(
+            "    \"net_dropped_messages\": {},\n",
+            summary.total_net_dropped_messages()
+        ));
+        out.push_str(&format!(
+            "    \"duplicate_packed_txs\": {}\n",
+            outcome.duplicate_packed_txs
+        ));
+        out.push_str("  },\n");
+    }
 
     out.push_str("  \"invariants\": [\n");
     for (i, result) in run.invariants.iter().enumerate() {

@@ -1,6 +1,8 @@
 //! Executes scenarios: single runs, worker-matrix cross-checks, and the
 //! parallel matrix runner on the protocol's [`ShardExecutor`].
 
+use cycledger_net::faults::{FaultPlan, Partition, TargetedDelay, PPM};
+use cycledger_net::time::{SimDuration, SimTime};
 use cycledger_net::topology::NodeId;
 use cycledger_protocol::engine::{RoundContext, RoundObserver, ShardExecutor};
 use cycledger_protocol::report::SimulationSummary;
@@ -8,7 +10,7 @@ use cycledger_protocol::simulation::Simulation;
 
 use crate::invariant::InvariantResult;
 use crate::outcome::{NodeSnapshot, ResolvedFault, ScenarioOutcome};
-use crate::spec::{FaultTarget, Scenario};
+use crate::spec::{FaultTarget, NetFaultKind, Scenario};
 
 /// A scenario together with its checked invariants.
 #[derive(Clone, Debug)]
@@ -64,6 +66,7 @@ struct SimPass {
     total_nodes: usize,
     chain_height: usize,
     phase_trace: Vec<Vec<&'static str>>,
+    duplicate_packed_txs: usize,
 }
 
 fn resolve_targets(
@@ -102,6 +105,87 @@ fn resolve_targets(
     })
 }
 
+/// The first `count` common (non-leader, non-partial-set) members of
+/// committee `k` under the current assignment.
+fn resolve_commons(sim: &Simulation, k: usize, count: usize) -> Vec<NodeId> {
+    let committee = &sim.assignment().committees[k];
+    committee
+        .members
+        .iter()
+        .copied()
+        .filter(|&n| n != committee.leader && !committee.partial_set.contains(&n))
+        .take(count)
+        .collect()
+}
+
+/// Resolves the scenario's net-fault schedule for one round into the
+/// concrete [`FaultPlan`] the simulation installs before running it.
+/// Positional targets are re-resolved against the round's assignment, so
+/// the same spec is reproducible for any seed.
+fn resolve_fault_plan(
+    sim: &Simulation,
+    scenario: &Scenario,
+    round: u64,
+) -> Result<FaultPlan, String> {
+    let mut plan = FaultPlan::default();
+    for injection in scenario.net_faults.iter().filter(|f| f.active_at(round)) {
+        match injection.kind {
+            NetFaultKind::IsolateLeader { committee } => {
+                plan.partitions.push(Partition {
+                    group: vec![sim.assignment().committees[committee].leader],
+                    from: SimTime::ZERO,
+                    until: None,
+                });
+            }
+            NetFaultKind::IsolateCommons { committee, count } => {
+                let group = resolve_commons(sim, committee, count);
+                if group.len() < count {
+                    return Err(format!(
+                        "scenario {:?}: committee {committee} has only {} common members, \
+                         isolate-commons wants {count}",
+                        scenario.name,
+                        group.len()
+                    ));
+                }
+                plan.partitions.push(Partition {
+                    group,
+                    from: SimTime::ZERO,
+                    until: None,
+                });
+            }
+            NetFaultKind::Delay { target, micros } => {
+                for node in resolve_targets(sim, target, scenario)? {
+                    plan.delays.push(TargetedDelay {
+                        node,
+                        extra: SimDuration::from_micros(micros),
+                    });
+                }
+            }
+            NetFaultKind::Loss { ppm } => {
+                plan.drop_ppm = plan.drop_ppm.saturating_add(ppm).min(PPM);
+            }
+        }
+    }
+    Ok(plan)
+}
+
+/// Counts transactions that appear in more than one block of the chain
+/// (the [`crate::invariant::Invariant::NoDoubleCommit`] safety measurement).
+fn count_duplicate_packed(sim: &Simulation) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    let mut duplicates = 0;
+    for height in 0..sim.chain().height() as u64 {
+        if let Some(block) = sim.chain().block(height) {
+            for tx in &block.transactions {
+                if !seen.insert(tx.id()) {
+                    duplicates += 1;
+                }
+            }
+        }
+    }
+    duplicates
+}
+
 /// Runs one simulation pass of a scenario at a fixed worker count.
 fn run_pass(scenario: &Scenario, worker_threads: usize) -> Result<SimPass, String> {
     let mut config = scenario.config;
@@ -119,6 +203,9 @@ fn run_pass(scenario: &Scenario, worker_threads: usize) -> Result<SimPass, Strin
                     behavior: fault.behavior,
                 });
             }
+        }
+        if !scenario.net_faults.is_empty() {
+            sim.set_fault_plan(resolve_fault_plan(&sim, scenario, round)?);
         }
         observer.begin_round();
         sim.run_round_observed(&mut observer);
@@ -143,6 +230,7 @@ fn run_pass(scenario: &Scenario, worker_threads: usize) -> Result<SimPass, Strin
         total_nodes: sim.registry().len(),
         chain_height: sim.chain().height(),
         phase_trace: observer.rounds,
+        duplicate_packed_txs: count_duplicate_packed(&sim),
         nodes,
         summary,
     })
@@ -172,6 +260,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, String> {
         total_nodes: baseline.total_nodes,
         chain_height: baseline.chain_height,
         phase_trace: baseline.phase_trace,
+        duplicate_packed_txs: baseline.duplicate_packed_txs,
         summary: baseline.summary,
     };
     let invariants = scenario

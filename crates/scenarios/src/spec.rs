@@ -93,6 +93,78 @@ pub struct FaultInjection {
     pub behavior: Behavior,
 }
 
+/// What a network-fault injection does while active. Requires the scenario's
+/// configuration to enable the message-driven data plane — the synchronous
+/// path never consults the fault plan, so a net fault there would silently
+/// do nothing (validation rejects that).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// Sever the current leader of committee `k` from everyone (the node is
+    /// re-resolved each round, so it follows recoveries and re-sortition).
+    IsolateLeader {
+        /// Committee index.
+        committee: usize,
+    },
+    /// Sever the first `count` common (non-leader, non-partial-set) members
+    /// of committee `k` from everyone.
+    IsolateCommons {
+        /// Committee index.
+        committee: usize,
+        /// Number of common members severed.
+        count: usize,
+    },
+    /// Add a fixed extra delay to every message sent or received by the
+    /// resolved target nodes (a delay attack: no message is lost, they just
+    /// miss protocol deadlines).
+    Delay {
+        /// Positional target, re-resolved each round.
+        target: FaultTarget,
+        /// Extra delay in microseconds of virtual time.
+        micros: u64,
+    },
+    /// Drop every message with the given probability (deterministically
+    /// sampled), in parts per million.
+    Loss {
+        /// Drop probability in parts per million (1_000_000 = everything).
+        ppm: u32,
+    },
+}
+
+impl NetFaultKind {
+    /// Canonical kebab-case kind name (TOML schema + reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetFaultKind::IsolateLeader { .. } => "isolate-leader",
+            NetFaultKind::IsolateCommons { .. } => "isolate-commons",
+            NetFaultKind::Delay { .. } => "delay",
+            NetFaultKind::Loss { .. } => "loss",
+        }
+    }
+}
+
+/// One scheduled network fault: active from `from_round` (inclusive) until
+/// `until_round` (exclusive — the heal point). Partition/heal schedules,
+/// delay attacks and loss windows are all expressed this way; the runner
+/// re-resolves positional targets against the round's assignment and
+/// installs the combined [`cycledger_net::faults::FaultPlan`] before each
+/// round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetFaultInjection {
+    /// First round the fault is active (inclusive).
+    pub from_round: u64,
+    /// Heal round (exclusive); rounds from here on run clean again.
+    pub until_round: u64,
+    /// What the fault does while active.
+    pub kind: NetFaultKind,
+}
+
+impl NetFaultInjection {
+    /// True while `round` falls inside the injection's window.
+    pub fn active_at(&self, round: u64) -> bool {
+        (self.from_round..self.until_round).contains(&round)
+    }
+}
+
 /// Canonical kebab-case name of a behaviour (TOML schema + reports).
 pub fn behavior_name(behavior: Behavior) -> &'static str {
     match behavior {
@@ -160,6 +232,9 @@ pub struct Scenario {
     pub config: ProtocolConfig,
     /// Targeted behaviour flips applied between rounds.
     pub faults: Vec<FaultInjection>,
+    /// Scheduled network faults (partitions, delay attacks, loss windows);
+    /// requires `config.message_driven`.
+    pub net_faults: Vec<NetFaultInjection>,
     /// The machine-checkable claims the run must satisfy.
     pub invariants: Vec<Invariant>,
 }
@@ -177,6 +252,7 @@ impl Scenario {
             workers: vec![1, 2, 8],
             config,
             faults: Vec::new(),
+            net_faults: Vec::new(),
             invariants: Vec::new(),
         }
     }
@@ -241,6 +317,57 @@ impl Scenario {
                             self.name, self.config.partial_set_size
                         ));
                     }
+                }
+                _ => {}
+            }
+        }
+        if !self.net_faults.is_empty() && !self.config.message_driven {
+            return Err(format!(
+                "scenario {:?} schedules network faults but message_driven is off \
+                 (the synchronous path never consults the fault plan)",
+                self.name
+            ));
+        }
+        for nf in &self.net_faults {
+            if nf.from_round >= nf.until_round {
+                return Err(format!(
+                    "scenario {:?}: net fault window [{}, {}) is empty",
+                    self.name, nf.from_round, nf.until_round
+                ));
+            }
+            if nf.from_round >= self.rounds as u64 {
+                return Err(format!(
+                    "scenario {:?}: net fault starts at round {} beyond the {}-round run",
+                    self.name, nf.from_round, self.rounds
+                ));
+            }
+            match nf.kind {
+                NetFaultKind::IsolateLeader { committee }
+                | NetFaultKind::IsolateCommons { committee, .. }
+                    if committee >= self.config.committees =>
+                {
+                    return Err(format!(
+                        "scenario {:?}: net fault targets committee {committee} of {}",
+                        self.name, self.config.committees
+                    ));
+                }
+                NetFaultKind::IsolateCommons { count: 0, .. } => {
+                    return Err(format!(
+                        "scenario {:?}: isolate-commons must sever at least one member",
+                        self.name
+                    ));
+                }
+                NetFaultKind::Delay { micros: 0, .. } => {
+                    return Err(format!(
+                        "scenario {:?}: a delay fault needs a nonzero delay",
+                        self.name
+                    ));
+                }
+                NetFaultKind::Loss { ppm } if ppm == 0 || ppm > 1_000_000 => {
+                    return Err(format!(
+                        "scenario {:?}: loss ppm must lie in [1, 1_000_000]",
+                        self.name
+                    ));
                 }
                 _ => {}
             }
@@ -364,6 +491,81 @@ mod tests {
             behavior: Behavior::SilentLeader,
         });
         assert!(bad_committee.validate().is_err());
+    }
+
+    #[test]
+    fn net_fault_validation() {
+        let base = crate::registry::builtin_scenarios()
+            .into_iter()
+            .find(|s| !s.net_faults.is_empty())
+            .expect("a builtin net-fault scenario exists");
+        assert_eq!(base.validate(), Ok(()));
+
+        // Net faults without the message-driven plane are rejected (they
+        // would silently do nothing).
+        let mut sync = base.clone();
+        sync.config.message_driven = false;
+        assert!(sync.validate().unwrap_err().contains("message_driven"));
+
+        let mut empty_window = base.clone();
+        empty_window.net_faults.push(NetFaultInjection {
+            from_round: 2,
+            until_round: 2,
+            kind: NetFaultKind::Loss { ppm: 1 },
+        });
+        assert!(empty_window.validate().is_err());
+
+        let mut late = base.clone();
+        late.net_faults.push(NetFaultInjection {
+            from_round: 99,
+            until_round: 100,
+            kind: NetFaultKind::Loss { ppm: 1 },
+        });
+        assert!(late.validate().is_err());
+
+        let mut bad_committee = base.clone();
+        bad_committee.net_faults.push(NetFaultInjection {
+            from_round: 0,
+            until_round: 1,
+            kind: NetFaultKind::IsolateLeader { committee: 99 },
+        });
+        assert!(bad_committee.validate().is_err());
+
+        let mut zero_loss = base.clone();
+        zero_loss.net_faults.push(NetFaultInjection {
+            from_round: 0,
+            until_round: 1,
+            kind: NetFaultKind::Loss { ppm: 0 },
+        });
+        assert!(zero_loss.validate().is_err());
+
+        let mut zero_delay = base.clone();
+        zero_delay.net_faults.push(NetFaultInjection {
+            from_round: 0,
+            until_round: 1,
+            kind: NetFaultKind::Delay {
+                target: FaultTarget::Leader(0),
+                micros: 0,
+            },
+        });
+        assert!(zero_delay.validate().is_err());
+    }
+
+    #[test]
+    fn net_fault_windows() {
+        let nf = NetFaultInjection {
+            from_round: 1,
+            until_round: 3,
+            kind: NetFaultKind::IsolateCommons {
+                committee: 0,
+                count: 2,
+            },
+        };
+        assert!(!nf.active_at(0));
+        assert!(nf.active_at(1));
+        assert!(nf.active_at(2));
+        assert!(!nf.active_at(3), "the heal round runs clean");
+        assert_eq!(nf.kind.name(), "isolate-commons");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use cycledger_protocol::config::ProtocolConfig;
 use crate::invariant::Invariant;
 use crate::spec::{
     behavior_from_name, behavior_name, mix_from_name, mix_name, FaultInjection, FaultTarget,
-    Scenario,
+    NetFaultInjection, NetFaultKind, Scenario,
 };
 
 /// A parsed TOML value (the subset the scenario schema uses).
@@ -315,6 +315,7 @@ fn apply_scenario_key(scenario: &mut Scenario, key: &str, value: &Value) -> Resu
             scenario.config.latency.partial_bound = SimDuration::from_micros(value.as_u64()?)
         }
         "verify_signatures" => scenario.config.verify_signatures = value.as_bool()?,
+        "message_driven" => scenario.config.message_driven = value.as_bool()?,
         "malicious_fraction" => scenario.config.adversary.malicious_fraction = value.as_f64()?,
         "mix" => scenario.config.adversary.mix = mix_from_name(value.as_str()?)?,
         "invariants" => {
@@ -350,6 +351,52 @@ fn fault_from_section(section: &Section) -> Result<FaultInjection, String> {
     })
 }
 
+fn net_fault_from_section(section: &Section) -> Result<NetFaultInjection, String> {
+    let mut from_round: Option<u64> = None;
+    let mut until_round: Option<u64> = None;
+    let mut kind: Option<String> = None;
+    let mut committee: Option<usize> = None;
+    let mut count: Option<usize> = None;
+    let mut target: Option<FaultTarget> = None;
+    let mut delay_us: Option<u64> = None;
+    let mut loss_ppm: Option<u32> = None;
+    for (key, value) in &section.entries {
+        match key.as_str() {
+            "from_round" => from_round = Some(value.as_u64()?),
+            "until_round" => until_round = Some(value.as_u64()?),
+            "kind" => kind = Some(value.as_str()?.to_string()),
+            "committee" => committee = Some(value.as_usize()?),
+            "count" => count = Some(value.as_usize()?),
+            "target" => target = Some(FaultTarget::from_spec(value.as_str()?)?),
+            "delay_us" => delay_us = Some(value.as_u64()?),
+            "loss_ppm" => loss_ppm = Some(value.as_u32()?),
+            other => return Err(format!("unknown net-fault key {other:?}")),
+        }
+    }
+    let kind = match kind.as_deref().ok_or("net fault needs a kind")? {
+        "isolate-leader" => NetFaultKind::IsolateLeader {
+            committee: committee.ok_or("isolate-leader needs a committee")?,
+        },
+        "isolate-commons" => NetFaultKind::IsolateCommons {
+            committee: committee.ok_or("isolate-commons needs a committee")?,
+            count: count.ok_or("isolate-commons needs a count")?,
+        },
+        "delay" => NetFaultKind::Delay {
+            target: target.ok_or("delay needs a target")?,
+            micros: delay_us.ok_or("delay needs delay_us")?,
+        },
+        "loss" => NetFaultKind::Loss {
+            ppm: loss_ppm.ok_or("loss needs loss_ppm")?,
+        },
+        other => return Err(format!("unknown net-fault kind {other:?}")),
+    };
+    Ok(NetFaultInjection {
+        from_round: from_round.ok_or("net fault needs from_round")?,
+        until_round: until_round.ok_or("net fault needs until_round")?,
+        kind,
+    })
+}
+
 /// Parses scenarios from a TOML document. Every `[[scenario]]` starts from
 /// the library defaults ([`ProtocolConfig::default`] with an empty fault and
 /// invariant list), so a file only states what differs.
@@ -377,9 +424,21 @@ pub fn scenarios_from_toml(text: &str) -> Result<Vec<Scenario>, String> {
                     .map_err(|e| format!("line {}: {e}", section.line))?;
                 scenario.faults.push(fault);
             }
+            "scenario.net_faults" => {
+                let scenario = scenarios.last_mut().ok_or_else(|| {
+                    format!(
+                        "line {}: [[scenario.net_faults]] before any [[scenario]]",
+                        section.line
+                    )
+                })?;
+                let fault = net_fault_from_section(section)
+                    .map_err(|e| format!("line {}: {e}", section.line))?;
+                scenario.net_faults.push(fault);
+            }
             other => {
                 return Err(format!(
-                    "line {}: unknown section [[{other}]] (expected [[scenario]] or [[scenario.faults]])",
+                    "line {}: unknown section [[{other}]] (expected [[scenario]], \
+                     [[scenario.faults]] or [[scenario.net_faults]])",
                     section.line
                 ))
             }
@@ -458,6 +517,7 @@ pub fn scenarios_to_toml(scenarios: &[Scenario]) -> String {
             lat.partial_bound.as_micros()
         ));
         out.push_str(&format!("verify_signatures = {}\n", cfg.verify_signatures));
+        out.push_str(&format!("message_driven = {}\n", cfg.message_driven));
         out.push_str(&format!(
             "malicious_fraction = {:?}\n",
             cfg.adversary.malicious_fraction
@@ -477,6 +537,28 @@ pub fn scenarios_to_toml(scenarios: &[Scenario]) -> String {
                 "behavior = \"{}\"\n",
                 behavior_name(fault.behavior)
             ));
+        }
+        for fault in &scenario.net_faults {
+            out.push_str("\n[[scenario.net_faults]]\n");
+            out.push_str(&format!("from_round = {}\n", fault.from_round));
+            out.push_str(&format!("until_round = {}\n", fault.until_round));
+            out.push_str(&format!("kind = \"{}\"\n", fault.kind.name()));
+            match fault.kind {
+                NetFaultKind::IsolateLeader { committee } => {
+                    out.push_str(&format!("committee = {committee}\n"));
+                }
+                NetFaultKind::IsolateCommons { committee, count } => {
+                    out.push_str(&format!("committee = {committee}\n"));
+                    out.push_str(&format!("count = {count}\n"));
+                }
+                NetFaultKind::Delay { target, micros } => {
+                    out.push_str(&format!("target = \"{}\"\n", target.to_spec()));
+                    out.push_str(&format!("delay_us = {micros}\n"));
+                }
+                NetFaultKind::Loss { ppm } => {
+                    out.push_str(&format!("loss_ppm = {ppm}\n"));
+                }
+            }
         }
         out.push('\n');
     }
@@ -593,6 +675,70 @@ behavior = "silent-leader"
         assert_eq!(s.invariants.len(), 2);
         // Unstated keys keep the library defaults.
         assert_eq!(s.config.leader_bonus, 0.1);
+    }
+
+    #[test]
+    fn net_fault_sections_parse_and_reject_typos() {
+        let text = r#"
+[[scenario]]
+name = "driven"
+rounds = 3
+workers = [1]
+committees = 2
+committee_size = 8
+partial_set_size = 2
+referee_size = 5
+accounts_per_shard = 24
+message_driven = true
+invariants = ["min-quorum-timeouts:1", "min-acceptance-from:2:0.9", "no-double-commit"]
+
+[[scenario.net_faults]]
+from_round = 0
+until_round = 2
+kind = "isolate-commons"
+committee = 0
+count = 4
+
+[[scenario.net_faults]]
+from_round = 1
+until_round = 2
+kind = "delay"
+target = "partial:0:0"
+delay_us = 600000
+"#;
+        let scenarios = scenarios_from_toml(text).expect("parses");
+        let s = &scenarios[0];
+        assert!(s.config.message_driven);
+        assert_eq!(s.net_faults.len(), 2);
+        assert_eq!(
+            s.net_faults[0].kind,
+            NetFaultKind::IsolateCommons {
+                committee: 0,
+                count: 4
+            }
+        );
+        assert_eq!(
+            s.net_faults[1].kind,
+            NetFaultKind::Delay {
+                target: FaultTarget::PartialSetMember {
+                    committee: 0,
+                    index: 0
+                },
+                micros: 600_000
+            }
+        );
+        assert_eq!(s.invariants.len(), 3);
+
+        assert!(scenarios_from_toml(
+            "[[scenario]]\nname = \"x\"\n[[scenario.net_faults]]\nkidn = \"loss\"\n"
+        )
+        .unwrap_err()
+        .contains("unknown net-fault key"));
+        assert!(scenarios_from_toml(
+            "[[scenario]]\nname = \"x\"\n[[scenario.net_faults]]\nfrom_round = 0\nuntil_round = 1\nkind = \"flood\"\n"
+        )
+        .unwrap_err()
+        .contains("unknown net-fault kind"));
     }
 
     #[test]

@@ -113,7 +113,9 @@ fn toml_round_trips_the_whole_registry() {
         assert_eq!(a.smoke, b.smoke);
         assert_eq!(a.workers, b.workers);
         assert_eq!(a.faults, b.faults);
+        assert_eq!(a.net_faults, b.net_faults);
         assert_eq!(a.invariants, b.invariants);
+        assert_eq!(a.config.message_driven, b.config.message_driven);
         assert_eq!(a.config.seed, b.config.seed);
         assert_eq!(a.config.committees, b.config.committees);
         assert_eq!(a.config.adversary.mix, b.config.adversary.mix);

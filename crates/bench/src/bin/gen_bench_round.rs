@@ -1,6 +1,21 @@
 //! Emits `BENCH_round.json`-shaped numbers for the round-engine data plane:
-//! rounds/sec and heap allocations/round at the standard 8x16 bench
-//! configuration, at 1 worker and at the machine's parallelism.
+//! rounds/sec and heap allocations/round, at 1 worker and at the machine's
+//! parallelism.
+//!
+//! The tracked configuration is the **verified** one: `verify_signatures=on`
+//! with the pipelined round engine, because that is what the protocol
+//! actually ships — benchmarking with verification off measures a config
+//! nobody runs. The unverified path stays reachable for comparison.
+//!
+//! Flags:
+//!
+//! * `--config 8x16|64x32` — committee geometry. `8x16` (default) is the
+//!   standard tracked config (400 txs/round); `64x32` is the large-scale
+//!   profile at 10 000 txs/round.
+//! * `--verify on|off` — signature verification (default `on`).
+//! * `--smoke` — CI perf-gate mode: a short measured run at 1 worker whose
+//!   `rounds_per_sec` / `allocations_per_round` are compared against the
+//!   committed `BENCH_round.json` by `scripts/perf_gate.py`.
 //!
 //! The binary installs [`alloccount::CountingAllocator`] as the global
 //! allocator (built with counting enabled), so the reported allocation counts
@@ -8,14 +23,13 @@
 //! included.
 //!
 //! Run with `cargo run --release -p cycledger-bench --bin gen_bench_round`;
-//! the JSON is printed to stdout so it can be redirected into
-//! `BENCH_round.json` at the repository root. Pass `--smoke` for a CI-sized
-//! run (one measured round, no thresholds) that only proves the binary and
-//! the counting allocator still work.
+//! the JSON is printed to stdout so it can be redirected into the relevant
+//! block of `BENCH_round.json` at the repository root.
 
 use std::time::Instant;
 
 use cycledger_bench::bench_config;
+use cycledger_protocol::config::ProtocolConfig;
 use cycledger_protocol::Simulation;
 
 #[global_allocator]
@@ -29,10 +43,64 @@ struct RoundSeries {
     rounds_measured: u64,
 }
 
+/// The benchmarked geometry: committees x committee size, plus the offered
+/// transaction load per round.
+#[derive(Clone, Copy)]
+struct BenchSpec {
+    committees: usize,
+    committee_size: usize,
+    txs_per_round: usize,
+}
+
+impl BenchSpec {
+    fn parse(name: &str) -> Option<BenchSpec> {
+        match name {
+            "8x16" => Some(BenchSpec {
+                committees: 8,
+                committee_size: 16,
+                txs_per_round: 400,
+            }),
+            "64x32" => Some(BenchSpec {
+                committees: 64,
+                committee_size: 32,
+                txs_per_round: 10_000,
+            }),
+            _ => None,
+        }
+    }
+
+    fn config(&self, verify: bool) -> ProtocolConfig {
+        let mut config = bench_config(self.committees, self.committee_size, 4242);
+        config.txs_per_round = self.txs_per_round;
+        config.verify_signatures = verify;
+        // The tracked engine is the pipelined one — a pure scheduling change
+        // whose output is byte-identical to sequential (determinism tests).
+        config.pipelined = true;
+        config
+    }
+
+    fn describe(&self, verify: bool) -> String {
+        format!(
+            "{} committees x {} members, {} txs/round, seed 4242, pow_difficulty 2, \
+             verify_signatures {}, pipelined round engine",
+            self.committees,
+            self.committee_size,
+            self.txs_per_round,
+            if verify { "on" } else { "off" }
+        )
+    }
+}
+
 /// Runs rounds for at least `min_secs` (at least `min_rounds`) and reports
 /// throughput plus per-round allocation activity.
-fn measure(workers: usize, min_secs: f64, min_rounds: u64) -> RoundSeries {
-    let mut config = bench_config(8, 16, 4242);
+fn measure(
+    spec: BenchSpec,
+    verify: bool,
+    workers: usize,
+    min_secs: f64,
+    min_rounds: u64,
+) -> RoundSeries {
+    let mut config = spec.config(verify);
     config.worker_threads = workers;
     let mut sim = Simulation::new(config).expect("valid bench config");
     // Warm-up round: lazy crypto tables, executor spin-up, genesis state.
@@ -48,6 +116,9 @@ fn measure(workers: usize, min_secs: f64, min_rounds: u64) -> RoundSeries {
             break;
         }
     }
+    // Join the pipelined apply tail so its allocations land inside the
+    // measured window, not in the Simulation drop.
+    let _ = sim.utxo_sets();
     let elapsed = start.elapsed().as_secs_f64();
     let d = alloccount::snapshot().since(&start_alloc);
     RoundSeries {
@@ -75,22 +146,49 @@ fn print_series(label: &str, s: &RoundSeries, trailing_comma: bool) {
     println!("  }}{}", if trailing_comma { "," } else { "" });
 }
 
+fn usage() -> ! {
+    eprintln!("usage: gen_bench_round [--smoke] [--config 8x16|64x32] [--verify on|off]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
     assert!(
         alloccount::counting_enabled(),
         "bench must be built with the alloccount `count` feature"
     );
 
+    let mut smoke = false;
+    let mut spec = BenchSpec::parse("8x16").unwrap();
+    let mut verify = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--config" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                spec = BenchSpec::parse(&name).unwrap_or_else(|| usage());
+            }
+            "--verify" => match args.next().as_deref() {
+                Some("on") => verify = true,
+                Some("off") => verify = false,
+                _ => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
     if smoke {
-        // CI guard: one measured round, no thresholds — just prove the bench
-        // binary runs and the counting allocator observes the round engine.
-        let s = measure(1, 0.0, 1);
+        // CI perf gate: a short measured run of the tracked config at one
+        // worker. scripts/perf_gate.py compares rounds_per_sec and
+        // allocations_per_round against the committed BENCH_round.json and
+        // fails the job on >20% regression.
+        let s = measure(spec, verify, 1, 0.0, 3);
         assert!(
             s.allocations_per_round > 0.0,
             "counting allocator saw no allocations"
         );
         println!("{{");
+        println!("  \"bench_config\": \"{}\",", spec.describe(verify));
         print_series("smoke_1_worker", &s, false);
         println!("}}");
         return;
@@ -99,11 +197,11 @@ fn main() {
     let parallel_workers = std::thread::available_parallelism()
         .map(|n| n.get().max(4))
         .unwrap_or(4);
-    let one = measure(1, 3.0, 3);
-    let many = measure(parallel_workers, 3.0, 3);
+    let one = measure(spec, verify, 1, 3.0, 3);
+    let many = measure(spec, verify, parallel_workers, 3.0, 3);
 
     println!("{{");
-    println!("  \"bench_config\": \"8 committees x 16 members, seed 4242, pow_difficulty 2, verify_signatures off\",");
+    println!("  \"bench_config\": \"{}\",", spec.describe(verify));
     print_series("one_worker", &one, true);
     print_series(&format!("{parallel_workers}_workers"), &many, false);
     println!("}}");

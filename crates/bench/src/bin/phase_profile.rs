@@ -1,11 +1,22 @@
 //! Per-phase wall-clock profile of the round engine at the standard 8x16
 //! bench configuration: runs a few rounds with a timing [`RoundObserver`]
-//! attached and prints where the round's time goes. This is the tool that
-//! located the data-plane hot spots (inter-consensus message churn, latency
-//! DRBG instantiation, signature generation) — keep it handy before chasing
-//! the next bottleneck.
+//! attached and prints where the round's time goes, once for the sequential
+//! engine and once for the pipelined one. This is the tool that located the
+//! data-plane hot spots (inter-consensus message churn, latency DRBG
+//! instantiation, signature generation) — keep it handy before chasing the
+//! next bottleneck.
 //!
-//! Run with `cargo run --release -p cycledger-bench --bin phase_profile`.
+//! In pipelined mode the per-shard block application is submitted to the
+//! executor at the end of block generation and joined at the next round's
+//! first UTXO-touching phase, so its cost migrates out of
+//! `block-generation` and (on a multi-core box) overlaps the next round's
+//! configuration and semi-commitment phases. Expect `block-generation` to
+//! shrink and `intra-consensus` to absorb the join; the totals only drop
+//! when real cores are available to drain the tail concurrently.
+//!
+//! Run with `cargo run --release -p cycledger-bench --bin phase_profile`;
+//! flags: `--workers N` (default 4), `--rounds N` (default 5),
+//! `--verify on|off` (default on — the tracked, verified config).
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -29,27 +40,77 @@ impl RoundObserver for Prof {
     }
 }
 
-fn main() {
+/// Profiles `rounds` rounds and returns (total wall seconds, per-phase
+/// seconds). The warm-up round is excluded from both.
+fn profile(pipelined: bool, workers: usize, verify: bool, rounds: u64) -> (f64, Prof) {
     let mut config = bench_config(8, 16, 4242);
-    config.worker_threads = 1;
+    config.worker_threads = workers;
+    config.verify_signatures = verify;
+    config.pipelined = pipelined;
     let mut sim = Simulation::new(config).unwrap();
     sim.run(1);
     let mut prof = Prof::default();
     let t = Instant::now();
-    let rounds = 5;
     for _ in 0..rounds {
         sim.run_round_observed(&mut prof);
     }
-    let total = t.elapsed().as_secs_f64();
-    println!("total {:.3}s for {rounds} rounds", total);
+    // Join the deferred apply tail inside the measured window.
+    let _ = sim.utxo_sets();
+    (t.elapsed().as_secs_f64(), prof)
+}
+
+fn report(label: &str, total: f64, prof: &Prof, rounds: u64) {
+    println!("== {label}: {total:.3}s for {rounds} rounds ==");
     let mut in_phases = 0.0;
     for (k, v) in &prof.totals {
-        println!("{k:28} {:7.3}s  {:5.1}%", v, v / total * 100.0);
+        println!("{k:28} {v:7.3}s  {:5.1}%", v / total * 100.0);
         in_phases += v;
     }
     println!(
         "outside phases               {:7.3}s  {:5.1}%",
         total - in_phases,
         (total - in_phases) / total * 100.0
+    );
+}
+
+fn main() {
+    let mut workers = 4usize;
+    let mut rounds = 5u64;
+    let mut verify = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--workers N")
+            }
+            "--rounds" => {
+                rounds = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--rounds N")
+            }
+            "--verify" => match args.next().as_deref() {
+                Some("on") => verify = true,
+                Some("off") => verify = false,
+                _ => panic!("--verify on|off"),
+            },
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let (seq_total, seq) = profile(false, workers, verify, rounds);
+    report("sequential", seq_total, &seq, rounds);
+    println!();
+    let (pipe_total, pipe) = profile(true, workers, verify, rounds);
+    report("pipelined", pipe_total, &pipe, rounds);
+    println!();
+    println!(
+        "pipelined / sequential wall clock: {:.3} ({} workers, verify {})",
+        pipe_total / seq_total,
+        workers,
+        if verify { "on" } else { "off" }
     );
 }

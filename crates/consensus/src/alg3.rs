@@ -18,10 +18,11 @@ use cycledger_crypto::sha256::Digest;
 use cycledger_net::topology::NodeId;
 
 use crate::messages::{
-    make_confirm, make_confirm_unsigned, make_echo, make_echo_unsigned, verify_confirm,
-    verify_echo, verify_propose, Confirm, ConsensusId, Echo, Propose,
+    make_confirm, make_confirm_unsigned, make_echo, make_echo_unsigned, verify_confirm_cached,
+    verify_echo_cached, verify_propose_cached, Confirm, ConsensusId, Echo, Propose,
 };
 use crate::quorum::{CommitteeKeys, QuorumCertificate};
+use crate::sigcache::SigCache;
 use crate::witness::EquivocationEvidence;
 
 /// Actions a member state machine asks its driver to perform.
@@ -52,6 +53,7 @@ pub struct MemberState {
     confirmed: bool,
     halted: bool,
     verify_signatures: bool,
+    sig_cache: SigCache,
 }
 
 impl MemberState {
@@ -75,7 +77,16 @@ impl MemberState {
             confirmed: false,
             halted: false,
             verify_signatures: true,
+            sig_cache: SigCache::default(),
         }
+    }
+
+    /// Shares a verification memo with the other state machines of this
+    /// instance (see [`SigCache`]): the same `(key, message, signature)`
+    /// triple — e.g. the leader's multicast PROPOSE signature — is then
+    /// checked once for the whole committee instead of once per receiver.
+    pub fn set_sig_cache(&mut self, cache: SigCache) {
+        self.sig_cache = cache;
     }
 
     /// Disables cryptographic verification of incoming messages **and**
@@ -96,7 +107,7 @@ impl MemberState {
     /// placeholder on the fast path (nothing will check it).
     fn build_echo(&self, propose: &Propose) -> Echo {
         if self.verify_signatures {
-            make_echo(propose, self.me, &self.keypair.secret)
+            make_echo(propose, self.me, &self.keypair)
         } else {
             make_echo_unsigned(propose, self.me)
         }
@@ -131,7 +142,7 @@ impl MemberState {
         let Some(leader_pk) = self.keys.get(self.leader) else {
             return Vec::new();
         };
-        if self.verify_signatures && !verify_propose(propose, leader_pk) {
+        if self.verify_signatures && !verify_propose_cached(propose, leader_pk, &self.sig_cache) {
             // Unsigned/garbled proposal: ignore (an invalid signature is not
             // evidence of anything — anyone could have forged it).
             return Vec::new();
@@ -185,7 +196,9 @@ impl MemberState {
         else {
             return Vec::new();
         };
-        if self.verify_signatures && !verify_echo(echo, member_pk, leader_pk) {
+        if self.verify_signatures
+            && !verify_echo_cached(echo, member_pk, leader_pk, &self.sig_cache)
+        {
             return Vec::new();
         }
         match &self.accepted {
@@ -230,13 +243,7 @@ impl MemberState {
             self.confirmed = true;
             let echo_signatures = self.echoes.iter().map(|(n, s)| (*n, *s)).collect();
             let confirm = if self.verify_signatures {
-                make_confirm(
-                    self.id,
-                    digest,
-                    self.me,
-                    &self.keypair.secret,
-                    echo_signatures,
-                )
+                make_confirm(self.id, digest, self.me, &self.keypair, echo_signatures)
             } else {
                 make_confirm_unsigned(self.id, digest, self.me, echo_signatures)
             };
@@ -255,6 +262,7 @@ pub struct LeaderState {
     confirms: BTreeMap<NodeId, Signature>,
     certificate: Option<QuorumCertificate>,
     verify_signatures: bool,
+    sig_cache: SigCache,
 }
 
 impl LeaderState {
@@ -267,7 +275,14 @@ impl LeaderState {
             confirms: BTreeMap::new(),
             certificate: None,
             verify_signatures: true,
+            sig_cache: SigCache::default(),
         }
+    }
+
+    /// Shares a verification memo with the members of this instance (see
+    /// [`MemberState::set_sig_cache`]).
+    pub fn set_sig_cache(&mut self, cache: SigCache) {
+        self.sig_cache = cache;
     }
 
     /// Disables cryptographic verification of incoming CONFIRMs (see
@@ -283,7 +298,7 @@ impl LeaderState {
             return None;
         }
         let member_pk = self.keys.get(confirm.member)?;
-        if self.verify_signatures && !verify_confirm(confirm, member_pk) {
+        if self.verify_signatures && !verify_confirm_cached(confirm, member_pk, &self.sig_cache) {
             return None;
         }
         self.confirms.insert(confirm.member, confirm.signature);
@@ -334,7 +349,7 @@ mod tests {
         let (kps, keys) = committee(n);
         let id = ConsensusId { round: 1, seq: 1 };
         let leader_node = NodeId(0);
-        let propose = make_propose(id, payload.to_vec(), leader_node, &kps[0].secret);
+        let propose = make_propose(id, payload.to_vec(), leader_node, &kps[0]);
         let mut leader = LeaderState::new(id, propose.digest, keys.clone());
         let mut members: Vec<MemberState> = (0..n)
             .map(|i| MemberState::new(NodeId(i as u32), kps[i], leader_node, id, keys.clone()))
@@ -395,8 +410,8 @@ mod tests {
     fn equivocating_leader_is_caught_by_propose() {
         let (kps, keys) = committee(5);
         let id = ConsensusId { round: 1, seq: 1 };
-        let p1 = make_propose(id, b"list A".to_vec(), NodeId(0), &kps[0].secret);
-        let p2 = make_propose(id, b"list B".to_vec(), NodeId(0), &kps[0].secret);
+        let p1 = make_propose(id, b"list A".to_vec(), NodeId(0), &kps[0]);
+        let p2 = make_propose(id, b"list B".to_vec(), NodeId(0), &kps[0]);
         let mut member = MemberState::new(NodeId(1), kps[1], NodeId(0), id, keys.clone());
         assert_eq!(member.handle_propose(&p1).len(), 1);
         let actions = member.handle_propose(&p2);
@@ -419,8 +434,8 @@ mod tests {
         // catches the inconsistency when member 2's echo arrives.
         let (kps, keys) = committee(5);
         let id = ConsensusId { round: 2, seq: 3 };
-        let p1 = make_propose(id, b"list A".to_vec(), NodeId(0), &kps[0].secret);
-        let p2 = make_propose(id, b"list B".to_vec(), NodeId(0), &kps[0].secret);
+        let p1 = make_propose(id, b"list A".to_vec(), NodeId(0), &kps[0]);
+        let p2 = make_propose(id, b"list B".to_vec(), NodeId(0), &kps[0]);
         let mut m1 = MemberState::new(NodeId(1), kps[1], NodeId(0), id, keys.clone());
         let mut m2 = MemberState::new(NodeId(2), kps[2], NodeId(0), id, keys.clone());
         m1.handle_propose(&p1);
@@ -438,7 +453,7 @@ mod tests {
     fn member_does_not_confirm_without_majority_echoes() {
         let (kps, keys) = committee(7); // threshold 4
         let id = ConsensusId { round: 1, seq: 1 };
-        let propose = make_propose(id, b"payload".to_vec(), NodeId(0), &kps[0].secret);
+        let propose = make_propose(id, b"payload".to_vec(), NodeId(0), &kps[0]);
         let mut member = MemberState::new(NodeId(1), kps[1], NodeId(0), id, keys.clone());
         member.handle_propose(&propose); // own echo = 1
                                          // Two more echoes: total 3 < 4, no confirm yet.
@@ -471,7 +486,7 @@ mod tests {
         // this member's echo and, once the quorum of echoes is in, its CONFIRM.
         let (kps, keys) = committee(5); // threshold 3
         let id = ConsensusId { round: 9, seq: 2 };
-        let propose = make_propose(id, b"late propose".to_vec(), NodeId(0), &kps[0].secret);
+        let propose = make_propose(id, b"late propose".to_vec(), NodeId(0), &kps[0]);
         let mut late = MemberState::new(NodeId(1), kps[1], NodeId(0), id, keys.clone());
         // Echoes from members 2, 3 and 4 arrive first.
         for i in 2..5u32 {
@@ -506,16 +521,16 @@ mod tests {
         let id = ConsensusId { round: 1, seq: 1 };
         let mut member = MemberState::new(NodeId(1), kps[1], NodeId(0), id, keys.clone());
         // A proposal "from the leader" signed by an outsider is dropped silently.
-        let forged = make_propose(id, b"evil".to_vec(), NodeId(0), &outsider.secret);
+        let forged = make_propose(id, b"evil".to_vec(), NodeId(0), &outsider);
         assert!(member.handle_propose(&forged).is_empty());
         assert!(member.accepted_payload().is_none());
         // An echo from a non-member is dropped too.
-        let real = make_propose(id, b"ok".to_vec(), NodeId(0), &kps[0].secret);
+        let real = make_propose(id, b"ok".to_vec(), NodeId(0), &kps[0]);
         member.handle_propose(&real);
         let mut fake_echo_sender =
             MemberState::new(NodeId(9), outsider, NodeId(0), id, keys.clone());
         let _ = fake_echo_sender.handle_propose(&real); // builds state but node 9 is unknown
-        let echo = make_echo(&real, NodeId(9), &outsider.secret);
+        let echo = make_echo(&real, NodeId(9), &outsider);
         assert!(member.handle_echo(&echo).is_empty());
     }
 
@@ -530,18 +545,18 @@ mod tests {
             id,
             crate::messages::payload_digest(b"other"),
             NodeId(1),
-            &kps[1].secret,
+            &kps[1],
             vec![],
         );
         assert!(leader.handle_confirm(&wrong).is_none());
         // Confirm signed by the wrong node.
-        let forged = make_confirm(id, digest, NodeId(2), &kps[1].secret, vec![]);
+        let forged = make_confirm(id, digest, NodeId(2), &kps[1], vec![]);
         assert!(leader.handle_confirm(&forged).is_none());
         assert_eq!(leader.confirm_count(), 0);
         // Valid confirms from a majority produce exactly one certificate.
         let mut certs = 0;
         for i in 1..=3u32 {
-            let c = make_confirm(id, digest, NodeId(i), &kps[i as usize].secret, vec![]);
+            let c = make_confirm(id, digest, NodeId(i), &kps[i as usize], vec![]);
             if leader.handle_confirm(&c).is_some() {
                 certs += 1;
             }
@@ -556,7 +571,7 @@ mod tests {
         let id = ConsensusId { round: 1, seq: 1 };
         let digest = crate::messages::payload_digest(b"payload");
         let mut leader = LeaderState::new(id, digest, keys);
-        let c1 = make_confirm(id, digest, NodeId(1), &kps[1].secret, vec![]);
+        let c1 = make_confirm(id, digest, NodeId(1), &kps[1], vec![]);
         for _ in 0..5 {
             assert!(leader.handle_confirm(&c1).is_none());
         }

@@ -10,6 +10,9 @@
 //!   detection from conflicting leader-signed proposals.
 //! * [`quorum`] — transferable quorum certificates ("SigList") and their
 //!   verification against a committee key directory.
+//! * [`sigcache`] — per-instance memoization of signature verification, so the
+//!   simulator pays each distinct `(key, message, signature)` check once
+//!   instead of once per receiving member.
 //! * [`votes`] — `TXList` voting, `V List` assembly, and the `TXdecSET` tally
 //!   (Algorithm 5).
 //! * [`witness`] — leader-misbehaviour witnesses (equivocation, semi-commitment
@@ -24,13 +27,15 @@ pub mod alg3;
 pub mod envelope;
 pub mod messages;
 pub mod quorum;
+pub mod sigcache;
 pub mod votes;
 pub mod witness;
 
 pub use alg3::{LeaderState, MemberAction, MemberState};
 pub use envelope::{CarriesAlg3, CommitteeMessage};
 pub use messages::{Alg3Message, Confirm, ConsensusId, Echo, Propose};
-pub use quorum::{CommitteeKeys, QuorumCertificate, QuorumError};
+pub use quorum::{verify_certs_batch, CommitteeKeys, QuorumCertificate, QuorumError};
+pub use sigcache::SigCache;
 pub use votes::{Tally, Vote, VoteList, VoteVector};
 pub use witness::{
     member_list_signing_bytes, semi_commitment, CommitmentMismatchEvidence, EquivocationEvidence,

@@ -12,9 +12,11 @@
 
 use std::sync::Arc;
 
-use cycledger_crypto::schnorr::{sign, verify, PublicKey, SecretKey, Signature};
+use cycledger_crypto::schnorr::{sign, verify, Keypair, PublicKey, SecretKey, Signature};
 use cycledger_crypto::sha256::Digest;
 use cycledger_net::topology::NodeId;
+
+use crate::sigcache::SigCache;
 
 /// Identifier of one consensus instance: the round number and the leader's
 /// monotonically increasing sequence number (the paper's `(r, sn)` pair).
@@ -154,10 +156,10 @@ pub fn make_propose(
     id: ConsensusId,
     payload: Vec<u8>,
     leader: NodeId,
-    leader_key: &SecretKey,
+    leader_key: &Keypair,
 ) -> Propose {
     let digest = cycledger_crypto::sha256::hash_parts(&[b"cycledger/alg3-payload", &payload]);
-    let signature = sign(leader_key, &propose_signing_bytes(&id, &digest));
+    let signature = leader_key.sign(&propose_signing_bytes(&id, &digest));
     Propose {
         id,
         digest,
@@ -202,12 +204,24 @@ pub fn verify_propose(propose: &Propose, leader_pk: &PublicKey) -> bool {
         )
 }
 
+/// [`verify_propose`] with the Schnorr check memoized in `cache`.
+///
+/// The leader multicasts one proposal to the whole committee, so every member
+/// checks the *same* `(leader key, header, signature)` triple; the shared memo
+/// collapses those to a single curve evaluation. The digest/payload
+/// consistency check still runs per call.
+pub fn verify_propose_cached(propose: &Propose, leader_pk: &PublicKey, cache: &SigCache) -> bool {
+    propose.digest == payload_digest(&propose.payload)
+        && cache.verify(
+            leader_pk,
+            &propose_signing_bytes(&propose.id, &propose.digest),
+            &propose.signature,
+        )
+}
+
 /// Builds a signed ECHO relaying the leader's signature.
-pub fn make_echo(propose: &Propose, member: NodeId, member_key: &SecretKey) -> Echo {
-    let signature = sign(
-        member_key,
-        &echo_signing_bytes(&propose.id, &propose.digest, member),
-    );
+pub fn make_echo(propose: &Propose, member: NodeId, member_key: &Keypair) -> Echo {
+    let signature = member_key.sign(&echo_signing_bytes(&propose.id, &propose.digest, member));
     Echo {
         id: propose.id,
         digest: propose.digest,
@@ -245,15 +259,38 @@ pub fn verify_echo(echo: &Echo, member_pk: &PublicKey, leader_pk: &PublicKey) ->
     )
 }
 
+/// [`verify_echo`] with both Schnorr checks memoized in `cache`.
+///
+/// An echo is broadcast to all other members, and its relayed leader
+/// signature is the same triple every propose check already memoized — with a
+/// shared cache a committee of `C` members performs `C` member-signature
+/// checks and one leader check instead of `O(C²)`.
+pub fn verify_echo_cached(
+    echo: &Echo,
+    member_pk: &PublicKey,
+    leader_pk: &PublicKey,
+    cache: &SigCache,
+) -> bool {
+    cache.verify(
+        member_pk,
+        &echo_signing_bytes(&echo.id, &echo.digest, echo.member),
+        &echo.signature,
+    ) && cache.verify(
+        leader_pk,
+        &propose_signing_bytes(&echo.id, &echo.digest),
+        &echo.propose_signature,
+    )
+}
+
 /// Builds a signed CONFIRM carrying the collected echo signatures.
 pub fn make_confirm(
     id: ConsensusId,
     digest: Digest,
     member: NodeId,
-    member_key: &SecretKey,
+    member_key: &Keypair,
     echo_signatures: Vec<(NodeId, Signature)>,
 ) -> Confirm {
-    let signature = sign(member_key, &confirm_signing_bytes(&id, &digest, member));
+    let signature = member_key.sign(&confirm_signing_bytes(&id, &digest, member));
     Confirm {
         id,
         digest,
@@ -290,6 +327,15 @@ pub fn verify_confirm(confirm: &Confirm, member_pk: &PublicKey) -> bool {
     )
 }
 
+/// [`verify_confirm`] with the Schnorr check memoized in `cache`.
+pub fn verify_confirm_cached(confirm: &Confirm, member_pk: &PublicKey, cache: &SigCache) -> bool {
+    cache.verify(
+        member_pk,
+        &confirm_signing_bytes(&confirm.id, &confirm.digest, confirm.member),
+        &confirm.signature,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,7 +348,7 @@ mod tests {
     #[test]
     fn propose_round_trip() {
         let leader = Keypair::from_seed(b"leader");
-        let p = make_propose(id(), b"payload".to_vec(), NodeId(0), &leader.secret);
+        let p = make_propose(id(), b"payload".to_vec(), NodeId(0), &leader);
         assert!(verify_propose(&p, &leader.public));
         assert_eq!(p.digest, payload_digest(b"payload"));
     }
@@ -310,7 +356,7 @@ mod tests {
     #[test]
     fn propose_with_wrong_digest_rejected() {
         let leader = Keypair::from_seed(b"leader");
-        let mut p = make_propose(id(), b"payload".to_vec(), NodeId(0), &leader.secret);
+        let mut p = make_propose(id(), b"payload".to_vec(), NodeId(0), &leader);
         p.payload = Arc::new(b"swapped".to_vec());
         assert!(!verify_propose(&p, &leader.public));
     }
@@ -319,7 +365,7 @@ mod tests {
     fn propose_from_wrong_key_rejected() {
         let leader = Keypair::from_seed(b"leader");
         let impostor = Keypair::from_seed(b"impostor");
-        let p = make_propose(id(), b"payload".to_vec(), NodeId(0), &impostor.secret);
+        let p = make_propose(id(), b"payload".to_vec(), NodeId(0), &impostor);
         assert!(!verify_propose(&p, &leader.public));
     }
 
@@ -327,29 +373,56 @@ mod tests {
     fn echo_round_trip_and_relay_check() {
         let leader = Keypair::from_seed(b"leader");
         let member = Keypair::from_seed(b"member");
-        let p = make_propose(id(), b"payload".to_vec(), NodeId(0), &leader.secret);
-        let e = make_echo(&p, NodeId(5), &member.secret);
+        let p = make_propose(id(), b"payload".to_vec(), NodeId(0), &leader);
+        let e = make_echo(&p, NodeId(5), &member);
         assert!(verify_echo(&e, &member.public, &leader.public));
         // An echo whose relayed leader signature is forged fails.
         let impostor = Keypair::from_seed(b"impostor");
-        let forged_propose = make_propose(id(), b"payload".to_vec(), NodeId(0), &impostor.secret);
-        let bad = make_echo(&forged_propose, NodeId(5), &member.secret);
+        let forged_propose = make_propose(id(), b"payload".to_vec(), NodeId(0), &impostor);
+        let bad = make_echo(&forged_propose, NodeId(5), &member);
         assert!(!verify_echo(&bad, &member.public, &leader.public));
     }
 
     #[test]
     fn confirm_round_trip() {
         let member = Keypair::from_seed(b"member");
-        let c = make_confirm(
-            id(),
-            payload_digest(b"x"),
-            NodeId(7),
-            &member.secret,
-            vec![],
-        );
+        let c = make_confirm(id(), payload_digest(b"x"), NodeId(7), &member, vec![]);
         assert!(verify_confirm(&c, &member.public));
         let other = Keypair::from_seed(b"other");
         assert!(!verify_confirm(&c, &other.public));
+    }
+
+    #[test]
+    fn cached_verifiers_agree_with_direct_ones() {
+        let leader = Keypair::from_seed(b"leader");
+        let member = Keypair::from_seed(b"member");
+        let impostor = Keypair::from_seed(b"impostor");
+        let cache = SigCache::new();
+        let p = make_propose(id(), b"payload".to_vec(), NodeId(0), &leader);
+        let e = make_echo(&p, NodeId(5), &member);
+        let c = make_confirm(id(), p.digest, NodeId(5), &member, vec![]);
+        for _ in 0..2 {
+            assert!(verify_propose_cached(&p, &leader.public, &cache));
+            assert!(!verify_propose_cached(&p, &impostor.public, &cache));
+            assert!(verify_echo_cached(
+                &e,
+                &member.public,
+                &leader.public,
+                &cache
+            ));
+            assert!(!verify_echo_cached(
+                &e,
+                &impostor.public,
+                &leader.public,
+                &cache
+            ));
+            assert!(verify_confirm_cached(&c, &member.public, &cache));
+            assert!(!verify_confirm_cached(&c, &impostor.public, &cache));
+        }
+        // The echo's relayed leader signature shares the propose memo entry:
+        // 1 good propose + 1 bad propose + 1 good echo member sig + 1 bad echo
+        // member sig + 1 good confirm + 1 bad confirm = 6 distinct triples.
+        assert_eq!(cache.len(), 6);
     }
 
     #[test]
@@ -368,14 +441,14 @@ mod tests {
     fn wire_sizes_are_positive_and_grow_with_content() {
         let leader = Keypair::from_seed(b"leader");
         let member = Keypair::from_seed(b"member");
-        let p = make_propose(id(), vec![0u8; 100], NodeId(0), &leader.secret);
-        let e = make_echo(&p, NodeId(1), &member.secret);
-        let c_small = make_confirm(id(), p.digest, NodeId(1), &member.secret, vec![]);
+        let p = make_propose(id(), vec![0u8; 100], NodeId(0), &leader);
+        let e = make_echo(&p, NodeId(1), &member);
+        let c_small = make_confirm(id(), p.digest, NodeId(1), &member, vec![]);
         let c_big = make_confirm(
             id(),
             p.digest,
             NodeId(1),
-            &member.secret,
+            &member,
             vec![(NodeId(2), e.signature), (NodeId(3), e.signature)],
         );
         assert!(Alg3Message::Propose(p).wire_size() > 100);

@@ -142,23 +142,12 @@ impl QuorumCertificate {
     /// when the batch check fails the slow path re-runs per signature so the
     /// caller still learns *which* rule broke.
     pub fn verify_batch(&self, keys: &CommitteeKeys, threshold: usize) -> Result<(), QuorumError> {
-        if self.signatures.len() < threshold {
-            return Err(QuorumError::InsufficientSigners);
-        }
-        let mut seen = std::collections::BTreeSet::new();
-        let mut message_bytes = Vec::with_capacity(self.signatures.len());
-        for (node, _) in &self.signatures {
-            if !seen.insert(*node) {
-                return Err(QuorumError::DuplicateSigner);
-            }
-            if keys.get(*node).is_none() {
-                return Err(QuorumError::UnknownSigner);
-            }
-            message_bytes.push(confirm_signing_bytes(&self.id, &self.digest, *node));
-        }
-        if seen.len() < threshold {
-            return Err(QuorumError::InsufficientSigners);
-        }
+        self.structural_check(keys, threshold)?;
+        let message_bytes: Vec<Vec<u8>> = self
+            .signatures
+            .iter()
+            .map(|(node, _)| confirm_signing_bytes(&self.id, &self.digest, *node))
+            .collect();
         let entries: Vec<cycledger_crypto::schnorr::BatchEntry<'_>> = self
             .signatures
             .iter()
@@ -184,6 +173,92 @@ impl QuorumCertificate {
     pub fn verify_batch_majority(&self, keys: &CommitteeKeys) -> Result<(), QuorumError> {
         self.verify_batch(keys, keys.majority_threshold())
     }
+
+    /// The non-cryptographic rules of certificate verification: enough
+    /// signatures, all signers distinct committee members, distinct-signer
+    /// count at threshold. Shared by the sequential, per-certificate-batch and
+    /// cross-committee-batch paths.
+    fn structural_check(&self, keys: &CommitteeKeys, threshold: usize) -> Result<(), QuorumError> {
+        if self.signatures.len() < threshold {
+            return Err(QuorumError::InsufficientSigners);
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for (node, _) in &self.signatures {
+            if !seen.insert(*node) {
+                return Err(QuorumError::DuplicateSigner);
+            }
+            if keys.get(*node).is_none() {
+                return Err(QuorumError::UnknownSigner);
+            }
+        }
+        if seen.len() < threshold {
+            return Err(QuorumError::InsufficientSigners);
+        }
+        Ok(())
+    }
+}
+
+/// Verifies many certificates — typically one per committee for a whole round
+/// phase — with a **single** random-linear-combination batch check across all
+/// of their signatures, instead of one batch per certificate.
+///
+/// Input is `(certificate, that committee's key directory, threshold)`; the
+/// returned vector is aligned with the input. Structural rules are checked
+/// per certificate exactly as in [`QuorumCertificate::verify`]; certificates
+/// that fail them are excluded from the combined batch and reported
+/// individually. If the combined batch fails, each structurally valid
+/// certificate is re-checked on its own (via [`QuorumCertificate::verify_batch`],
+/// which itself falls back to the sequential path) so only the culprits are
+/// rejected and with a precise error.
+///
+/// Soundness matches `batch_verify`: the random coefficients are derived from
+/// a transcript over every `(R, PK, message, s)` in the combined batch, so a
+/// forged signature in one certificate cannot hide behind valid signatures
+/// from another committee.
+pub fn verify_certs_batch(
+    certs: &[(&QuorumCertificate, &CommitteeKeys, usize)],
+) -> Vec<Result<(), QuorumError>> {
+    // Structural pass; assemble signing bytes for the survivors.
+    let mut results: Vec<Result<(), QuorumError>> = Vec::with_capacity(certs.len());
+    let mut message_bytes: Vec<Vec<u8>> = Vec::new();
+    let mut spans: Vec<Option<usize>> = Vec::with_capacity(certs.len());
+    for (cert, keys, threshold) in certs {
+        match cert.structural_check(keys, *threshold) {
+            Err(err) => {
+                results.push(Err(err));
+                spans.push(None);
+            }
+            Ok(()) => {
+                spans.push(Some(message_bytes.len()));
+                for (node, _) in &cert.signatures {
+                    message_bytes.push(confirm_signing_bytes(&cert.id, &cert.digest, *node));
+                }
+                results.push(Ok(()));
+            }
+        }
+    }
+    // Crypto pass: one combined batch over every structurally valid certificate.
+    let mut entries: Vec<cycledger_crypto::schnorr::BatchEntry<'_>> = Vec::new();
+    for ((cert, keys, _), span) in certs.iter().zip(&spans) {
+        let Some(start) = span else { continue };
+        for (offset, (node, signature)) in cert.signatures.iter().enumerate() {
+            entries.push(cycledger_crypto::schnorr::BatchEntry {
+                public_key: keys.get(*node).expect("membership checked above"),
+                message: &message_bytes[start + offset],
+                signature,
+            });
+        }
+    }
+    if entries.is_empty() || cycledger_crypto::schnorr::batch_verify(&entries) {
+        return results;
+    }
+    // At least one certificate is bad: isolate the culprits per certificate.
+    for ((cert, keys, threshold), result) in certs.iter().zip(results.iter_mut()) {
+        if result.is_ok() {
+            *result = cert.verify_batch(keys, *threshold);
+        }
+    }
+    results
 }
 
 #[cfg(test)]
@@ -210,7 +285,7 @@ mod tests {
         let signatures = signers
             .iter()
             .map(|&i| {
-                let c = make_confirm(id, digest, NodeId(i as u32), &keypairs[i].secret, vec![]);
+                let c = make_confirm(id, digest, NodeId(i as u32), &keypairs[i], vec![]);
                 (NodeId(i as u32), c.signature)
             })
             .collect();
@@ -321,6 +396,68 @@ mod tests {
             bad.verify_batch_majority(&keys),
             Err(QuorumError::BadSignature)
         );
+    }
+
+    #[test]
+    fn cross_committee_batch_isolates_culprits() {
+        // Three committees with disjoint key sets, one certificate each.
+        let (kps_a, keys_a) = committee(5);
+        let kps_b: Vec<Keypair> = (0..5)
+            .map(|i| Keypair::from_seed(format!("qc-b-{i}").as_bytes()))
+            .collect();
+        let keys_b = CommitteeKeys::new(
+            kps_b
+                .iter()
+                .enumerate()
+                .map(|(i, kp)| (NodeId(i as u32), kp.public)),
+        );
+        let kps_c: Vec<Keypair> = (0..5)
+            .map(|i| Keypair::from_seed(format!("qc-c-{i}").as_bytes()))
+            .collect();
+        let keys_c = CommitteeKeys::new(
+            kps_c
+                .iter()
+                .enumerate()
+                .map(|(i, kp)| (NodeId(i as u32), kp.public)),
+        );
+        let digest = cycledger_crypto::sha256::sha256(b"decision");
+        let qc_a = certificate(&kps_a, &[0, 1, 2], digest);
+        let qc_b = certificate(&kps_b, &[1, 2, 3], digest);
+        let qc_c = certificate(&kps_c, &[0, 2, 4], digest);
+
+        // All valid: every slot Ok, one combined batch suffices.
+        let all = verify_certs_batch(&[
+            (&qc_a, &keys_a, 3),
+            (&qc_b, &keys_b, 3),
+            (&qc_c, &keys_c, 3),
+        ]);
+        assert_eq!(all, vec![Ok(()), Ok(()), Ok(())]);
+
+        // One forged signature in the middle certificate: only that slot is
+        // rejected, and with the precise error.
+        let mut bad_b = qc_b.clone();
+        let other = cycledger_crypto::sha256::sha256(b"other");
+        bad_b.signatures[1] = certificate(&kps_b, &[2], other).signatures[0];
+        let mixed = verify_certs_batch(&[
+            (&qc_a, &keys_a, 3),
+            (&bad_b, &keys_b, 3),
+            (&qc_c, &keys_c, 3),
+        ]);
+        assert_eq!(mixed, vec![Ok(()), Err(QuorumError::BadSignature), Ok(())]);
+
+        // Structural failures are reported per slot without disturbing others,
+        // and an all-structural-failure input performs no crypto at all.
+        let thin = certificate(&kps_a, &[0, 1], digest);
+        let structural = verify_certs_batch(&[(&thin, &keys_a, 3), (&qc_c, &keys_c, 3)]);
+        assert_eq!(
+            structural,
+            vec![Err(QuorumError::InsufficientSigners), Ok(())]
+        );
+        assert_eq!(
+            verify_certs_batch(&[(&thin, &keys_a, 3)]),
+            vec![Err(QuorumError::InsufficientSigners)]
+        );
+        assert!(verify_certs_batch(&[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Shared-ground-truth memoization of Schnorr verification results.
+//!
+//! One Algorithm 3 instance makes every member verify the *same* handful of
+//! signatures: the leader's PROPOSE signature is checked by all `C` members
+//! (and re-checked once per relaying ECHO), and each member's ECHO signature
+//! is checked by all `C − 1` receivers. The verification of a fixed
+//! `(public key, message, signature)` triple is a pure function, so the
+//! simulator shares one result table per instance instead of paying the curve
+//! multiplication once per receiver — exactly the idiom the inter-consensus
+//! phase already uses for transaction validity ("ground truth shared by every
+//! member, not once per member per transaction").
+//!
+//! The memo changes no protocol outcome: honest members would all compute the
+//! same boolean, equivocating payloads produce different message bytes (and
+//! therefore different memo keys), and a forged signature caches `false` for
+//! every receiver alike. With the memo, a `C`-member instance performs
+//! `O(C)` distinct verifications instead of `O(C²)`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cycledger_crypto::schnorr::{verify, PublicKey, Signature};
+use cycledger_crypto::sha256::{hash_parts, Digest};
+
+/// A cloneable handle to one instance's verification memo.
+///
+/// Handles are reference-counted (`Rc`): the driver creates one cache per
+/// Algorithm 3 instance and hands a clone to every member/leader state
+/// machine, which all run on the same worker thread. The default handle owns
+/// a fresh private memo, so state machines used standalone behave exactly as
+/// before.
+#[derive(Clone, Debug, Default)]
+pub struct SigCache {
+    results: Rc<RefCell<HashMap<Digest, bool>>>,
+}
+
+impl SigCache {
+    /// Creates an empty memo.
+    pub fn new() -> SigCache {
+        SigCache::default()
+    }
+
+    /// Verifies `signature` by `public_key` over `message`, serving repeated
+    /// queries for the same triple from the memo.
+    pub fn verify(&self, public_key: &PublicKey, message: &[u8], signature: &Signature) -> bool {
+        let key = hash_parts(&[
+            b"cycledger/sig-memo",
+            &public_key.to_bytes(),
+            message,
+            &signature.to_bytes(),
+        ]);
+        if let Some(&ok) = self.results.borrow().get(&key) {
+            return ok;
+        }
+        let ok = verify(public_key, message, signature);
+        self.results.borrow_mut().insert(key, ok);
+        ok
+    }
+
+    /// Number of distinct verifications performed so far.
+    pub fn len(&self) -> usize {
+        self.results.borrow().len()
+    }
+
+    /// True if no verification has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.results.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cycledger_crypto::schnorr::Keypair;
+
+    #[test]
+    fn memo_matches_direct_verification() {
+        let kp = Keypair::from_seed(b"sigcache-a");
+        let other = Keypair::from_seed(b"sigcache-b");
+        let sig = kp.sign(b"message");
+        let cache = SigCache::new();
+        assert!(cache.verify(&kp.public, b"message", &sig));
+        // Served from the memo; still true, no growth.
+        assert!(cache.verify(&kp.public, b"message", &sig));
+        assert_eq!(cache.len(), 1);
+        // Distinct triples are distinct entries, with the right verdicts.
+        assert!(!cache.verify(&other.public, b"message", &sig));
+        assert!(!cache.verify(&kp.public, b"other message", &sig));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn clones_share_one_memo() {
+        let kp = Keypair::from_seed(b"sigcache-c");
+        let sig = kp.sign(b"shared");
+        let cache = SigCache::new();
+        let handle = cache.clone();
+        assert!(cache.is_empty());
+        assert!(handle.verify(&kp.public, b"shared", &sig));
+        assert_eq!(cache.len(), 1, "clone writes into the shared table");
+    }
+}

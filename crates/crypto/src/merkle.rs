@@ -5,12 +5,37 @@
 //! commit to these lists and let light verifiers check membership of a single
 //! transaction or UTXO without the whole list.
 
-use crate::sha256::{hash_parts, Digest};
+use crate::sha256::{hash_parts, sha256_many, Digest};
 
 /// Domain tags keep leaf hashes and interior hashes in disjoint ranges, which
 /// blocks the classic "reinterpret an interior node as a leaf" forgery.
 const LEAF_DOMAIN: &[u8] = b"cycledger/merkle-leaf";
 const NODE_DOMAIN: &[u8] = b"cycledger/merkle-node";
+
+/// Byte length of an interior node's pre-image under the [`hash_parts`]
+/// framing: `le64(|tag|) ++ tag ++ le64(32) ++ left ++ le64(32) ++ right`.
+const NODE_MSG_LEN: usize = 8 + NODE_DOMAIN.len() + 8 + 32 + 8 + 32;
+
+/// Lane width for batched tree hashing (matches [`crate::sha256::sha256_x8`]).
+const LANES: usize = 8;
+
+/// Appends one length-prefixed part in the exact [`hash_parts`] framing.
+fn frame_part(buf: &mut Vec<u8>, part: &[u8]) {
+    buf.extend_from_slice(&(part.len() as u64).to_le_bytes());
+    buf.extend_from_slice(part);
+}
+
+/// Serializes an interior node's pre-image into a fixed scratch block.
+fn node_msg(left: &Digest, right: &Digest, out: &mut [u8; NODE_MSG_LEN]) {
+    let mut at = 0usize;
+    for part in [NODE_DOMAIN, left.as_bytes(), right.as_bytes()] {
+        out[at..at + 8].copy_from_slice(&(part.len() as u64).to_le_bytes());
+        at += 8;
+        out[at..at + part.len()].copy_from_slice(part);
+        at += part.len();
+    }
+    debug_assert_eq!(at, NODE_MSG_LEN);
+}
 
 /// A full Merkle tree retained in memory.
 ///
@@ -87,19 +112,51 @@ impl MerkleTree {
             width = width.div_ceil(2);
         }
         let mut nodes = Vec::with_capacity(total);
-        nodes.extend(iter.map(leaf_hash));
+        // Leaf level, hashed in interleaved lanes: each lane's message is the
+        // leaf pre-image under the `hash_parts` framing, staged into a small
+        // ring of reusable scratch buffers so full groups go through the
+        // 8-wide compression. Byte-identical to `iter.map(leaf_hash)`.
+        {
+            let mut scratch: [Vec<u8>; LANES] = Default::default();
+            let mut pending = 0usize;
+            for leaf in iter {
+                let buf = &mut scratch[pending];
+                buf.clear();
+                frame_part(buf, LEAF_DOMAIN);
+                frame_part(buf, leaf);
+                pending += 1;
+                if pending == LANES {
+                    let msgs: [&[u8]; LANES] = std::array::from_fn(|j| scratch[j].as_slice());
+                    sha256_many(&msgs, &mut nodes);
+                    pending = 0;
+                }
+            }
+            let msgs: [&[u8]; LANES] = std::array::from_fn(|j| scratch[j].as_slice());
+            sha256_many(&msgs[..pending], &mut nodes);
+        }
         let mut level_offsets = vec![0usize];
         let mut start = 0usize;
         let mut len = leaf_count;
+        // Interior levels: node pre-images are fixed-size, so groups of up to
+        // eight pairs are serialized into stack scratch blocks and hashed in
+        // lanes; a trailing odd node is promoted unchanged, as before.
+        let mut bufs = [[0u8; NODE_MSG_LEN]; LANES];
         while len > 1 {
-            for i in (0..len).step_by(2) {
-                let parent = if i + 1 < len {
-                    node_hash(&nodes[start + i], &nodes[start + i + 1])
-                } else {
-                    // Promote the odd node unchanged.
-                    nodes[start + i]
-                };
-                nodes.push(parent);
+            let pairs = len / 2;
+            let mut p = 0usize;
+            while p < pairs {
+                let k = LANES.min(pairs - p);
+                for (j, buf) in bufs[..k].iter_mut().enumerate() {
+                    let i = start + 2 * (p + j);
+                    node_msg(&nodes[i], &nodes[i + 1], buf);
+                }
+                let msgs: [&[u8]; LANES] = std::array::from_fn(|j| bufs[j].as_slice());
+                sha256_many(&msgs[..k], &mut nodes);
+                p += k;
+            }
+            if len % 2 == 1 {
+                let promoted = nodes[start + len - 1];
+                nodes.push(promoted);
             }
             start += len;
             level_offsets.push(start);
@@ -253,6 +310,30 @@ mod tests {
         let single = MerkleTree::build(&[b"x".to_vec()]);
         let double = MerkleTree::build(&[b"x".to_vec(), b"x".to_vec()]);
         assert_ne!(single.root(), double.root());
+    }
+
+    #[test]
+    fn lane_build_matches_sequential_reference() {
+        // The lane-batched build must reproduce, byte for byte, the tree the
+        // one-hash-at-a-time reference construction yields (sizes chosen to
+        // hit full groups, partial groups and odd-node promotion).
+        for n in [1usize, 2, 3, 5, 7, 8, 9, 15, 16, 17, 23, 31, 32, 33, 64, 65] {
+            let data = leaves(n);
+            let tree = MerkleTree::build(&data);
+            let mut level: Vec<Digest> = data.iter().map(|l| leaf_hash(l)).collect();
+            while level.len() > 1 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                for pair in level.chunks(2) {
+                    next.push(if pair.len() == 2 {
+                        node_hash(&pair[0], &pair[1])
+                    } else {
+                        pair[0]
+                    });
+                }
+                level = next;
+            }
+            assert_eq!(tree.root(), level[0], "n={n}");
+        }
     }
 
     #[test]

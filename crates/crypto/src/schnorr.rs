@@ -108,9 +108,10 @@ impl Keypair {
         }
     }
 
-    /// Signs a message (see [`sign`]).
+    /// Signs a message (see [`sign`]), reusing the cached public key instead
+    /// of re-deriving it from the secret scalar on every call.
     pub fn sign(&self, message: &[u8]) -> Signature {
-        sign(&self.secret, message)
+        sign_with_public(&self.secret, &self.public, message)
     }
 }
 
@@ -124,7 +125,19 @@ fn challenge(r: &AffinePoint, pk: &PublicKey, message: &[u8]) -> Scalar {
 
 /// Signs `message` with `sk` using a deterministic nonce.
 pub fn sign(sk: &SecretKey, message: &[u8]) -> Signature {
-    let pk = sk.public_key();
+    sign_with_public(sk, &sk.public_key(), message)
+}
+
+/// [`sign`] with the signer's public key supplied by the caller.
+///
+/// Deriving `PK` from the secret scalar is a full fixed-base multiplication —
+/// as expensive as computing the nonce commitment `R` — and every signer in
+/// the simulator already holds its [`Keypair`]. Passing the key halves the
+/// cost of a signature. `pk` **must** be `sk`'s public key; a mismatched key
+/// produces signatures that fail verification (the Fiat–Shamir challenge
+/// binds `PK`), it cannot forge anything.
+pub fn sign_with_public(sk: &SecretKey, pk: &PublicKey, message: &[u8]) -> Signature {
+    let pk = *pk;
     let mut drbg = HmacDrbg::from_parts(
         "cycledger/schnorr-nonce",
         &[&sk.scalar().to_be_bytes(), message],
@@ -174,10 +187,11 @@ pub struct BatchEntry<'a> {
 ///
 /// `(Σ z_i·s_i)·G == Σ z_i·R_i + Σ (z_i·e_i)·PK_i`
 ///
-/// which replaces `2n` fixed-base plus `n` variable-base multiplications by
-/// `1 + 2n` multiplications and two point sums — and, more importantly here,
-/// gives the protocol layer a single entry point it can hand an executor a
-/// whole per-shard vote set at once. An empty batch verifies trivially.
+/// rearranged as `Σ z_i·R_i + Σ (z_i·e_i)·PK_i − (Σ z_i·s_i)·G == ∞` and
+/// evaluated as a *single* `2n+1`-term [`Point::multi_mul`] over one shared
+/// doubling chain — so the per-signature cost is a few dozen point additions
+/// instead of a full ladder, and the whole batch pays the 256 doublings once.
+/// An empty batch verifies trivially.
 ///
 /// Returns `false` if *any* signature in the batch is invalid; callers that
 /// need to identify the culprit fall back to per-signature [`verify`].
@@ -202,7 +216,7 @@ pub fn batch_verify(entries: &[BatchEntry<'_>]) -> bool {
     let seed = hash_parts(&[b"cycledger/schnorr-batch-seed", &transcript]);
 
     let mut scaled_s = Scalar::zero();
-    let mut rhs = Point::infinity();
+    let mut terms: Vec<(Scalar, Point)> = Vec::with_capacity(entries.len() * 2 + 1);
     for (i, entry) in entries.iter().enumerate() {
         if !entry.signature.r.is_on_curve() || !entry.public_key.point().is_on_curve() {
             return false;
@@ -214,15 +228,11 @@ pub fn batch_verify(entries: &[BatchEntry<'_>]) -> bool {
         );
         let e = challenge(&entry.signature.r, entry.public_key, entry.message);
         scaled_s = scaled_s.add(&z.mul(&entry.signature.s));
-        // One Strauss–Shamir combination per entry: z·R_i + (z·e_i)·PK_i.
-        rhs = rhs.add(&Point::mul_double(
-            &z,
-            &entry.signature.r.to_point(),
-            &z.mul(&e),
-            &entry.public_key.point().to_point(),
-        ));
+        terms.push((z, entry.signature.r.to_point()));
+        terms.push((z.mul(&e), entry.public_key.point().to_point()));
     }
-    Point::mul_generator(&scaled_s).equals(&rhs)
+    terms.push((scaled_s.neg(), Point::generator()));
+    Point::multi_mul(&terms).is_infinity()
 }
 
 impl Signature {

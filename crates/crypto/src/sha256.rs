@@ -230,6 +230,41 @@ fn compress(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
     compress_scalar(state, block);
 }
 
+/// Compresses `L` independent 64-byte blocks into `L` independent states.
+///
+/// This is the multi-lane counterpart of [`compress`], dispatching through
+/// the same one-time CPU-feature check. On SHA-NI hardware the lanes run as
+/// interleaved **pairs**: one `sha256rnds2` chain has more latency than
+/// throughput, so two independent chains fill the pipeline bubble, while
+/// deeper hardware interleave would only spill registers (each lane holds six
+/// live `xmm` values). Without SHA-NI the portable multi-lane compression
+/// keeps all `L` message schedules and working states in lane-indexed arrays,
+/// which the auto-vectorizer turns into 4-wide (SSE2) or wider SIMD.
+///
+/// Lane order is preserved and every lane is bit-identical to running
+/// [`compress`] on it alone — the single-lane path is the differential oracle
+/// for this one.
+fn compress_multi<const L: usize>(states: &mut [[u32; 8]; L], blocks: &[[u8; BLOCK_LEN]; L]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if shani::available() {
+            let mut l = 0;
+            while l + 2 <= L {
+                let (head, tail) = states.split_at_mut(l + 1);
+                // SAFETY: `available()` verified the sha/ssse3/sse4.1 features.
+                unsafe { shani::compress2(&mut head[l], &mut tail[0], &blocks[l], &blocks[l + 1]) };
+                l += 2;
+            }
+            if l < L {
+                // SAFETY: as above.
+                unsafe { shani::compress(&mut states[l], &blocks[l]) };
+            }
+            return;
+        }
+    }
+    compress_scalar_multi(states, blocks);
+}
+
 /// Hardware SHA-256 (x86-64 SHA New Instructions), the standard ABEF/CDGH
 /// two-lane formulation.
 #[cfg(target_arch = "x86_64")]
@@ -459,6 +494,332 @@ mod shani {
         _mm_storeu_si128(state.as_mut_ptr().cast::<__m128i>(), state0);
         _mm_storeu_si128(state.as_mut_ptr().add(4).cast::<__m128i>(), state1);
     }
+
+    /// Two independent compressions, round-interleaved.
+    ///
+    /// `sha256rnds2` has several cycles of latency but near-single-cycle
+    /// throughput, so a lone chain leaves the SHA unit mostly idle between
+    /// dependent rounds. Interleaving two independent chains (12 live `xmm`
+    /// values, within the 16-register budget) fills those bubbles; the
+    /// multi-lane entry point builds 4- and 8-lane batches out of these
+    /// pairs. Lane results are bit-identical to two [`compress`] calls.
+    ///
+    /// # Safety
+    /// Caller must ensure the `sha`, `ssse3` and `sse4.1` CPU features are
+    /// present (see [`available`]).
+    // The last message-schedule groups still run their `msg1` half-steps to
+    // keep the macro uniform; those final results are intentionally unread.
+    #[allow(unused_assignments)]
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    pub unsafe fn compress2(
+        state_a: &mut [u32; 8],
+        state_b: &mut [u32; 8],
+        block_a: &[u8; BLOCK_LEN],
+        block_b: &[u8; BLOCK_LEN],
+    ) {
+        // Both lanes advance in lockstep through the same round groups as
+        // `compress`; every hardware instruction is issued for lane A then
+        // lane B so the two dependency chains alternate in the pipeline.
+        macro_rules! rounds4x2 {
+            ($s0a:ident, $s1a:ident, $ma:expr, $s0b:ident, $s1b:ident, $mb:expr,
+             $k_hi:expr, $k_lo:expr) => {{
+                let k = _mm_set_epi64x($k_hi, $k_lo);
+                let mut msg_a = _mm_add_epi32($ma, k);
+                let mut msg_b = _mm_add_epi32($mb, k);
+                $s1a = _mm_sha256rnds2_epu32($s1a, $s0a, msg_a);
+                $s1b = _mm_sha256rnds2_epu32($s1b, $s0b, msg_b);
+                msg_a = _mm_shuffle_epi32(msg_a, 0x0E);
+                msg_b = _mm_shuffle_epi32(msg_b, 0x0E);
+                $s0a = _mm_sha256rnds2_epu32($s0a, $s1a, msg_a);
+                $s0b = _mm_sha256rnds2_epu32($s0b, $s1b, msg_b);
+            }};
+        }
+
+        macro_rules! schedule4x2 {
+            ($s0a:ident, $s1a:ident, $cura:ident, $nexta:ident, $preva:ident,
+             $s0b:ident, $s1b:ident, $curb:ident, $nextb:ident, $prevb:ident,
+             $k_hi:expr, $k_lo:expr) => {{
+                let k = _mm_set_epi64x($k_hi, $k_lo);
+                let mut msg_a = _mm_add_epi32($cura, k);
+                let mut msg_b = _mm_add_epi32($curb, k);
+                $s1a = _mm_sha256rnds2_epu32($s1a, $s0a, msg_a);
+                $s1b = _mm_sha256rnds2_epu32($s1b, $s0b, msg_b);
+                let tmp_a = _mm_alignr_epi8($cura, $preva, 4);
+                let tmp_b = _mm_alignr_epi8($curb, $prevb, 4);
+                $nexta = _mm_add_epi32($nexta, tmp_a);
+                $nextb = _mm_add_epi32($nextb, tmp_b);
+                $nexta = _mm_sha256msg2_epu32($nexta, $cura);
+                $nextb = _mm_sha256msg2_epu32($nextb, $curb);
+                msg_a = _mm_shuffle_epi32(msg_a, 0x0E);
+                msg_b = _mm_shuffle_epi32(msg_b, 0x0E);
+                $s0a = _mm_sha256rnds2_epu32($s0a, $s1a, msg_a);
+                $s0b = _mm_sha256rnds2_epu32($s0b, $s1b, msg_b);
+                $preva = _mm_sha256msg1_epu32($preva, $cura);
+                $prevb = _mm_sha256msg1_epu32($prevb, $curb);
+            }};
+        }
+
+        macro_rules! load_lane {
+            ($state:ident, $block:ident,
+             $s0:ident, $s1:ident, $abef:ident, $cdgh:ident,
+             $m0:ident, $m1:ident, $m2:ident, $m3:ident, $mask:ident) => {
+                let tmp = _mm_loadu_si128($state.as_ptr().cast::<__m128i>());
+                let mut $s1 = _mm_loadu_si128($state.as_ptr().add(4).cast::<__m128i>());
+                let tmp = _mm_shuffle_epi32(tmp, 0xB1); // CDAB
+                $s1 = _mm_shuffle_epi32($s1, 0x1B); // EFGH
+                let mut $s0 = _mm_alignr_epi8(tmp, $s1, 8); // ABEF
+                $s1 = _mm_blend_epi16($s1, tmp, 0xF0); // CDGH
+                let $abef = $s0;
+                let $cdgh = $s1;
+                let p = $block.as_ptr().cast::<__m128i>();
+                let mut $m0 = _mm_shuffle_epi8(_mm_loadu_si128(p), $mask);
+                let mut $m1 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(1)), $mask);
+                let mut $m2 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(2)), $mask);
+                let mut $m3 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(3)), $mask);
+            };
+        }
+
+        macro_rules! store_lane {
+            ($state:ident, $s0:ident, $s1:ident, $abef:ident, $cdgh:ident) => {
+                $s0 = _mm_add_epi32($s0, $abef);
+                $s1 = _mm_add_epi32($s1, $cdgh);
+                let tmp = _mm_shuffle_epi32($s0, 0x1B); // FEBA
+                $s1 = _mm_shuffle_epi32($s1, 0xB1); // DCHG
+                $s0 = _mm_blend_epi16(tmp, $s1, 0xF0); // DCBA
+                $s1 = _mm_alignr_epi8($s1, tmp, 8); // HGFE
+                _mm_storeu_si128($state.as_mut_ptr().cast::<__m128i>(), $s0);
+                _mm_storeu_si128($state.as_mut_ptr().add(4).cast::<__m128i>(), $s1);
+            };
+        }
+
+        let mask = _mm_set_epi64x(
+            0x0c0d_0e0f_0809_0a0bu64 as i64,
+            0x0405_0607_0001_0203u64 as i64,
+        );
+        load_lane!(state_a, block_a, s0a, s1a, abef_a, cdgh_a, m0a, m1a, m2a, m3a, mask);
+        load_lane!(state_b, block_b, s0b, s1b, abef_b, cdgh_b, m0b, m1b, m2b, m3b, mask);
+
+        // Rounds 0-11: raw message words, with the first msg1 steps.
+        rounds4x2!(
+            s0a,
+            s1a,
+            m0a,
+            s0b,
+            s1b,
+            m0b,
+            0xE9B5DBA5B5C0FBCFu64 as i64,
+            0x71374491428A2F98u64 as i64
+        );
+        rounds4x2!(
+            s0a,
+            s1a,
+            m1a,
+            s0b,
+            s1b,
+            m1b,
+            0xAB1C5ED5923F82A4u64 as i64,
+            0x59F111F13956C25Bu64 as i64
+        );
+        m0a = _mm_sha256msg1_epu32(m0a, m1a);
+        m0b = _mm_sha256msg1_epu32(m0b, m1b);
+        rounds4x2!(
+            s0a,
+            s1a,
+            m2a,
+            s0b,
+            s1b,
+            m2b,
+            0x550C7DC3243185BEu64 as i64,
+            0x12835B01D807AA98u64 as i64
+        );
+        m1a = _mm_sha256msg1_epu32(m1a, m2a);
+        m1b = _mm_sha256msg1_epu32(m1b, m2b);
+
+        // Rounds 12-59: steady-state schedule (same rotation as `compress`).
+        schedule4x2!(
+            s0a,
+            s1a,
+            m3a,
+            m0a,
+            m2a,
+            s0b,
+            s1b,
+            m3b,
+            m0b,
+            m2b,
+            0xC19BF1749BDC06A7u64 as i64,
+            0x80DEB1FE72BE5D74u64 as i64
+        );
+        schedule4x2!(
+            s0a,
+            s1a,
+            m0a,
+            m1a,
+            m3a,
+            s0b,
+            s1b,
+            m0b,
+            m1b,
+            m3b,
+            0x240CA1CC0FC19DC6u64 as i64,
+            0xEFBE4786E49B69C1u64 as i64
+        );
+        schedule4x2!(
+            s0a,
+            s1a,
+            m1a,
+            m2a,
+            m0a,
+            s0b,
+            s1b,
+            m1b,
+            m2b,
+            m0b,
+            0x76F988DA5CB0A9DCu64 as i64,
+            0x4A7484AA2DE92C6Fu64 as i64
+        );
+        schedule4x2!(
+            s0a,
+            s1a,
+            m2a,
+            m3a,
+            m1a,
+            s0b,
+            s1b,
+            m2b,
+            m3b,
+            m1b,
+            0xBF597FC7B00327C8u64 as i64,
+            0xA831C66D983E5152u64 as i64
+        );
+        schedule4x2!(
+            s0a,
+            s1a,
+            m3a,
+            m0a,
+            m2a,
+            s0b,
+            s1b,
+            m3b,
+            m0b,
+            m2b,
+            0x1429296706CA6351u64 as i64,
+            0xD5A79147C6E00BF3u64 as i64
+        );
+        schedule4x2!(
+            s0a,
+            s1a,
+            m0a,
+            m1a,
+            m3a,
+            s0b,
+            s1b,
+            m0b,
+            m1b,
+            m3b,
+            0x53380D134D2C6DFCu64 as i64,
+            0x2E1B213827B70A85u64 as i64
+        );
+        schedule4x2!(
+            s0a,
+            s1a,
+            m1a,
+            m2a,
+            m0a,
+            s0b,
+            s1b,
+            m1b,
+            m2b,
+            m0b,
+            0x92722C8581C2C92Eu64 as i64,
+            0x766A0ABB650A7354u64 as i64
+        );
+        schedule4x2!(
+            s0a,
+            s1a,
+            m2a,
+            m3a,
+            m1a,
+            s0b,
+            s1b,
+            m2b,
+            m3b,
+            m1b,
+            0xC76C51A3C24B8B70u64 as i64,
+            0xA81A664BA2BFE8A1u64 as i64
+        );
+        schedule4x2!(
+            s0a,
+            s1a,
+            m3a,
+            m0a,
+            m2a,
+            s0b,
+            s1b,
+            m3b,
+            m0b,
+            m2b,
+            0x106AA070F40E3585u64 as i64,
+            0xD6990624D192E819u64 as i64
+        );
+        schedule4x2!(
+            s0a,
+            s1a,
+            m0a,
+            m1a,
+            m3a,
+            s0b,
+            s1b,
+            m0b,
+            m1b,
+            m3b,
+            0x34B0BCB52748774Cu64 as i64,
+            0x1E376C0819A4C116u64 as i64
+        );
+        schedule4x2!(
+            s0a,
+            s1a,
+            m1a,
+            m2a,
+            m0a,
+            s0b,
+            s1b,
+            m1b,
+            m2b,
+            m0b,
+            0x682E6FF35B9CCA4Fu64 as i64,
+            0x4ED8AA4A391C0CB3u64 as i64
+        );
+        schedule4x2!(
+            s0a,
+            s1a,
+            m2a,
+            m3a,
+            m1a,
+            s0b,
+            s1b,
+            m2b,
+            m3b,
+            m1b,
+            0x8CC7020884C87814u64 as i64,
+            0x78A5636F748F82EEu64 as i64
+        );
+
+        // Rounds 60-63: last group, nothing left to schedule.
+        rounds4x2!(
+            s0a,
+            s1a,
+            m3a,
+            s0b,
+            s1b,
+            m3b,
+            0xC67178F2BEF9A3F7u64 as i64,
+            0xA4506CEB90BEFFFAu64 as i64
+        );
+
+        store_lane!(state_a, s0a, s1a, abef_a, cdgh_a);
+        store_lane!(state_b, s0b, s1b, abef_b, cdgh_b);
+    }
 }
 
 /// Portable scalar compression function (FIPS 180-4 reference formulation).
@@ -504,6 +865,191 @@ fn compress_scalar(state: &mut [u32; 8], block: &[u8; BLOCK_LEN]) {
     state[5] = state[5].wrapping_add(f);
     state[6] = state[6].wrapping_add(g);
     state[7] = state[7].wrapping_add(h);
+}
+
+/// Portable multi-lane compression: `L` schedules and working states kept in
+/// lane-indexed arrays.
+///
+/// The per-round formulas are exactly those of [`compress_scalar`], applied
+/// to all lanes before moving to the next round. Laying the data out
+/// lane-major turns every round into `L` independent identical operations on
+/// adjacent words — the shape LLVM's auto-vectorizer folds into 4-wide SSE2
+/// (or wider) integer SIMD, and failing that, the interleave still overlaps
+/// the lanes' dependency chains in the scalar pipeline.
+#[allow(clippy::needless_range_loop)] // `l` addresses the same lane across several rows of `w`
+fn compress_scalar_multi<const L: usize>(
+    states: &mut [[u32; 8]; L],
+    blocks: &[[u8; BLOCK_LEN]; L],
+) {
+    // Message schedules, lane-major: w[round][lane].
+    let mut w = [[0u32; L]; 64];
+    for l in 0..L {
+        for i in 0..16 {
+            w[i][l] = u32::from_be_bytes(blocks[l][4 * i..4 * i + 4].try_into().expect("word"));
+        }
+    }
+    for i in 16..64 {
+        for l in 0..L {
+            let s0 =
+                w[i - 15][l].rotate_right(7) ^ w[i - 15][l].rotate_right(18) ^ (w[i - 15][l] >> 3);
+            let s1 =
+                w[i - 2][l].rotate_right(17) ^ w[i - 2][l].rotate_right(19) ^ (w[i - 2][l] >> 10);
+            w[i][l] = w[i - 16][l]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7][l])
+                .wrapping_add(s1);
+        }
+    }
+    let mut a = [0u32; L];
+    let mut b = [0u32; L];
+    let mut c = [0u32; L];
+    let mut d = [0u32; L];
+    let mut e = [0u32; L];
+    let mut f = [0u32; L];
+    let mut g = [0u32; L];
+    let mut h = [0u32; L];
+    for l in 0..L {
+        [a[l], b[l], c[l], d[l], e[l], f[l], g[l], h[l]] = states[l];
+    }
+    for i in 0..64 {
+        for l in 0..L {
+            let s1 = e[l].rotate_right(6) ^ e[l].rotate_right(11) ^ e[l].rotate_right(25);
+            let ch = (e[l] & f[l]) ^ ((!e[l]) & g[l]);
+            let t1 = h[l]
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i][l]);
+            let s0 = a[l].rotate_right(2) ^ a[l].rotate_right(13) ^ a[l].rotate_right(22);
+            let maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+            let t2 = s0.wrapping_add(maj);
+            h[l] = g[l];
+            g[l] = f[l];
+            f[l] = e[l];
+            e[l] = d[l].wrapping_add(t1);
+            d[l] = c[l];
+            c[l] = b[l];
+            b[l] = a[l];
+            a[l] = t1.wrapping_add(t2);
+        }
+    }
+    for l in 0..L {
+        states[l][0] = states[l][0].wrapping_add(a[l]);
+        states[l][1] = states[l][1].wrapping_add(b[l]);
+        states[l][2] = states[l][2].wrapping_add(c[l]);
+        states[l][3] = states[l][3].wrapping_add(d[l]);
+        states[l][4] = states[l][4].wrapping_add(e[l]);
+        states[l][5] = states[l][5].wrapping_add(f[l]);
+        states[l][6] = states[l][6].wrapping_add(g[l]);
+        states[l][7] = states[l][7].wrapping_add(h[l]);
+    }
+}
+
+/// One lane of a multi-lane hash: a message plus its padded block count.
+struct Lane<'a> {
+    data: &'a [u8],
+    /// Number of 64-byte blocks after FIPS 180-4 padding.
+    blocks: usize,
+}
+
+impl<'a> Lane<'a> {
+    fn new(data: &'a [u8]) -> Lane<'a> {
+        Lane {
+            data,
+            blocks: (data.len() + 9).div_ceil(BLOCK_LEN),
+        }
+    }
+
+    /// Materializes padded block `j` into `out`.
+    ///
+    /// Full blocks copy straight from the message; only the final one or two
+    /// blocks take the byte-wise path that lays down `0x80`, the zero run and
+    /// the big-endian bit length.
+    fn block_into(&self, j: usize, out: &mut [u8; BLOCK_LEN]) {
+        debug_assert!(j < self.blocks);
+        let start = j * BLOCK_LEN;
+        if start + BLOCK_LEN <= self.data.len() {
+            out.copy_from_slice(&self.data[start..start + BLOCK_LEN]);
+            return;
+        }
+        let bit_len = (self.data.len() as u64).wrapping_mul(8).to_be_bytes();
+        let len_start = self.blocks * BLOCK_LEN - 8;
+        for (k, byte) in out.iter_mut().enumerate() {
+            let pos = start + k;
+            *byte = if pos < self.data.len() {
+                self.data[pos]
+            } else if pos == self.data.len() {
+                0x80
+            } else if pos >= len_start {
+                bit_len[pos - len_start]
+            } else {
+                0
+            };
+        }
+    }
+}
+
+/// One-shot SHA-256 of `L` messages hashed in interleaved lanes.
+///
+/// Byte-identical to `L` independent [`sha256`] calls — multi-lane execution
+/// is purely a throughput optimization (see `compress_multi`). Lanes
+/// proceed in lockstep while every lane still has padded blocks left; once
+/// the shortest message is exhausted the stragglers finish on the single-lane
+/// path. Peak benefit therefore comes from similarly-sized messages (Merkle
+/// nodes, batched transaction encodings), but any mix is correct.
+pub fn sha256_lanes<const L: usize>(messages: [&[u8]; L]) -> [Digest; L] {
+    let lanes: [Lane<'_>; L] = messages.map(Lane::new);
+    let mut states = [H0; L];
+    let lockstep = lanes.iter().map(|l| l.blocks).min().unwrap_or(0);
+    let mut blocks = [[0u8; BLOCK_LEN]; L];
+    for j in 0..lockstep {
+        for (lane, block) in lanes.iter().zip(blocks.iter_mut()) {
+            lane.block_into(j, block);
+        }
+        compress_multi(&mut states, &blocks);
+    }
+    let mut out = [Digest::ZERO; L];
+    for l in 0..L {
+        for j in lockstep..lanes[l].blocks {
+            lanes[l].block_into(j, &mut blocks[l]);
+            compress(&mut states[l], &blocks[l]);
+        }
+        for (i, word) in states[l].iter().enumerate() {
+            out[l].0[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+    }
+    out
+}
+
+/// Four-lane one-shot SHA-256 (see [`sha256_lanes`]).
+pub fn sha256_x4(messages: [&[u8]; 4]) -> [Digest; 4] {
+    sha256_lanes(messages)
+}
+
+/// Eight-lane one-shot SHA-256 (see [`sha256_lanes`]).
+pub fn sha256_x8(messages: [&[u8]; 8]) -> [Digest; 8] {
+    sha256_lanes(messages)
+}
+
+/// SHA-256 of many independent messages, filling 8-wide then 4-wide lanes.
+///
+/// Equivalent to mapping [`sha256`] over `messages`; the lane width is chosen
+/// per chunk (8, then 4, then single) so every message is hashed exactly
+/// once with the widest batch that still fills.
+pub fn sha256_many(messages: &[&[u8]], out: &mut Vec<Digest>) {
+    out.reserve(messages.len());
+    let mut rest = messages;
+    while rest.len() >= 8 {
+        let (chunk, tail) = rest.split_at(8);
+        out.extend(sha256_x8(chunk.try_into().expect("8 messages")));
+        rest = tail;
+    }
+    if rest.len() >= 4 {
+        let (chunk, tail) = rest.split_at(4);
+        out.extend(sha256_x4(chunk.try_into().expect("4 messages")));
+        rest = tail;
+    }
+    out.extend(rest.iter().map(|m| sha256(m)));
 }
 
 /// One-shot SHA-256 of a byte slice.
@@ -628,6 +1174,101 @@ mod tests {
     }
 
     #[test]
+    fn multi_lane_compress_matches_single_lane() {
+        // `compress_multi` (SHA-NI interleaved pairs or the scalar interleave)
+        // must be bit-identical to running `compress` on each lane alone, for
+        // both supported widths and across distinct per-lane states/blocks.
+        fn check<const L: usize>() {
+            let mut states = [[0u32; 8]; L];
+            let mut blocks = [[0u8; BLOCK_LEN]; L];
+            for l in 0..L {
+                for (i, w) in states[l].iter_mut().enumerate() {
+                    *w = H0[i] ^ (l as u32).wrapping_mul(0x9E37_79B9);
+                }
+                for (i, b) in blocks[l].iter_mut().enumerate() {
+                    *b = ((i * 17 + l * 89) % 251) as u8;
+                }
+            }
+            let mut expected = states;
+            for l in 0..L {
+                compress(&mut expected[l], &blocks[l]);
+            }
+            compress_multi(&mut states, &blocks);
+            assert_eq!(states, expected, "lane width {L}");
+        }
+        check::<4>();
+        check::<8>();
+        // Odd width exercises the SHA-NI pair loop's single-lane remainder.
+        check::<5>();
+    }
+
+    #[test]
+    fn lanes_match_single_lane_at_block_boundaries() {
+        // Lengths straddling the one- and two-block padding boundaries; the
+        // lanes deliberately have *different* lengths so the lockstep prefix
+        // and the straggler tail are both exercised.
+        let boundary: Vec<Vec<u8>> = [0usize, 1, 55, 56, 63, 64, 65, 119, 127, 128, 129, 200]
+            .iter()
+            .map(|&len| (0..len).map(|i| (i * 31 % 251) as u8).collect())
+            .collect();
+        for window in boundary.windows(4) {
+            let msgs: [&[u8]; 4] = [&window[0], &window[1], &window[2], &window[3]];
+            let got = sha256_x4(msgs);
+            for (l, m) in msgs.iter().enumerate() {
+                assert_eq!(got[l], sha256(m), "x4 lane {l} len {}", m.len());
+            }
+        }
+        for window in boundary.windows(8) {
+            let msgs: [&[u8]; 8] = std::array::from_fn(|i| window[i].as_slice());
+            let got = sha256_x8(msgs);
+            for (l, m) in msgs.iter().enumerate() {
+                assert_eq!(got[l], sha256(m), "x8 lane {l} len {}", m.len());
+            }
+        }
+    }
+
+    #[test]
+    fn nist_vectors_in_every_lane_position() {
+        // Each NIST vector must come out right regardless of which lane it
+        // occupies and what its neighbours are.
+        let vectors: [(&[u8], &str); 3] = [
+            (
+                b"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                b"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+        ];
+        for pos in 0..8 {
+            for (data, hex) in vectors {
+                let mut msgs: [&[u8]; 8] = [b"filler-lane-content"; 8];
+                msgs[pos] = data;
+                let got = sha256_x8(msgs);
+                assert_eq!(got[pos].to_hex(), hex, "lane {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn sha256_many_matches_map() {
+        // 13 messages: one full x8 chunk, one x4 chunk, one single straggler.
+        let data: Vec<Vec<u8>> = (0..13usize)
+            .map(|i| (0..i * 23).map(|j| (j % 251) as u8).collect())
+            .collect();
+        let msgs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let mut got = Vec::new();
+        sha256_many(&msgs, &mut got);
+        let expected: Vec<Digest> = msgs.iter().map(|m| sha256(m)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
     fn long_message_nist_vector() {
         // NIST "long message" style vector: one million 'a's, streamed through
         // an unaligned chunk size so full blocks are compressed straight from
@@ -661,6 +1302,32 @@ mod tests {
             }
             h.update(rest);
             prop_assert_eq!(h.finalize(), sha256(&data));
+        }
+
+        #[test]
+        fn prop_x4_lanes_match_oneshot(
+            data in proptest::collection::vec(any::<u8>(), 0..600),
+            lens in proptest::collection::vec(0usize..150, 4..5),
+        ) {
+            let msgs: [&[u8]; 4] =
+                std::array::from_fn(|i| &data[..lens[i].min(data.len())]);
+            let got = sha256_x4(msgs);
+            for (l, m) in msgs.iter().enumerate() {
+                prop_assert_eq!(got[l], sha256(m), "lane {}", l);
+            }
+        }
+
+        #[test]
+        fn prop_x8_lanes_match_oneshot(
+            data in proptest::collection::vec(any::<u8>(), 0..600),
+            lens in proptest::collection::vec(0usize..300, 8..9),
+        ) {
+            let msgs: [&[u8]; 8] =
+                std::array::from_fn(|i| &data[..lens[i].min(data.len())]);
+            let got = sha256_x8(msgs);
+            for (l, m) in msgs.iter().enumerate() {
+                prop_assert_eq!(got[l], sha256(m), "lane {}", l);
+            }
         }
 
         #[test]

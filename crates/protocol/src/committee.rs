@@ -16,6 +16,7 @@ use cycledger_consensus::messages::{
     make_propose, make_propose_unsigned, Alg3Message, ConsensusId,
 };
 use cycledger_consensus::quorum::{CommitteeKeys, QuorumCertificate};
+use cycledger_consensus::sigcache::SigCache;
 use cycledger_consensus::witness::EquivocationEvidence;
 use cycledger_net::latency::LinkClass;
 use cycledger_net::network::SimNetwork;
@@ -179,13 +180,13 @@ pub fn run_inside_consensus<M: CarriesAlg3>(
     // the leader attaches placeholders instead of paying a curve
     // multiplication per proposal; digests and wire sizes are unchanged.
     let main_propose = if verify_signatures {
-        make_propose(id, payload, leader_node, &leader_key.secret)
+        make_propose(id, payload, leader_node, &leader_key)
     } else {
         make_propose_unsigned(id, payload, leader_node)
     };
     let alt_propose = match &fault {
         LeaderFault::Equivocate { alternate } => Some(if verify_signatures {
-            make_propose(id, alternate.clone(), leader_node, &leader_key.secret)
+            make_propose(id, alternate.clone(), leader_node, &leader_key)
         } else {
             make_propose_unsigned(id, alternate.clone(), leader_node)
         }),
@@ -193,6 +194,11 @@ pub fn run_inside_consensus<M: CarriesAlg3>(
     };
 
     // Per-member state machines (the leader participates as a member too).
+    // All state machines of one instance share a signature-verification memo:
+    // the same multicast signature is then checked once for the whole
+    // committee instead of once per receiver (same ground-truth-sharing idiom
+    // as the per-transaction validity table in the inter-consensus phase).
+    let sig_cache = SigCache::new();
     let mut members: BTreeMap<NodeId, MemberState> = BTreeMap::new();
     for &node in &committee.members {
         let mut state = MemberState::new(
@@ -203,10 +209,12 @@ pub fn run_inside_consensus<M: CarriesAlg3>(
             committee.keys.clone(),
         );
         state.set_verify_signatures(verify_signatures);
+        state.set_sig_cache(sig_cache.clone());
         members.insert(node, state);
     }
     let mut leader_state = LeaderState::new(id, main_propose.digest, committee.keys.clone());
     leader_state.set_verify_signatures(verify_signatures);
+    leader_state.set_sig_cache(sig_cache);
 
     // Malicious non-leader members do not participate (worst case: withholding).
     let silent_members: std::collections::HashSet<NodeId> = committee

@@ -56,6 +56,14 @@ pub struct ProtocolConfig {
     /// on the driver thread. Simulation output is byte-identical for any
     /// value (see [`crate::engine`]'s determinism contract).
     pub worker_threads: usize,
+    /// Pipeline consecutive rounds: round `r`'s per-shard block application
+    /// drains on the executor's workers while round `r+1` runs its
+    /// configuration and semi-commitment phases, and is joined before `r+1`
+    /// touches the shard UTXO sets. A pure scheduling change — summaries and
+    /// scenario reports are byte-identical to the sequential engine for any
+    /// worker count (asserted by the determinism tests), which is why this
+    /// flag is never emitted into reports or goldens.
+    pub pipelined: bool,
     /// Master seed for all deterministic randomness.
     pub seed: u64,
 }
@@ -80,6 +88,7 @@ impl Default for ProtocolConfig {
             verify_signatures: true,
             message_driven: false,
             worker_threads: 0,
+            pipelined: false,
             seed: 42,
         }
     }

@@ -103,14 +103,15 @@ impl RoundPhase for SemiCommitmentPhase {
 /// Outputs: `ctx.intra_outcomes` (committee order) and per-worker metrics
 /// merged in committee order.
 ///
-/// When signature verification is on, each task also plays the referee's
-/// part: the certificate forwarded with the `TXdecSET` is checked with the
-/// batched per-shard vote-set verification
-/// ([`QuorumCertificate::verify_batch`]); a certificate that fails is
+/// When signature verification is on, the driver then plays the referee's
+/// part: the certificates forwarded with the `TXdecSET`s of **all**
+/// committees are checked with one cross-committee
+/// [`verify_certs_batch`] — a single random-linear-combination batch per
+/// round rather than one batch per certificate. A certificate that fails is
 /// discarded, which routes the committee through recovery exactly as if the
 /// leader had never produced one.
 ///
-/// [`QuorumCertificate::verify_batch`]: cycledger_consensus::quorum::QuorumCertificate::verify_batch
+/// [`verify_certs_batch`]: cycledger_consensus::quorum::verify_certs_batch
 pub struct IntraConsensusPhase;
 
 impl RoundPhase for IntraConsensusPhase {
@@ -119,6 +120,9 @@ impl RoundPhase for IntraConsensusPhase {
     }
 
     fn execute(&mut self, ctx: &mut RoundContext<'_>) {
+        // First phase that reads the shard UTXO sets: the previous round's
+        // block application must have fully drained (pipelined mode).
+        ctx.join_pending_apply();
         let m = ctx.committee_count();
         let committees = &ctx.committees;
         let utxo_sets: &[_] = ctx.utxo_sets;
@@ -142,7 +146,7 @@ impl RoundPhase for IntraConsensusPhase {
             .map(|(k, (slot, scratch))| {
                 move || {
                     let seed = config.seed ^ (round << 8) ^ k as u64;
-                    let (mut outcome, sink) = if config.message_driven {
+                    let (outcome, sink) = if config.message_driven {
                         run_intra_consensus_driven(
                             registry,
                             &committees[k],
@@ -171,28 +175,44 @@ impl RoundPhase for IntraConsensusPhase {
                         )
                     };
                     *slot = sink;
-                    if config.verify_signatures {
-                        if let Some(cert) = &outcome.certificate {
-                            let keys = &committees[k].keys;
-                            if cert.verify_batch(keys, keys.majority_threshold()).is_err() {
-                                // Treat a certificate that fails referee-side
-                                // verification exactly like a leader that never
-                                // produced one: its decisions must not reach
-                                // the block builder, and the committee goes
-                                // through recovery.
-                                outcome.certificate = None;
-                                outcome.decided.clear();
-                                outcome.decided_indices.clear();
-                            }
-                        }
-                    }
                     outcome
                 }
             })
             .collect();
-        let outcomes: Vec<IntraOutcome> = ctx.executor.execute(tasks);
+        let mut outcomes: Vec<IntraOutcome> = ctx.executor.execute(tasks);
         pool.merge_into(&mut ctx.metrics);
         debug_assert!(outcomes.iter().enumerate().all(|(k, o)| o.committee == k));
+        if ctx.config.verify_signatures {
+            // Referee-side certificate verification, aggregated across every
+            // committee: one random-linear-combination batch covers all the
+            // round's `TXdecSET` certificates instead of one batch per
+            // committee. A certificate that fails is treated exactly like a
+            // leader that never produced one — its decisions must not reach
+            // the block builder, and the committee goes through recovery.
+            let with_certs: Vec<usize> = (0..outcomes.len())
+                .filter(|&k| outcomes[k].certificate.is_some())
+                .collect();
+            let batch: Vec<_> = with_certs
+                .iter()
+                .map(|&k| {
+                    let keys = &ctx.committees[k].keys;
+                    (
+                        outcomes[k].certificate.as_ref().expect("filtered above"),
+                        keys,
+                        keys.majority_threshold(),
+                    )
+                })
+                .collect();
+            let verdicts = cycledger_consensus::quorum::verify_certs_batch(&batch);
+            drop(batch);
+            for (&k, verdict) in with_certs.iter().zip(&verdicts) {
+                if verdict.is_err() {
+                    outcomes[k].certificate = None;
+                    outcomes[k].decided.clear();
+                    outcomes[k].decided_indices.clear();
+                }
+            }
+        }
         ctx.quorum_timeouts += outcomes.iter().filter(|o| o.quorum_timeout).count();
         ctx.votes_missing += outcomes.iter().map(|o| o.votes_missing).sum::<usize>();
         ctx.net_dropped += outcomes.iter().map(|o| o.net_dropped).sum::<u64>();
@@ -218,6 +238,7 @@ impl RoundPhase for IntraRecoveryPhase {
     }
 
     fn execute(&mut self, ctx: &mut RoundContext<'_>) {
+        ctx.join_pending_apply();
         let m = ctx.committee_count();
         let mut retries: Vec<usize> = Vec::new();
         for k in 0..m {
@@ -338,6 +359,7 @@ impl RoundPhase for InterConsensusPhase {
     }
 
     fn execute(&mut self, ctx: &mut RoundContext<'_>) {
+        ctx.join_pending_apply();
         let inter = if ctx.config.message_driven {
             crate::phases::driven::run_inter_consensus_driven(
                 ctx.registry,
@@ -474,6 +496,7 @@ impl RoundPhase for BlockGenerationPhase {
     }
 
     fn execute(&mut self, ctx: &mut RoundContext<'_>) {
+        ctx.join_pending_apply();
         // Stage candidates in the arena's reusable buffer, taking ownership
         // of the decided/accepted transactions instead of cloning them (no
         // later phase reads them, and `Transaction` clones would still pay
@@ -514,19 +537,44 @@ impl RoundPhase for BlockGenerationPhase {
 
         // Apply the released block to every shard's UTXO set, one executor
         // task per shard (the per-shard sets are disjoint by construction).
+        //
+        // Pipelined mode defers the batch instead of blocking on it: the sets
+        // move into owned tasks submitted to the executor, and the handle
+        // rides the round output into the next round, which joins it before
+        // its own first UTXO access. Apply order inside each shard is block
+        // order either way, so the resulting sets are identical — deferring
+        // only changes *when* the driver thread waits.
         if let Some(block) = &block_outcome.block {
-            let tasks: Vec<_> = ctx
-                .utxo_sets
-                .iter_mut()
-                .map(|set| {
-                    move || {
-                        for tx in &block.transactions {
-                            set.apply(tx);
+            if ctx.config.pipelined {
+                let block = std::sync::Arc::new(block.clone());
+                let sets = std::mem::take(ctx.utxo_sets);
+                let tasks: Vec<_> = sets
+                    .into_iter()
+                    .map(|mut set| {
+                        let block = std::sync::Arc::clone(&block);
+                        move || {
+                            for tx in &block.transactions {
+                                set.apply(tx);
+                            }
+                            set
                         }
-                    }
-                })
-                .collect();
-            let _: Vec<()> = ctx.executor.execute(tasks);
+                    })
+                    .collect();
+                ctx.deferred_apply = Some(ctx.executor.submit(tasks));
+            } else {
+                let tasks: Vec<_> = ctx
+                    .utxo_sets
+                    .iter_mut()
+                    .map(|set| {
+                        move || {
+                            for tx in &block.transactions {
+                                set.apply(tx);
+                            }
+                        }
+                    })
+                    .collect();
+                let _: Vec<()> = ctx.executor.execute(tasks);
+            }
         }
         ctx.block_outcome = Some(block_outcome);
     }

@@ -20,7 +20,7 @@ use cycledger_ledger::workload::{Workload, WorkloadConfig};
 use cycledger_reputation::ReputationTable;
 
 use crate::config::ProtocolConfig;
-use crate::engine::{NoopObserver, RoundArena, RoundObserver, ShardExecutor};
+use crate::engine::{BatchHandle, NoopObserver, RoundArena, RoundObserver, ShardExecutor};
 use crate::node::NodeRegistry;
 use crate::report::{RoundReport, SimulationSummary};
 use crate::round::{run_round_observed, RoundInput};
@@ -39,6 +39,11 @@ pub struct Simulation {
     assignment: RoundAssignment,
     reports: Vec<RoundReport>,
     executor: ShardExecutor,
+    /// Pipelined mode: the previous round's block application, still draining
+    /// on the executor while the next round's early phases run. Holds the
+    /// shard UTXO sets whenever `utxo_sets` is empty; the next round (or
+    /// [`Simulation::utxo_sets`]) joins it back.
+    pending_apply: Option<BatchHandle<UtxoSet>>,
     /// Per-round scratch buffers recycled across rounds (see [`RoundArena`]).
     arena: RoundArena,
     /// Network faults in force for subsequent rounds (message-driven mode;
@@ -93,6 +98,7 @@ impl Simulation {
             assignment,
             reports: Vec::new(),
             executor,
+            pending_apply: None,
             arena: RoundArena::new(),
             fault_plan: cycledger_net::faults::FaultPlan::default(),
         })
@@ -115,6 +121,15 @@ impl Simulation {
     /// The persistent shard executor backing the round pipeline.
     pub fn executor(&self) -> &ShardExecutor {
         &self.executor
+    }
+
+    /// The shard UTXO sets, joining any still-draining pipelined block
+    /// application first so callers always observe fully applied state.
+    pub fn utxo_sets(&mut self) -> &[UtxoSet] {
+        if let Some(handle) = self.pending_apply.take() {
+            self.utxo_sets = handle.join();
+        }
+        &self.utxo_sets
     }
 
     /// The protocol configuration.
@@ -169,6 +184,7 @@ impl Simulation {
                 registry: &self.registry,
                 assignment: &self.assignment,
                 utxo_sets: &mut self.utxo_sets,
+                pending_apply: self.pending_apply.take(),
                 reputation: &mut self.reputation,
                 offered,
                 prev_hash: self.chain.tip_hash(),
@@ -179,6 +195,10 @@ impl Simulation {
             &self.executor,
             observer,
         );
+        // Pipelined mode: this round's block application keeps draining on
+        // the workers while the post-round bookkeeping below and the next
+        // round's configuration/semi-commitment phases run on this thread.
+        self.pending_apply = output.pending_apply;
         let mut packed: cycledger_crypto::fxhash::FxHashSet<cycledger_ledger::transaction::TxId> =
             cycledger_crypto::fxhash::FxHashSet::default();
         if let Some(block) = output.block {
@@ -325,6 +345,60 @@ mod tests {
         let mut sim = Simulation::new(config).unwrap();
         let summary = sim.run(rounds);
         format!("{:?}", summary.canonical_digest())
+    }
+
+    #[test]
+    fn pipelined_engine_matches_sequential_at_every_worker_count() {
+        // Pipelining is a pure scheduling change: deferring the block-apply
+        // tail must never alter the summary, whatever the executor width.
+        let mut config = small_config();
+        config.verify_signatures = false;
+        let sequential = summary_digest(config, 1, 3);
+        config.pipelined = true;
+        for workers in [1, 2, 8] {
+            assert_eq!(
+                sequential,
+                summary_digest(config, workers, 3),
+                "pipelined digest diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_engine_matches_sequential_under_adversarial_load() {
+        // Recoveries and retries stress every join point between the apply
+        // tail and the next round's UTXO readers.
+        let mut config = small_config();
+        config.verify_signatures = false;
+        config.cross_shard_ratio = 0.4;
+        config.adversary = AdversaryConfig::with_behavior(0.3, Behavior::EquivocatingLeader);
+        config.seed = 77;
+        let sequential = summary_digest(config, 1, 3);
+        config.pipelined = true;
+        for workers in [1, 2, 8] {
+            assert_eq!(sequential, summary_digest(config, workers, 3));
+        }
+    }
+
+    #[test]
+    fn pipelined_utxo_accessor_joins_the_apply_tail() {
+        // After a pipelined run the last round's application may still be
+        // draining; the accessor must always hand back fully applied sets,
+        // identical to a sequential run's.
+        let mut config = small_config();
+        config.verify_signatures = false;
+        let mut seq = Simulation::new(config).unwrap();
+        seq.run(2);
+        config.pipelined = true;
+        config.worker_threads = 4;
+        let mut pip = Simulation::new(config).unwrap();
+        pip.run(2);
+        let seq_sets = seq.utxo_sets();
+        let pip_sets = pip.utxo_sets();
+        assert_eq!(seq_sets.len(), pip_sets.len());
+        for (a, b) in seq_sets.iter().zip(pip_sets) {
+            assert_eq!(a.len(), b.len(), "shard UTXO counts diverged");
+        }
     }
 
     #[test]

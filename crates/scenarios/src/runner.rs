@@ -392,4 +392,26 @@ mod tests {
             assert_eq!(scenario.validate(), Ok(()), "{}", scenario.name);
         }
     }
+
+    /// Every builtin scenario must produce a byte-identical canonical digest
+    /// with round pipelining enabled. Runs at two workers so the deferred
+    /// block-apply actually overlaps the next round's early phases — at one
+    /// worker the executor runs inline and the pipelined schedule
+    /// degenerates to the sequential one, which would prove nothing.
+    #[test]
+    fn pipelined_engine_matches_sequential_for_every_builtin() {
+        for scenario in registry::builtin_scenarios() {
+            let sequential = run_pass(&scenario, 2)
+                .unwrap_or_else(|e| panic!("{}: sequential pass failed: {e}", scenario.name));
+            let mut flipped = scenario.clone();
+            flipped.config.pipelined = true;
+            let pipelined = run_pass(&flipped, 2)
+                .unwrap_or_else(|e| panic!("{}: pipelined pass failed: {e}", scenario.name));
+            assert_eq!(
+                pipelined.digest, sequential.digest,
+                "{}: pipelined engine drifted from the sequential digest",
+                scenario.name
+            );
+        }
+    }
 }

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""CI perf gate for the round-engine data plane.
+
+Runs ``gen_bench_round --smoke`` (the tracked configuration: 8x16,
+verify_signatures on, pipelined round engine, one worker) and compares the
+measured ``rounds_per_sec`` and ``allocations_per_round`` against the
+committed ``verified.one_worker`` entry of ``BENCH_round.json``. The job
+fails on a regression of more than ``PERF_GATE_TOLERANCE`` (default 20%):
+
+* ``rounds_per_sec``           -- fails when measured < committed * (1 - tol)
+* ``allocations_per_round``    -- fails when measured > committed * (1 + tol)
+
+Improvements never fail the gate; re-bless ``BENCH_round.json`` with
+``cargo run --release -p cycledger-bench --bin gen_bench_round`` when a PR
+intentionally moves the numbers (see the ``regeneration`` field in the
+JSON for the full recipe).
+
+Allocation counts come from the counting global allocator and are exact and
+machine-independent; rounds/sec is wall clock, so the tolerance absorbs CI
+runner noise. Override with ``PERF_GATE_TOLERANCE=0.35`` etc. if a shared
+runner proves noisier than that.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TOLERANCE = float(os.environ.get("PERF_GATE_TOLERANCE", "0.20"))
+
+
+def main() -> int:
+    committed_path = REPO_ROOT / "BENCH_round.json"
+    committed = json.loads(committed_path.read_text())["verified"]["one_worker"]
+
+    cmd = [
+        "cargo",
+        "run",
+        "-q",
+        "--release",
+        "-p",
+        "cycledger-bench",
+        "--bin",
+        "gen_bench_round",
+        "--",
+        "--smoke",
+    ]
+    print("+", " ".join(cmd), flush=True)
+    out = subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True, text=True)
+    if out.returncode != 0:
+        print(out.stdout)
+        print(out.stderr, file=sys.stderr)
+        print("perf gate: bench binary failed", file=sys.stderr)
+        return 1
+    print(out.stdout)
+    smoke = json.loads(out.stdout)["smoke_1_worker"]
+
+    failures = []
+
+    def check(metric: str, higher_is_better: bool) -> None:
+        reference = float(committed[metric])
+        measured = float(smoke[metric])
+        if higher_is_better:
+            floor = reference * (1.0 - TOLERANCE)
+            ok = measured >= floor
+            bound = f">= {floor:.3f}"
+        else:
+            ceiling = reference * (1.0 + TOLERANCE)
+            ok = measured <= ceiling
+            bound = f"<= {ceiling:.0f}"
+        verdict = "ok" if ok else "REGRESSION"
+        print(
+            f"{metric}: measured {measured:.3f} vs committed {reference:.3f} "
+            f"(gate {bound}) ... {verdict}"
+        )
+        if not ok:
+            failures.append(metric)
+
+    check("rounds_per_sec", higher_is_better=True)
+    check("allocations_per_round", higher_is_better=False)
+
+    if failures:
+        print(
+            f"perf gate FAILED ({', '.join(failures)} regressed by more than "
+            f"{TOLERANCE:.0%} vs BENCH_round.json)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf gate passed (tolerance {TOLERANCE:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

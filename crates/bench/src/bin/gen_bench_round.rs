@@ -13,9 +13,10 @@
 //!   standard tracked config (400 txs/round); `64x32` is the large-scale
 //!   profile at 10 000 txs/round.
 //! * `--verify on|off` — signature verification (default `on`).
-//! * `--smoke` — CI perf-gate mode: a short measured run at 1 worker whose
-//!   `rounds_per_sec` / `allocations_per_round` are compared against the
-//!   committed `BENCH_round.json` by `scripts/perf_gate.py`.
+//! * `--smoke` — CI perf-gate mode: short measured runs at 1 worker — the
+//!   plain config and the epoch-lifecycle variant (boundary every second
+//!   round) — whose `rounds_per_sec` / `allocations_per_round` are compared
+//!   against the committed `BENCH_round.json` by `scripts/perf_gate.py`.
 //!
 //! The binary installs [`alloccount::CountingAllocator`] as the global
 //! allocator (built with counting enabled), so the reported allocation counts
@@ -79,6 +80,17 @@ impl BenchSpec {
         config
     }
 
+    /// The epoch-lifecycle variant of the tracked config: an epoch boundary
+    /// (beacon, churn, state sync, reshuffle) every second round, so half the
+    /// measured rounds pay the full handover cost.
+    fn epoch_config(&self, verify: bool) -> ProtocolConfig {
+        let mut config = self.config(verify);
+        config.epoch_length = 2;
+        config.joins_per_epoch = 2;
+        config.leaves_per_epoch = 1;
+        config
+    }
+
     fn describe(&self, verify: bool) -> String {
         format!(
             "{} committees x {} members, {} txs/round, seed 4242, pow_difficulty 2, \
@@ -94,13 +106,11 @@ impl BenchSpec {
 /// Runs rounds for at least `min_secs` (at least `min_rounds`) and reports
 /// throughput plus per-round allocation activity.
 fn measure(
-    spec: BenchSpec,
-    verify: bool,
+    mut config: ProtocolConfig,
     workers: usize,
     min_secs: f64,
     min_rounds: u64,
 ) -> RoundSeries {
-    let mut config = spec.config(verify);
     config.worker_threads = workers;
     let mut sim = Simulation::new(config).expect("valid bench config");
     // Warm-up round: lazy crypto tables, executor spin-up, genesis state.
@@ -146,6 +156,11 @@ fn print_series(label: &str, s: &RoundSeries, trailing_comma: bool) {
     println!("  }}{}", if trailing_comma { "," } else { "" });
 }
 
+/// Describes the epoch-lifecycle variant measured by `*_epoch` series.
+const EPOCH_VARIANT: &str =
+    "same geometry with epoch_length 2, joins_per_epoch 2, leaves_per_epoch 1 \
+     (every second round closes an epoch: beacon, churn, state sync, reshuffle)";
+
 fn usage() -> ! {
     eprintln!("usage: gen_bench_round [--smoke] [--config 8x16|64x32] [--verify on|off]");
     std::process::exit(2);
@@ -179,17 +194,22 @@ fn main() {
 
     if smoke {
         // CI perf gate: a short measured run of the tracked config at one
-        // worker. scripts/perf_gate.py compares rounds_per_sec and
-        // allocations_per_round against the committed BENCH_round.json and
-        // fails the job on >20% regression.
-        let s = measure(spec, verify, 1, 0.0, 3);
+        // worker, plus the epoch-lifecycle variant (boundary every second
+        // round, so half the measured rounds pay beacon + churn + state
+        // sync + reshuffle). scripts/perf_gate.py compares rounds_per_sec
+        // and allocations_per_round of both series against the committed
+        // BENCH_round.json and fails the job on >20% regression.
+        let s = measure(spec.config(verify), 1, 0.0, 3);
+        let e = measure(spec.epoch_config(verify), 1, 0.0, 4);
         assert!(
             s.allocations_per_round > 0.0,
             "counting allocator saw no allocations"
         );
         println!("{{");
         println!("  \"bench_config\": \"{}\",", spec.describe(verify));
-        print_series("smoke_1_worker", &s, false);
+        println!("  \"epoch_bench_config\": \"{EPOCH_VARIANT}\",");
+        print_series("smoke_1_worker", &s, true);
+        print_series("smoke_epoch_1_worker", &e, false);
         println!("}}");
         return;
     }
@@ -197,12 +217,15 @@ fn main() {
     let parallel_workers = std::thread::available_parallelism()
         .map(|n| n.get().max(4))
         .unwrap_or(4);
-    let one = measure(spec, verify, 1, 3.0, 3);
-    let many = measure(spec, verify, parallel_workers, 3.0, 3);
+    let one = measure(spec.config(verify), 1, 3.0, 3);
+    let many = measure(spec.config(verify), parallel_workers, 3.0, 3);
+    let one_epoch = measure(spec.epoch_config(verify), 1, 3.0, 4);
 
     println!("{{");
     println!("  \"bench_config\": \"{}\",", spec.describe(verify));
+    println!("  \"epoch_bench_config\": \"{EPOCH_VARIANT}\",");
     print_series("one_worker", &one, true);
-    print_series(&format!("{parallel_workers}_workers"), &many, false);
+    print_series(&format!("{parallel_workers}_workers"), &many, true);
+    print_series("one_worker_epoch", &one_epoch, false);
     println!("}}");
 }

@@ -104,6 +104,48 @@ pub enum CommitteeMessage {
         /// Whether the member approves the impeachment.
         approve: bool,
     },
+    /// Syncing member → peer: request for a chunk of the shard's chain,
+    /// starting at `from_round` and capped at `max_blocks` headers.
+    SyncRequest {
+        /// First round wanted (0 = from genesis).
+        from_round: u64,
+        /// Chunk size cap the requester will accept.
+        max_blocks: u32,
+        /// Request ordinal, echoed in the reply so the requester can discard
+        /// stale chunks that arrive after it rotated to another peer.
+        request_id: u64,
+    },
+    /// Peer → syncing member: one chunk of header summaries. The block
+    /// payloads are shared simulation state; what the requester must verify
+    /// over the wire is the header linkage, carried here.
+    SyncChunk {
+        /// Round of the first header in the chunk.
+        from_round: u64,
+        /// `(round, prev_hash, header_hash)` per block, in round order.
+        headers: Vec<SyncHeader>,
+        /// Echo of the request ordinal this chunk answers.
+        request_id: u64,
+    },
+    /// Syncing member → peers: catch-up complete; the verified tip.
+    SyncDone {
+        /// Height the member synced to.
+        height: u64,
+        /// Hash of the tip header the member verified.
+        tip: [u8; 32],
+    },
+}
+
+/// One block-header summary inside a [`CommitteeMessage::SyncChunk`]: just
+/// enough for the requester to verify the hash linkage against the
+/// quorum-certified tip it learned from the committee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncHeader {
+    /// Block round (also its height in the chain).
+    pub round: u64,
+    /// Hash of the previous block's header.
+    pub prev_hash: [u8; 32],
+    /// Hash of this block's header.
+    pub hash: [u8; 32],
 }
 
 impl CarriesAlg3 for CommitteeMessage {
@@ -154,6 +196,34 @@ mod tests {
         assert!(CommitteeMessage::TxList {
             committee: 0,
             count: 4
+        }
+        .into_alg3()
+        .is_none());
+    }
+
+    #[test]
+    fn sync_envelopes_are_not_alg3_traffic() {
+        assert!(CommitteeMessage::SyncRequest {
+            from_round: 0,
+            max_blocks: 8,
+            request_id: 1,
+        }
+        .into_alg3()
+        .is_none());
+        assert!(CommitteeMessage::SyncChunk {
+            from_round: 0,
+            headers: vec![SyncHeader {
+                round: 0,
+                prev_hash: [0; 32],
+                hash: [1; 32],
+            }],
+            request_id: 1,
+        }
+        .into_alg3()
+        .is_none());
+        assert!(CommitteeMessage::SyncDone {
+            height: 4,
+            tip: [2; 32],
         }
         .into_alg3()
         .is_none());

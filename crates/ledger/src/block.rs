@@ -239,6 +239,60 @@ impl Chain {
     pub fn total_transactions(&self) -> usize {
         self.blocks.iter().map(|b| b.tx_count()).sum()
     }
+
+    /// Header summaries for up to `max` blocks starting at `from_round`, in
+    /// round order — what a peer serves to a catching-up node (the state-sync
+    /// chunk; see [`Chain::verify_header_chain`] for the receiver side).
+    pub fn header_summaries(&self, from_round: u64, max: usize) -> Vec<HeaderSummary> {
+        self.blocks
+            .iter()
+            .skip(from_round as usize)
+            .take(max)
+            .map(|b| HeaderSummary {
+                round: b.header.round,
+                prev_hash: b.header.prev_hash,
+                hash: b.header_hash(),
+            })
+            .collect()
+    }
+
+    /// Verifies a freshly fetched header chain: rounds must be contiguous
+    /// from zero, each header must link to its predecessor (the first to
+    /// [`Digest::ZERO`]), and the last hash must equal `expected_tip` — the
+    /// tip the syncing node learned from the committee's quorum-certified
+    /// chain. An empty slice verifies only against an empty chain
+    /// (`expected_tip == Digest::ZERO`).
+    pub fn verify_header_chain(
+        headers: &[HeaderSummary],
+        expected_tip: Digest,
+    ) -> Result<(), ChainError> {
+        let mut prev = Digest::ZERO;
+        for (i, h) in headers.iter().enumerate() {
+            if h.round != i as u64 {
+                return Err(ChainError::WrongRound);
+            }
+            if h.prev_hash != prev {
+                return Err(ChainError::WrongParent);
+            }
+            prev = h.hash;
+        }
+        if prev != expected_tip {
+            return Err(ChainError::WrongParent);
+        }
+        Ok(())
+    }
+}
+
+/// A block-header summary served to catching-up nodes: enough to verify the
+/// hash linkage without shipping transaction bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeaderSummary {
+    /// Block round (its height in the chain).
+    pub round: u64,
+    /// Hash of the previous block's header.
+    pub prev_hash: Digest,
+    /// Hash of this block's header.
+    pub hash: Digest,
 }
 
 /// Errors returned when appending to a [`Chain`].
@@ -358,6 +412,63 @@ mod tests {
         assert_eq!(block.total_fees(), 0, "genesis transactions carry no fee");
         assert!(block.wire_size() > 100);
         assert_eq!(block.tx_count(), 2);
+    }
+
+    #[test]
+    fn header_summaries_chunk_and_verify_against_the_tip() {
+        let mut chain = Chain::new();
+        for round in 0..5 {
+            let block = sample_block(round, chain.tip_hash());
+            chain.append(block).unwrap();
+        }
+        // Chunked fetch: two summaries starting at round 2.
+        let chunk = chain.header_summaries(2, 2);
+        assert_eq!(chunk.len(), 2);
+        assert_eq!(chunk[0].round, 2);
+        assert_eq!(chunk[1].round, 3);
+        assert_eq!(chunk[1].prev_hash, chunk[0].hash);
+        // Past the tip: empty.
+        assert!(chain.header_summaries(5, 8).is_empty());
+        // The full fetch verifies against the quorum-certified tip.
+        let all = chain.header_summaries(0, usize::MAX);
+        assert_eq!(all.len(), 5);
+        assert_eq!(Chain::verify_header_chain(&all, chain.tip_hash()), Ok(()));
+    }
+
+    #[test]
+    fn verify_header_chain_rejects_gaps_bad_links_and_wrong_tip() {
+        let mut chain = Chain::new();
+        for round in 0..4 {
+            let block = sample_block(round, chain.tip_hash());
+            chain.append(block).unwrap();
+        }
+        let good = chain.header_summaries(0, usize::MAX);
+        // A gap in the round sequence.
+        let mut gap = good.clone();
+        gap.remove(1);
+        assert_eq!(
+            Chain::verify_header_chain(&gap, chain.tip_hash()),
+            Err(ChainError::WrongRound)
+        );
+        // A forged link.
+        let mut forged = good.clone();
+        forged[2].prev_hash = Digest::ZERO;
+        assert_eq!(
+            Chain::verify_header_chain(&forged, chain.tip_hash()),
+            Err(ChainError::WrongParent)
+        );
+        // A truncated fetch that does not reach the certified tip.
+        let truncated = &good[..3];
+        assert_eq!(
+            Chain::verify_header_chain(truncated, chain.tip_hash()),
+            Err(ChainError::WrongParent)
+        );
+        // Empty chain verifies only against the zero tip.
+        assert_eq!(Chain::verify_header_chain(&[], Digest::ZERO), Ok(()));
+        assert_eq!(
+            Chain::verify_header_chain(&[], chain.tip_hash()),
+            Err(ChainError::WrongParent)
+        );
     }
 
     #[test]

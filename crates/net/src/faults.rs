@@ -85,6 +85,31 @@ pub struct LossBurst {
     pub drop_ppm: u32,
 }
 
+/// A crash-stop fault: `member` is down from `at` (inclusive) until
+/// `restart_at` (exclusive); `restart_at = None` means the node never comes
+/// back within this network's life.
+///
+/// While down the node neither sends nor receives — both directions are cut,
+/// unlike a [`TargetedDelay`] (which slows) or the sender-only `silence`
+/// mechanism. A message sent *to* a crashed node is dropped at send time,
+/// the same admission point as partitions, so books still reconcile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashStop {
+    /// The crashed node.
+    pub member: NodeId,
+    /// Crash instant (inclusive).
+    pub at: SimTime,
+    /// Restart instant (exclusive); `None` = stays down.
+    pub restart_at: Option<SimTime>,
+}
+
+impl CrashStop {
+    /// True while the node is down at `now`.
+    pub fn down_at(&self, now: SimTime) -> bool {
+        now >= self.at && self.restart_at.is_none_or(|restart| now < restart)
+    }
+}
+
 /// The full fault model for one simulated network.
 ///
 /// The default plan is empty — a network built with it behaves exactly like
@@ -103,6 +128,8 @@ pub struct FaultPlan {
     pub jitter: SimDuration,
     /// Windows of elevated loss.
     pub bursts: Vec<LossBurst>,
+    /// Crash-stop schedule entries.
+    pub crashes: Vec<CrashStop>,
 }
 
 impl FaultPlan {
@@ -114,6 +141,7 @@ impl FaultPlan {
             && self.drop_ppm == 0
             && self.jitter == SimDuration::ZERO
             && self.bursts.is_empty()
+            && self.crashes.is_empty()
     }
 
     /// A plan that only severs `group` from the rest of the world for the
@@ -147,9 +175,31 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a crash-stop span (builder style).
+    pub fn with_crash(
+        mut self,
+        member: NodeId,
+        at: SimTime,
+        restart_at: Option<SimTime>,
+    ) -> FaultPlan {
+        self.crashes.push(CrashStop {
+            member,
+            at,
+            restart_at,
+        });
+        self
+    }
+
     /// True if any active partition separates `from` and `to` at `now`.
     pub fn severed(&self, now: SimTime, from: NodeId, to: NodeId) -> bool {
         self.partitions.iter().any(|p| p.severs(now, from, to))
+    }
+
+    /// True if `node` is crash-stopped at `now` (neither sends nor receives).
+    pub fn crashed(&self, now: SimTime, node: NodeId) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.member == node && c.down_at(now))
     }
 
     /// The total targeted extra delay for a `(from, to)` link: delays on the
@@ -315,6 +365,93 @@ mod tests {
         assert_ne!(pattern(5), pattern(6));
         let dropped = pattern(5).iter().filter(|&&d| d).count();
         assert!((10..=54).contains(&dropped), "≈50% loss, got {dropped}/64");
+    }
+
+    #[test]
+    fn crash_stop_window_boundaries() {
+        let crash = CrashStop {
+            member: NodeId(3),
+            at: SimTime(100),
+            restart_at: Some(SimTime(200)),
+        };
+        assert!(!crash.down_at(SimTime(99)));
+        assert!(crash.down_at(SimTime(100)), "crash instant is inclusive");
+        assert!(crash.down_at(SimTime(199)));
+        assert!(!crash.down_at(SimTime(200)), "restart instant is exclusive");
+    }
+
+    #[test]
+    fn crash_stop_without_restart_stays_down() {
+        let plan = FaultPlan::default().with_crash(NodeId(5), SimTime(10), None);
+        assert!(!plan.is_empty());
+        assert!(!plan.crashed(SimTime(9), NodeId(5)));
+        assert!(plan.crashed(SimTime(u64::MAX), NodeId(5)));
+        assert!(!plan.crashed(SimTime(50), NodeId(6)), "only the member");
+    }
+
+    #[test]
+    fn loss_burst_boundaries_sit_exactly_on_round_edges() {
+        // A scenario round spans [0, ROUND) in the per-round network's
+        // virtual time. Pin the half-open burst window against bursts that
+        // start or end exactly on those edges: a burst ending at the round
+        // start never fires, one starting at the edge fires from its first
+        // microsecond, and the `until` edge itself is already healed.
+        const ROUND_EDGE: u64 = 1_000;
+        let plan = FaultPlan {
+            bursts: vec![
+                // Ends exactly at the round edge: active strictly before it.
+                LossBurst {
+                    from: SimTime(0),
+                    until: SimTime(ROUND_EDGE),
+                    drop_ppm: PPM,
+                },
+                // Starts exactly at the round edge.
+                LossBurst {
+                    from: SimTime(ROUND_EDGE * 2),
+                    until: SimTime(ROUND_EDGE * 3),
+                    drop_ppm: PPM,
+                },
+            ],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.drop_ppm_at(SimTime(0)), PPM, "from is inclusive");
+        assert_eq!(plan.drop_ppm_at(SimTime(ROUND_EDGE - 1)), PPM);
+        assert_eq!(
+            plan.drop_ppm_at(SimTime(ROUND_EDGE)),
+            0,
+            "until is exclusive: the edge itself is healed"
+        );
+        assert_eq!(
+            plan.drop_ppm_at(SimTime(ROUND_EDGE * 2)),
+            PPM,
+            "a burst starting exactly on the edge fires immediately"
+        );
+        assert_eq!(plan.drop_ppm_at(SimTime(ROUND_EDGE * 3)), 0);
+        // Determinism of the sampled decision at the edges.
+        assert!(plan.drops(7, SimTime(ROUND_EDGE - 1), NodeId(0), NodeId(1), 0));
+        assert!(!plan.drops(7, SimTime(ROUND_EDGE), NodeId(0), NodeId(1), 0));
+    }
+
+    #[test]
+    fn crash_stop_overlapping_a_partition_span() {
+        // Node 1 sits inside a partition [100, 300) and also crashes during
+        // [200, 400): the link is unusable for the union of both windows,
+        // and each mechanism reports its own span.
+        let plan = FaultPlan::default()
+            .with_partition(vec![NodeId(1)], SimTime(100), Some(SimTime(300)))
+            .with_crash(NodeId(1), SimTime(200), Some(SimTime(400)));
+        // Partition only.
+        assert!(plan.severed(SimTime(150), NodeId(1), NodeId(2)));
+        assert!(!plan.crashed(SimTime(150), NodeId(1)));
+        // Overlap: both active.
+        assert!(plan.severed(SimTime(250), NodeId(1), NodeId(2)));
+        assert!(plan.crashed(SimTime(250), NodeId(1)));
+        // Partition healed, crash persists.
+        assert!(!plan.severed(SimTime(350), NodeId(1), NodeId(2)));
+        assert!(plan.crashed(SimTime(350), NodeId(1)));
+        // Both over.
+        assert!(!plan.crashed(SimTime(400), NodeId(1)));
+        assert!(!plan.severed(SimTime(400), NodeId(1), NodeId(2)));
     }
 
     #[test]

@@ -114,6 +114,9 @@ pub enum NetEvent<M> {
 pub struct DropCounts {
     /// Sender was silenced (crashed / deliberately mute).
     pub silenced: u64,
+    /// The sender or receiver was crash-stopped at send time (see
+    /// [`crate::faults::CrashStop`]).
+    pub crashed: u64,
     /// An active partition severed the link at send time.
     pub partitioned: u64,
     /// Deterministic loss (baseline rate or an active burst).
@@ -123,7 +126,7 @@ pub struct DropCounts {
 impl DropCounts {
     /// Total messages dropped across all categories.
     pub fn total(&self) -> u64 {
-        self.silenced + self.partitioned + self.lossy
+        self.silenced + self.crashed + self.partitioned + self.lossy
     }
 }
 
@@ -238,6 +241,13 @@ impl<M> SimNetwork<M> {
         }
         if self.plan.is_empty() {
             return Some(SimDuration::ZERO);
+        }
+        // Crash-stop is checked before partitions: a crashed node is down
+        // regardless of where a partition boundary runs, so an overlap counts
+        // as `crashed` (pinned by the overlap test below).
+        if self.plan.crashed(self.now, from) || self.plan.crashed(self.now, to) {
+            self.drops.crashed += 1;
+            return None;
         }
         if self.plan.severed(self.now, from, to) {
             self.drops.partitioned += 1;
@@ -664,6 +674,59 @@ mod tests {
             .send(NodeId(1), NodeId(2), LinkClass::IntraCommittee, 1, 8)
             .is_some());
         assert_eq!(net.drop_counts().partitioned, 2);
+        assert_eq!(net.dropped_messages(), 2);
+    }
+
+    #[test]
+    fn crash_stop_cuts_both_directions_until_restart() {
+        let plan = FaultPlan::default().with_crash(NodeId(4), SimTime(10), Some(SimTime(100_000)));
+        let mut net: SimNetwork<u32> = SimNetwork::with_faults(LatencyConfig::default(), 6, plan);
+        // Before the crash instant the node is fine.
+        assert!(net
+            .send(NodeId(4), NodeId(1), LinkClass::IntraCommittee, 1, 8)
+            .is_some());
+        net.advance_to(SimTime(10));
+        // Down: outgoing and incoming both drop, counted as `crashed`.
+        assert!(net
+            .send(NodeId(4), NodeId(1), LinkClass::IntraCommittee, 1, 8)
+            .is_none());
+        assert!(net
+            .send(NodeId(1), NodeId(4), LinkClass::IntraCommittee, 1, 8)
+            .is_none());
+        // Traffic not touching the crashed node flows.
+        assert!(net
+            .send(NodeId(1), NodeId(2), LinkClass::IntraCommittee, 1, 8)
+            .is_some());
+        assert_eq!(net.drop_counts().crashed, 2);
+        // After restart the node serves again.
+        net.advance_to(SimTime(100_000));
+        assert!(net
+            .send(NodeId(1), NodeId(4), LinkClass::IntraCommittee, 1, 8)
+            .is_some());
+        assert_eq!(net.drop_counts().crashed, 2);
+        assert_eq!(net.dropped_messages(), 2);
+    }
+
+    #[test]
+    fn crash_overlapping_partition_counts_as_crashed() {
+        // Node 5 is both inside an active partition and crash-stopped: the
+        // crash wins the category (checked first in `admit`), and once the
+        // crash window ends the partition keeps the link severed.
+        let plan = FaultPlan::default()
+            .with_partition(vec![NodeId(5)], SimTime::ZERO, None)
+            .with_crash(NodeId(5), SimTime::ZERO, Some(SimTime(50_000)));
+        let mut net: SimNetwork<u32> = SimNetwork::with_faults(LatencyConfig::default(), 8, plan);
+        assert!(net
+            .send(NodeId(5), NodeId(1), LinkClass::IntraCommittee, 1, 8)
+            .is_none());
+        assert_eq!(net.drop_counts().crashed, 1);
+        assert_eq!(net.drop_counts().partitioned, 0);
+        net.advance_to(SimTime(50_000));
+        assert!(net
+            .send(NodeId(5), NodeId(1), LinkClass::IntraCommittee, 1, 8)
+            .is_none());
+        assert_eq!(net.drop_counts().crashed, 1);
+        assert_eq!(net.drop_counts().partitioned, 1);
         assert_eq!(net.dropped_messages(), 2);
     }
 

@@ -70,6 +70,47 @@ impl SimDuration {
     }
 }
 
+/// An inclusive virtual-time deadline.
+///
+/// Every deadline in the simulator shares one boundary rule: an event that
+/// occurs *exactly at* the deadline still makes it. [`SimNetwork::next_event`]
+/// delivers a message timestamped at the timer's instant before firing the
+/// timer, and the driven vote collectors accept a vote arriving at the
+/// deadline instant. This type is that rule, spelled once.
+///
+/// [`SimNetwork::next_event`]: https://docs.rs/cycledger-net
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Deadline(SimTime);
+
+impl Deadline {
+    /// A deadline at an absolute instant.
+    pub fn at(t: SimTime) -> Deadline {
+        Deadline(t)
+    }
+
+    /// A deadline `d` after `now`.
+    pub fn after(now: SimTime, d: SimDuration) -> Deadline {
+        Deadline(now.after(d))
+    }
+
+    /// The instant the deadline sits at.
+    pub fn instant(self) -> SimTime {
+        self.0
+    }
+
+    /// True if an event at `t` beats the deadline — **inclusive**: an event
+    /// exactly at the deadline is still in time.
+    pub fn includes(self, t: SimTime) -> bool {
+        t <= self.0
+    }
+
+    /// True if the deadline has strictly passed at `t` (the complement of
+    /// [`includes`](Self::includes)).
+    pub fn expired(self, t: SimTime) -> bool {
+        t > self.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +146,35 @@ mod tests {
         let t = SimTime(u64::MAX);
         assert_eq!(t.after(SimDuration(10)).0, u64::MAX);
         assert_eq!(SimDuration(u64::MAX).times(2).0, u64::MAX);
+    }
+
+    #[test]
+    fn deadline_is_inclusive_at_the_boundary() {
+        let deadline = Deadline::after(SimTime(100), SimDuration::from_micros(50));
+        assert_eq!(deadline.instant(), SimTime(150));
+        // Strictly before: in time.
+        assert!(deadline.includes(SimTime(149)));
+        // Exactly at the deadline: still in time — this is the boundary rule
+        // every collector and `next_event` tie-break share.
+        assert!(deadline.includes(SimTime(150)));
+        assert!(!deadline.expired(SimTime(150)));
+        // One microsecond past: expired.
+        assert!(!deadline.includes(SimTime(151)));
+        assert!(deadline.expired(SimTime(151)));
+    }
+
+    #[test]
+    fn deadline_at_absolute_instant() {
+        let deadline = Deadline::at(SimTime(7));
+        assert!(deadline.includes(SimTime::ZERO));
+        assert!(deadline.includes(SimTime(7)));
+        assert!(deadline.expired(SimTime(8)));
+    }
+
+    #[test]
+    fn deadline_saturates_like_simtime() {
+        let deadline = Deadline::after(SimTime(u64::MAX), SimDuration(10));
+        assert_eq!(deadline.instant(), SimTime(u64::MAX));
+        assert!(deadline.includes(SimTime(u64::MAX)));
     }
 }

@@ -216,12 +216,18 @@ pub fn run_inside_consensus<M: CarriesAlg3>(
     leader_state.set_verify_signatures(verify_signatures);
     leader_state.set_sig_cache(sig_cache);
 
-    // Malicious non-leader members do not participate (worst case: withholding).
+    // Malicious non-leader members do not participate (worst case:
+    // withholding), and neither do `Syncing` joiners — they abstain from all
+    // consensus traffic until state sync verifies their chain.
     let silent_members: std::collections::HashSet<NodeId> = committee
         .members
         .iter()
         .copied()
-        .filter(|&n| n != leader_node && registry.node(n).behavior.is_malicious())
+        .filter(|&n| {
+            n != leader_node
+                && (registry.node(n).behavior.is_malicious()
+                    || !registry.node(n).membership.may_vote())
+        })
         .collect();
 
     // Step 1: the leader multicasts the proposal(s).
@@ -346,7 +352,10 @@ pub fn run_inside_consensus<M: CarriesAlg3>(
     // case, where different halves saw different payloads.)
     let mut payload_counts: BTreeMap<Vec<u8>, usize> = BTreeMap::new();
     for (&node, state) in &members {
-        if registry.node(node).behavior.is_malicious() && node != leader_node {
+        if node != leader_node
+            && (registry.node(node).behavior.is_malicious()
+                || !registry.node(node).membership.may_vote())
+        {
             continue;
         }
         if let Some(p) = state.accepted_payload() {

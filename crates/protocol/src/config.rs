@@ -64,6 +64,21 @@ pub struct ProtocolConfig {
     /// worker count (asserted by the determinism tests), which is why this
     /// flag is never emitted into reports or goldens.
     pub pipelined: bool,
+    /// Epoch length `E` in rounds: every `E` rounds the simulation finalizes
+    /// the epoch, feeds the beacon output back into sortition over the
+    /// *current* membership (which may have churned), reshuffles committees
+    /// with reputation carry-over and runs state sync for joiners. `0`
+    /// disables the epoch machinery entirely — the run behaves exactly as
+    /// before this field existed (single open-ended epoch, fixed membership).
+    pub epoch_length: u64,
+    /// Validators joining at every epoch boundary. Joiners enter in the
+    /// `Syncing` membership state and abstain from votes (counted `Unknown`)
+    /// until state sync verifies their chain against the certified tip.
+    pub joins_per_epoch: u32,
+    /// Validators leaving at every epoch boundary (picked by a deterministic
+    /// hash lottery over the epoch randomness; clamped so the population
+    /// never drops below the sortition floor).
+    pub leaves_per_epoch: u32,
     /// Master seed for all deterministic randomness.
     pub seed: u64,
 }
@@ -89,6 +104,9 @@ impl Default for ProtocolConfig {
             message_driven: false,
             worker_threads: 0,
             pipelined: false,
+            epoch_length: 0,
+            joins_per_epoch: 0,
+            leaves_per_epoch: 0,
             seed: 42,
         }
     }
@@ -128,6 +146,9 @@ impl ProtocolConfig {
         if self.accounts_per_shard < 2 {
             return Err("need at least two accounts per shard".into());
         }
+        if self.epoch_length == 0 && (self.joins_per_epoch > 0 || self.leaves_per_epoch > 0) {
+            return Err("validator churn requires epoch_length > 0".into());
+        }
         self.adversary.validate()
     }
 }
@@ -166,6 +187,10 @@ mod tests {
             },
             ProtocolConfig {
                 accounts_per_shard: 1,
+                ..ProtocolConfig::default()
+            },
+            ProtocolConfig {
+                joins_per_epoch: 2,
                 ..ProtocolConfig::default()
             },
         ];

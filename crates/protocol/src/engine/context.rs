@@ -111,6 +111,11 @@ pub struct RoundContext<'a> {
     /// Message-driven mode: envelopes dropped by the fault plan across every
     /// phase network this round.
     pub net_dropped: u64,
+    /// Message-driven mode: deliberate abstentions by `Syncing` members.
+    pub syncing_abstentions: usize,
+    /// Message-driven mode: votes received from `Syncing` members (must stay
+    /// zero).
+    pub syncing_votes: usize,
 
     /// Per-shard intra-committee transaction lists (workload split).
     pub intra_per_shard: Vec<Vec<GeneratedTx>>,
@@ -219,6 +224,8 @@ impl<'a> RoundContext<'a> {
             list_timeouts: 0,
             votes_missing: 0,
             net_dropped: 0,
+            syncing_abstentions: 0,
+            syncing_votes: 0,
             intra_per_shard,
             cross_shard,
             offered_total,
@@ -428,6 +435,11 @@ impl<'a> RoundContext<'a> {
             list_timeouts: self.list_timeouts,
             votes_missing: self.votes_missing,
             net_dropped_messages: self.net_dropped,
+            syncing_abstentions: self.syncing_abstentions,
+            syncing_votes: self.syncing_votes,
+            // Attached by the simulation driver when this round closes an
+            // epoch (see `Simulation::run_round_observed`).
+            epoch_transition: None,
         };
 
         RoundOutput {

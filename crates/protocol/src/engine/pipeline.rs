@@ -216,6 +216,11 @@ impl RoundPhase for IntraConsensusPhase {
         ctx.quorum_timeouts += outcomes.iter().filter(|o| o.quorum_timeout).count();
         ctx.votes_missing += outcomes.iter().map(|o| o.votes_missing).sum::<usize>();
         ctx.net_dropped += outcomes.iter().map(|o| o.net_dropped).sum::<u64>();
+        ctx.syncing_abstentions += outcomes
+            .iter()
+            .map(|o| o.syncing_abstentions)
+            .sum::<usize>();
+        ctx.syncing_votes += outcomes.iter().map(|o| o.syncing_votes).sum::<usize>();
         ctx.intra_outcomes = outcomes;
     }
 }
@@ -340,6 +345,8 @@ impl RoundPhase for IntraRecoveryPhase {
             ctx.quorum_timeouts += usize::from(outcome.quorum_timeout);
             ctx.votes_missing += outcome.votes_missing;
             ctx.net_dropped += outcome.net_dropped;
+            ctx.syncing_abstentions += outcome.syncing_abstentions;
+            ctx.syncing_votes += outcome.syncing_votes;
             ctx.intra_outcomes[k] = outcome;
         }
         pool.merge_into(&mut ctx.metrics);
@@ -392,6 +399,8 @@ impl RoundPhase for InterConsensusPhase {
         ctx.list_timeouts += inter.list_timeouts;
         ctx.votes_missing += inter.votes_missing;
         ctx.net_dropped += inter.net_dropped;
+        ctx.syncing_abstentions += inter.syncing_abstentions;
+        ctx.syncing_votes += inter.syncing_votes;
         ctx.witnesses += inter.equivocation.len();
         ctx.censorship_count = inter.censorship_reports.len();
         // The reports are only needed for the impeachments below; nothing

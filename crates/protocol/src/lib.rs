@@ -16,6 +16,8 @@
 //! * [`round`] — the per-round input/output types and pipeline entry point.
 //! * [`simulation`] — the multi-round public entry point.
 //! * [`report`] — measurement output consumed by benches and experiments.
+//! * [`epoch`] — epoch schedule, validator churn, committee reconfiguration.
+//! * [`sync`] — state sync for joining/restarting members.
 
 #![warn(missing_docs)]
 
@@ -23,18 +25,23 @@ pub mod adversary;
 pub mod committee;
 pub mod config;
 pub mod engine;
+pub mod epoch;
 pub mod node;
 pub mod phases;
 pub mod report;
 pub mod round;
 pub mod simulation;
 pub mod sortition;
+pub mod sync;
 
 pub use adversary::{AdversaryConfig, Behavior, BehaviorMix};
 pub use committee::{Committee, InsideConsensusOutcome, LeaderFault};
 pub use config::ProtocolConfig;
 pub use engine::{NoopObserver, RoundContext, RoundObserver, RoundPhase, ShardExecutor};
-pub use node::{NodeRegistry, SimNode};
-pub use report::{RecoveryOutcome, RecoveryRecord, RoundReport, SimulationSummary};
+pub use epoch::EpochSchedule;
+pub use node::{MembershipState, NodeRegistry, SimNode};
+pub use report::{
+    EpochTransitionReport, RecoveryOutcome, RecoveryRecord, RoundReport, SimulationSummary,
+};
 pub use simulation::Simulation;
 pub use sortition::{assign_round, AssignmentParams, CommitteeAssignment, RoundAssignment};

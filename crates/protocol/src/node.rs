@@ -7,6 +7,37 @@ use cycledger_net::topology::NodeId;
 use crate::adversary::{AdversaryConfig, Behavior};
 use cycledger_consensus::quorum::CommitteeKeys;
 
+/// Where a node stands in the validator lifecycle.
+///
+/// Node ids are registry indices, so nodes are never removed: a validator
+/// that leaves is marked [`MembershipState::Left`] and simply stops being
+/// eligible for any role. A joiner enters as [`MembershipState::Syncing`] —
+/// it sits in committees as a common member but abstains from votes (the
+/// quorum fallback counts it `Unknown`) until state sync verifies its chain
+/// against the certified tip, at which point it becomes `Active`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MembershipState {
+    /// Full participant: may vote, lead, referee, and deal.
+    Active,
+    /// Joined but still catching up; common member only, abstains from votes.
+    Syncing,
+    /// Departed; excluded from sortition and the PoW participant set.
+    Left,
+}
+
+impl MembershipState {
+    /// True if the node is still part of the validator set at all.
+    pub fn participates(self) -> bool {
+        !matches!(self, MembershipState::Left)
+    }
+
+    /// True if the node may cast votes and take trusted roles (leader,
+    /// partial set, referee, beacon dealer).
+    pub fn may_vote(self) -> bool {
+        matches!(self, MembershipState::Active)
+    }
+}
+
 /// One simulated node: identity, keys, behaviour, and compute capacity.
 #[derive(Clone, Debug)]
 pub struct SimNode {
@@ -19,6 +50,8 @@ pub struct SimNode {
     /// Number of transactions the node can validate per round; beyond this it
     /// votes `Unknown` (the computing-power model behind reputation, §VII-A).
     pub compute_capacity: u32,
+    /// Validator-lifecycle state; `Active` for the genesis population.
+    pub membership: MembershipState,
 }
 
 impl SimNode {
@@ -61,6 +94,7 @@ impl NodeRegistry {
                     keypair: Keypair::from_seed(format!("cycledger-node-{seed}-{i}").as_bytes()),
                     behavior: behaviors[i],
                     compute_capacity: capacity,
+                    membership: MembershipState::Active,
                 }
             })
             .collect();
@@ -119,6 +153,71 @@ impl NodeRegistry {
     pub fn set_behavior(&mut self, id: NodeId, behavior: Behavior) {
         self.nodes[id.index()].behavior = behavior;
     }
+
+    /// One node's membership state.
+    pub fn membership(&self, id: NodeId) -> MembershipState {
+        self.nodes[id.index()].membership
+    }
+
+    /// Moves a node to a new membership state.
+    pub fn set_membership(&mut self, id: NodeId, state: MembershipState) {
+        self.nodes[id.index()].membership = state;
+    }
+
+    /// Node ids that have not left (the sortition population).
+    pub fn participating_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.membership.participates())
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Number of nodes currently in the given state.
+    pub fn count_in_state(&self, state: MembershipState) -> usize {
+        self.nodes.iter().filter(|n| n.membership == state).count()
+    }
+
+    /// Appends `count` honest joiners in the [`MembershipState::Syncing`]
+    /// state, continuing the id sequence and the `cycledger-node-{seed}-{i}`
+    /// key-derivation scheme so a joiner's identity is exactly what node `i`
+    /// would have been had it existed at genesis. Returns the new ids.
+    pub fn extend(
+        &mut self,
+        count: usize,
+        base_compute: u32,
+        compute_spread: u32,
+        seed: u64,
+    ) -> Vec<NodeId> {
+        let start = self.nodes.len();
+        (start..start + count)
+            .map(|i| {
+                // Joiner capacities come from a per-node stream (not the
+                // genesis batch stream, whose cursor is long gone) so they are
+                // deterministic regardless of how many epochs have elapsed.
+                let capacity = base_compute
+                    + if compute_spread == 0 {
+                        0
+                    } else {
+                        let mut drbg = HmacDrbg::from_parts(
+                            "cycledger/node-compute-join",
+                            &[&seed.to_be_bytes(), &(i as u64).to_be_bytes()],
+                        );
+                        drbg.next_below(compute_spread as u64 + 1) as u32
+                    };
+                let node = SimNode {
+                    id: NodeId(i as u32),
+                    keypair: Keypair::from_seed(format!("cycledger-node-{seed}-{i}").as_bytes()),
+                    behavior: Behavior::Honest,
+                    compute_capacity: capacity,
+                    membership: MembershipState::Syncing,
+                };
+                let id = node.id;
+                self.nodes.push(node);
+                id
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -163,6 +262,55 @@ mod tests {
         for node in reg.iter() {
             assert_eq!(keys.get(node.id), Some(&node.keypair.public));
         }
+    }
+
+    #[test]
+    fn extend_appends_syncing_joiners_with_contiguous_ids() {
+        let adv = AdversaryConfig::default();
+        let mut reg = NodeRegistry::generate(10, &adv, 100, 50, 9);
+        assert_eq!(reg.count_in_state(MembershipState::Active), 10);
+        let joined = reg.extend(3, 100, 50, 9);
+        assert_eq!(joined, vec![NodeId(10), NodeId(11), NodeId(12)]);
+        assert_eq!(reg.len(), 13);
+        assert_eq!(reg.count_in_state(MembershipState::Syncing), 3);
+        for &id in &joined {
+            assert_eq!(reg.membership(id), MembershipState::Syncing);
+            assert!(reg.node(id).is_honest());
+            assert!((100..=150).contains(&reg.node(id).compute_capacity));
+            // Key derivation continues the genesis scheme: the joiner's key is
+            // what node `i` would have had at genesis.
+            assert_eq!(
+                reg.node(id).keypair.public,
+                Keypair::from_seed(format!("cycledger-node-9-{}", id.index()).as_bytes()).public
+            );
+        }
+        // Extending twice is deterministic and order-independent per node.
+        let mut again = NodeRegistry::generate(10, &adv, 100, 50, 9);
+        again.extend(2, 100, 50, 9);
+        let more = again.extend(1, 100, 50, 9);
+        assert_eq!(more, vec![NodeId(12)]);
+        assert_eq!(
+            again.node(NodeId(12)).compute_capacity,
+            reg.node(NodeId(12)).compute_capacity
+        );
+    }
+
+    #[test]
+    fn membership_transitions_and_participation() {
+        let adv = AdversaryConfig::default();
+        let mut reg = NodeRegistry::generate(4, &adv, 10, 0, 1);
+        reg.set_membership(NodeId(1), MembershipState::Left);
+        reg.set_membership(NodeId(2), MembershipState::Syncing);
+        assert_eq!(
+            reg.participating_ids(),
+            vec![NodeId(0), NodeId(2), NodeId(3)]
+        );
+        assert!(MembershipState::Active.may_vote());
+        assert!(!MembershipState::Syncing.may_vote());
+        assert!(MembershipState::Syncing.participates());
+        assert!(!MembershipState::Left.participates());
+        reg.set_membership(NodeId(2), MembershipState::Active);
+        assert_eq!(reg.count_in_state(MembershipState::Syncing), 0);
     }
 
     #[test]

@@ -45,7 +45,7 @@ use cycledger_net::faults::FaultPlan;
 use cycledger_net::latency::{LatencyConfig, LinkClass};
 use cycledger_net::metrics::{MetricsSink, Phase};
 use cycledger_net::network::{NetEvent, SimNetwork};
-use cycledger_net::time::SimDuration;
+use cycledger_net::time::{Deadline, SimDuration};
 use cycledger_net::topology::NodeId;
 use cycledger_reputation::ReputationTable;
 
@@ -81,15 +81,31 @@ pub fn list_deadline(latency: &LatencyConfig) -> SimDuration {
     latency.gamma.times(4)
 }
 
+/// What one vote-collection loop observed.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct VoteCollection {
+    /// Votes missing when the deadline fired (backfilled as all-`Unknown`;
+    /// includes syncing abstentions).
+    pub missing: usize,
+    /// `Syncing` members that received the announcement and deliberately
+    /// abstained (their rows count `Unknown`, never breaking quorum math).
+    pub syncing_abstentions: usize,
+    /// Votes actually received from `Syncing` members — must stay zero (the
+    /// churn fuzz pins this as the `NoSyncingVotes` invariant).
+    pub syncing_votes: usize,
+}
+
 /// Announces a `TXList` to `committee` and collects vote replies under the
-/// `4Δ` deadline — the shared vote-collection loop of the intra driver and
-/// the inter driver's destination side. The leader's own votes are recorded
-/// locally; members vote when the announcement reaches them; members whose
-/// replies miss the deadline are backfilled as all-`Unknown` rows
-/// (§IV-C step 4 — the quorum-timeout fallback). Returns how many votes
-/// were missing at the deadline. Any unexpired deadline timer or late vote
-/// reply left in flight is consumed and ignored by the caller's subsequent
-/// Algorithm 3 run and tail drain.
+/// `4Δ` [`Deadline`] — the shared vote-collection loop of the intra driver
+/// and the inter driver's destination side. The leader's own votes are
+/// recorded locally; members vote when the announcement reaches them —
+/// except `Syncing` joiners, which abstain; members whose replies miss the
+/// deadline are backfilled as all-`Unknown` rows (§IV-C step 4 — the
+/// quorum-timeout fallback). Deadline semantics are inclusive (see
+/// [`Deadline::includes`]): a vote delivered exactly at the deadline instant
+/// still counts. Any unexpired deadline timer or late vote reply left in
+/// flight is consumed and ignored by the caller's subsequent Algorithm 3 run
+/// and tail drain.
 #[allow(clippy::too_many_arguments)]
 fn collect_votes_under_deadline(
     net: &mut SimNetwork<CommitteeMessage>,
@@ -100,8 +116,9 @@ fn collect_votes_under_deadline(
     latency: &LatencyConfig,
     record_storage: bool,
     vote_list: &mut VoteList,
-) -> usize {
+) -> VoteCollection {
     let leader = committee.leader;
+    let mut collection = VoteCollection::default();
     let announce = CommitteeMessage::TxList {
         committee: committee.index as u32,
         count: validity.len() as u32,
@@ -123,11 +140,17 @@ fn collect_votes_under_deadline(
         net.record_storage(leader, validity.len() as u64);
     }
 
-    net.schedule_timer(vote_deadline(latency), VOTE_TIMER);
+    let deadline = Deadline::at(net.schedule_timer(vote_deadline(latency), VOTE_TIMER));
     while let Some(event) = net.next_event() {
         match event {
             NetEvent::Message(env) => match env.payload {
                 CommitteeMessage::TxList { .. } if committee.contains(env.to) => {
+                    if !registry.node(env.to).membership.may_vote() {
+                        // A syncing joiner abstains: its backfilled
+                        // all-Unknown row counts against no transaction.
+                        collection.syncing_abstentions += 1;
+                        continue;
+                    }
                     let votes = votes_from_validity(registry, env.to, validity);
                     let vector = VoteVector::new(env.to, votes);
                     if record_storage {
@@ -143,7 +166,12 @@ fn collect_votes_under_deadline(
                         bytes,
                     );
                 }
-                CommitteeMessage::Votes(vector) if env.to == leader => {
+                CommitteeMessage::Votes(vector)
+                    if env.to == leader && deadline.includes(env.delivered_at) =>
+                {
+                    if !registry.node(vector.voter).membership.may_vote() {
+                        collection.syncing_votes += 1;
+                    }
                     vote_list.record(vector);
                 }
                 _ => {}
@@ -159,13 +187,13 @@ fn collect_votes_under_deadline(
         }
     }
 
-    let missing = committee.size() - vote_list.voter_count();
+    collection.missing = committee.size() - vote_list.voter_count();
     for &member in &committee.members {
         if !vote_list.votes.iter().any(|v| v.voter == member) {
             vote_list.record(VoteVector::all_unknown(member, validity.len()));
         }
     }
-    missing
+    collection
 }
 
 /// Runs one committee's intra-shard consensus with every message — `TXList`
@@ -215,6 +243,8 @@ pub fn run_intra_consensus_driven(
                 quorum_timeout: false,
                 votes_missing: 0,
                 net_dropped: 0,
+                syncing_abstentions: 0,
+                syncing_votes: 0,
             },
             metrics,
         );
@@ -226,7 +256,7 @@ pub fn run_intra_consensus_driven(
     //      table *when the announcement reaches it*.
     precompute_validity(utxo, offered, &mut scratch.validity);
     let txlist_bytes: u64 = offered.iter().map(|g| g.tx.wire_size()).sum::<u64>() + 96;
-    let votes_missing = collect_votes_under_deadline(
+    let collection = collect_votes_under_deadline(
         &mut net,
         registry,
         committee,
@@ -236,6 +266,7 @@ pub fn run_intra_consensus_driven(
         true,
         &mut vote_list,
     );
+    let votes_missing = collection.missing;
     let quorum_timeout = votes_missing > 0;
 
     // 3. The leader tallies and runs Algorithm 3 over the decision, on the
@@ -313,6 +344,8 @@ pub fn run_intra_consensus_driven(
             quorum_timeout,
             votes_missing,
             net_dropped,
+            syncing_abstentions: collection.syncing_abstentions,
+            syncing_votes: collection.syncing_votes,
         },
         metrics,
     )
@@ -329,6 +362,8 @@ struct DrivenPairResult {
     quorum_timeout: bool,
     list_timeout: bool,
     votes_missing: usize,
+    syncing_abstentions: usize,
+    syncing_votes: usize,
     net_dropped: u64,
     metrics: MetricsSink,
 }
@@ -405,6 +440,8 @@ pub fn run_inter_consensus_driven(
         outcome.quorum_timeouts += usize::from(pair.quorum_timeout);
         outcome.list_timeouts += usize::from(pair.list_timeout);
         outcome.votes_missing += pair.votes_missing;
+        outcome.syncing_abstentions += pair.syncing_abstentions;
+        outcome.syncing_votes += pair.syncing_votes;
         outcome.net_dropped += pair.net_dropped;
     }
 
@@ -437,6 +474,8 @@ fn run_inter_pair_driven(
         quorum_timeout: false,
         list_timeout: false,
         votes_missing: 0,
+        syncing_abstentions: 0,
+        syncing_votes: 0,
         net_dropped: 0,
         metrics: MetricsSink::new(),
     };
@@ -586,7 +625,7 @@ fn run_inter_pair_driven(
         .map(|g| utxo_sets[i].validate(&g.tx).is_ok())
         .collect();
     let mut vote_list = VoteList::new(tx_ids);
-    result.votes_missing = collect_votes_under_deadline(
+    let collection = collect_votes_under_deadline(
         &mut net,
         registry,
         dest,
@@ -596,6 +635,9 @@ fn run_inter_pair_driven(
         false,
         &mut vote_list,
     );
+    result.votes_missing = collection.missing;
+    result.syncing_abstentions = collection.syncing_abstentions;
+    result.syncing_votes = collection.syncing_votes;
     result.quorum_timeout = result.votes_missing > 0;
 
     // 5. The destination committee agrees on the vote result and returns it.
@@ -727,7 +769,10 @@ pub fn run_recovery_driven(
         match event {
             NetEvent::Message(env) => match env.payload {
                 CommitteeMessage::Accusation { .. } => {
-                    if env.to == accused {
+                    if env.to == accused || !registry.node(env.to).membership.may_vote() {
+                        // The accused never votes on its own impeachment, and
+                        // syncing joiners abstain (counted against approval,
+                        // same quorum math as their all-Unknown tx votes).
                         continue;
                     }
                     let approve = member_approves(env.to);

@@ -71,6 +71,12 @@ pub struct InterOutcome {
     pub votes_missing: usize,
     /// Message-driven mode: envelopes dropped across all pair networks.
     pub net_dropped: u64,
+    /// Message-driven mode: `Syncing` members that abstained at destination
+    /// committees (their rows count `Unknown`).
+    pub syncing_abstentions: usize,
+    /// Message-driven mode: votes received from `Syncing` members — must
+    /// stay zero.
+    pub syncing_votes: usize,
 }
 
 /// What one `(input shard, output shard)` pair produced, folded into the

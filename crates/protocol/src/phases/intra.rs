@@ -52,6 +52,12 @@ pub struct IntraOutcome {
     /// Message-driven mode: envelopes the network dropped (partition/loss)
     /// while this committee ran. Always 0 on the synchronous path.
     pub net_dropped: u64,
+    /// Message-driven mode: `Syncing` members that received the announcement
+    /// and deliberately abstained (their rows count `Unknown`).
+    pub syncing_abstentions: usize,
+    /// Message-driven mode: votes received from `Syncing` members. Must stay
+    /// zero — pinned by the churn fuzz's `NoSyncingVotes` invariant.
+    pub syncing_votes: usize,
 }
 
 /// Casts one member's votes over the offered transactions.
@@ -156,6 +162,8 @@ pub fn run_intra_consensus(
                 quorum_timeout: false,
                 votes_missing: 0,
                 net_dropped: 0,
+                syncing_abstentions: 0,
+                syncing_votes: 0,
             },
             metrics,
         );
@@ -242,6 +250,8 @@ pub fn run_intra_consensus(
             quorum_timeout: false,
             votes_missing: 0,
             net_dropped: 0,
+            syncing_abstentions: 0,
+            syncing_votes: 0,
         },
         metrics,
     )

@@ -88,7 +88,7 @@ pub fn run_selection(
     //    randomness and submits the solution to the referee committee.
     let puzzle = Puzzle::new(round + 1, current_randomness, pow_difficulty);
     let mut participants = Vec::new();
-    for node in registry.iter() {
+    for node in registry.iter().filter(|n| n.membership.participates()) {
         let solution = puzzle.solve(&node.keypair.public, 0, 1 << 22);
         if let Some(solution) = solution {
             if puzzle.verify(&node.keypair.public, &solution) {

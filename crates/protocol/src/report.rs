@@ -74,6 +74,52 @@ impl RecoveryRecord {
     }
 }
 
+/// What one epoch transition did, attached to the round report that closed
+/// the epoch. Folded into the canonical bytes as a tagged extension block, so
+/// runs without epoch machinery keep their pre-epoch encoding byte-identical.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EpochTransitionReport {
+    /// The epoch that just closed (0-based).
+    pub epoch: u64,
+    /// Validators that joined at this boundary (appended in `Syncing` state).
+    pub joined: Vec<NodeId>,
+    /// Validators marked `Left` at this boundary.
+    pub left: Vec<NodeId>,
+    /// Members that completed state sync and turned `Active` this boundary.
+    pub synced: usize,
+    /// Members still `Syncing` after this boundary's sync attempts.
+    pub still_syncing: usize,
+    /// State-sync requests that timed out across this boundary's sessions.
+    pub sync_timeouts: usize,
+    /// State-sync chunks successfully delivered across this boundary.
+    pub sync_chunks: usize,
+    /// Committee seats whose occupant changed in the post-reshuffle
+    /// assignment relative to the pre-reshuffle one.
+    pub reshuffled_seats: usize,
+}
+
+impl EpochTransitionReport {
+    /// Appends the report's canonical byte encoding to `out`.
+    fn write_canonical_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.epoch.to_be_bytes());
+        for group in [&self.joined, &self.left] {
+            out.extend_from_slice(&(group.len() as u64).to_be_bytes());
+            for node in group {
+                out.extend_from_slice(&node.0.to_be_bytes());
+            }
+        }
+        for count in [
+            self.synced,
+            self.still_syncing,
+            self.sync_timeouts,
+            self.sync_chunks,
+            self.reshuffled_seats,
+        ] {
+            out.extend_from_slice(&(count as u64).to_be_bytes());
+        }
+    }
+}
+
 /// Everything measured during one round.
 #[derive(Clone, Debug)]
 pub struct RoundReport {
@@ -133,6 +179,14 @@ pub struct RoundReport {
     /// Message-driven mode: envelopes dropped by the network fault plan
     /// (partitions, loss) across every phase network this round.
     pub net_dropped_messages: u64,
+    /// Deliberate vote abstentions by `Syncing` members this round (their
+    /// slots are counted `Unknown`, never breaking quorum math).
+    pub syncing_abstentions: usize,
+    /// Votes actually received from `Syncing` members this round. The
+    /// protocol forbids these; invariant checkers demand this stays zero.
+    pub syncing_votes: usize,
+    /// Present when this round closed an epoch: what the transition did.
+    pub epoch_transition: Option<EpochTransitionReport>,
 }
 
 impl RoundReport {
@@ -222,6 +276,21 @@ impl RoundReport {
             out.extend_from_slice(&(self.list_timeouts as u64).to_be_bytes());
             out.extend_from_slice(&(self.votes_missing as u64).to_be_bytes());
             out.extend_from_slice(&self.net_dropped_messages.to_be_bytes());
+        }
+        // Epoch extension block: appended only when this round closed an
+        // epoch, so runs with the epoch machinery disabled (the default)
+        // keep their pre-epoch encoding — and golden digests — unchanged.
+        if let Some(transition) = &self.epoch_transition {
+            out.push(0xE7);
+            transition.write_canonical_bytes(out);
+        }
+        // Syncing-counter extension block: appended only when a `Syncing`
+        // member actually abstained (or, impossibly, voted), for the same
+        // golden-preservation reason.
+        if self.syncing_abstentions > 0 || self.syncing_votes > 0 {
+            out.push(0xE8);
+            out.extend_from_slice(&(self.syncing_abstentions as u64).to_be_bytes());
+            out.extend_from_slice(&(self.syncing_votes as u64).to_be_bytes());
         }
     }
 }
@@ -317,6 +386,43 @@ impl SimulationSummary {
         self.rounds.iter().map(|r| r.net_dropped_messages).sum()
     }
 
+    /// Number of epoch transitions that ran across the run.
+    pub fn total_epoch_transitions(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.epoch_transition.is_some())
+            .count()
+    }
+
+    /// Members that completed state sync across every epoch boundary.
+    pub fn total_synced(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.epoch_transition.as_ref())
+            .map(|t| t.synced)
+            .sum()
+    }
+
+    /// State-sync request timeouts across every epoch boundary.
+    pub fn total_sync_timeouts(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.epoch_transition.as_ref())
+            .map(|t| t.sync_timeouts)
+            .sum()
+    }
+
+    /// Total vote abstentions by `Syncing` members across the run.
+    pub fn total_syncing_abstentions(&self) -> usize {
+        self.rounds.iter().map(|r| r.syncing_abstentions).sum()
+    }
+
+    /// Total votes received from `Syncing` members across the run. The
+    /// no-syncing-votes invariant demands this stays zero.
+    pub fn total_syncing_votes(&self) -> usize {
+        self.rounds.iter().map(|r| r.syncing_votes).sum()
+    }
+
     /// A digest over the summary's canonical byte encoding.
     ///
     /// Two summaries with identical content produce identical digests
@@ -369,6 +475,9 @@ mod tests {
             list_timeouts: 0,
             votes_missing: 0,
             net_dropped_messages: 0,
+            syncing_abstentions: 0,
+            syncing_votes: 0,
+            epoch_transition: None,
         }
     }
 
@@ -467,6 +576,86 @@ mod tests {
         let mut driven_with_counts = driven.clone();
         driven_with_counts.quorum_timeouts = 5;
         assert_ne!(encode(&driven_with_counts), driven_bytes);
+    }
+
+    #[test]
+    fn epoch_extension_block_is_gated() {
+        // Rounds without an epoch transition keep the exact pre-epoch
+        // encoding (all 21 committed goldens depend on it); boundary rounds
+        // append the tagged extension, and its content is digest-relevant.
+        let plain = dummy_report(0, 1, 1);
+        let encode = |r: &RoundReport| {
+            let mut bytes = Vec::new();
+            r.write_canonical_bytes(&mut bytes);
+            bytes
+        };
+        let plain_bytes = encode(&plain);
+        let mut boundary = plain.clone();
+        boundary.epoch_transition = Some(EpochTransitionReport {
+            epoch: 3,
+            joined: vec![NodeId(40), NodeId(41)],
+            left: vec![NodeId(7)],
+            synced: 2,
+            still_syncing: 0,
+            sync_timeouts: 1,
+            sync_chunks: 4,
+            reshuffled_seats: 12,
+        });
+        let boundary_bytes = encode(&boundary);
+        // tag + epoch + joined(len + 2 ids) + left(len + 1 id) + 5 counters
+        assert_eq!(
+            boundary_bytes.len(),
+            plain_bytes.len() + 1 + 8 + (8 + 2 * 4) + (8 + 4) + 5 * 8,
+            "boundary rounds append exactly the tagged epoch block"
+        );
+        assert_eq!(&boundary_bytes[..plain_bytes.len()], &plain_bytes[..]);
+        let mut changed = boundary.clone();
+        changed.epoch_transition.as_mut().unwrap().synced = 1;
+        assert_ne!(encode(&changed), boundary_bytes);
+    }
+
+    #[test]
+    fn syncing_counter_extension_block_is_gated() {
+        let plain = dummy_report(0, 1, 1);
+        let encode = |r: &RoundReport| {
+            let mut bytes = Vec::new();
+            r.write_canonical_bytes(&mut bytes);
+            bytes
+        };
+        let plain_bytes = encode(&plain);
+        let mut abstained = plain.clone();
+        abstained.syncing_abstentions = 3;
+        let abstained_bytes = encode(&abstained);
+        assert_eq!(
+            abstained_bytes.len(),
+            plain_bytes.len() + 1 + 2 * 8,
+            "abstentions append exactly the tagged syncing block"
+        );
+        assert_eq!(&abstained_bytes[..plain_bytes.len()], &plain_bytes[..]);
+        // A forbidden syncing vote is also digest-relevant.
+        let mut voted = plain.clone();
+        voted.syncing_votes = 1;
+        assert_ne!(encode(&voted), plain_bytes);
+    }
+
+    #[test]
+    fn epoch_summary_aggregation() {
+        let mut with_epoch = dummy_report(1, 1, 1);
+        with_epoch.epoch_transition = Some(EpochTransitionReport {
+            epoch: 0,
+            synced: 2,
+            sync_timeouts: 3,
+            ..EpochTransitionReport::default()
+        });
+        with_epoch.syncing_abstentions = 4;
+        let summary = SimulationSummary {
+            rounds: vec![dummy_report(0, 1, 1), with_epoch],
+        };
+        assert_eq!(summary.total_epoch_transitions(), 1);
+        assert_eq!(summary.total_synced(), 2);
+        assert_eq!(summary.total_sync_timeouts(), 3);
+        assert_eq!(summary.total_syncing_abstentions(), 4);
+        assert_eq!(summary.total_syncing_votes(), 0);
     }
 
     #[test]

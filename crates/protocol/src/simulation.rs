@@ -21,10 +21,12 @@ use cycledger_reputation::ReputationTable;
 
 use crate::config::ProtocolConfig;
 use crate::engine::{BatchHandle, NoopObserver, RoundArena, RoundObserver, ShardExecutor};
-use crate::node::NodeRegistry;
-use crate::report::{RoundReport, SimulationSummary};
+use crate::epoch::{self, EpochSchedule};
+use crate::node::{MembershipState, NodeRegistry};
+use crate::report::{EpochTransitionReport, RoundReport, SimulationSummary};
 use crate::round::{run_round_observed, RoundInput};
 use crate::sortition::{assign_round, AssignmentParams, RoundAssignment};
+use crate::sync::{run_state_sync, SyncConfig};
 
 /// A running CycLedger simulation: persistent chain, UTXO state, reputation and
 /// round assignment across rounds, plus the persistent worker pool every
@@ -49,6 +51,25 @@ pub struct Simulation {
     /// Network faults in force for subsequent rounds (message-driven mode;
     /// see [`Simulation::set_fault_plan`]).
     fault_plan: cycledger_net::faults::FaultPlan,
+    /// State-sync results from mid-epoch retries, folded into the next
+    /// boundary's [`EpochTransitionReport`].
+    sync_carry: SyncTotals,
+}
+
+/// Accumulated state-sync session results.
+#[derive(Clone, Copy, Debug, Default)]
+struct SyncTotals {
+    synced: usize,
+    timeouts: usize,
+    chunks: usize,
+}
+
+impl SyncTotals {
+    fn add(&mut self, other: SyncTotals) {
+        self.synced += other.synced;
+        self.timeouts += other.timeouts;
+        self.chunks += other.chunks;
+    }
 }
 
 impl Simulation {
@@ -101,6 +122,7 @@ impl Simulation {
             pending_apply: None,
             arena: RoundArena::new(),
             fault_plan: cycledger_net::faults::FaultPlan::default(),
+            sync_carry: SyncTotals::default(),
         })
     }
 
@@ -177,6 +199,17 @@ impl Simulation {
     /// Runs one round with every phase boundary reported to `observer` (see
     /// [`RoundObserver`]); observation never changes protocol output.
     pub fn run_round_observed(&mut self, observer: &mut dyn RoundObserver) -> &RoundReport {
+        // Members still `Syncing` from an earlier boundary retry their state
+        // sync at each round start (fresh backoff budget, current fault
+        // plan); successes turn `Active` before the round's committees
+        // convene, and the results fold into the next boundary's transition
+        // report.
+        if self.config.epoch_length > 0
+            && self.registry.count_in_state(MembershipState::Syncing) > 0
+        {
+            let totals = self.run_sync_sessions();
+            self.sync_carry.add(totals);
+        }
         let offered = self.workload.generate_batch(self.config.txs_per_round);
         let output = run_round_observed(
             RoundInput {
@@ -230,7 +263,115 @@ impl Simulation {
             self.assignment.round += 1;
         }
         self.reports.push(output.report);
+        self.maybe_close_epoch();
         self.reports.last().expect("just pushed")
+    }
+
+    /// One state-sync session per `Syncing` member (in id order), each over a
+    /// fresh driven network carrying the current fault plan — partitions and
+    /// crashes hit sync traffic exactly like consensus traffic. Members that
+    /// verify their chain turn `Active`; the rest stay `Syncing` (abstaining
+    /// from votes) and retry next round.
+    fn run_sync_sessions(&mut self) -> SyncTotals {
+        let syncing: Vec<_> = self
+            .registry
+            .iter()
+            .filter(|n| n.membership == MembershipState::Syncing)
+            .map(|n| n.id)
+            .collect();
+        let mut totals = SyncTotals::default();
+        if syncing.is_empty() {
+            return totals;
+        }
+        // Peers are the sitting referee committee — the members whose
+        // quorum-certified header chain the syncing node verifies against.
+        let peers = self.assignment.referee.clone();
+        let sync_config = SyncConfig::from_latency(self.config.latency);
+        let tip = self.chain.tip_hash();
+        for member in syncing {
+            let seed = self.config.seed ^ ((self.reports.len() as u64) << 48) ^ u64::from(member.0);
+            let mut net = cycledger_net::network::SimNetwork::with_faults(
+                self.config.latency,
+                seed,
+                self.fault_plan.clone(),
+            );
+            let outcome = run_state_sync(member, &peers, &self.chain, tip, &mut net, &sync_config);
+            totals.timeouts += outcome.timeouts;
+            totals.chunks += outcome.chunks;
+            if outcome.synced {
+                self.registry
+                    .set_membership(member, MembershipState::Active);
+                totals.synced += 1;
+            }
+        }
+        totals
+    }
+
+    /// If the round just pushed closed an epoch, runs the transition: the
+    /// leave lottery retires validators, joiners enter `Syncing`, state sync
+    /// runs for every `Syncing` member, and the committees are reshuffled
+    /// with the boundary round's beacon output folded back into the
+    /// sortition randomness. The what-happened record is attached to the
+    /// boundary round's report.
+    fn maybe_close_epoch(&mut self) {
+        let Some(schedule) = EpochSchedule::from_config(&self.config) else {
+            return;
+        };
+        let completed = self.reports.len() as u64;
+        if !schedule.is_boundary(completed) {
+            return;
+        }
+        let epoch = schedule.epoch_of(completed - 1);
+        let params = AssignmentParams {
+            committees: self.config.committees,
+            partial_set_size: self.config.partial_set_size,
+            referee_size: self.config.referee_size,
+        };
+        // The boundary round's PVSS beacon output already seeded the next
+        // assignment's randomness; fold it into the epoch derivation so the
+        // epoch's committees depend on it ("feed the beacon back in").
+        let randomness = epoch::epoch_randomness(epoch, self.assignment.randomness);
+        let left = epoch::pick_leavers(&self.registry, params, &schedule, epoch, randomness);
+        for &node in &left {
+            self.registry.set_membership(node, MembershipState::Left);
+        }
+        let joined = self.registry.extend(
+            schedule.joins_per_epoch as usize,
+            self.config.base_compute_capacity,
+            self.config.compute_capacity_spread,
+            self.config.seed,
+        );
+        for &node in &joined {
+            // Reputation starts from zero for a newly joined node (§VII-A);
+            // everyone else's carries over untouched.
+            self.reputation.register(node);
+        }
+        let mut totals = std::mem::take(&mut self.sync_carry);
+        totals.add(self.run_sync_sessions());
+        // Reshuffle the committees over the surviving population under the
+        // epoch randomness. Reputation carry-over means long-standing honest
+        // nodes keep their leader eligibility across the boundary.
+        let reshuffled = assign_round(
+            &self.registry,
+            &self.registry.participating_ids(),
+            params,
+            self.assignment.round,
+            randomness,
+            &self.reputation,
+        );
+        let reshuffled_seats = epoch::seat_changes(&self.assignment, &reshuffled);
+        self.assignment = reshuffled;
+        let report = self.reports.last_mut().expect("boundary follows a round");
+        report.epoch_transition = Some(EpochTransitionReport {
+            epoch,
+            joined,
+            left,
+            synced: totals.synced,
+            still_syncing: self.registry.count_in_state(MembershipState::Syncing),
+            sync_timeouts: totals.timeouts,
+            sync_chunks: totals.chunks,
+            reshuffled_seats,
+        });
     }
 
     /// Runs `rounds` rounds and returns the aggregate summary.
@@ -503,6 +644,144 @@ mod tests {
             summary.blocks_produced() >= 1,
             "other committees keep the chain moving"
         );
+    }
+
+    fn epoch_config() -> ProtocolConfig {
+        ProtocolConfig {
+            epoch_length: 2,
+            joins_per_epoch: 2,
+            leaves_per_epoch: 1,
+            verify_signatures: false,
+            ..small_config()
+        }
+    }
+
+    #[test]
+    fn epoch_transitions_churn_the_validator_set() {
+        let mut sim = Simulation::new(epoch_config()).unwrap();
+        let initial_nodes = sim.registry().len();
+        let summary = sim.run(6);
+        // Boundaries after rounds 2, 4 and 6.
+        assert_eq!(summary.total_epoch_transitions(), 3);
+        assert_eq!(
+            sim.registry().len(),
+            initial_nodes + 6,
+            "2 joiners per epoch"
+        );
+        let left = sim.registry().count_in_state(MembershipState::Left);
+        assert_eq!(left, 3, "1 leaver per epoch");
+        // No faults: every joiner syncs at its admission boundary.
+        assert_eq!(summary.total_synced(), 6);
+        assert_eq!(sim.registry().count_in_state(MembershipState::Syncing), 0);
+        assert_eq!(summary.total_sync_timeouts(), 0);
+        // The chain never skips or forks a round.
+        assert_eq!(summary.blocks_produced(), 6);
+        assert_eq!(sim.chain().height(), 6);
+        // The reshuffle actually moved seats and is recorded.
+        let boundary = summary.rounds[1]
+            .epoch_transition
+            .as_ref()
+            .expect("round 1 closes epoch 0");
+        assert_eq!(boundary.epoch, 0);
+        assert_eq!(boundary.joined.len(), 2);
+        assert_eq!(boundary.left.len(), 1);
+        assert!(boundary.reshuffled_seats > 0, "epoch randomness reshuffles");
+        // Non-boundary rounds carry no transition.
+        assert!(summary.rounds[0].epoch_transition.is_none());
+        assert!(summary.rounds[2].epoch_transition.is_none());
+    }
+
+    #[test]
+    fn epoch_runs_are_deterministic_across_worker_counts() {
+        let config = epoch_config();
+        let baseline = summary_digest(config, 1, 5);
+        assert_eq!(baseline, summary_digest(config, 2, 5));
+        assert_eq!(baseline, summary_digest(config, 8, 5));
+    }
+
+    #[test]
+    fn epoch_transition_reaches_the_canonical_digest() {
+        let mut without = epoch_config();
+        without.epoch_length = 0;
+        without.joins_per_epoch = 0;
+        without.leaves_per_epoch = 0;
+        assert_ne!(
+            summary_digest(epoch_config(), 1, 3),
+            summary_digest(without, 1, 3),
+            "churn must be digest-relevant"
+        );
+    }
+
+    #[test]
+    fn disabled_epochs_leave_reports_untouched() {
+        let mut sim = Simulation::new(small_config()).unwrap();
+        let summary = sim.run(3);
+        assert!(summary.rounds.iter().all(|r| r.epoch_transition.is_none()));
+        assert_eq!(summary.total_syncing_abstentions(), 0);
+        assert_eq!(
+            sim.registry().count_in_state(MembershipState::Active),
+            sim.registry().len()
+        );
+    }
+
+    #[test]
+    fn partitioned_joiners_stay_syncing_and_abstain_without_voting() {
+        // Joiner ids are predictable (they continue the index sequence), so
+        // the fault plan can partition them away before they are admitted:
+        // their state sync times out at every attempt, they stay `Syncing`
+        // across the remaining rounds, and in driven mode their TXList slots
+        // show up as abstentions — never as votes.
+        let mut config = epoch_config();
+        config.message_driven = true;
+        config.leaves_per_epoch = 0;
+        let initial_nodes = config.total_nodes() as u32;
+        let mut sim = Simulation::new(config).unwrap();
+        // Both boundaries' joiners (two per epoch, ids continuing the index
+        // sequence) are cut off.
+        let joiners: Vec<_> = (initial_nodes..initial_nodes + 4)
+            .map(cycledger_net::topology::NodeId)
+            .collect();
+        sim.set_fault_plan(cycledger_net::faults::FaultPlan::partition(joiners));
+        let summary = sim.run(5);
+        assert_eq!(summary.total_synced(), 0, "partitioned sync cannot finish");
+        assert!(summary.total_sync_timeouts() > 0);
+        assert_eq!(
+            sim.registry().count_in_state(MembershipState::Syncing),
+            4,
+            "both epochs' joiners are still catching up"
+        );
+        assert_eq!(
+            summary.total_syncing_votes(),
+            0,
+            "a Syncing member must never cast a vote"
+        );
+        assert_eq!(summary.blocks_produced(), 5, "quorum math is unbroken");
+        assert_eq!(
+            sim.chain().height(),
+            5,
+            "no double-commit, no skipped round"
+        );
+    }
+
+    #[test]
+    fn syncing_members_abstain_in_driven_rounds() {
+        // A member flipped to `Syncing` mid-epoch (as a restart would) still
+        // receives its TXList but deliberately abstains; the slot counts
+        // `Unknown` and consensus proceeds.
+        let mut config = small_config();
+        config.message_driven = true;
+        let mut sim = Simulation::new(config).unwrap();
+        let commons = sim.assignment().committees[0].common_members().to_vec();
+        let member = commons[0];
+        sim.registry_mut()
+            .set_membership(member, MembershipState::Syncing);
+        let summary = sim.run(1);
+        assert!(
+            summary.total_syncing_abstentions() > 0,
+            "the Syncing member's TXList reply must be withheld"
+        );
+        assert_eq!(summary.total_syncing_votes(), 0);
+        assert_eq!(summary.blocks_produced(), 1);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use cycledger_crypto::vrf::{self, VrfOutput};
 use cycledger_net::topology::{NodeId, RoundTopology};
 use cycledger_reputation::ReputationTable;
 
-use crate::node::NodeRegistry;
+use crate::node::{MembershipState, NodeRegistry};
 
 /// Assignment of one committee for a round.
 #[derive(Clone, Debug)]
@@ -130,14 +130,28 @@ pub fn assign_round(
     reputation: &ReputationTable,
 ) -> RoundAssignment {
     assert!(params.committees > 0, "need at least one committee");
+    // Trusted roles (referee, leader, partial set) are drawn only from
+    // `Active` members; `Syncing` joiners sit in committees as common members
+    // (they abstain from votes until caught up), and `Left` nodes never
+    // appear in `participants` at all. A fully `Active` population makes
+    // `trusted == participants`, so pre-epoch assignments are unchanged.
+    let trusted: Vec<NodeId> = participants
+        .iter()
+        .copied()
+        .filter(|&id| registry.node(id).membership.may_vote())
+        .collect();
+    let syncing: Vec<NodeId> = participants
+        .iter()
+        .copied()
+        .filter(|&id| registry.node(id).membership == MembershipState::Syncing)
+        .collect();
     assert!(
-        participants.len()
-            > params.referee_size + params.committees * (1 + params.partial_set_size),
+        trusted.len() > params.referee_size + params.committees * (1 + params.partial_set_size),
         "not enough participants for the requested configuration"
     );
 
     // 1. Referee committee: smallest lottery values.
-    let mut by_referee_lottery: Vec<NodeId> = participants.to_vec();
+    let mut by_referee_lottery: Vec<NodeId> = trusted.clone();
     by_referee_lottery.sort_by_key(|&id| {
         (
             lottery_value(round, &randomness, id, "REFEREE_COMMITTEE_MEMBER"),
@@ -147,8 +161,8 @@ pub fn assign_round(
     let referee: Vec<NodeId> = by_referee_lottery[..params.referee_size].to_vec();
     let referee_set: std::collections::HashSet<NodeId> = referee.iter().copied().collect();
 
-    // 2. Leaders: highest reputation among the remaining participants.
-    let eligible: Vec<NodeId> = participants
+    // 2. Leaders: highest reputation among the remaining active participants.
+    let eligible: Vec<NodeId> = trusted
         .iter()
         .copied()
         .filter(|id| !referee_set.contains(id))
@@ -199,10 +213,11 @@ pub fn assign_round(
     let input = RoundAssignment::sortition_input(round, &randomness);
     let mut commons: Vec<Vec<NodeId>> = vec![Vec::new(); params.committees];
     let mut proofs = Vec::new();
-    for &id in &remaining {
-        if used.contains(&id) {
-            continue;
-        }
+    for &id in remaining
+        .iter()
+        .filter(|id| !used.contains(id))
+        .chain(&syncing)
+    {
         let output = vrf::evaluate(&registry.node(id).keypair.secret, &input);
         let committee = vrf::output_to_committee(&output.hash, params.committees);
         commons[committee].push(id);
@@ -406,6 +421,67 @@ mod tests {
         assert!(topo.channels.connected(l0, l1));
         // A leader reaches the referee committee.
         assert!(topo.channels.connected(l0, assignment.referee[0]));
+    }
+
+    #[test]
+    fn syncing_members_only_take_common_roles() {
+        let (mut registry, mut reputation) = setup(80);
+        // Even with standout reputation a syncing joiner must not be given a
+        // trusted role — only a common-member seat.
+        for id in [3u32, 4, 5] {
+            registry.set_membership(NodeId(id), MembershipState::Syncing);
+            reputation.add_score(NodeId(id), 100.0);
+        }
+        registry.set_membership(NodeId(6), MembershipState::Left);
+        let assignment = assign_round(
+            &registry,
+            &registry.participating_ids(),
+            params(),
+            2,
+            sha256(b"sync-roles"),
+            &reputation,
+        );
+        let all = assignment.participants();
+        assert!(!all.contains(&NodeId(6)), "left nodes never participate");
+        for id in [3u32, 4, 5].map(NodeId) {
+            assert!(!assignment.referee.contains(&id));
+            for c in &assignment.committees {
+                assert_ne!(c.leader, id);
+                assert!(!c.partial_set.contains(&id));
+            }
+            assert!(
+                assignment
+                    .committees
+                    .iter()
+                    .any(|c| c.common_members().contains(&id)),
+                "syncing node {id:?} must sit somewhere as a common member"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_filter_is_a_noop_for_fully_active_populations() {
+        let (registry, reputation) = setup(70);
+        let a = assign_round(
+            &registry,
+            &registry.ids(),
+            params(),
+            5,
+            sha256(b"noop"),
+            &reputation,
+        );
+        let b = assign_round(
+            &registry,
+            &registry.participating_ids(),
+            params(),
+            5,
+            sha256(b"noop"),
+            &reputation,
+        );
+        assert_eq!(a.referee, b.referee);
+        for (ca, cb) in a.committees.iter().zip(&b.committees) {
+            assert_eq!(ca.members, cb.members);
+        }
     }
 
     #[test]

@@ -90,6 +90,20 @@ pub enum Invariant {
     /// Safety: no transaction was committed twice across the whole chain
     /// (the partition/reorder schedule never double-applied anything).
     NoDoubleCommit,
+    /// At least this many epoch transitions (leave lottery, joins, state
+    /// sync, committee reshuffle) actually ran — an epoch scenario must
+    /// cross boundaries or it proves nothing.
+    MinEpochTransitions(usize),
+    /// No vote was ever received from a `Syncing` member: a validator that
+    /// has not verified its chain tip abstains (counted `Unknown`) until
+    /// `SyncDone`, full stop.
+    NoSyncingVotes,
+    /// At least this many members completed state sync and turned `Active`
+    /// across the run's epoch boundaries.
+    MinSynced(usize),
+    /// At least this many state-sync requests timed out — a
+    /// handover-under-partition scenario must actually delay catch-up.
+    MinSyncTimeouts(usize),
 }
 
 /// Outcome of checking one invariant.
@@ -138,6 +152,10 @@ impl Invariant {
                 format!("min-acceptance-from:{r}:{rate:?}")
             }
             Invariant::NoDoubleCommit => "no-double-commit".into(),
+            Invariant::MinEpochTransitions(n) => format!("min-epoch-transitions:{n}"),
+            Invariant::NoSyncingVotes => "no-syncing-votes".into(),
+            Invariant::MinSynced(n) => format!("min-synced:{n}"),
+            Invariant::MinSyncTimeouts(n) => format!("min-sync-timeouts:{n}"),
         }
     }
 
@@ -208,6 +226,10 @@ impl Invariant {
                 )
             }
             "no-double-commit" => Invariant::NoDoubleCommit,
+            "min-epoch-transitions" => Invariant::MinEpochTransitions(need_usize(param)?),
+            "no-syncing-votes" => Invariant::NoSyncingVotes,
+            "min-synced" => Invariant::MinSynced(need_usize(param)?),
+            "min-sync-timeouts" => Invariant::MinSyncTimeouts(need_usize(param)?),
             other => return Err(format!("unknown invariant {other:?}")),
         })
     }
@@ -450,6 +472,35 @@ impl Invariant {
                     format!("{dupes} transaction(s) committed more than once"),
                 )
             }
+            Invariant::MinEpochTransitions(min) => {
+                let transitions = summary.total_epoch_transitions();
+                (
+                    transitions >= min,
+                    format!("{transitions} epoch transition(s) (need >= {min})"),
+                )
+            }
+            Invariant::NoSyncingVotes => {
+                let votes = summary.total_syncing_votes();
+                let abstentions = summary.total_syncing_abstentions();
+                (
+                    votes == 0,
+                    format!("{votes} vote(s) received from Syncing members ({abstentions} abstention(s))"),
+                )
+            }
+            Invariant::MinSynced(min) => {
+                let synced = summary.total_synced();
+                (
+                    synced >= min,
+                    format!("{synced} member(s) completed state sync (need >= {min})"),
+                )
+            }
+            Invariant::MinSyncTimeouts(min) => {
+                let timeouts = summary.total_sync_timeouts();
+                (
+                    timeouts >= min,
+                    format!("{timeouts} state-sync timeout(s) (need >= {min})"),
+                )
+            }
             Invariant::PipelineComplete => {
                 let bad_round = outcome
                     .phase_trace
@@ -504,6 +555,10 @@ mod tests {
             Invariant::BlocksFromRound(2),
             Invariant::MinAcceptanceFromRound(2, 0.9),
             Invariant::NoDoubleCommit,
+            Invariant::MinEpochTransitions(3),
+            Invariant::NoSyncingVotes,
+            Invariant::MinSynced(4),
+            Invariant::MinSyncTimeouts(1),
         ];
         for inv in all {
             assert_eq!(Invariant::from_spec(&inv.to_spec()), Ok(inv));

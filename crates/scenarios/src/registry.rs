@@ -341,6 +341,7 @@ pub fn builtin_scenarios() -> Vec<Scenario> {
     scenarios.push(scale8);
 
     scenarios.extend(message_driven_scenarios());
+    scenarios.extend(epoch_scenarios());
 
     scenarios
 }
@@ -527,6 +528,139 @@ fn message_driven_scenarios() -> Vec<Scenario> {
         Invariant::NoDoubleCommit,
     ]);
     scenarios.push(wan);
+
+    scenarios
+}
+
+/// The epoch-lifecycle family: committee reconfiguration every E rounds with
+/// validator churn, state-sync catch-up for joiners, an adversary whose
+/// corrupt fraction drifts toward the paper's `t` as malicious validators
+/// join, and a handover attacked by a partition. The base `security_config`
+/// geometry has 21 nodes against a sortition floor of 12, leaving headroom
+/// for the leave lottery.
+fn epoch_scenarios() -> Vec<Scenario> {
+    let mut scenarios = Vec::new();
+
+    // 22 — epoch baseline: three clean boundaries on the classic synchronous
+    // path. Every joiner catches up at its own boundary, nobody votes while
+    // `Syncing`, and the pre-epoch phases stay byte-identical (the epoch
+    // machinery runs *between* rounds, never inside the pipeline).
+    let mut baseline = Scenario::new("epoch-baseline", security_config(130));
+    baseline.rounds = 6;
+    baseline.config.epoch_length = 2;
+    baseline.config.joins_per_epoch = 2;
+    baseline.config.leaves_per_epoch = 1;
+    baseline.description = "Epochs of two rounds with two joins and one leave per boundary: the \
+         PVSS beacon re-seeds sortition, committees reshuffle with reputation \
+         carry-over, every joiner completes state sync at its own boundary, \
+         and blocks keep flowing through all three transitions."
+        .into();
+    baseline.paper_claim = "§VII-A (epochal reconfiguration)".into();
+    baseline.smoke = true;
+    baseline.invariants = common_invariants();
+    baseline.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::MinEpochTransitions(3),
+        Invariant::MinSynced(6),
+        Invariant::NoSyncingVotes,
+        Invariant::PackedWithinOfferedValid,
+    ]);
+    scenarios.push(baseline);
+
+    // 23 — steady churn over the message-driven plane: four boundaries, two
+    // joins and two leaves each, every committee message on the discrete-
+    // event network. The validator set turns over by ~40% across the run
+    // while liveness and safety hold.
+    let mut churn = Scenario::new("churn-steady", driven_config(131));
+    churn.rounds = 8;
+    churn.config.epoch_length = 2;
+    churn.config.joins_per_epoch = 2;
+    churn.config.leaves_per_epoch = 2;
+    churn.description = "Eight message-driven rounds across four epoch boundaries, each \
+         admitting two validators and retiring up to two by lottery: state \
+         sync rides the same network as consensus, every joiner turns Active \
+         at its boundary, and no transaction ever commits twice."
+        .into();
+    churn.paper_claim = "§VII-A (validator churn)".into();
+    churn.smoke = true;
+    churn.invariants = common_invariants();
+    churn.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::MinEpochTransitions(4),
+        Invariant::MinSynced(8),
+        Invariant::NoSyncingVotes,
+        Invariant::NoDoubleCommit,
+    ]);
+    scenarios.push(churn);
+
+    // 24 — adversarial epoch: joiner NodeIds are predictable (appended
+    // contiguously), so the spec flips each admitted pair malicious one
+    // round after its boundary. The corrupt fraction drifts from 4/21 up to
+    // exactly the paper bound of 8/27 — the protocol must hold at t, not
+    // just below it.
+    let mut adversarial = Scenario::new("adversarial-epoch", driven_config(134));
+    adversarial.rounds = 6;
+    adversarial.config.epoch_length = 2;
+    adversarial.config.joins_per_epoch = 2;
+    adversarial.config.adversary = AdversaryConfig::uniform(0.2);
+    adversarial.description = "Every epoch's two joiners are corrupted right after admission \
+         (wrong-voter / lazy-voter), drifting the corrupt fraction from 4 of \
+         21 to the exact t < n/3 bound at 8 of 27: blocks keep flowing, \
+         syncing members never vote, and no honest node is punished."
+        .into();
+    adversarial.paper_claim = "§III-C (t < n/3, adaptive joins)".into();
+    for (round, joiner) in [(2, 21), (2, 22), (4, 23), (4, 24)] {
+        adversarial.faults.push(FaultInjection {
+            round,
+            target: FaultTarget::Node(joiner),
+            behavior: if joiner % 2 == 1 {
+                Behavior::WrongVoter
+            } else {
+                Behavior::LazyVoter
+            },
+        });
+    }
+    adversarial.invariants = common_invariants();
+    adversarial.invariants.extend([
+        Invariant::AdversaryBoundRespected,
+        Invariant::MinEpochTransitions(3),
+        Invariant::NoSyncingVotes,
+        Invariant::MinBlocksProduced(4),
+        Invariant::NoDoubleCommit,
+    ]);
+    scenarios.push(adversarial);
+
+    // 25 — handover under partition: the joiner id range (including ids that
+    // do not exist yet) is severed across two boundaries, so state sync
+    // times out with bounded backoff and the joiners stay `Syncing` —
+    // abstaining, never voting — until the heal at round 4 lets the
+    // start-of-round retry succeed.
+    let mut handover = Scenario::new("handover-under-partition", driven_config(133));
+    handover.rounds = 6;
+    handover.config.epoch_length = 2;
+    handover.config.joins_per_epoch = 2;
+    handover.description = "A partition severs every joining validator through rounds 1-3, \
+         covering two epoch boundaries: their state-sync sessions time out \
+         through peer rotation and backoff, they abstain (counted Unknown) \
+         without ever voting, the sitting committees keep producing blocks, \
+         and the round-4 heal lets every delayed joiner catch up."
+        .into();
+    handover.paper_claim = "§VII-A (handover) / §III-B (synchrony)".into();
+    handover.net_faults.push(NetFaultInjection {
+        from_round: 1,
+        until_round: 4,
+        kind: NetFaultKind::IsolateJoiners,
+    });
+    handover.invariants = common_invariants();
+    handover.invariants.extend([
+        Invariant::BlocksEveryRound,
+        Invariant::MinEpochTransitions(3),
+        Invariant::MinSyncTimeouts(1),
+        Invariant::MinSynced(6),
+        Invariant::NoSyncingVotes,
+        Invariant::NoDoubleCommit,
+    ]);
+    scenarios.push(handover);
 
     scenarios
 }

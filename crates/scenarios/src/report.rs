@@ -81,15 +81,35 @@ pub fn render_report(run: &ScenarioRun) -> String {
         "    \"mix\": \"{}\",\n",
         escape_json(&mix_name(cfg.adversary.mix))
     ));
-    // `message_driven` is emitted only when on, so reports (and goldens) of
-    // classic synchronous scenarios keep their exact pre-extension bytes.
+    // `message_driven` and the epoch knobs are emitted only when on, so
+    // reports (and goldens) of scenarios predating either extension keep
+    // their exact pre-extension bytes.
+    let epochs_on = cfg.epoch_length > 0;
     out.push_str(&format!(
         "    \"verify_signatures\": {}{}\n",
         cfg.verify_signatures,
-        if cfg.message_driven { "," } else { "" }
+        if cfg.message_driven || epochs_on {
+            ","
+        } else {
+            ""
+        }
     ));
     if cfg.message_driven {
-        out.push_str("    \"message_driven\": true\n");
+        out.push_str(&format!(
+            "    \"message_driven\": true{}\n",
+            if epochs_on { "," } else { "" }
+        ));
+    }
+    if epochs_on {
+        out.push_str(&format!("    \"epoch_length\": {},\n", cfg.epoch_length));
+        out.push_str(&format!(
+            "    \"joins_per_epoch\": {},\n",
+            cfg.joins_per_epoch
+        ));
+        out.push_str(&format!(
+            "    \"leaves_per_epoch\": {}\n",
+            cfg.leaves_per_epoch
+        ));
     }
     out.push_str("  },\n");
 
@@ -148,23 +168,29 @@ pub fn render_report(run: &ScenarioRun) -> String {
             } else {
                 ""
             };
+            // Per-kind fields, each with its leading separator so a kind
+            // without parameters (isolate-joiners) emits nothing extra.
             let detail = match fault.kind {
                 crate::spec::NetFaultKind::IsolateLeader { committee } => {
-                    format!("\"committee\": {committee}")
+                    format!(", \"committee\": {committee}")
                 }
                 crate::spec::NetFaultKind::IsolateCommons { committee, count } => {
-                    format!("\"committee\": {committee}, \"count\": {count}")
+                    format!(", \"committee\": {committee}, \"count\": {count}")
                 }
                 crate::spec::NetFaultKind::Delay { target, micros } => {
                     format!(
-                        "\"target\": \"{}\", \"delay_us\": {micros}",
+                        ", \"target\": \"{}\", \"delay_us\": {micros}",
                         escape_json(&target.to_spec())
                     )
                 }
-                crate::spec::NetFaultKind::Loss { ppm } => format!("\"loss_ppm\": {ppm}"),
+                crate::spec::NetFaultKind::Loss { ppm } => format!(", \"loss_ppm\": {ppm}"),
+                crate::spec::NetFaultKind::CrashStop { target } => {
+                    format!(", \"target\": \"{}\"", escape_json(&target.to_spec()))
+                }
+                crate::spec::NetFaultKind::IsolateJoiners => String::new(),
             };
             out.push_str(&format!(
-                "    {{ \"from_round\": {}, \"until_round\": {}, \"kind\": \"{}\", {detail} }}{comma}\n",
+                "    {{ \"from_round\": {}, \"until_round\": {}, \"kind\": \"{}\"{detail} }}{comma}\n",
                 fault.from_round,
                 fault.until_round,
                 fault.kind.name()
@@ -242,6 +268,57 @@ pub fn render_report(run: &ScenarioRun) -> String {
         out.push_str(&format!(
             "    \"duplicate_packed_txs\": {}\n",
             outcome.duplicate_packed_txs
+        ));
+        out.push_str("  },\n");
+    }
+
+    // Epoch lifecycle measurements (omitted when epochs are disabled).
+    if epochs_on {
+        let joined: usize = summary
+            .rounds
+            .iter()
+            .filter_map(|r| r.epoch_transition.as_ref())
+            .map(|t| t.joined.len())
+            .sum();
+        let left: usize = summary
+            .rounds
+            .iter()
+            .filter_map(|r| r.epoch_transition.as_ref())
+            .map(|t| t.left.len())
+            .sum();
+        let still_syncing = summary
+            .rounds
+            .iter()
+            .filter_map(|r| r.epoch_transition.as_ref())
+            .next_back()
+            .map_or(0, |t| t.still_syncing);
+        let reshuffled_seats: usize = summary
+            .rounds
+            .iter()
+            .filter_map(|r| r.epoch_transition.as_ref())
+            .map(|t| t.reshuffled_seats)
+            .sum();
+        out.push_str("  \"epochs\": {\n");
+        out.push_str(&format!(
+            "    \"transitions\": {},\n",
+            summary.total_epoch_transitions()
+        ));
+        out.push_str(&format!("    \"joined\": {joined},\n"));
+        out.push_str(&format!("    \"left\": {left},\n"));
+        out.push_str(&format!("    \"synced\": {},\n", summary.total_synced()));
+        out.push_str(&format!("    \"still_syncing\": {still_syncing},\n"));
+        out.push_str(&format!(
+            "    \"sync_timeouts\": {},\n",
+            summary.total_sync_timeouts()
+        ));
+        out.push_str(&format!("    \"reshuffled_seats\": {reshuffled_seats},\n"));
+        out.push_str(&format!(
+            "    \"syncing_abstentions\": {},\n",
+            summary.total_syncing_abstentions()
+        ));
+        out.push_str(&format!(
+            "    \"syncing_votes\": {}\n",
+            summary.total_syncing_votes()
         ));
         out.push_str("  },\n");
     }

@@ -1,7 +1,7 @@
 //! Executes scenarios: single runs, worker-matrix cross-checks, and the
 //! parallel matrix runner on the protocol's [`ShardExecutor`].
 
-use cycledger_net::faults::{FaultPlan, Partition, TargetedDelay, PPM};
+use cycledger_net::faults::{CrashStop, FaultPlan, Partition, TargetedDelay, PPM};
 use cycledger_net::time::{SimDuration, SimTime};
 use cycledger_net::topology::NodeId;
 use cycledger_protocol::engine::{RoundContext, RoundObserver, ShardExecutor};
@@ -163,6 +163,36 @@ fn resolve_fault_plan(
             }
             NetFaultKind::Loss { ppm } => {
                 plan.drop_ppm = plan.drop_ppm.saturating_add(ppm).min(PPM);
+            }
+            NetFaultKind::CrashStop { target } => {
+                for node in resolve_targets(sim, target, scenario)? {
+                    plan.crashes.push(CrashStop {
+                        member: node,
+                        at: SimTime::ZERO,
+                        restart_at: None,
+                    });
+                }
+            }
+            NetFaultKind::IsolateJoiners => {
+                // Every id at or above the initial registry size — including
+                // joiners that will only be admitted at this round's closing
+                // boundary, which is exactly why this cannot be expressed as
+                // a `node:` target (those ids fail resolution until they
+                // exist). A partition accepts arbitrary ids, so the group
+                // covers the maximum possible joiner population up front.
+                let initial = scenario.config.total_nodes() as u32;
+                let epochs = match scenario.config.epoch_length {
+                    0 => 0,
+                    len => scenario.rounds as u64 / len,
+                };
+                let max_joiners = scenario.config.joins_per_epoch as u64 * epochs;
+                plan.partitions.push(Partition {
+                    group: (0..max_joiners as u32)
+                        .map(|k| NodeId(initial + k))
+                        .collect(),
+                    from: SimTime::ZERO,
+                    until: None,
+                });
             }
         }
     }

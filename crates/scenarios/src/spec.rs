@@ -128,6 +128,20 @@ pub enum NetFaultKind {
         /// Drop probability in parts per million (1_000_000 = everything).
         ppm: u32,
     },
+    /// Crash-stop the resolved target nodes for every active round: the
+    /// nodes neither send nor receive anything while the injection holds
+    /// (they restart when the window heals).
+    CrashStop {
+        /// Positional target, re-resolved each round.
+        target: FaultTarget,
+    },
+    /// Sever every validator admitted after the initial registry (ids
+    /// `total_nodes()` and up, including joiners that do not exist yet) from
+    /// everyone. This is the handover attack: an epoch boundary's state-sync
+    /// sessions run under the boundary round's fault plan, so isolating the
+    /// future joiner ids keeps new members `Syncing` (abstaining) until the
+    /// window heals. Requires epoch churn (`joins_per_epoch > 0`).
+    IsolateJoiners,
 }
 
 impl NetFaultKind {
@@ -138,6 +152,8 @@ impl NetFaultKind {
             NetFaultKind::IsolateCommons { .. } => "isolate-commons",
             NetFaultKind::Delay { .. } => "delay",
             NetFaultKind::Loss { .. } => "loss",
+            NetFaultKind::CrashStop { .. } => "crash-stop",
+            NetFaultKind::IsolateJoiners => "isolate-joiners",
         }
     }
 }
@@ -369,6 +385,36 @@ impl Scenario {
                         self.name
                     ));
                 }
+                NetFaultKind::CrashStop { target } => match target {
+                    FaultTarget::Leader(k) if k >= self.config.committees => {
+                        return Err(format!(
+                            "scenario {:?}: crash-stop targets committee {k} of {}",
+                            self.name, self.config.committees
+                        ));
+                    }
+                    FaultTarget::PartialSetMember { committee, index } => {
+                        if committee >= self.config.committees {
+                            return Err(format!(
+                                "scenario {:?}: crash-stop targets committee {committee} of {}",
+                                self.name, self.config.committees
+                            ));
+                        }
+                        if index >= self.config.partial_set_size {
+                            return Err(format!(
+                                "scenario {:?}: crash-stop targets partial-set slot {index} of {}",
+                                self.name, self.config.partial_set_size
+                            ));
+                        }
+                    }
+                    _ => {}
+                },
+                NetFaultKind::IsolateJoiners if self.config.joins_per_epoch == 0 => {
+                    return Err(format!(
+                        "scenario {:?}: isolate-joiners needs epoch churn \
+                         (joins_per_epoch > 0), or there is nobody to isolate",
+                        self.name
+                    ));
+                }
                 _ => {}
             }
         }
@@ -549,6 +595,26 @@ mod tests {
             },
         });
         assert!(zero_delay.validate().is_err());
+
+        let mut crash_bad_committee = base.clone();
+        crash_bad_committee.net_faults.push(NetFaultInjection {
+            from_round: 0,
+            until_round: 1,
+            kind: NetFaultKind::CrashStop {
+                target: FaultTarget::Leader(99),
+            },
+        });
+        assert!(crash_bad_committee.validate().is_err());
+
+        // isolate-joiners without epoch churn has nobody to isolate.
+        let mut no_churn = base.clone();
+        no_churn.config.joins_per_epoch = 0;
+        no_churn.net_faults.push(NetFaultInjection {
+            from_round: 0,
+            until_round: 1,
+            kind: NetFaultKind::IsolateJoiners,
+        });
+        assert!(no_churn.validate().unwrap_err().contains("isolate-joiners"));
     }
 
     #[test]

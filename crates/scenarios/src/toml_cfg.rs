@@ -316,6 +316,9 @@ fn apply_scenario_key(scenario: &mut Scenario, key: &str, value: &Value) -> Resu
         }
         "verify_signatures" => scenario.config.verify_signatures = value.as_bool()?,
         "message_driven" => scenario.config.message_driven = value.as_bool()?,
+        "epoch_length" => scenario.config.epoch_length = value.as_u64()?,
+        "joins_per_epoch" => scenario.config.joins_per_epoch = value.as_u32()?,
+        "leaves_per_epoch" => scenario.config.leaves_per_epoch = value.as_u32()?,
         "malicious_fraction" => scenario.config.adversary.malicious_fraction = value.as_f64()?,
         "mix" => scenario.config.adversary.mix = mix_from_name(value.as_str()?)?,
         "invariants" => {
@@ -388,6 +391,10 @@ fn net_fault_from_section(section: &Section) -> Result<NetFaultInjection, String
         "loss" => NetFaultKind::Loss {
             ppm: loss_ppm.ok_or("loss needs loss_ppm")?,
         },
+        "crash-stop" => NetFaultKind::CrashStop {
+            target: target.ok_or("crash-stop needs a target")?,
+        },
+        "isolate-joiners" => NetFaultKind::IsolateJoiners,
         other => return Err(format!("unknown net-fault kind {other:?}")),
     };
     Ok(NetFaultInjection {
@@ -420,8 +427,15 @@ pub fn scenarios_from_toml(text: &str) -> Result<Vec<Scenario>, String> {
                         section.line
                     )
                 })?;
-                let fault = fault_from_section(section)
-                    .map_err(|e| format!("line {}: {e}", section.line))?;
+                // Errors name the table's index within its scenario so a
+                // matrix failure is attributable to one concrete table.
+                let index = scenario.faults.len();
+                let fault = fault_from_section(section).map_err(|e| {
+                    format!(
+                        "line {}: [[scenario.faults]] #{index} of scenario {:?}: {e}",
+                        section.line, scenario.name
+                    )
+                })?;
                 scenario.faults.push(fault);
             }
             "scenario.net_faults" => {
@@ -431,8 +445,13 @@ pub fn scenarios_from_toml(text: &str) -> Result<Vec<Scenario>, String> {
                         section.line
                     )
                 })?;
-                let fault = net_fault_from_section(section)
-                    .map_err(|e| format!("line {}: {e}", section.line))?;
+                let index = scenario.net_faults.len();
+                let fault = net_fault_from_section(section).map_err(|e| {
+                    format!(
+                        "line {}: [[scenario.net_faults]] #{index} of scenario {:?}: {e}",
+                        section.line, scenario.name
+                    )
+                })?;
                 scenario.net_faults.push(fault);
             }
             other => {
@@ -518,6 +537,9 @@ pub fn scenarios_to_toml(scenarios: &[Scenario]) -> String {
         ));
         out.push_str(&format!("verify_signatures = {}\n", cfg.verify_signatures));
         out.push_str(&format!("message_driven = {}\n", cfg.message_driven));
+        out.push_str(&format!("epoch_length = {}\n", cfg.epoch_length));
+        out.push_str(&format!("joins_per_epoch = {}\n", cfg.joins_per_epoch));
+        out.push_str(&format!("leaves_per_epoch = {}\n", cfg.leaves_per_epoch));
         out.push_str(&format!(
             "malicious_fraction = {:?}\n",
             cfg.adversary.malicious_fraction
@@ -558,6 +580,10 @@ pub fn scenarios_to_toml(scenarios: &[Scenario]) -> String {
                 NetFaultKind::Loss { ppm } => {
                     out.push_str(&format!("loss_ppm = {ppm}\n"));
                 }
+                NetFaultKind::CrashStop { target } => {
+                    out.push_str(&format!("target = \"{}\"\n", target.to_spec()));
+                }
+                NetFaultKind::IsolateJoiners => {}
             }
         }
         out.push('\n');
@@ -739,6 +765,96 @@ delay_us = 600000
         )
         .unwrap_err()
         .contains("unknown net-fault kind"));
+    }
+
+    #[test]
+    fn malformed_fault_tables_are_attributed_by_index() {
+        // The second [[scenario.net_faults]] table is the malformed one; the
+        // error must say so (index + scenario name + line), not just name
+        // the offending key.
+        let text = r#"
+[[scenario]]
+name = "attributable"
+rounds = 3
+workers = [1]
+message_driven = true
+invariants = ["no-double-commit"]
+
+[[scenario.net_faults]]
+from_round = 0
+until_round = 1
+kind = "loss"
+loss_ppm = 1000
+
+[[scenario.net_faults]]
+from_round = 1
+until_round = 2
+kind = "delay"
+target = "leader:0"
+"#;
+        let err = scenarios_from_toml(text).unwrap_err();
+        assert!(
+            err.contains("[[scenario.net_faults]] #1"),
+            "error lacks the table index: {err}"
+        );
+        assert!(
+            err.contains("\"attributable\""),
+            "error lacks the scenario name: {err}"
+        );
+        assert!(err.contains("line 15"), "error lacks the line: {err}");
+        assert!(err.contains("delay needs delay_us"), "wrong cause: {err}");
+
+        let classic = "[[scenario]]\nname = \"x\"\n\
+             [[scenario.faults]]\nround = 0\ntarget = \"leader:0\"\nbehavior = \"silent-leader\"\n\
+             [[scenario.faults]]\nround = 1\ntarget = \"leader:0\"\n";
+        let err = scenarios_from_toml(classic).unwrap_err();
+        assert!(
+            err.contains("[[scenario.faults]] #1") && err.contains("fault needs a behavior"),
+            "classic fault table not attributed: {err}"
+        );
+    }
+
+    #[test]
+    fn epoch_keys_and_new_net_fault_kinds_round_trip() {
+        let text = r#"
+[[scenario]]
+name = "churny"
+rounds = 6
+workers = [1]
+message_driven = true
+epoch_length = 2
+joins_per_epoch = 2
+leaves_per_epoch = 1
+invariants = ["min-epoch-transitions:3", "no-syncing-votes", "min-synced:4"]
+
+[[scenario.net_faults]]
+from_round = 1
+until_round = 4
+kind = "isolate-joiners"
+
+[[scenario.net_faults]]
+from_round = 0
+until_round = 2
+kind = "crash-stop"
+target = "node:3"
+"#;
+        let scenarios = scenarios_from_toml(text).expect("parses");
+        let s = &scenarios[0];
+        assert_eq!(s.config.epoch_length, 2);
+        assert_eq!(s.config.joins_per_epoch, 2);
+        assert_eq!(s.config.leaves_per_epoch, 1);
+        assert_eq!(s.net_faults[0].kind, NetFaultKind::IsolateJoiners);
+        assert_eq!(
+            s.net_faults[1].kind,
+            NetFaultKind::CrashStop {
+                target: FaultTarget::Node(3)
+            }
+        );
+        let serialized = scenarios_to_toml(&scenarios);
+        let reparsed = scenarios_from_toml(&serialized).expect("round-trips");
+        assert_eq!(reparsed[0].net_faults, s.net_faults);
+        assert_eq!(reparsed[0].config.epoch_length, 2);
+        assert_eq!(serialized, scenarios_to_toml(&reparsed));
     }
 
     #[test]

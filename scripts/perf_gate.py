@@ -3,9 +3,17 @@
 
 Runs ``gen_bench_round --smoke`` (the tracked configuration: 8x16,
 verify_signatures on, pipelined round engine, one worker) and compares the
-measured ``rounds_per_sec`` and ``allocations_per_round`` against the
-committed ``verified.one_worker`` entry of ``BENCH_round.json``. The job
-fails on a regression of more than ``PERF_GATE_TOLERANCE`` (default 20%):
+measured ``rounds_per_sec`` and ``allocations_per_round`` of both emitted
+series against their committed entries in ``BENCH_round.json``:
+
+* ``smoke_1_worker``       vs ``verified.one_worker`` -- plain rounds;
+* ``smoke_epoch_1_worker`` vs ``verified.one_worker_epoch`` -- the
+  epoch-lifecycle variant (``epoch_length=2``, so every second measured
+  round pays the full boundary: beacon, churn, state sync, reshuffle),
+  gating the epoch-boundary cost.
+
+The job fails on a regression of more than ``PERF_GATE_TOLERANCE``
+(default 20%):
 
 * ``rounds_per_sec``           -- fails when measured < committed * (1 - tol)
 * ``allocations_per_round``    -- fails when measured > committed * (1 + tol)
@@ -33,7 +41,7 @@ TOLERANCE = float(os.environ.get("PERF_GATE_TOLERANCE", "0.20"))
 
 def main() -> int:
     committed_path = REPO_ROOT / "BENCH_round.json"
-    committed = json.loads(committed_path.read_text())["verified"]["one_worker"]
+    verified = json.loads(committed_path.read_text())["verified"]
 
     cmd = [
         "cargo",
@@ -55,11 +63,11 @@ def main() -> int:
         print("perf gate: bench binary failed", file=sys.stderr)
         return 1
     print(out.stdout)
-    smoke = json.loads(out.stdout)["smoke_1_worker"]
+    report = json.loads(out.stdout)
 
     failures = []
 
-    def check(metric: str, higher_is_better: bool) -> None:
+    def check(label: str, committed: dict, smoke: dict, metric: str, higher_is_better: bool) -> None:
         reference = float(committed[metric])
         measured = float(smoke[metric])
         if higher_is_better:
@@ -72,14 +80,20 @@ def main() -> int:
             bound = f"<= {ceiling:.0f}"
         verdict = "ok" if ok else "REGRESSION"
         print(
-            f"{metric}: measured {measured:.3f} vs committed {reference:.3f} "
+            f"{label}.{metric}: measured {measured:.3f} vs committed {reference:.3f} "
             f"(gate {bound}) ... {verdict}"
         )
         if not ok:
-            failures.append(metric)
+            failures.append(f"{label}.{metric}")
 
-    check("rounds_per_sec", higher_is_better=True)
-    check("allocations_per_round", higher_is_better=False)
+    for label, committed_key, smoke_key in (
+        ("plain", "one_worker", "smoke_1_worker"),
+        ("epoch", "one_worker_epoch", "smoke_epoch_1_worker"),
+    ):
+        committed = verified[committed_key]
+        smoke = report[smoke_key]
+        check(label, committed, smoke, "rounds_per_sec", higher_is_better=True)
+        check(label, committed, smoke, "allocations_per_round", higher_is_better=False)
 
     if failures:
         print(

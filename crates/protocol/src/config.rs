@@ -3,6 +3,7 @@
 use cycledger_net::latency::LatencyConfig;
 
 use crate::adversary::AdversaryConfig;
+use crate::traffic::TrafficConfig;
 
 /// Configuration of a CycLedger simulation run.
 #[derive(Clone, Copy, Debug)]
@@ -79,6 +80,15 @@ pub struct ProtocolConfig {
     /// hash lottery over the epoch randomness; clamped so the population
     /// never drops below the sortition floor).
     pub leaves_per_epoch: u32,
+    /// Open-loop traffic drive: when set, transactions arrive at the
+    /// configured rate in virtual time and queue in a backlog, with at most
+    /// `txs_per_round` of them injected per round (`txs_per_round` becomes
+    /// the round's packing *capacity*), and per-transaction confirm latency
+    /// is tracked from arrival to quorum-certified block inclusion. `None`
+    /// (the default) keeps the historical closed-loop workload — the
+    /// generator feeds exactly `txs_per_round` fresh transactions every
+    /// round and nothing ever waits.
+    pub traffic: Option<TrafficConfig>,
     /// Master seed for all deterministic randomness.
     pub seed: u64,
 }
@@ -107,6 +117,7 @@ impl Default for ProtocolConfig {
             epoch_length: 0,
             joins_per_epoch: 0,
             leaves_per_epoch: 0,
+            traffic: None,
             seed: 42,
         }
     }
@@ -148,6 +159,12 @@ impl ProtocolConfig {
         }
         if self.epoch_length == 0 && (self.joins_per_epoch > 0 || self.leaves_per_epoch > 0) {
             return Err("validator churn requires epoch_length > 0".into());
+        }
+        if let Some(traffic) = &self.traffic {
+            traffic.validate()?;
+            if self.txs_per_round == 0 {
+                return Err("open-loop traffic needs txs_per_round > 0 as round capacity".into());
+            }
         }
         self.adversary.validate()
     }
@@ -191,6 +208,18 @@ mod tests {
             },
             ProtocolConfig {
                 joins_per_epoch: 2,
+                ..ProtocolConfig::default()
+            },
+            ProtocolConfig {
+                traffic: Some(TrafficConfig {
+                    rate_tps: 0.0,
+                    ..TrafficConfig::default()
+                }),
+                ..ProtocolConfig::default()
+            },
+            ProtocolConfig {
+                traffic: Some(TrafficConfig::default()),
+                txs_per_round: 0,
                 ..ProtocolConfig::default()
             },
         ];

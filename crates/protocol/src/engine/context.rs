@@ -440,6 +440,8 @@ impl<'a> RoundContext<'a> {
             // Attached by the simulation driver when this round closes an
             // epoch (see `Simulation::run_round_observed`).
             epoch_transition: None,
+            // Attached by the simulation driver when the run is open-loop.
+            traffic: None,
         };
 
         RoundOutput {

@@ -18,6 +18,7 @@
 //! * [`report`] — measurement output consumed by benches and experiments.
 //! * [`epoch`] — epoch schedule, validator churn, committee reconfiguration.
 //! * [`sync`] — state sync for joining/restarting members.
+//! * [`traffic`] — open-loop arrival processes and confirm-latency tracking.
 
 #![warn(missing_docs)]
 
@@ -33,6 +34,7 @@ pub mod round;
 pub mod simulation;
 pub mod sortition;
 pub mod sync;
+pub mod traffic;
 
 pub use adversary::{AdversaryConfig, Behavior, BehaviorMix};
 pub use committee::{Committee, InsideConsensusOutcome, LeaderFault};
@@ -45,3 +47,4 @@ pub use report::{
 };
 pub use simulation::Simulation;
 pub use sortition::{assign_round, AssignmentParams, CommitteeAssignment, RoundAssignment};
+pub use traffic::{ArrivalShape, LatencyHistogram, TrafficConfig, TrafficSnapshot};

@@ -187,6 +187,10 @@ pub struct RoundReport {
     pub syncing_votes: usize,
     /// Present when this round closed an epoch: what the transition did.
     pub epoch_transition: Option<EpochTransitionReport>,
+    /// Present when the round ran under open-loop traffic drive: injection,
+    /// confirmation, censoring and latency accounting for this round (see
+    /// [`crate::traffic`]).
+    pub traffic: Option<crate::traffic::TrafficRoundReport>,
 }
 
 impl RoundReport {
@@ -291,6 +295,13 @@ impl RoundReport {
             out.push(0xE8);
             out.extend_from_slice(&(self.syncing_abstentions as u64).to_be_bytes());
             out.extend_from_slice(&(self.syncing_votes as u64).to_be_bytes());
+        }
+        // Open-loop traffic extension block: appended only when the round
+        // ran under traffic drive, so every closed-loop run — all goldens
+        // predating the harness — keeps its exact encoding.
+        if let Some(traffic) = &self.traffic {
+            out.push(0xAC);
+            traffic.write_canonical_bytes(out);
         }
     }
 }
@@ -423,6 +434,34 @@ impl SimulationSummary {
         self.rounds.iter().map(|r| r.syncing_votes).sum()
     }
 
+    /// Total arrivals injected across the run (open-loop traffic only).
+    pub fn total_traffic_injected(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.traffic.as_ref())
+            .map(|t| t.injected)
+            .sum()
+    }
+
+    /// Total open-loop confirmations across the run.
+    pub fn total_traffic_confirmed(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.traffic.as_ref())
+            .map(|t| t.confirmed)
+            .sum()
+    }
+
+    /// Total open-loop transactions censored (injected, then expired
+    /// unpacked under the driven plane) across the run.
+    pub fn total_traffic_censored(&self) -> usize {
+        self.rounds
+            .iter()
+            .filter_map(|r| r.traffic.as_ref())
+            .map(|t| t.censored)
+            .sum()
+    }
+
     /// A digest over the summary's canonical byte encoding.
     ///
     /// Two summaries with identical content produce identical digests
@@ -478,6 +517,7 @@ mod tests {
             syncing_abstentions: 0,
             syncing_votes: 0,
             epoch_transition: None,
+            traffic: None,
         }
     }
 
@@ -636,6 +676,60 @@ mod tests {
         let mut voted = plain.clone();
         voted.syncing_votes = 1;
         assert_ne!(encode(&voted), plain_bytes);
+    }
+
+    #[test]
+    fn traffic_extension_block_is_gated() {
+        // Closed-loop rounds (every golden predating the traffic harness)
+        // must keep their exact encoding; open-loop rounds append the
+        // tagged block, and its counters are digest-relevant.
+        let closed = dummy_report(0, 1, 1);
+        let encode = |r: &RoundReport| {
+            let mut bytes = Vec::new();
+            r.write_canonical_bytes(&mut bytes);
+            bytes
+        };
+        let closed_bytes = encode(&closed);
+        let mut open = closed.clone();
+        open.traffic = Some(crate::traffic::TrafficRoundReport {
+            injected: 12,
+            rejected_invalid: 1,
+            confirmed: 10,
+            censored: 1,
+            backlog: 4,
+            round_duration_us: 1_200_000,
+            latency_sum_us: 9_000_000,
+            max_latency_us: 1_400_000,
+        });
+        let open_bytes = encode(&open);
+        assert_eq!(
+            open_bytes.len(),
+            closed_bytes.len() + 1 + 8 * 8,
+            "open-loop rounds append exactly the tagged traffic block"
+        );
+        assert_eq!(&open_bytes[..closed_bytes.len()], &closed_bytes[..]);
+        // Censoring is digest-relevant, not silently dropped.
+        let mut censored_more = open.clone();
+        censored_more.traffic.as_mut().unwrap().censored += 1;
+        assert_ne!(encode(&censored_more), open_bytes);
+    }
+
+    #[test]
+    fn traffic_summary_aggregation() {
+        let mut with_traffic = dummy_report(1, 1, 1);
+        with_traffic.traffic = Some(crate::traffic::TrafficRoundReport {
+            injected: 20,
+            rejected_invalid: 2,
+            confirmed: 15,
+            censored: 3,
+            ..Default::default()
+        });
+        let summary = SimulationSummary {
+            rounds: vec![dummy_report(0, 1, 1), with_traffic],
+        };
+        assert_eq!(summary.total_traffic_injected(), 20);
+        assert_eq!(summary.total_traffic_confirmed(), 15);
+        assert_eq!(summary.total_traffic_censored(), 3);
     }
 
     #[test]

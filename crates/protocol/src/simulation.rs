@@ -27,6 +27,7 @@ use crate::report::{EpochTransitionReport, RoundReport, SimulationSummary};
 use crate::round::{run_round_observed, RoundInput};
 use crate::sortition::{assign_round, AssignmentParams, RoundAssignment};
 use crate::sync::{run_state_sync, SyncConfig};
+use crate::traffic::{OpenLoopDriver, TrafficSnapshot};
 
 /// A running CycLedger simulation: persistent chain, UTXO state, reputation and
 /// round assignment across rounds, plus the persistent worker pool every
@@ -54,6 +55,10 @@ pub struct Simulation {
     /// State-sync results from mid-epoch retries, folded into the next
     /// boundary's [`EpochTransitionReport`].
     sync_carry: SyncTotals,
+    /// Open-loop traffic driver (`config.traffic`): arrival backlog,
+    /// in-flight confirm tracking and the aggregate latency histogram.
+    /// `None` keeps the historical closed-loop workload.
+    traffic: Option<OpenLoopDriver>,
 }
 
 /// Accumulated state-sync session results.
@@ -123,6 +128,9 @@ impl Simulation {
             arena: RoundArena::new(),
             fault_plan: cycledger_net::faults::FaultPlan::default(),
             sync_carry: SyncTotals::default(),
+            traffic: config
+                .traffic
+                .map(|tc| OpenLoopDriver::new(tc, config.latency, config.seed)),
         })
     }
 
@@ -191,6 +199,13 @@ impl Simulation {
         &self.reports
     }
 
+    /// Cumulative open-loop traffic statistics (arrival/confirm/censor
+    /// counters plus the confirm-latency percentiles), or `None` when the
+    /// run is closed-loop.
+    pub fn traffic(&self) -> Option<TrafficSnapshot> {
+        self.traffic.as_ref().map(|driver| driver.snapshot())
+    }
+
     /// Runs one round and returns its report.
     pub fn run_round(&mut self) -> &RoundReport {
         self.run_round_observed(&mut NoopObserver)
@@ -210,8 +225,20 @@ impl Simulation {
             let totals = self.run_sync_sessions();
             self.sync_carry.add(totals);
         }
-        let offered = self.workload.generate_batch(self.config.txs_per_round);
-        let output = run_round_observed(
+        // Closed-loop (default): the generator feeds exactly `txs_per_round`
+        // fresh transactions. Open-loop: the driver admits queued arrivals up
+        // to that capacity and tracks each injected transaction's arrival
+        // time for confirm-latency accounting.
+        let offered = match &mut self.traffic {
+            Some(driver) => {
+                let count = driver.begin_round(self.config.txs_per_round);
+                let batch = self.workload.generate_batch(count);
+                driver.register_batch(&batch);
+                batch
+            }
+            None => self.workload.generate_batch(self.config.txs_per_round),
+        };
+        let mut output = run_round_observed(
             RoundInput {
                 config: &self.config,
                 registry: &self.registry,
@@ -235,7 +262,7 @@ impl Simulation {
         let mut packed: cycledger_crypto::fxhash::FxHashSet<cycledger_ledger::transaction::TxId> =
             cycledger_crypto::fxhash::FxHashSet::default();
         if let Some(block) = output.block {
-            if self.config.message_driven {
+            if self.config.message_driven || self.traffic.is_some() {
                 packed.extend(block.transactions.iter().map(|t| t.id()));
             }
             self.chain
@@ -253,6 +280,20 @@ impl Simulation {
             self.workload.confirm_packed(|id| packed.contains(id));
         } else {
             self.workload.confirm_pending();
+        }
+        // Open-loop accounting: close the driver's round window (stretched by
+        // any consensus stall) and resolve every in-flight transaction. Under
+        // the synchronous plane every injected valid transaction is packed
+        // (the historical optimistic confirmation above), so nothing censors;
+        // under the driven plane faults can keep transactions out of the
+        // block, and those resolve as *censored* — their inputs were respent
+        // by `confirm_packed`, so they can never confirm later.
+        if let Some(driver) = &mut self.traffic {
+            output.report.traffic = Some(driver.complete_round(
+                output.report.timeout_delays_us,
+                |id| packed.contains(id),
+                self.config.message_driven,
+            ));
         }
         if let Some(next) = output.next_assignment {
             self.assignment = next;
@@ -398,6 +439,7 @@ impl Simulation {
 mod tests {
     use super::*;
     use crate::adversary::{AdversaryConfig, Behavior};
+    use crate::traffic::TrafficConfig;
 
     fn small_config() -> ProtocolConfig {
         ProtocolConfig {
@@ -810,5 +852,172 @@ mod tests {
         assert!(report.channels < report.full_clique_channels);
         assert!(report.block_produced);
         assert!(report.txs_packed > 0);
+    }
+
+    fn traffic_config(rate_tps: f64) -> ProtocolConfig {
+        ProtocolConfig {
+            traffic: Some(TrafficConfig {
+                rate_tps,
+                shape: crate::traffic::ArrivalShape::Constant,
+                warmup_rounds: 1,
+            }),
+            verify_signatures: false,
+            ..small_config()
+        }
+    }
+
+    #[test]
+    fn open_loop_drive_tracks_confirm_latency() {
+        // 20 tps against a 50 tps capacity (60 tx / 1.2 s): the backlog stays
+        // bounded, every injected transaction resolves the round it enters,
+        // and confirm latencies stay within one round window.
+        let mut sim = Simulation::new(traffic_config(20.0)).unwrap();
+        sim.run(6);
+        let snapshot = sim.traffic().expect("open-loop run has a snapshot");
+        assert_eq!(snapshot.censored, 0, "the synchronous plane never censors");
+        assert!(snapshot.rejected_invalid > 0, "invalid_ratio 0.1 must show");
+        assert_eq!(
+            snapshot.injected,
+            snapshot.confirmed + snapshot.rejected_invalid,
+            "every injected transaction resolves in its round"
+        );
+        assert!(snapshot.samples > 0, "post-warmup confirmations recorded");
+        assert!(snapshot.p50_us > 0);
+        assert!(snapshot.p50_us <= snapshot.p99_us);
+        assert!(snapshot.p99_us <= snapshot.p999_us);
+        assert!(snapshot.p999_us <= snapshot.max_us);
+        // Sustained throughput tracks the offered valid rate (~18 tps).
+        let sustained = snapshot.sustained_tps();
+        assert!(
+            (15.0..21.0).contains(&sustained),
+            "sustained {sustained} tps should track the offered 20 tps"
+        );
+        for report in sim.reports() {
+            let traffic = report.traffic.expect("every round carries traffic");
+            assert!(
+                traffic.max_latency_us <= traffic.round_duration_us,
+                "under-capacity confirmations happen within their round"
+            );
+        }
+    }
+
+    #[test]
+    fn overload_builds_backlog_and_latency_diverges() {
+        // 200 tps against the same 50 tps capacity: the backlog must grow
+        // monotonically and confirm latency must exceed a round window.
+        let mut sim = Simulation::new(traffic_config(200.0)).unwrap();
+        sim.run(6);
+        let snapshot = sim.traffic().unwrap();
+        assert!(snapshot.backlog > 0, "saturated run must queue arrivals");
+        let backlogs: Vec<_> = sim
+            .reports()
+            .iter()
+            .map(|r| r.traffic.unwrap().backlog)
+            .collect();
+        assert!(
+            backlogs.windows(2).all(|w| w[0] <= w[1]),
+            "backlog must be non-decreasing at 4x capacity: {backlogs:?}"
+        );
+        assert!(
+            snapshot.p99_us > 1_200_000,
+            "saturated p99 ({} µs) must exceed one nominal round",
+            snapshot.p99_us
+        );
+        assert!(
+            snapshot.p99_delta() > 24.0,
+            "p99 beyond 24Δ marks saturation"
+        );
+    }
+
+    #[test]
+    fn open_loop_runs_are_deterministic_across_worker_counts() {
+        let config = traffic_config(80.0);
+        let baseline = summary_digest(config, 1, 4);
+        assert_eq!(baseline, summary_digest(config, 2, 4));
+        assert_eq!(baseline, summary_digest(config, 8, 4));
+    }
+
+    #[test]
+    fn closed_loop_reports_carry_no_traffic_block() {
+        let mut sim = Simulation::new(small_config()).unwrap();
+        sim.run(2);
+        assert!(sim.traffic().is_none());
+        assert!(sim.reports().iter().all(|r| r.traffic.is_none()));
+    }
+
+    #[test]
+    fn driven_faults_censor_expired_transactions() {
+        // A partition severs four of committee 0's five common members for
+        // the first two rounds: its votes fall below the strict majority, its
+        // transactions never reach the block, and the workload respends their
+        // inputs. The open-loop driver must record those as *censored* — a
+        // counted, canonical-bytes-relevant outcome — not silently drop them
+        // from the latency accounting.
+        let mut config = small_config();
+        config.message_driven = true;
+        config.verify_signatures = false;
+        config.invalid_ratio = 0.0;
+        config.traffic = Some(TrafficConfig {
+            rate_tps: 40.0,
+            shape: crate::traffic::ArrivalShape::Constant,
+            warmup_rounds: 0,
+        });
+        let mut sim = Simulation::new(config).unwrap();
+        let committee = sim.assignment().committees[0].clone();
+        let commons: Vec<_> = committee
+            .members
+            .iter()
+            .copied()
+            .filter(|&n| n != committee.leader && !committee.partial_set.contains(&n))
+            .take(4)
+            .collect();
+        sim.set_fault_plan(cycledger_net::faults::FaultPlan::partition(commons));
+        sim.run_round();
+        sim.run_round();
+        sim.set_fault_plan(cycledger_net::faults::FaultPlan::default());
+        sim.run_round();
+        let snapshot = sim.traffic().unwrap();
+        assert!(
+            snapshot.censored > 0,
+            "the partitioned committee's transactions must resolve as censored"
+        );
+        assert!(
+            snapshot.confirmed > 0,
+            "the healthy committee still confirms"
+        );
+        assert_eq!(
+            snapshot.injected,
+            snapshot.confirmed + snapshot.censored + snapshot.rejected_invalid,
+            "censoring must never lose a transaction from the accounting"
+        );
+        // Per-round attribution: at least one partitioned round carries a
+        // nonzero censored count in its traffic block.
+        assert!(
+            sim.reports()[..2]
+                .iter()
+                .any(|r| r.traffic.unwrap().censored > 0),
+            "censoring must be attributed to the partitioned rounds"
+        );
+        assert!(sim.reports()[0].quorum_timeouts > 0, "partition really bit");
+    }
+
+    #[test]
+    fn censorship_recovery_stall_stretches_the_traffic_window() {
+        // A censoring leader forces the 2Γ concealment-recovery timers
+        // (`timeout_delays_us`); the open-loop driver must stretch that
+        // round's virtual window by exactly the stall, delaying every later
+        // arrival's confirmation.
+        let mut sim = Simulation::new(traffic_config(20.0)).unwrap();
+        let leader = sim.assignment().committees[0].leader;
+        sim.registry_mut()
+            .set_behavior(leader, Behavior::CensoringLeader);
+        let report = sim.run_round().clone();
+        assert!(report.timeout_delays_us > 0, "recovery timers must run");
+        let traffic = report.traffic.expect("open-loop round");
+        assert_eq!(
+            traffic.round_duration_us,
+            1_200_000 + report.timeout_delays_us,
+            "the stall extends the nominal 1.2 s window one-for-one"
+        );
     }
 }

@@ -104,6 +104,15 @@ pub enum Invariant {
     /// At least this many state-sync requests timed out — a
     /// handover-under-partition scenario must actually delay catch-up.
     MinSyncTimeouts(usize),
+    /// Open-loop traffic: the p99 confirm latency, measured in Δ units of
+    /// the scenario's latency profile, is at most this (the latency SLO).
+    /// Requires `config.traffic` — a closed-loop run has no latency
+    /// distribution to gate.
+    MaxP99Latency(f64),
+    /// Open-loop traffic: confirmed throughput over the whole run, in
+    /// transactions per second of virtual time, is at least this (the
+    /// sustained-rate SLO). Requires `config.traffic`.
+    MinSustainedTps(f64),
 }
 
 /// Outcome of checking one invariant.
@@ -156,6 +165,8 @@ impl Invariant {
             Invariant::NoSyncingVotes => "no-syncing-votes".into(),
             Invariant::MinSynced(n) => format!("min-synced:{n}"),
             Invariant::MinSyncTimeouts(n) => format!("min-sync-timeouts:{n}"),
+            Invariant::MaxP99Latency(d) => format!("max-p99-latency:{d:?}"),
+            Invariant::MinSustainedTps(t) => format!("min-sustained-tps:{t:?}"),
         }
     }
 
@@ -230,6 +241,8 @@ impl Invariant {
             "no-syncing-votes" => Invariant::NoSyncingVotes,
             "min-synced" => Invariant::MinSynced(need_usize(param)?),
             "min-sync-timeouts" => Invariant::MinSyncTimeouts(need_usize(param)?),
+            "max-p99-latency" => Invariant::MaxP99Latency(need_f64(param)?),
+            "min-sustained-tps" => Invariant::MinSustainedTps(need_f64(param)?),
             other => return Err(format!("unknown invariant {other:?}")),
         })
     }
@@ -501,6 +514,34 @@ impl Invariant {
                     format!("{timeouts} state-sync timeout(s) (need >= {min})"),
                 )
             }
+            Invariant::MaxP99Latency(max_delta) => match &outcome.traffic {
+                None => (false, "scenario has no open-loop traffic".into()),
+                Some(traffic) => {
+                    let p99 = traffic.p99_delta();
+                    (
+                        p99 <= max_delta,
+                        format!(
+                            "p99 confirm latency {p99:.2}Δ = {} µs over {} sample(s) \
+                             (need <= {max_delta}Δ)",
+                            traffic.p99_us, traffic.samples
+                        ),
+                    )
+                }
+            },
+            Invariant::MinSustainedTps(min_tps) => match &outcome.traffic {
+                None => (false, "scenario has no open-loop traffic".into()),
+                Some(traffic) => {
+                    let tps = traffic.sustained_tps();
+                    (
+                        tps >= min_tps,
+                        format!(
+                            "sustained {tps:.2} tps ({} confirmed over {} µs of virtual \
+                             time; need >= {min_tps} tps)",
+                            traffic.confirmed, traffic.virtual_elapsed_us
+                        ),
+                    )
+                }
+            },
             Invariant::PipelineComplete => {
                 let bad_round = outcome
                     .phase_trace
@@ -559,6 +600,8 @@ mod tests {
             Invariant::NoSyncingVotes,
             Invariant::MinSynced(4),
             Invariant::MinSyncTimeouts(1),
+            Invariant::MaxP99Latency(24.0),
+            Invariant::MinSustainedTps(18.5),
         ];
         for inv in all {
             assert_eq!(Invariant::from_spec(&inv.to_spec()), Ok(inv));

@@ -4,6 +4,7 @@
 use cycledger_net::topology::NodeId;
 use cycledger_protocol::adversary::Behavior;
 use cycledger_protocol::report::SimulationSummary;
+use cycledger_protocol::traffic::TrafficSnapshot;
 
 use crate::spec::Scenario;
 
@@ -60,6 +61,10 @@ pub struct ScenarioOutcome {
     /// run's chain (safety: must be 0; see
     /// [`crate::invariant::Invariant::NoDoubleCommit`]).
     pub duplicate_packed_txs: usize,
+    /// Aggregate open-loop traffic statistics of the baseline run
+    /// (confirm-latency percentiles, sustained throughput, censor counts);
+    /// `None` for closed-loop scenarios.
+    pub traffic: Option<TrafficSnapshot>,
 }
 
 impl ScenarioOutcome {

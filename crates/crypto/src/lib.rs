@@ -12,6 +12,8 @@
 //! * [`vrf`] — a DLEQ-based verifiable random function used by cryptographic
 //!   sortition (Algorithm 1).
 //! * [`merkle`] — Merkle trees for block and list commitments.
+//! * [`smt`] — sparse-Merkle node hashing and light-client proof
+//!   verification for the authenticated state layer.
 //! * [`pvss`] — Shamir/Feldman publicly verifiable secret sharing; the SCRAPE
 //!   substitute powering the randomness beacon (§IV-F, §V-A).
 //! * [`pow`] — the participation proof-of-work puzzle (§IV-F).
@@ -31,6 +33,7 @@ pub mod pvss;
 pub mod scalar;
 pub mod schnorr;
 pub mod sha256;
+pub mod smt;
 pub mod u256;
 pub mod vrf;
 
@@ -41,4 +44,5 @@ pub use schnorr::{
     batch_verify, sign, verify, BatchEntry, Keypair, PublicKey, SecretKey, Signature,
 };
 pub use sha256::{hash_domain, hash_parts, sha256, Digest};
+pub use smt::{verify_proof, ProofError, ProofTerminal, StateProof};
 pub use vrf::{evaluate as vrf_evaluate, verify as vrf_verify, VrfOutput, VrfProof};

@@ -5,6 +5,10 @@
 //! * [`transaction`] — accounts, outpoints, transactions, shard routing.
 //! * [`utxo`] — per-shard UTXO sets and the authentication function `V`
 //!   (existence, no double spend, value conservation — §III-D).
+//! * [`store`] — the pluggable [`StateStore`] layer: flat map or sparse
+//!   Merkle tree behind one statically-dispatched enum.
+//! * [`smt`] — the authenticated backend: a compressed sparse Merkle tree
+//!   with copy-on-write versioned roots and per-round batch commits.
 //! * [`block`] — blocks assembled by the referee committee, carrying the next
 //!   round's configuration, and a structurally-verified chain.
 //! * [`workload`] — deterministic external-user workload generation with
@@ -13,11 +17,15 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod smt;
+pub mod store;
 pub mod transaction;
 pub mod utxo;
 pub mod workload;
 
 pub use block::{Block, BlockHeader, Chain, ChainError, NextRoundConfig};
+pub use smt::SmtStore;
+pub use store::{MapStore, StateBackend, StateStore, Store};
 pub use transaction::{AccountId, OutPoint, Transaction, TxId, TxInput, TxOutput};
 pub use utxo::{validate_across_shards, UtxoSet, ValidationError};
 pub use workload::{GeneratedTx, TxKind, Workload, WorkloadConfig};

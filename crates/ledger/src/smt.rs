@@ -1,0 +1,734 @@
+//! The authenticated state backend: a compressed sparse Merkle tree over
+//! SHA-256 with copy-on-write versioned roots.
+//!
+//! ## Shape
+//!
+//! Keys are 256-bit digests of outpoints; the tree is the *compressed*
+//! binary SMT over them: a subtree holding exactly one entry is represented
+//! by the leaf itself, an empty subtree by the all-zero digest. The shape is
+//! therefore a pure function of the key set — two stores holding the same
+//! entries have the same root no matter the insertion or batching order.
+//! Hash conventions (leaf/internal preimages, path bits) live in
+//! [`cycledger_crypto::smt`] so light clients can verify proofs without
+//! this crate.
+//!
+//! ## Write path
+//!
+//! `insert`/`remove` update an [`FxHashMap`] mirror (so the per-input
+//! lookup hot path of the authentication function `V` stays O(1) and makes
+//! *identical* decisions to the flat-map backend) and buffer the delta.
+//! [`SmtStore::commit`] seals one round's buffered deltas in a single
+//! batch-sorted fold:
+//!
+//! 1. key, value and leaf digests of the whole batch are lane-batched
+//!    through [`sha256_many`];
+//! 2. a structural pass merges the key-sorted batch into the tree
+//!    copy-on-write — path-copied internal nodes are allocated with
+//!    placeholder hashes and recorded per depth, untouched subtrees are
+//!    shared with previous versions;
+//! 3. dirty internal nodes are hashed level by level, deepest first, again
+//!    through [`sha256_many`] — children are always final before parents.
+//!
+//! Committing once per round instead of once per transaction is what keeps
+//! the authenticated backend within a small factor of the flat map: a
+//! round's writes to one path share the path copy and the O(log n) hashes.
+//!
+//! Old roots stay valid after a commit (nodes are never mutated, only
+//! superseded), which is what `root_at_round` snapshots lean on.
+
+use cycledger_crypto::fxhash::{FxBuildHasher, FxHashMap};
+use cycledger_crypto::sha256::{sha256, sha256_many, Digest};
+use cycledger_crypto::smt::{
+    fill_internal_preimage, fill_leaf_preimage, key_bit, ProofTerminal, StateProof, EMPTY_ROOT,
+};
+
+use crate::store::StateStore;
+use crate::transaction::{OutPoint, TxOutput};
+
+/// Sentinel node reference: the empty subtree.
+const EMPTY_REF: u32 = u32::MAX;
+/// High bit tags a reference into the leaf arena instead of the internal one.
+const LEAF_TAG: u32 = 0x8000_0000;
+
+#[inline]
+fn is_leaf(node: u32) -> bool {
+    node != EMPTY_REF && node & LEAF_TAG != 0
+}
+
+/// Domain prefix of the outpoint-to-key digest.
+const KEY_DOMAIN: &[u8; 17] = b"cycledger/smt-key";
+/// Domain prefix of the output-to-value digest.
+const VAL_DOMAIN: &[u8; 17] = b"cycledger/smt-val";
+
+fn key_preimage(outpoint: &OutPoint) -> [u8; 53] {
+    let mut buf = [0u8; 53];
+    buf[..17].copy_from_slice(KEY_DOMAIN);
+    buf[17..49].copy_from_slice(outpoint.tx_id.as_bytes());
+    buf[49..53].copy_from_slice(&outpoint.index.to_be_bytes());
+    buf
+}
+
+fn value_preimage(output: &TxOutput) -> [u8; 33] {
+    let mut buf = [0u8; 33];
+    buf[..17].copy_from_slice(VAL_DOMAIN);
+    buf[17..25].copy_from_slice(&output.owner.0.to_be_bytes());
+    buf[25..33].copy_from_slice(&output.amount.to_be_bytes());
+    buf
+}
+
+/// The tree key of an outpoint: `H("cycledger/smt-key" || tx_id || index)`.
+pub fn key_digest(outpoint: &OutPoint) -> Digest {
+    sha256(&key_preimage(outpoint))
+}
+
+/// The leaf value hash of an output:
+/// `H("cycledger/smt-val" || owner || amount)`.
+pub fn value_digest(output: &TxOutput) -> Digest {
+    sha256(&value_preimage(output))
+}
+
+/// A path-copied internal node. `hash` is filled in by the level-ordered
+/// hashing pass after the structural fold.
+#[derive(Clone, Debug)]
+struct InternalNode {
+    hash: Digest,
+    left: u32,
+    right: u32,
+}
+
+/// An immutable leaf binding one key to one value hash.
+#[derive(Clone, Debug)]
+struct LeafNode {
+    key: Digest,
+    value_hash: Digest,
+    hash: Digest,
+}
+
+/// One batched delta: a key plus either the pre-hashed replacement leaf
+/// (upsert) or [`EMPTY_REF`] (delete).
+struct Item {
+    key: Digest,
+    leaf: u32,
+}
+
+/// New internal nodes of the current fold, grouped by depth so the hashing
+/// pass can go level by level (children before parents).
+#[derive(Default)]
+struct Dirty {
+    by_depth: Vec<Vec<u32>>,
+}
+
+impl Dirty {
+    fn mark(&mut self, depth: usize, node: u32) {
+        if self.by_depth.len() <= depth {
+            self.by_depth.resize_with(depth + 1, Vec::new);
+        }
+        self.by_depth[depth].push(node);
+    }
+}
+
+/// The sparse-Merkle state store. See the module docs for the design.
+#[derive(Clone, Debug)]
+pub struct SmtStore {
+    /// O(1) lookup mirror of the *live* state (committed ⊕ pending).
+    mirror: FxHashMap<OutPoint, TxOutput>,
+    /// Deltas since the last commit: `Some` upserts, `None` deletes.
+    pending: FxHashMap<OutPoint, Option<TxOutput>>,
+    /// Internal-node arena; nodes are immutable once hashed.
+    internals: Vec<InternalNode>,
+    /// Leaf arena; leaves are immutable from creation.
+    leaves: Vec<LeafNode>,
+    /// Root of the latest committed version.
+    root: u32,
+    /// `(round, root)` per committed round, ascending.
+    versions: Vec<(u64, u32)>,
+}
+
+impl Default for SmtStore {
+    fn default() -> Self {
+        SmtStore::with_capacity(0)
+    }
+}
+
+impl SmtStore {
+    /// An empty store whose lookup mirror is pre-sized for `capacity`
+    /// entries.
+    pub fn with_capacity(capacity: usize) -> SmtStore {
+        SmtStore {
+            mirror: FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
+            pending: FxHashMap::default(),
+            internals: Vec::new(),
+            leaves: Vec::new(),
+            root: EMPTY_REF,
+            versions: Vec::new(),
+        }
+    }
+
+    /// Number of deltas buffered since the last commit.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total nodes allocated across all versions (capacity telemetry for the
+    /// state benchmark).
+    pub fn allocated_nodes(&self) -> (usize, usize) {
+        (self.internals.len(), self.leaves.len())
+    }
+
+    /// Folds the buffered deltas into the tree without recording a round
+    /// version — used once at genesis so round 0's root already includes the
+    /// genesis UTXOs as its base.
+    pub fn commit_genesis(&mut self) -> Digest {
+        self.fold_pending();
+        self.ref_hash(self.root)
+    }
+
+    fn ref_hash(&self, node: u32) -> Digest {
+        if node == EMPTY_REF {
+            EMPTY_ROOT
+        } else if is_leaf(node) {
+            self.leaves[(node & !LEAF_TAG) as usize].hash
+        } else {
+            self.internals[node as usize].hash
+        }
+    }
+
+    /// Drains `pending` into a key-sorted item batch with all leaf hashes
+    /// precomputed (three `sha256_many` passes: keys, values, leaves), then
+    /// runs the structural fold and the level-ordered hash pass.
+    fn fold_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = self.pending.len();
+        let ops: Vec<(OutPoint, Option<TxOutput>)> = self.pending.drain().collect();
+        // Draining keeps the bucket array — deliberately, so steady-state
+        // rounds reuse it allocation-free — but one huge batch (genesis at
+        // 10^6+ entries) must not leave every later round walking a
+        // million-slot empty table just to collect its ~1k deltas.
+        if self.pending.capacity() > 4 * batch.max(1024) {
+            self.pending.shrink_to(batch.max(1024));
+        }
+
+        // Pass 1: keys.
+        let key_bufs: Vec<[u8; 53]> = ops.iter().map(|(op, _)| key_preimage(op)).collect();
+        let key_refs: Vec<&[u8]> = key_bufs.iter().map(|b| b.as_slice()).collect();
+        let mut keys: Vec<Digest> = Vec::new();
+        sha256_many(&key_refs, &mut keys);
+
+        // Pass 2: value hashes of the upserts.
+        let upserts: Vec<usize> = (0..ops.len()).filter(|&i| ops[i].1.is_some()).collect();
+        let val_bufs: Vec<[u8; 33]> = upserts
+            .iter()
+            .map(|&i| value_preimage(ops[i].1.as_ref().unwrap()))
+            .collect();
+        let val_refs: Vec<&[u8]> = val_bufs.iter().map(|b| b.as_slice()).collect();
+        let mut value_hashes: Vec<Digest> = Vec::new();
+        sha256_many(&val_refs, &mut value_hashes);
+
+        // Pass 3: leaf hashes of the upserts.
+        let mut leaf_bufs: Vec<[u8; 65]> = vec![[0u8; 65]; upserts.len()];
+        for ((buf, &i), value_hash) in leaf_bufs.iter_mut().zip(&upserts).zip(&value_hashes) {
+            fill_leaf_preimage(buf, &keys[i], value_hash);
+        }
+        let leaf_refs: Vec<&[u8]> = leaf_bufs.iter().map(|b| b.as_slice()).collect();
+        let mut leaf_hashes: Vec<Digest> = Vec::new();
+        sha256_many(&leaf_refs, &mut leaf_hashes);
+
+        // Allocate the new leaves and assemble the batch.
+        let mut items: Vec<Item> = Vec::with_capacity(ops.len());
+        let mut upsert_no = 0usize;
+        for (i, (_, op)) in ops.iter().enumerate() {
+            let leaf = if op.is_some() {
+                let leaf_ref = LEAF_TAG | self.leaves.len() as u32;
+                self.leaves.push(LeafNode {
+                    key: keys[i],
+                    value_hash: value_hashes[upsert_no],
+                    hash: leaf_hashes[upsert_no],
+                });
+                upsert_no += 1;
+                leaf_ref
+            } else {
+                EMPTY_REF
+            };
+            items.push(Item { key: keys[i], leaf });
+        }
+        // Key-sorted: lexicographic byte order equals path order, so every
+        // sub-slice of the fold is contiguous.
+        items.sort_unstable_by_key(|a| a.key);
+
+        let mut dirty = Dirty::default();
+        self.root = self.fold(self.root, 0, &items, &mut dirty);
+        self.rehash_dirty(&dirty);
+    }
+
+    /// First index of `batch` whose key has bit `depth` set (the
+    /// left/right split point of a key-sorted batch).
+    fn split_point(batch: &[Item], depth: usize) -> usize {
+        batch.partition_point(|item| !key_bit(&item.key, depth))
+    }
+
+    /// Merges a key-sorted batch into `node`, copy-on-write. New internal
+    /// nodes carry placeholder hashes and are recorded in `dirty`.
+    fn fold(&mut self, node: u32, depth: usize, batch: &[Item], dirty: &mut Dirty) -> u32 {
+        if batch.is_empty() {
+            return node;
+        }
+        if node == EMPTY_REF {
+            return self.build(depth, batch, dirty);
+        }
+        if is_leaf(node) {
+            return self.merge_leaf(node, depth, batch, dirty);
+        }
+        let (left, right) = {
+            let n = &self.internals[node as usize];
+            (n.left, n.right)
+        };
+        let split = Self::split_point(batch, depth);
+        let new_left = self.fold(left, depth + 1, &batch[..split], dirty);
+        let new_right = self.fold(right, depth + 1, &batch[split..], dirty);
+        if new_left == left && new_right == right {
+            // Pure no-op batch (deletes of absent keys): share the old node.
+            return node;
+        }
+        self.join(depth, new_left, new_right, dirty)
+    }
+
+    /// Builds the canonical subtree of a key-sorted batch over an empty
+    /// subtree (deletes are no-ops here).
+    fn build(&mut self, depth: usize, batch: &[Item], dirty: &mut Dirty) -> u32 {
+        debug_assert!(depth <= 256);
+        let mut live = batch.iter().filter(|item| item.leaf != EMPTY_REF);
+        let first = match live.next() {
+            None => return EMPTY_REF,
+            Some(item) => item,
+        };
+        if live.next().is_none() {
+            return first.leaf;
+        }
+        let split = Self::split_point(batch, depth);
+        let left = self.build(depth + 1, &batch[..split], dirty);
+        let right = self.build(depth + 1, &batch[split..], dirty);
+        self.join(depth, left, right, dirty)
+    }
+
+    /// Merges a batch into a subtree currently represented by a single
+    /// leaf (the compressed form of a one-entry subtree).
+    fn merge_leaf(&mut self, leaf: u32, depth: usize, batch: &[Item], dirty: &mut Dirty) -> u32 {
+        if batch.is_empty() {
+            return leaf;
+        }
+        let leaf_key = self.leaves[(leaf & !LEAF_TAG) as usize].key;
+        if batch
+            .binary_search_by(|item| item.key.cmp(&leaf_key))
+            .is_ok()
+        {
+            // The batch addresses the leaf's own key: an upsert replaces it,
+            // a delete removes it — either way the batch alone decides.
+            return self.build(depth, batch, dirty);
+        }
+        if !batch.iter().any(|item| item.leaf != EMPTY_REF) {
+            // Only deletes of other (absent) keys: nothing changes.
+            return leaf;
+        }
+        let split = Self::split_point(batch, depth);
+        let (left, right) = if key_bit(&leaf_key, depth) {
+            (
+                self.build(depth + 1, &batch[..split], dirty),
+                self.merge_leaf(leaf, depth + 1, &batch[split..], dirty),
+            )
+        } else {
+            (
+                self.merge_leaf(leaf, depth + 1, &batch[..split], dirty),
+                self.build(depth + 1, &batch[split..], dirty),
+            )
+        };
+        self.join(depth, left, right, dirty)
+    }
+
+    /// Canonicalizing node constructor: collapses one-leaf subtrees so the
+    /// tree shape stays a pure function of the key set.
+    fn join(&mut self, depth: usize, left: u32, right: u32, dirty: &mut Dirty) -> u32 {
+        match (left == EMPTY_REF, right == EMPTY_REF) {
+            (true, true) => EMPTY_REF,
+            (true, false) if is_leaf(right) => right,
+            (false, true) if is_leaf(left) => left,
+            _ => {
+                let node = self.internals.len() as u32;
+                assert!(node & LEAF_TAG == 0, "internal arena exhausted");
+                self.internals.push(InternalNode {
+                    hash: Digest::ZERO,
+                    left,
+                    right,
+                });
+                dirty.mark(depth, node);
+                node
+            }
+        }
+    }
+
+    /// Hashes the fold's new internal nodes level by level, deepest first,
+    /// lane-batched through [`sha256_many`]. Children are final before their
+    /// parents: leaves were hashed before the fold, deeper internals in an
+    /// earlier iteration, shared subtrees in an earlier commit.
+    fn rehash_dirty(&mut self, dirty: &Dirty) {
+        let mut bufs: Vec<[u8; 65]> = Vec::new();
+        let mut hashes: Vec<Digest> = Vec::new();
+        for level in dirty.by_depth.iter().rev() {
+            if level.is_empty() {
+                continue;
+            }
+            bufs.clear();
+            bufs.resize(level.len(), [0u8; 65]);
+            for (buf, &node) in bufs.iter_mut().zip(level) {
+                let (left, right) = {
+                    let n = &self.internals[node as usize];
+                    (n.left, n.right)
+                };
+                let left_hash = self.ref_hash(left);
+                let right_hash = self.ref_hash(right);
+                fill_internal_preimage(buf, &left_hash, &right_hash);
+            }
+            let refs: Vec<&[u8]> = bufs.iter().map(|b| b.as_slice()).collect();
+            hashes.clear();
+            sha256_many(&refs, &mut hashes);
+            for (&node, hash) in level.iter().zip(&hashes) {
+                self.internals[node as usize].hash = *hash;
+            }
+        }
+    }
+}
+
+impl StateStore for SmtStore {
+    fn get(&self, outpoint: &OutPoint) -> Option<&TxOutput> {
+        self.mirror.get(outpoint)
+    }
+
+    fn insert(&mut self, outpoint: OutPoint, output: TxOutput) -> Option<TxOutput> {
+        self.pending.insert(outpoint, Some(output));
+        self.mirror.insert(outpoint, output)
+    }
+
+    fn remove(&mut self, outpoint: &OutPoint) -> Option<TxOutput> {
+        let old = self.mirror.remove(outpoint);
+        if old.is_some() {
+            self.pending.insert(*outpoint, None);
+        }
+        old
+    }
+
+    fn len(&self) -> usize {
+        self.mirror.len()
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&OutPoint, &TxOutput)) {
+        for (outpoint, output) in &self.mirror {
+            f(outpoint, output);
+        }
+    }
+
+    fn commit(&mut self, round: u64) -> Option<Digest> {
+        self.fold_pending();
+        debug_assert!(
+            self.versions.last().is_none_or(|&(r, _)| r < round),
+            "rounds must commit in ascending order"
+        );
+        self.versions.push((round, self.root));
+        Some(self.ref_hash(self.root))
+    }
+
+    fn state_root(&self) -> Option<Digest> {
+        Some(self.ref_hash(self.root))
+    }
+
+    fn root_at_round(&self, round: u64) -> Option<Digest> {
+        let idx = self.versions.partition_point(|&(r, _)| r <= round);
+        idx.checked_sub(1)
+            .map(|i| self.ref_hash(self.versions[i].1))
+    }
+
+    fn prove(&self, outpoint: &OutPoint) -> Option<StateProof> {
+        let key = key_digest(outpoint);
+        let mut siblings = Vec::new();
+        let mut node = self.root;
+        let mut depth = 0usize;
+        loop {
+            if node == EMPTY_REF {
+                return Some(StateProof {
+                    siblings,
+                    terminal: ProofTerminal::AbsentEmpty,
+                });
+            }
+            if is_leaf(node) {
+                let leaf = &self.leaves[(node & !LEAF_TAG) as usize];
+                let terminal = if leaf.key == key {
+                    ProofTerminal::Included {
+                        value_hash: leaf.value_hash,
+                    }
+                } else {
+                    ProofTerminal::AbsentLeaf {
+                        leaf_key: leaf.key,
+                        leaf_value_hash: leaf.value_hash,
+                    }
+                };
+                return Some(StateProof { siblings, terminal });
+            }
+            let n = &self.internals[node as usize];
+            if key_bit(&key, depth) {
+                siblings.push(self.ref_hash(n.left));
+                node = n.right;
+            } else {
+                siblings.push(self.ref_hash(n.right));
+                node = n.left;
+            }
+            depth += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::AccountId;
+    use cycledger_crypto::sha256::hash_parts;
+    use cycledger_crypto::smt::{internal_hash, leaf_hash, verify_proof};
+
+    fn op(n: u64) -> OutPoint {
+        OutPoint {
+            tx_id: hash_parts(&[b"smt-store-test", &n.to_be_bytes()]),
+            index: (n % 3) as u32,
+        }
+    }
+
+    fn out(n: u64) -> TxOutput {
+        TxOutput {
+            owner: AccountId(n),
+            amount: 100 + n,
+        }
+    }
+
+    /// Independent reference root: recursive canonical construction over the
+    /// sorted `(key, value_hash)` list, using only the crypto-crate hash
+    /// conventions (no tree code shared with the implementation under test).
+    fn reference_root(entries: &[(Digest, Digest)], depth: usize) -> Digest {
+        match entries.len() {
+            0 => EMPTY_ROOT,
+            1 => leaf_hash(&entries[0].0, &entries[0].1),
+            _ => {
+                let split = entries.partition_point(|(k, _)| !key_bit(k, depth));
+                let left = reference_root(&entries[..split], depth + 1);
+                let right = reference_root(&entries[split..], depth + 1);
+                internal_hash(&left, &right)
+            }
+        }
+    }
+
+    fn reference_root_of(entries: &FxHashMap<OutPoint, TxOutput>) -> Digest {
+        let mut pairs: Vec<(Digest, Digest)> = entries
+            .iter()
+            .map(|(op, o)| (key_digest(op), value_digest(o)))
+            .collect();
+        pairs.sort_unstable_by_key(|a| a.0);
+        reference_root(&pairs, 0)
+    }
+
+    #[test]
+    fn roots_match_the_reference_construction() {
+        let mut store = SmtStore::default();
+        let mut model: FxHashMap<OutPoint, TxOutput> = FxHashMap::default();
+        // Three commits: inserts, a mixed batch with deletes, all-deletes.
+        for n in 0..50 {
+            store.insert(op(n), out(n));
+            model.insert(op(n), out(n));
+        }
+        let root = store.commit(0).unwrap();
+        assert_eq!(root, reference_root_of(&model));
+
+        for n in 50..70 {
+            store.insert(op(n), out(n));
+            model.insert(op(n), out(n));
+        }
+        for n in (0..50).step_by(3) {
+            store.remove(&op(n));
+            model.remove(&op(n));
+        }
+        // Update in place: same key, new value.
+        store.insert(op(51), out(999));
+        model.insert(op(51), out(999));
+        let root = store.commit(1).unwrap();
+        assert_eq!(root, reference_root_of(&model));
+        assert_eq!(store.len(), model.len());
+
+        let keys: Vec<OutPoint> = model.keys().copied().collect();
+        for k in keys {
+            store.remove(&k);
+        }
+        let root = store.commit(2).unwrap();
+        assert_eq!(root, EMPTY_ROOT, "deleting everything empties the tree");
+    }
+
+    #[test]
+    fn root_is_insertion_order_independent() {
+        let entries: Vec<(OutPoint, TxOutput)> = (0..64).map(|n| (op(n), out(n))).collect();
+
+        // One batch, forward order.
+        let mut a = SmtStore::default();
+        for (o, v) in &entries {
+            a.insert(*o, *v);
+        }
+        let root_a = a.commit(0).unwrap();
+
+        // One batch, reverse order.
+        let mut b = SmtStore::default();
+        for (o, v) in entries.iter().rev() {
+            b.insert(*o, *v);
+        }
+        let root_b = b.commit(0).unwrap();
+        assert_eq!(root_a, root_b, "order within a batch must not matter");
+
+        // Split across several commits, interleaved with churn that cancels.
+        let mut c = SmtStore::default();
+        for (o, v) in entries.iter().skip(32) {
+            c.insert(*o, *v);
+        }
+        c.insert(op(1000), out(1000));
+        c.commit(0);
+        for (o, v) in entries.iter().take(32) {
+            c.insert(*o, *v);
+        }
+        c.remove(&op(1000));
+        let root_c = c.commit(1).unwrap();
+        assert_eq!(root_a, root_c, "batch partitioning must not matter");
+    }
+
+    #[test]
+    fn proofs_verify_against_the_root() {
+        let mut store = SmtStore::default();
+        for n in 0..40 {
+            store.insert(op(n), out(n));
+        }
+        let root = store.commit(0).unwrap();
+
+        // Inclusion for every present key.
+        for n in 0..40 {
+            let proof = store.prove(&op(n)).unwrap();
+            assert!(
+                matches!(proof.terminal, ProofTerminal::Included { .. }),
+                "present key proved absent"
+            );
+            assert_eq!(verify_proof(&root, &key_digest(&op(n)), &proof), Ok(()));
+        }
+        // Exclusion for absent keys.
+        for n in 1000..1040 {
+            let proof = store.prove(&op(n)).unwrap();
+            assert!(!matches!(proof.terminal, ProofTerminal::Included { .. }));
+            assert_eq!(verify_proof(&root, &key_digest(&op(n)), &proof), Ok(()));
+        }
+        // A removed key flips from inclusion to exclusion.
+        let victim = op(7);
+        let old_proof = store.prove(&victim).unwrap();
+        store.remove(&victim);
+        let new_root = store.commit(1).unwrap();
+        let new_proof = store.prove(&victim).unwrap();
+        assert!(!matches!(
+            new_proof.terminal,
+            ProofTerminal::Included { .. }
+        ));
+        assert_eq!(
+            verify_proof(&new_root, &key_digest(&victim), &new_proof),
+            Ok(())
+        );
+        assert!(
+            verify_proof(&new_root, &key_digest(&victim), &old_proof).is_err(),
+            "stale inclusion must not verify against the new root"
+        );
+        // The old root still verifies the old proof (copy-on-write snapshot).
+        assert_eq!(
+            verify_proof(&root, &key_digest(&victim), &old_proof),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn versioned_roots_snapshot_each_round() {
+        let mut store = SmtStore::default();
+        store.insert(op(1), out(1));
+        let r0 = store.commit(0).unwrap();
+        store.insert(op(2), out(2));
+        let r2 = store.commit(2).unwrap();
+        assert_ne!(r0, r2);
+        assert_eq!(store.root_at_round(0), Some(r0));
+        assert_eq!(
+            store.root_at_round(1),
+            Some(r0),
+            "gap rounds see the last commit"
+        );
+        assert_eq!(store.root_at_round(2), Some(r2));
+        assert_eq!(store.root_at_round(u64::MAX), Some(r2));
+        assert_eq!(SmtStore::default().root_at_round(0), None);
+        assert_eq!(store.state_root(), Some(r2));
+    }
+
+    #[test]
+    fn genesis_commit_records_no_version() {
+        let mut store = SmtStore::default();
+        store.insert(op(1), out(1));
+        let genesis_root = store.commit_genesis();
+        assert_ne!(genesis_root, EMPTY_ROOT);
+        assert_eq!(store.root_at_round(0), None, "genesis is not a round");
+        assert_eq!(store.state_root(), Some(genesis_root));
+        // An empty round commit re-publishes the same root.
+        assert_eq!(store.commit(0), Some(genesis_root));
+        assert_eq!(store.root_at_round(0), Some(genesis_root));
+    }
+
+    #[test]
+    fn empty_commits_share_all_nodes() {
+        let mut store = SmtStore::default();
+        for n in 0..32 {
+            store.insert(op(n), out(n));
+        }
+        store.commit(0);
+        let nodes_before = store.allocated_nodes();
+        for round in 1..5 {
+            store.commit(round);
+        }
+        assert_eq!(
+            store.allocated_nodes(),
+            nodes_before,
+            "no-delta commits must allocate nothing"
+        );
+    }
+
+    #[test]
+    fn uncommitted_writes_are_visible_to_lookups_only() {
+        let mut store = SmtStore::default();
+        store.insert(op(1), out(1));
+        store.commit(0);
+        store.insert(op(2), out(2));
+        // The mirror sees the pending write...
+        assert_eq!(store.get(&op(2)), Some(&out(2)));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.pending_len(), 1);
+        // ...but the committed tree does not, until the next commit.
+        let proof = store.prove(&op(2)).unwrap();
+        assert!(!matches!(proof.terminal, ProofTerminal::Included { .. }));
+        store.commit(1);
+        let proof = store.prove(&op(2)).unwrap();
+        assert!(matches!(proof.terminal, ProofTerminal::Included { .. }));
+    }
+
+    #[test]
+    fn insert_then_remove_before_commit_is_a_no_op() {
+        let mut store = SmtStore::default();
+        store.insert(op(1), out(1));
+        let base = store.commit(0).unwrap();
+        store.insert(op(2), out(2));
+        store.remove(&op(2));
+        assert_eq!(
+            store.commit(1),
+            Some(base),
+            "cancelled delta changes nothing"
+        );
+    }
+}

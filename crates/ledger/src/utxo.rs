@@ -14,8 +14,11 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use cycledger_crypto::fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+use cycledger_crypto::fxhash::{FxHashMap, FxHashSet};
+use cycledger_crypto::sha256::Digest;
+use cycledger_crypto::smt::StateProof;
 
+use crate::store::{StateBackend, Store};
 use crate::transaction::{OutPoint, Transaction, TxOutput};
 
 /// Why a transaction failed validation.
@@ -36,10 +39,12 @@ pub enum ValidationError {
 
 /// The UTXO set of a single shard.
 ///
-/// Entries live in an [`FxHashMap`]: outpoints are SHA-256 digests the
-/// protocol itself admitted (not attacker-chosen map keys), so the SipHash
-/// DoS defence of the std hasher buys nothing on this per-input-lookup hot
-/// path. Nothing protocol-visible iterates the map unordered —
+/// Entries live behind the pluggable [`Store`]: by default the seed's flat
+/// [`FxHashMap`] (outpoints are SHA-256 digests the protocol itself
+/// admitted, not attacker-chosen map keys, so the SipHash DoS defence of
+/// the std hasher buys nothing on this per-input-lookup hot path), or the
+/// authenticated sparse-Merkle backend when the simulation asks for state
+/// roots. Nothing protocol-visible iterates the store unordered —
 /// [`UtxoSet::sorted_outpoints`] sorts first.
 #[derive(Debug, Default)]
 pub struct UtxoSet {
@@ -47,7 +52,11 @@ pub struct UtxoSet {
     shard: usize,
     /// Number of shards in the system (for ownership routing).
     num_shards: usize,
-    entries: FxHashMap<OutPoint, TxOutput>,
+    store: Store,
+    /// Maintained Σ amount over the held entries; `total_value` is called at
+    /// report time, where a full-map scan would be a 10^7-entry walk at
+    /// target scale.
+    total: u64,
     /// Counts calls to [`UtxoSet::sorted_outpoints`] — the call is O(n log n)
     /// and restricted to report-time; a regression test pins that `apply` and
     /// `validate` never touch it.
@@ -59,7 +68,8 @@ impl Clone for UtxoSet {
         UtxoSet {
             shard: self.shard,
             num_shards: self.num_shards,
-            entries: self.entries.clone(),
+            store: self.store.clone(),
+            total: self.total,
             sorted_queries: AtomicU64::new(self.sorted_queries.load(Ordering::Relaxed)),
         }
     }
@@ -74,11 +84,22 @@ impl UtxoSet {
     /// Creates an empty UTXO set pre-sized for `capacity` outpoints, so the
     /// steady-state working set never pays rehash-and-move churn.
     pub fn with_capacity(shard: usize, num_shards: usize, capacity: usize) -> Self {
+        Self::with_backend(shard, num_shards, capacity, StateBackend::Map)
+    }
+
+    /// Creates an empty UTXO set on the chosen state backend.
+    pub fn with_backend(
+        shard: usize,
+        num_shards: usize,
+        capacity: usize,
+        backend: StateBackend,
+    ) -> Self {
         assert!(num_shards > 0 && shard < num_shards);
         UtxoSet {
             shard,
             num_shards,
-            entries: FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
+            store: Store::with_capacity(backend, capacity),
+            total: 0,
             sorted_queries: AtomicU64::new(0),
         }
     }
@@ -88,24 +109,39 @@ impl UtxoSet {
         self.shard
     }
 
+    /// Which state backend this set runs on.
+    pub fn backend(&self) -> StateBackend {
+        self.store.backend()
+    }
+
     /// Number of UTXOs held.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.store.len()
     }
 
     /// True if no UTXOs are held.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.store.is_empty()
     }
 
-    /// Total value held by this shard.
+    /// Total value held by this shard — O(1), maintained on every
+    /// credit/spend.
     pub fn total_value(&self) -> u64 {
-        self.entries.values().map(|o| o.amount).sum()
+        #[cfg(debug_assertions)]
+        {
+            let mut scanned = 0u64;
+            self.store.for_each(&mut |_, o| scanned += o.amount);
+            debug_assert_eq!(
+                scanned, self.total,
+                "maintained total_value diverged from the full scan"
+            );
+        }
+        self.total
     }
 
     /// Looks up an outpoint.
     pub fn get(&self, outpoint: &OutPoint) -> Option<&TxOutput> {
-        self.entries.get(outpoint)
+        self.store.get(outpoint)
     }
 
     /// Inserts an output if its owner belongs to this shard; returns whether it
@@ -114,8 +150,43 @@ impl UtxoSet {
         if output.owner.shard(self.num_shards) != self.shard {
             return false;
         }
-        self.entries.insert(outpoint, output);
+        if let Some(old) = self.store.insert(outpoint, output) {
+            self.total -= old.amount;
+        }
+        self.total += output.amount;
         true
+    }
+
+    /// Seals the writes applied since the previous commit into a versioned
+    /// state root recorded for `round`. Returns the root on authenticated
+    /// backends, `None` on the flat map.
+    pub fn commit_round(&mut self, round: u64) -> Option<Digest> {
+        self.store.commit(round)
+    }
+
+    /// Folds genesis credits into the authenticated tree without recording a
+    /// round version (no-op on the flat map).
+    pub fn commit_genesis(&mut self) -> Option<Digest> {
+        match &mut self.store {
+            Store::Map(_) => None,
+            Store::Smt(smt) => Some(smt.commit_genesis()),
+        }
+    }
+
+    /// The most recently committed state root, if the backend has one.
+    pub fn state_root(&self) -> Option<Digest> {
+        self.store.state_root()
+    }
+
+    /// The root committed at the latest round `<= round`, if any.
+    pub fn root_at_round(&self, round: u64) -> Option<Digest> {
+        self.store.root_at_round(round)
+    }
+
+    /// An inclusion/exclusion proof for `outpoint` against the latest
+    /// committed root (`None` on unauthenticated backends).
+    pub fn prove(&self, outpoint: &OutPoint) -> Option<StateProof> {
+        self.store.prove(outpoint)
     }
 
     /// Validates the parts of `tx` that concern this shard (the paper's `V`).
@@ -131,7 +202,7 @@ impl UtxoSet {
             if input.owner.shard(self.num_shards) != self.shard {
                 continue;
             }
-            match self.entries.get(&input.outpoint) {
+            match self.store.get(&input.outpoint) {
                 None => return Err(ValidationError::MissingInput),
                 Some(existing) => {
                     if existing.owner != input.owner || existing.amount != input.amount {
@@ -152,9 +223,11 @@ impl UtxoSet {
     pub fn apply(&mut self, tx: &Transaction) -> usize {
         let mut touched = 0;
         for input in tx.inputs() {
-            if input.owner.shard(self.num_shards) == self.shard
-                && self.entries.remove(&input.outpoint).is_some()
-            {
+            if input.owner.shard(self.num_shards) != self.shard {
+                continue;
+            }
+            if let Some(spent) = self.store.remove(&input.outpoint) {
+                self.total -= spent.amount;
                 touched += 1;
             }
         }
@@ -181,7 +254,8 @@ impl UtxoSet {
     /// validate/apply traffic.
     pub fn sorted_outpoints(&self) -> Vec<OutPoint> {
         self.sorted_queries.fetch_add(1, Ordering::Relaxed);
-        let mut keys: Vec<OutPoint> = self.entries.keys().copied().collect();
+        let mut keys: Vec<OutPoint> = Vec::with_capacity(self.store.len());
+        self.store.for_each(&mut |outpoint, _| keys.push(*outpoint));
         keys.sort();
         keys
     }
@@ -599,6 +673,122 @@ mod tests {
         // An explicit report-time call is counted.
         let _ = shards[0].sorted_outpoints();
         assert_eq!(shards[0].sorted_outpoint_queries(), 1);
+    }
+
+    mod differential {
+        use super::*;
+        use crate::smt::SmtStore;
+        use crate::store::{StateBackend, StateStore};
+        use proptest::prelude::*;
+
+        /// Applies one genesis-style credit to every set of both fleets.
+        fn credit_both(fleets: [&mut Vec<UtxoSet>; 2], tx: &Transaction) {
+            for sets in fleets {
+                for set in sets.iter_mut() {
+                    set.apply(tx);
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The differential contract of the state layer: a random
+            /// credit/spend/commit sequence drives a map-backed and an
+            /// SMT-backed fleet; both must agree on every lookup, `len`,
+            /// `total_value` and the sorted-outpoint listing, and the SMT
+            /// roots must be independent of insertion order and batch
+            /// partitioning.
+            #[test]
+            fn prop_backends_agree_under_random_churn(
+                raw in proptest::collection::vec(0u64..1_000_000, 1..160),
+            ) {
+                let m = 2usize;
+                let mut map_sets: Vec<UtxoSet> =
+                    (0..m).map(|s| UtxoSet::new(s, m)).collect();
+                let mut smt_sets: Vec<UtxoSet> = (0..m)
+                    .map(|s| UtxoSet::with_backend(s, m, 0, StateBackend::Smt))
+                    .collect();
+                let mut live: Vec<(OutPoint, TxOutput)> = Vec::new();
+                let mut nonce = 0u64;
+                let mut round = 0u64;
+                for v in raw {
+                    match v % 4 {
+                        0 | 1 => {
+                            // Credit: a fresh genesis-style mint.
+                            nonce += 1;
+                            let tx = Transaction::genesis(
+                                vec![TxOutput {
+                                    owner: AccountId(v % 64),
+                                    amount: 1 + v % 500,
+                                }],
+                                nonce,
+                            );
+                            live.extend(tx.created_utxos());
+                            credit_both([&mut map_sets, &mut smt_sets], &tx);
+                        }
+                        2 => {
+                            // Spend: consume one live UTXO, mint one output.
+                            if live.is_empty() {
+                                continue;
+                            }
+                            let idx = (v as usize / 4) % live.len();
+                            let (outpoint, output) = live.swap_remove(idx);
+                            let tx = Transaction::new(
+                                vec![TxInput {
+                                    outpoint,
+                                    owner: output.owner,
+                                    amount: output.amount,
+                                }],
+                                vec![TxOutput {
+                                    owner: AccountId((v / 7) % 64),
+                                    amount: output.amount,
+                                }],
+                                v,
+                            );
+                            live.extend(tx.created_utxos());
+                            credit_both([&mut map_sets, &mut smt_sets], &tx);
+                        }
+                        _ => {
+                            // Commit: seal the batch accumulated so far.
+                            for (ms, ss) in map_sets.iter_mut().zip(smt_sets.iter_mut()) {
+                                prop_assert_eq!(ms.commit_round(round), None);
+                                prop_assert!(ss.commit_round(round).is_some());
+                            }
+                            round += 1;
+                        }
+                    }
+                }
+                for (ms, ss) in map_sets.iter_mut().zip(smt_sets.iter_mut()) {
+                    prop_assert_eq!(ms.len(), ss.len());
+                    prop_assert_eq!(ms.total_value(), ss.total_value());
+                    let listing = ms.sorted_outpoints();
+                    prop_assert_eq!(&listing, &ss.sorted_outpoints());
+                    for outpoint in &listing {
+                        prop_assert_eq!(ms.get(outpoint), ss.get(outpoint));
+                    }
+                    // Order independence: one fresh batch holding the same
+                    // final entries — inserted forward and reverse — commits
+                    // to the same root the incremental churn arrived at.
+                    prop_assert!(ss.commit_round(round).is_some());
+                    let entries: Vec<(OutPoint, TxOutput)> = listing
+                        .iter()
+                        .map(|op| (*op, *ss.get(op).unwrap()))
+                        .collect();
+                    let mut fwd = SmtStore::default();
+                    let mut rev = SmtStore::default();
+                    for (op, out) in &entries {
+                        fwd.insert(*op, *out);
+                    }
+                    for (op, out) in entries.iter().rev() {
+                        rev.insert(*op, *out);
+                    }
+                    let fwd_root = fwd.commit(0);
+                    prop_assert_eq!(fwd_root, rev.commit(0));
+                    prop_assert_eq!(fwd_root, ss.state_root());
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use cycledger_crypto::hmac::HmacDrbg;
 
+use crate::store::StateBackend;
 use crate::transaction::{AccountId, OutPoint, Transaction, TxId, TxInput, TxOutput};
 use crate::utxo::UtxoSet;
 
@@ -217,17 +218,28 @@ impl Workload {
 
     /// Builds fresh per-shard UTXO sets seeded with the genesis outputs.
     pub fn build_genesis_utxo_sets(&self) -> Vec<UtxoSet> {
+        self.build_genesis_utxo_sets_with(StateBackend::Map)
+    }
+
+    /// Builds fresh per-shard UTXO sets on the chosen state backend, seeded
+    /// with the genesis outputs. On the authenticated backend the genesis
+    /// credits are folded into the tree immediately (as a base version, not
+    /// a round commit), so round 0's root builds on genesis state.
+    pub fn build_genesis_utxo_sets_with(&self, backend: StateBackend) -> Vec<UtxoSet> {
         let m = self.config.num_shards;
         // Pre-size for the steady-state working set: the genesis UTXOs plus
         // the change/payment churn of a few rounds in flight.
         let capacity = self.config.accounts_per_shard * 4;
         let mut sets: Vec<UtxoSet> = (0..m)
-            .map(|s| UtxoSet::with_capacity(s, m, capacity))
+            .map(|s| UtxoSet::with_backend(s, m, capacity, backend))
             .collect();
         for tx in &self.genesis {
             for set in sets.iter_mut() {
                 set.apply(tx);
             }
+        }
+        for set in sets.iter_mut() {
+            set.commit_genesis();
         }
         sets
     }

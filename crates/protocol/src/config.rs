@@ -1,5 +1,6 @@
 //! Protocol and simulation configuration.
 
+use cycledger_ledger::StateBackend;
 use cycledger_net::latency::LatencyConfig;
 
 use crate::adversary::AdversaryConfig;
@@ -89,6 +90,14 @@ pub struct ProtocolConfig {
     /// generator feeds exactly `txs_per_round` fresh transactions every
     /// round and nothing ever waits.
     pub traffic: Option<TrafficConfig>,
+    /// Which state store backs the per-shard UTXO sets. `Map` (the default)
+    /// is the seed's flat hash map — byte-identical output to every run
+    /// before this field existed. `Smt` switches to the authenticated
+    /// sparse-Merkle backend: each round commits the shards' delta batches
+    /// into versioned roots that ride the round report as a tagged
+    /// extension block, and validation decisions stay identical (lookups go
+    /// through the same O(1) mirror), so digests differ only by that block.
+    pub state_backend: StateBackend,
     /// Master seed for all deterministic randomness.
     pub seed: u64,
 }
@@ -118,6 +127,7 @@ impl Default for ProtocolConfig {
             joins_per_epoch: 0,
             leaves_per_epoch: 0,
             traffic: None,
+            state_backend: StateBackend::Map,
             seed: 42,
         }
     }

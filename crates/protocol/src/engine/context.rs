@@ -138,6 +138,9 @@ pub struct RoundContext<'a> {
     pub selection: Option<SelectionOutcome>,
     /// Output of the block-generation phase.
     pub block_outcome: Option<BlockOutcome>,
+    /// Authenticated state roots committed by this round's block application,
+    /// one per shard in shard order. Stays empty on the map backend.
+    pub state_roots: Vec<Digest>,
     /// Ids of cross-shard transactions offered to the block builder (for the
     /// packed-cross-shard report column).
     pub cross_packed_ids: FxHashSet<TxId>,
@@ -236,6 +239,7 @@ impl<'a> RoundContext<'a> {
             censorship_count: 0,
             selection: None,
             block_outcome: None,
+            state_roots: Vec::new(),
             cross_packed_ids: FxHashSet::default(),
         }
     }
@@ -442,6 +446,7 @@ impl<'a> RoundContext<'a> {
             epoch_transition: None,
             // Attached by the simulation driver when the run is open-loop.
             traffic: None,
+            state_roots: self.state_roots,
         };
 
         RoundOutput {

@@ -10,6 +10,7 @@
 use cycledger_consensus::votes::VoteList;
 use cycledger_consensus::witness::Witness;
 use cycledger_ledger::transaction::Transaction;
+use cycledger_ledger::StateBackend;
 use cycledger_net::metrics::WorkerSinkPool;
 use cycledger_net::topology::NodeId;
 
@@ -553,8 +554,13 @@ impl RoundPhase for BlockGenerationPhase {
         // its own first UTXO access. Apply order inside each shard is block
         // order either way, so the resulting sets are identical — deferring
         // only changes *when* the driver thread waits.
+        //
+        // The authenticated backend always takes the synchronous path: its
+        // state roots must be committed and in this round's report before
+        // the round closes, so there is no apply tail left to overlap.
+        let authenticated = ctx.config.state_backend == StateBackend::Smt;
         if let Some(block) = &block_outcome.block {
-            if ctx.config.pipelined {
+            if ctx.config.pipelined && !authenticated {
                 let block = std::sync::Arc::new(block.clone());
                 let sets = std::mem::take(ctx.utxo_sets);
                 let tasks: Vec<_> = sets
@@ -584,6 +590,19 @@ impl RoundPhase for BlockGenerationPhase {
                     .collect();
                 let _: Vec<()> = ctx.executor.execute(tasks);
             }
+        }
+        // Seal each shard's round delta into a versioned state root — one
+        // executor task per shard, mirroring the apply batch. Rounds run
+        // even when no block was produced (the root just re-publishes), so
+        // every round report carries exactly one root per shard.
+        if authenticated {
+            let round = ctx.round;
+            let tasks: Vec<_> = ctx
+                .utxo_sets
+                .iter_mut()
+                .map(|set| move || set.commit_round(round).expect("smt backend returns a root"))
+                .collect();
+            ctx.state_roots = ctx.executor.execute(tasks);
         }
         ctx.block_outcome = Some(block_outcome);
     }

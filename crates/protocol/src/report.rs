@@ -191,6 +191,11 @@ pub struct RoundReport {
     /// confirmation, censoring and latency accounting for this round (see
     /// [`crate::traffic`]).
     pub traffic: Option<crate::traffic::TrafficRoundReport>,
+    /// Authenticated state roots committed this round, one per shard in
+    /// shard order. Empty on the default map backend — the sparse-Merkle
+    /// backend fills it after block application, and it rides the canonical
+    /// bytes as a tagged extension block.
+    pub state_roots: Vec<cycledger_crypto::sha256::Digest>,
 }
 
 impl RoundReport {
@@ -302,6 +307,17 @@ impl RoundReport {
         if let Some(traffic) = &self.traffic {
             out.push(0xAC);
             traffic.write_canonical_bytes(out);
+        }
+        // Authenticated-state extension block: appended only when the run
+        // commits state roots (the sparse-Merkle backend), so every
+        // map-backed run — all goldens predating the state layer — keeps
+        // its exact encoding.
+        if !self.state_roots.is_empty() {
+            out.push(0xA5);
+            out.extend_from_slice(&(self.state_roots.len() as u64).to_be_bytes());
+            for root in &self.state_roots {
+                out.extend_from_slice(root.as_bytes());
+            }
         }
     }
 }
@@ -518,6 +534,7 @@ mod tests {
             syncing_votes: 0,
             epoch_transition: None,
             traffic: None,
+            state_roots: Vec::new(),
         }
     }
 
@@ -712,6 +729,35 @@ mod tests {
         let mut censored_more = open.clone();
         censored_more.traffic.as_mut().unwrap().censored += 1;
         assert_ne!(encode(&censored_more), open_bytes);
+    }
+
+    #[test]
+    fn state_root_extension_block_is_gated() {
+        // Map-backed rounds (every golden predating the state layer) must
+        // keep their exact encoding; SMT-backed rounds append the tagged
+        // block, and the roots are digest-relevant.
+        let plain = dummy_report(0, 1, 1);
+        let encode = |r: &RoundReport| {
+            let mut bytes = Vec::new();
+            r.write_canonical_bytes(&mut bytes);
+            bytes
+        };
+        let plain_bytes = encode(&plain);
+        let mut authenticated = plain.clone();
+        authenticated.state_roots = vec![
+            cycledger_crypto::sha256::sha256(b"root-shard-0"),
+            cycledger_crypto::sha256::sha256(b"root-shard-1"),
+        ];
+        let auth_bytes = encode(&authenticated);
+        assert_eq!(
+            auth_bytes.len(),
+            plain_bytes.len() + 1 + 8 + 2 * 32,
+            "authenticated rounds append exactly the tagged state block"
+        );
+        assert_eq!(&auth_bytes[..plain_bytes.len()], &plain_bytes[..]);
+        let mut changed = authenticated.clone();
+        changed.state_roots[1] = cycledger_crypto::sha256::sha256(b"tampered");
+        assert_ne!(encode(&changed), auth_bytes);
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl Simulation {
             invalid_ratio: config.invalid_ratio,
             seed: config.seed,
         });
-        let utxo_sets = workload.build_genesis_utxo_sets();
+        let utxo_sets = workload.build_genesis_utxo_sets_with(config.state_backend);
         // Created once and reused by every round (see the engine's
         // determinism contract: worker count never changes results).
         let executor = ShardExecutor::new(config.worker_threads);
@@ -633,6 +633,105 @@ mod tests {
         let baseline = summary_digest(config, 1, 3);
         assert_eq!(baseline, summary_digest(config, 2, 3));
         assert_eq!(baseline, summary_digest(config, 8, 3));
+    }
+
+    #[test]
+    fn smt_backend_extends_but_never_perturbs_the_map_digest() {
+        // The authenticated backend must make identical validation decisions
+        // to the flat map: round for round, its canonical bytes are exactly
+        // the map run's bytes plus the tagged state-root extension block.
+        let mut config = small_config();
+        config.verify_signatures = false;
+        let mut map_sim = Simulation::new(config).unwrap();
+        let map_summary = map_sim.run(3);
+        config.state_backend = cycledger_ledger::StateBackend::Smt;
+        let mut smt_sim = Simulation::new(config).unwrap();
+        let smt_summary = smt_sim.run(3);
+
+        let m = config.committees;
+        let encode = |r: &crate::report::RoundReport| {
+            let mut bytes = Vec::new();
+            r.write_canonical_bytes(&mut bytes);
+            bytes
+        };
+        for (map_round, smt_round) in map_summary.rounds.iter().zip(&smt_summary.rounds) {
+            assert!(map_round.state_roots.is_empty());
+            assert_eq!(
+                smt_round.state_roots.len(),
+                m,
+                "one root per shard per round"
+            );
+            let map_bytes = encode(map_round);
+            let smt_bytes = encode(smt_round);
+            assert_eq!(
+                &smt_bytes[..map_bytes.len()],
+                &map_bytes[..],
+                "round {} diverged beyond the extension block",
+                map_round.round
+            );
+            assert_eq!(smt_bytes.len(), map_bytes.len() + 1 + 8 + m * 32);
+        }
+
+        // Rounds with different packed transactions commit different roots.
+        assert_ne!(
+            smt_summary.rounds[0].state_roots,
+            smt_summary.rounds[2].state_roots
+        );
+    }
+
+    #[test]
+    fn smt_backend_digest_is_schedule_independent() {
+        // Worker width and pipelining must not move the state roots: the
+        // authenticated backend forces the synchronous apply path, and its
+        // digest matches across 1/2/8 workers and the pipelined flag.
+        let mut config = small_config();
+        config.verify_signatures = false;
+        config.state_backend = cycledger_ledger::StateBackend::Smt;
+        let baseline = summary_digest(config, 1, 3);
+        assert_eq!(baseline, summary_digest(config, 2, 3));
+        assert_eq!(baseline, summary_digest(config, 8, 3));
+        config.pipelined = true;
+        for workers in [1, 8] {
+            assert_eq!(
+                baseline,
+                summary_digest(config, workers, 3),
+                "pipelined SMT digest diverged at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn smt_backend_roots_prove_committed_utxos() {
+        // Every UTXO a shard holds after the run must carry an inclusion
+        // proof against that shard's last committed root, and absent
+        // outpoints an exclusion proof — the light-client contract.
+        let mut config = small_config();
+        config.verify_signatures = false;
+        config.state_backend = cycledger_ledger::StateBackend::Smt;
+        let mut sim = Simulation::new(config).unwrap();
+        let summary = sim.run(2);
+        let last_roots = summary.rounds.last().unwrap().state_roots.clone();
+        for (shard, set) in sim.utxo_sets().iter().enumerate() {
+            let root = last_roots[shard];
+            assert_eq!(set.state_root(), Some(root));
+            assert_eq!(set.root_at_round(1), Some(root));
+            for outpoint in set.sorted_outpoints().iter().take(8) {
+                let key = cycledger_ledger::smt::key_digest(outpoint);
+                let proof = set.prove(outpoint).expect("authenticated backend");
+                assert_eq!(
+                    cycledger_crypto::verify_proof(&root, &key, &proof),
+                    Ok(()),
+                    "inclusion proof failed for shard {shard}"
+                );
+            }
+            let absent = cycledger_ledger::OutPoint {
+                tx_id: cycledger_crypto::sha256::sha256(b"never-credited"),
+                index: 0,
+            };
+            let proof = set.prove(&absent).unwrap();
+            let key = cycledger_ledger::smt::key_digest(&absent);
+            assert_eq!(cycledger_crypto::verify_proof(&root, &key, &proof), Ok(()));
+        }
     }
 
     #[test]

@@ -113,6 +113,16 @@ pub enum Invariant {
     /// transactions per second of virtual time, is at least this (the
     /// sustained-rate SLO). Requires `config.traffic`.
     MinSustainedTps(f64),
+    /// Authenticated state: every round's report carries exactly one sparse
+    /// Merkle state root per shard. Requires `state_backend = "smt"` — the
+    /// map backend publishes no roots, so the check would be vacuous.
+    StateRootsEveryRound,
+    /// Light clients: at least this many sampled inclusion proofs (plus one
+    /// exclusion proof per shard) verified against the final round's
+    /// published state roots, with zero failures and zero mismatches between
+    /// the reported roots and the live UTXO sets. Requires
+    /// `state_backend = "smt"`.
+    LightClientProofsVerify(usize),
 }
 
 /// Outcome of checking one invariant.
@@ -167,6 +177,8 @@ impl Invariant {
             Invariant::MinSyncTimeouts(n) => format!("min-sync-timeouts:{n}"),
             Invariant::MaxP99Latency(d) => format!("max-p99-latency:{d:?}"),
             Invariant::MinSustainedTps(t) => format!("min-sustained-tps:{t:?}"),
+            Invariant::StateRootsEveryRound => "state-root".into(),
+            Invariant::LightClientProofsVerify(n) => format!("light-client-proof:{n}"),
         }
     }
 
@@ -243,6 +255,8 @@ impl Invariant {
             "min-sync-timeouts" => Invariant::MinSyncTimeouts(need_usize(param)?),
             "max-p99-latency" => Invariant::MaxP99Latency(need_f64(param)?),
             "min-sustained-tps" => Invariant::MinSustainedTps(need_f64(param)?),
+            "state-root" => Invariant::StateRootsEveryRound,
+            "light-client-proof" => Invariant::LightClientProofsVerify(need_usize(param)?),
             other => return Err(format!("unknown invariant {other:?}")),
         })
     }
@@ -542,6 +556,49 @@ impl Invariant {
                     )
                 }
             },
+            Invariant::StateRootsEveryRound => {
+                let shards = outcome.scenario.config.committees;
+                let missing: Vec<u64> = summary
+                    .rounds
+                    .iter()
+                    .filter(|r| r.state_roots.len() != shards)
+                    .map(|r| r.round)
+                    .collect();
+                (
+                    missing.is_empty(),
+                    format!(
+                        "{} round(s) each publishing {shards} shard root(s); \
+                         rounds missing roots: {missing:?}",
+                        summary.rounds.len()
+                    ),
+                )
+            }
+            Invariant::LightClientProofsVerify(min) => match &outcome.proof_audit {
+                None => (
+                    false,
+                    "no proof audit was collected (is the smt backend on?)".into(),
+                ),
+                Some(audit) => {
+                    let failed = (audit.inclusion_checked - audit.inclusion_verified)
+                        + (audit.exclusion_checked - audit.exclusion_verified);
+                    (
+                        failed == 0
+                            && audit.root_mismatches == 0
+                            && audit.inclusion_verified >= min
+                            && audit.exclusion_verified >= 1,
+                        format!(
+                            "{}/{} inclusion and {}/{} exclusion proof(s) verified \
+                             against the final state roots, {} root mismatch(es) \
+                             (need >= {min} inclusion)",
+                            audit.inclusion_verified,
+                            audit.inclusion_checked,
+                            audit.exclusion_verified,
+                            audit.exclusion_checked,
+                            audit.root_mismatches
+                        ),
+                    )
+                }
+            },
             Invariant::PipelineComplete => {
                 let bad_round = outcome
                     .phase_trace
@@ -602,6 +659,8 @@ mod tests {
             Invariant::MinSyncTimeouts(1),
             Invariant::MaxP99Latency(24.0),
             Invariant::MinSustainedTps(18.5),
+            Invariant::StateRootsEveryRound,
+            Invariant::LightClientProofsVerify(8),
         ];
         for inv in all {
             assert_eq!(Invariant::from_spec(&inv.to_spec()), Ok(inv));

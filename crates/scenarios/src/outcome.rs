@@ -31,6 +31,27 @@ pub struct ResolvedFault {
     pub behavior: Behavior,
 }
 
+/// Light-client proof audit of one run: after the final round, the runner
+/// samples outpoints from every shard's UTXO set, asks the store for
+/// inclusion proofs (plus one exclusion proof per shard for a never-credited
+/// outpoint), and verifies each against the state roots the final round's
+/// report published. Collected only under the smt backend — the map backend
+/// publishes no roots to verify against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProofAudit {
+    /// Inclusion proofs sampled and checked.
+    pub inclusion_checked: usize,
+    /// Inclusion proofs that verified against the reported root.
+    pub inclusion_verified: usize,
+    /// Exclusion proofs sampled and checked (one per shard).
+    pub exclusion_checked: usize,
+    /// Exclusion proofs that verified against the reported root.
+    pub exclusion_verified: usize,
+    /// Shards whose reported final root differs from the live set's root
+    /// (must be 0: the report is a commitment to the state it ran on).
+    pub root_mismatches: usize,
+}
+
 /// Everything measured while running one scenario across its worker matrix.
 #[derive(Clone, Debug)]
 pub struct ScenarioOutcome {
@@ -65,6 +86,9 @@ pub struct ScenarioOutcome {
     /// (confirm-latency percentiles, sustained throughput, censor counts);
     /// `None` for closed-loop scenarios.
     pub traffic: Option<TrafficSnapshot>,
+    /// Sampled light-client proof checks against the final round's published
+    /// state roots; `None` under the map backend (no roots to verify).
+    pub proof_audit: Option<ProofAudit>,
 }
 
 impl ScenarioOutcome {

@@ -5,6 +5,7 @@
 //! the same scenario produce byte-identical files. Golden gating is plain
 //! string equality against the committed files under `scenarios/golden/`.
 
+use cycledger_ledger::StateBackend;
 use cycledger_protocol::adversary::AdversaryConfig;
 
 use crate::runner::ScenarioRun;
@@ -81,15 +82,17 @@ pub fn render_report(run: &ScenarioRun) -> String {
         "    \"mix\": \"{}\",\n",
         escape_json(&mix_name(cfg.adversary.mix))
     ));
-    // `message_driven`, the epoch knobs and the traffic block are emitted
-    // only when on, so reports (and goldens) of scenarios predating any of
-    // these extensions keep their exact pre-extension bytes.
+    // `message_driven`, the epoch knobs, the traffic block and the state
+    // backend are emitted only when on, so reports (and goldens) of
+    // scenarios predating any of these extensions keep their exact
+    // pre-extension bytes.
     let epochs_on = cfg.epoch_length > 0;
     let traffic_on = cfg.traffic.is_some();
+    let state_on = cfg.state_backend == StateBackend::Smt;
     out.push_str(&format!(
         "    \"verify_signatures\": {}{}\n",
         cfg.verify_signatures,
-        if cfg.message_driven || epochs_on || traffic_on {
+        if cfg.message_driven || epochs_on || traffic_on || state_on {
             ","
         } else {
             ""
@@ -98,7 +101,11 @@ pub fn render_report(run: &ScenarioRun) -> String {
     if cfg.message_driven {
         out.push_str(&format!(
             "    \"message_driven\": true{}\n",
-            if epochs_on || traffic_on { "," } else { "" }
+            if epochs_on || traffic_on || state_on {
+                ","
+            } else {
+                ""
+            }
         ));
     }
     if epochs_on {
@@ -110,7 +117,7 @@ pub fn render_report(run: &ScenarioRun) -> String {
         out.push_str(&format!(
             "    \"leaves_per_epoch\": {}{}\n",
             cfg.leaves_per_epoch,
-            if traffic_on { "," } else { "" }
+            if traffic_on || state_on { "," } else { "" }
         ));
     }
     if let Some(traffic) = &cfg.traffic {
@@ -123,8 +130,15 @@ pub fn render_report(run: &ScenarioRun) -> String {
             traffic.shape.name()
         ));
         out.push_str(&format!(
-            "    \"traffic_warmup_rounds\": {}\n",
-            traffic.warmup_rounds
+            "    \"traffic_warmup_rounds\": {}{}\n",
+            traffic.warmup_rounds,
+            if state_on { "," } else { "" }
+        ));
+    }
+    if state_on {
+        out.push_str(&format!(
+            "    \"state_backend\": \"{}\"\n",
+            cfg.state_backend.name()
         ));
     }
     out.push_str("  },\n");
@@ -367,6 +381,52 @@ pub fn render_report(run: &ScenarioRun) -> String {
         out.push_str(&format!("    \"max_us\": {},\n", traffic.max_us));
         out.push_str(&format!("    \"mean_us\": {:.6},\n", traffic.mean_us));
         out.push_str(&format!("    \"p99_delta\": {:.6}\n", traffic.p99_delta()));
+        out.push_str("  },\n");
+    }
+
+    // Authenticated-state measurements (omitted under the map backend, so
+    // every pre-smt golden keeps its exact bytes). The final roots are the
+    // last round's published per-shard commitments; the proof counters come
+    // from the runner's light-client audit against exactly those roots.
+    if state_on {
+        let audit = outcome.proof_audit.unwrap_or_default();
+        out.push_str("  \"state\": {\n");
+        out.push_str(&format!(
+            "    \"backend\": \"{}\",\n",
+            cfg.state_backend.name()
+        ));
+        out.push_str(&format!("    \"shards\": {},\n", cfg.committees));
+        out.push_str("    \"final_state_roots\": [\n");
+        let final_roots = summary
+            .rounds
+            .last()
+            .map(|r| r.state_roots.as_slice())
+            .unwrap_or_default();
+        for (i, root) in final_roots.iter().enumerate() {
+            let comma = if i + 1 < final_roots.len() { "," } else { "" };
+            out.push_str(&format!("      \"{}\"{comma}\n", root.to_hex()));
+        }
+        out.push_str("    ],\n");
+        out.push_str(&format!(
+            "    \"inclusion_proofs_checked\": {},\n",
+            audit.inclusion_checked
+        ));
+        out.push_str(&format!(
+            "    \"inclusion_proofs_verified\": {},\n",
+            audit.inclusion_verified
+        ));
+        out.push_str(&format!(
+            "    \"exclusion_proofs_checked\": {},\n",
+            audit.exclusion_checked
+        ));
+        out.push_str(&format!(
+            "    \"exclusion_proofs_verified\": {},\n",
+            audit.exclusion_verified
+        ));
+        out.push_str(&format!(
+            "    \"root_mismatches\": {}\n",
+            audit.root_mismatches
+        ));
         out.push_str("  },\n");
     }
 

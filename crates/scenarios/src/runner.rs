@@ -1,6 +1,10 @@
 //! Executes scenarios: single runs, worker-matrix cross-checks, and the
 //! parallel matrix runner on the protocol's [`ShardExecutor`].
 
+use cycledger_crypto::sha256::sha256;
+use cycledger_crypto::{verify_proof, ProofTerminal};
+use cycledger_ledger::smt::key_digest;
+use cycledger_ledger::{OutPoint, StateBackend};
 use cycledger_net::faults::{CrashStop, FaultPlan, Partition, TargetedDelay, PPM};
 use cycledger_net::time::{SimDuration, SimTime};
 use cycledger_net::topology::NodeId;
@@ -9,8 +13,12 @@ use cycledger_protocol::report::SimulationSummary;
 use cycledger_protocol::simulation::Simulation;
 
 use crate::invariant::InvariantResult;
-use crate::outcome::{NodeSnapshot, ResolvedFault, ScenarioOutcome};
+use crate::outcome::{NodeSnapshot, ProofAudit, ResolvedFault, ScenarioOutcome};
 use crate::spec::{FaultTarget, NetFaultKind, Scenario};
+
+/// Outpoints sampled per shard for the light-client proof audit (first in
+/// sorted-key order, so the sample is deterministic).
+const PROOF_SAMPLES_PER_SHARD: usize = 8;
 
 /// A scenario together with its checked invariants.
 #[derive(Clone, Debug)]
@@ -68,6 +76,7 @@ struct SimPass {
     phase_trace: Vec<Vec<&'static str>>,
     duplicate_packed_txs: usize,
     traffic: Option<cycledger_protocol::traffic::TrafficSnapshot>,
+    proof_audit: Option<ProofAudit>,
 }
 
 fn resolve_targets(
@@ -217,6 +226,50 @@ fn count_duplicate_packed(sim: &Simulation) -> usize {
     duplicates
 }
 
+/// Samples light-client proofs against the final round's published state
+/// roots: per shard, inclusion proofs for the first
+/// [`PROOF_SAMPLES_PER_SHARD`] outpoints in sorted-key order plus one
+/// exclusion proof for a never-credited outpoint, each verified with the
+/// crypto crate's standalone [`verify_proof`] — exactly what a light client
+/// holding nothing but the root would run.
+fn audit_state_proofs(sim: &mut Simulation, summary: &SimulationSummary) -> ProofAudit {
+    let mut audit = ProofAudit::default();
+    let reported: Vec<_> = summary
+        .rounds
+        .last()
+        .map(|r| r.state_roots.clone())
+        .unwrap_or_default();
+    for (shard, set) in sim.utxo_sets().iter().enumerate() {
+        let Some(&root) = reported.get(shard) else {
+            audit.root_mismatches += 1;
+            continue;
+        };
+        if set.state_root() != Some(root) {
+            audit.root_mismatches += 1;
+            continue;
+        }
+        for outpoint in set.sorted_outpoints().iter().take(PROOF_SAMPLES_PER_SHARD) {
+            audit.inclusion_checked += 1;
+            let verified = set.prove(outpoint).is_some_and(|proof| {
+                matches!(proof.terminal, ProofTerminal::Included { .. })
+                    && verify_proof(&root, &key_digest(outpoint), &proof).is_ok()
+            });
+            audit.inclusion_verified += usize::from(verified);
+        }
+        let absent = OutPoint {
+            tx_id: sha256(format!("cycledger/scenario-absent/{shard}").as_bytes()),
+            index: 0,
+        };
+        audit.exclusion_checked += 1;
+        let verified = set.prove(&absent).is_some_and(|proof| {
+            !matches!(proof.terminal, ProofTerminal::Included { .. })
+                && verify_proof(&root, &key_digest(&absent), &proof).is_ok()
+        });
+        audit.exclusion_verified += usize::from(verified);
+    }
+    audit
+}
+
 /// Runs one simulation pass of a scenario at a fixed worker count.
 fn run_pass(scenario: &Scenario, worker_threads: usize) -> Result<SimPass, String> {
     let mut config = scenario.config;
@@ -245,6 +298,8 @@ fn run_pass(scenario: &Scenario, worker_threads: usize) -> Result<SimPass, Strin
         rounds: sim.reports().to_vec(),
     };
     let digest = summary.canonical_digest().to_hex();
+    let proof_audit = (sim.config().state_backend == StateBackend::Smt)
+        .then(|| audit_state_proofs(&mut sim, &summary));
     let nodes: Vec<NodeSnapshot> = sim
         .registry()
         .iter()
@@ -263,6 +318,7 @@ fn run_pass(scenario: &Scenario, worker_threads: usize) -> Result<SimPass, Strin
         phase_trace: observer.rounds,
         duplicate_packed_txs: count_duplicate_packed(&sim),
         traffic: sim.traffic(),
+        proof_audit,
         nodes,
         summary,
     })
@@ -294,6 +350,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, String> {
         phase_trace: baseline.phase_trace,
         duplicate_packed_txs: baseline.duplicate_packed_txs,
         traffic: baseline.traffic,
+        proof_audit: baseline.proof_audit,
         summary: baseline.summary,
     };
     let invariants = scenario

@@ -9,6 +9,7 @@
 //!
 //! [`Invariant`]: crate::invariant::Invariant
 
+use cycledger_ledger::StateBackend;
 use cycledger_net::latency::LatencyConfig;
 use cycledger_protocol::adversary::{AdversaryConfig, Behavior, BehaviorMix};
 use cycledger_protocol::config::ProtocolConfig;
@@ -434,6 +435,22 @@ impl Scenario {
                 }
             }
         }
+        if self.config.state_backend != StateBackend::Smt {
+            for inv in &self.invariants {
+                if matches!(
+                    inv,
+                    Invariant::StateRootsEveryRound | Invariant::LightClientProofsVerify(_)
+                ) {
+                    return Err(format!(
+                        "scenario {:?} asserts the authenticated-state invariant {} but \
+                         state_backend is \"map\" (only the smt backend publishes state \
+                         roots to check)",
+                        self.name,
+                        inv.to_spec()
+                    ));
+                }
+            }
+        }
         self.config
             .validate()
             .map_err(|e| format!("scenario {:?}: {e}", self.name))
@@ -564,6 +581,17 @@ mod tests {
             .validate()
             .unwrap_err()
             .contains("traffic"));
+
+        // Authenticated-state invariants on the map backend check nothing.
+        for inv in [
+            Invariant::StateRootsEveryRound,
+            Invariant::LightClientProofsVerify(4),
+        ] {
+            let mut rootless = good.clone();
+            rootless.config.state_backend = StateBackend::Map;
+            rootless.invariants.push(inv);
+            assert!(rootless.validate().unwrap_err().contains("state_backend"));
+        }
     }
 
     #[test]

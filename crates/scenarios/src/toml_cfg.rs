@@ -316,6 +316,11 @@ fn apply_scenario_key(scenario: &mut Scenario, key: &str, value: &Value) -> Resu
             scenario.config.latency.partial_bound = SimDuration::from_micros(value.as_u64()?)
         }
         "verify_signatures" => scenario.config.verify_signatures = value.as_bool()?,
+        "state_backend" => {
+            let name = value.as_str()?;
+            scenario.config.state_backend = cycledger_ledger::StateBackend::from_name(name)
+                .ok_or_else(|| format!("unknown state backend {name:?} (map or smt)"))?;
+        }
         "message_driven" => scenario.config.message_driven = value.as_bool()?,
         "epoch_length" => scenario.config.epoch_length = value.as_u64()?,
         "joins_per_epoch" => scenario.config.joins_per_epoch = value.as_u32()?,
@@ -582,6 +587,10 @@ pub fn scenarios_to_toml(scenarios: &[Scenario]) -> String {
             lat.partial_bound.as_micros()
         ));
         out.push_str(&format!("verify_signatures = {}\n", cfg.verify_signatures));
+        out.push_str(&format!(
+            "state_backend = \"{}\"\n",
+            cfg.state_backend.name()
+        ));
         out.push_str(&format!("message_driven = {}\n", cfg.message_driven));
         out.push_str(&format!("epoch_length = {}\n", cfg.epoch_length));
         out.push_str(&format!("joins_per_epoch = {}\n", cfg.joins_per_epoch));
@@ -966,6 +975,49 @@ warmup_rounds = 1
         assert!(scenarios_from_toml("[scenario.traffic]\nrate_tps = 5.0\n")
             .unwrap_err()
             .contains("before any"));
+    }
+
+    #[test]
+    fn state_backend_key_parses_and_round_trips() {
+        let text = r#"
+[[scenario]]
+name = "authenticated"
+rounds = 2
+workers = [1]
+committees = 2
+committee_size = 8
+partial_set_size = 2
+referee_size = 5
+accounts_per_shard = 24
+state_backend = "smt"
+invariants = ["blocks-every-round", "state-root", "light-client-proof:8"]
+"#;
+        let scenarios = scenarios_from_toml(text).expect("parses");
+        let s = &scenarios[0];
+        assert_eq!(s.config.state_backend, cycledger_ledger::StateBackend::Smt);
+        assert_eq!(s.invariants[1], Invariant::StateRootsEveryRound);
+        assert_eq!(s.invariants[2], Invariant::LightClientProofsVerify(8));
+        let serialized = scenarios_to_toml(&scenarios);
+        assert!(serialized.contains("state_backend = \"smt\"\n"));
+        let reparsed = scenarios_from_toml(&serialized).expect("round-trips");
+        assert_eq!(
+            reparsed[0].config.state_backend,
+            cycledger_ledger::StateBackend::Smt
+        );
+        assert_eq!(serialized, scenarios_to_toml(&reparsed));
+
+        // Unknown backends fail loudly; proof invariants without the smt
+        // backend are rejected by validation.
+        assert!(
+            scenarios_from_toml("[[scenario]]\nname = \"x\"\nstate_backend = \"btree\"\n")
+                .unwrap_err()
+                .contains("unknown state backend")
+        );
+        assert!(scenarios_from_toml(
+            "[[scenario]]\nname = \"x\"\nrounds = 1\nworkers = [1]\ninvariants = [\"state-root\"]\n"
+        )
+        .unwrap_err()
+        .contains("state_backend"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""CI perf gates for the round-engine data plane and the latency harness.
+"""CI perf gates for the round-engine data plane, the latency harness, and
+the authenticated state layer.
 
 Default mode (no arguments) gates wall-clock round throughput: runs
 ``gen_bench_round --smoke`` (the tracked configuration: 8x16,
@@ -21,11 +22,24 @@ they are machine-independent -- a drift means the protocol changed, never
 the runner. The tolerance still applies because the smoke sweep measures
 fewer rounds than the committed full sweep.
 
-``--latency --self-test`` runs no benchmark at all: it feeds synthetic
-measurements derived from the committed baseline through the gate logic and
-checks that a >20% p99 increase and a >20% throughput decrease both fail,
-while equal-or-better numbers pass. CI runs this first so a broken gate can
-never silently wave regressions through.
+``--state`` mode gates the authenticated state layer: runs
+``gen_bench_state --smoke`` (flat-map vs sparse-Merkle store, 10^6-entry
+UTXO set) and checks the tracked ratios against ``BENCH_state.json``. The
+per-transaction hot paths carry *hard caps* -- lookup must stay within 3x
+and apply within 4x of the flat map, regardless of what the committed
+baseline says -- because those bounds are what make the authenticated
+backend deployable on the transaction path. The per-round commit ratio and
+the per-round allocation count are regression-gated (20% tolerance vs the
+committed values) instead: a Merkle commit pays O(log n) hashes per written
+key where a hashmap pays one probe, so no absolute small-constant cap is
+physically achievable there (see ``BENCH_state.json``'s description).
+
+``--latency --self-test`` / ``--state --self-test`` run no benchmark at
+all: they feed synthetic measurements derived from the committed baseline
+through the gate logic and check that regressions past the tolerance (and,
+for ``--state``, cap violations) fail while equal-or-better numbers pass.
+CI runs this first so a broken gate can never silently wave regressions
+through.
 
 The job fails on a regression of more than ``PERF_GATE_TOLERANCE``
 (default 20%):
@@ -204,6 +218,145 @@ def latency_self_test(baseline: dict) -> int:
     return 0
 
 
+def cap_check(label: str, metric: str, cap: float, measured: float, failures: list) -> None:
+    """Absolute ceiling, independent of the committed baseline."""
+    ok = measured <= cap
+    verdict = "ok" if ok else "CAP EXCEEDED"
+    print(f"{label}.{metric}: measured {measured:.3f} vs hard cap {cap:.3f} ... {verdict}")
+    if not ok:
+        failures.append(f"{label}.{metric}")
+
+
+# Hot-path ratios (SMT over flat map) that must hold on any machine: the
+# sparse-Merkle backend answers lookups from its O(1) mirror (~1x measured)
+# and an apply is two hashmap writes plus a delta-buffer insert (~3x
+# measured), so breaching these caps means a structural regression, not
+# runner noise.
+STATE_CAPS = (
+    ("smt_lookup_over_map_lookup", 3.0),
+    ("smt_apply_over_map_apply", 4.0),
+)
+
+# Per-round numbers gated against the committed baseline instead: the commit
+# ratio has no physically meaningful absolute cap (O(log n) hashes per
+# written key vs one probe), and the allocation count is exact but only
+# meaningful relative to what the current fold implementation costs.
+STATE_REGRESSIONS = (
+    "smt_commit_over_map_apply",
+    "smt_allocations_per_round",
+)
+
+
+def state_checks(baseline: dict, measured: dict) -> list:
+    """Gates the tracked state-layer ratios; returns failures."""
+    failures = []
+    for metric, cap in STATE_CAPS:
+        cap_check("tracked", metric, cap, float(measured[metric]), failures)
+    for metric in STATE_REGRESSIONS:
+        check(
+            "tracked",
+            metric,
+            float(baseline["tracked"][metric]),
+            float(measured[metric]),
+            higher_is_better=False,
+            failures=failures,
+        )
+    return failures
+
+
+def state_self_test(baseline: dict) -> int:
+    """Synthetic regressions and cap violations through the state gate."""
+    tracked = baseline["tracked"]
+    worse = 1.0 + TOLERANCE + 0.10
+    better = 1.0 - TOLERANCE - 0.10
+
+    def synthetic(**overrides) -> dict:
+        measured = {
+            "smt_lookup_over_map_lookup": float(tracked["smt_lookup_over_map_lookup"]),
+            "smt_apply_over_map_apply": float(tracked["smt_apply_over_map_apply"]),
+            "smt_commit_over_map_apply": float(tracked["smt_commit_over_map_apply"]),
+            "smt_allocations_per_round": float(tracked["smt_allocations_per_round"]),
+        }
+        measured.update(overrides)
+        return measured
+
+    commit = float(tracked["smt_commit_over_map_apply"])
+    allocs = float(tracked["smt_allocations_per_round"])
+    cases = (
+        # (description, measured, expect_failures)
+        ("baseline reproduced exactly", synthetic(), 0),
+        (
+            "lookup ratio past the 3x cap must fail",
+            synthetic(smt_lookup_over_map_lookup=3.2),
+            1,
+        ),
+        (
+            "apply ratio past the 4x cap must fail",
+            synthetic(smt_apply_over_map_apply=4.3),
+            1,
+        ),
+        (
+            f"commit ratio up {worse - 1.0:.0%} must fail",
+            synthetic(smt_commit_over_map_apply=commit * worse),
+            1,
+        ),
+        (
+            f"allocations up {worse - 1.0:.0%} must fail",
+            synthetic(smt_allocations_per_round=allocs * worse),
+            1,
+        ),
+        (
+            "everything regressed must fail four times",
+            synthetic(
+                smt_lookup_over_map_lookup=3.2,
+                smt_apply_over_map_apply=4.3,
+                smt_commit_over_map_apply=commit * worse,
+                smt_allocations_per_round=allocs * worse,
+            ),
+            4,
+        ),
+        (
+            "improvements never fail",
+            synthetic(
+                smt_lookup_over_map_lookup=0.9,
+                smt_apply_over_map_apply=1.5,
+                smt_commit_over_map_apply=commit * better,
+                smt_allocations_per_round=allocs * better,
+            ),
+            0,
+        ),
+    )
+    broken = 0
+    for description, measured, expected in cases:
+        print(f"self-test: {description}")
+        got = len(state_checks(baseline, measured))
+        if got != expected:
+            print(
+                f"self-test FAILED: expected {expected} gate failure(s), got {got}",
+                file=sys.stderr,
+            )
+            broken += 1
+    if broken:
+        print(f"perf gate self-test FAILED ({broken} case(s))", file=sys.stderr)
+        return 1
+    print("perf gate self-test passed")
+    return 0
+
+
+def state_gate(self_test: bool) -> int:
+    committed_path = REPO_ROOT / "BENCH_state.json"
+    baseline = json.loads(committed_path.read_text())
+
+    if self_test:
+        return state_self_test(baseline)
+
+    report = run_bench("gen_bench_state")
+    if report is None:
+        return 1
+    failures = state_checks(baseline, report["tracked"])
+    return verdict(failures, "BENCH_state.json")
+
+
 def latency_gate(self_test: bool) -> int:
     committed_path = REPO_ROOT / "BENCH_latency.json"
     baseline = json.loads(committed_path.read_text())
@@ -225,16 +378,19 @@ def latency_gate(self_test: bool) -> int:
 def main() -> int:
     args = sys.argv[1:]
     latency = "--latency" in args
+    state = "--state" in args
     self_test = "--self-test" in args
-    unknown = [a for a in args if a not in ("--latency", "--self-test")]
-    if unknown or (self_test and not latency):
+    unknown = [a for a in args if a not in ("--latency", "--state", "--self-test")]
+    if unknown or (latency and state) or (self_test and not (latency or state)):
         print(
-            "usage: perf_gate.py [--latency [--self-test]]",
+            "usage: perf_gate.py [--latency [--self-test] | --state [--self-test]]",
             file=sys.stderr,
         )
         return 2
     if latency:
         return latency_gate(self_test)
+    if state:
+        return state_gate(self_test)
     return round_gate()
 
 

@@ -113,11 +113,6 @@ impl MemberState {
         }
     }
 
-    /// Majority threshold of the committee (`⌊C/2⌋ + 1`).
-    fn threshold(&self) -> usize {
-        self.keys.majority_threshold()
-    }
-
     /// True once the member has stopped participating (leader caught cheating).
     pub fn is_halted(&self) -> bool {
         self.halted
@@ -170,7 +165,7 @@ impl MemberState {
                 actions.extend(self.maybe_confirm());
                 actions
             }
-            Some((digest, sig)) if *digest != propose.digest => {
+            Some((digest, sig)) if crate::transition::digests_conflict(digest, &propose.digest) => {
                 // Two leader-signed digests for the same (r, sn): equivocation.
                 self.halted = true;
                 vec![MemberAction::ReportEquivocation(EquivocationEvidence {
@@ -211,7 +206,7 @@ impl MemberState {
                 self.echoes.insert(echo.member, echo.signature);
                 Vec::new()
             }
-            Some((digest, sig)) if *digest != echo.digest => {
+            Some((digest, sig)) if crate::transition::digests_conflict(digest, &echo.digest) => {
                 // The relayed leader signature proves the leader also signed a
                 // different digest: equivocation caught via a peer's echo.
                 self.halted = true;
@@ -239,7 +234,7 @@ impl MemberState {
         let Some((digest, _)) = self.accepted else {
             return Vec::new();
         };
-        if self.echoes.len() >= self.threshold() {
+        if crate::transition::echo_quorum(self.echoes.len(), self.keys.len()) {
             self.confirmed = true;
             let echo_signatures = self.echoes.iter().map(|(n, s)| (*n, *s)).collect();
             let confirm = if self.verify_signatures {
@@ -302,7 +297,9 @@ impl LeaderState {
             return None;
         }
         self.confirms.insert(confirm.member, confirm.signature);
-        if self.certificate.is_none() && self.confirms.len() >= self.keys.majority_threshold() {
+        if self.certificate.is_none()
+            && crate::transition::confirm_quorum(self.confirms.len(), self.keys.len())
+        {
             let certificate = QuorumCertificate {
                 id: self.id,
                 digest: self.digest,

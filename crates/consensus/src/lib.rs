@@ -13,6 +13,9 @@
 //! * [`sigcache`] — per-instance memoization of signature verification, so the
 //!   simulator pays each distinct `(key, message, signature)` check once
 //!   instead of once per receiving member.
+//! * [`transition`] — the single side-effect-free decision core (thresholds,
+//!   tallies, impeachment rules) shared by the production drivers and the
+//!   `cycledger-checker` model checker.
 //! * [`votes`] — `TXList` voting, `V List` assembly, and the `TXdecSET` tally
 //!   (Algorithm 5).
 //! * [`witness`] — leader-misbehaviour witnesses (equivocation, semi-commitment
@@ -28,6 +31,7 @@ pub mod envelope;
 pub mod messages;
 pub mod quorum;
 pub mod sigcache;
+pub mod transition;
 pub mod votes;
 pub mod witness;
 

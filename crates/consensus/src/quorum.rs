@@ -60,9 +60,10 @@ impl CommitteeKeys {
         self.keys.keys().copied()
     }
 
-    /// The majority threshold `⌊C/2⌋ + 1` used throughout Algorithm 3.
+    /// The majority threshold `⌊C/2⌋ + 1` used throughout Algorithm 3
+    /// (delegates to the shared decision core — see [`crate::transition`]).
     pub fn majority_threshold(&self) -> usize {
-        self.len() / 2 + 1
+        crate::transition::majority_threshold(self.len())
     }
 }
 

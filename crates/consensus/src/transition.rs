@@ -1,0 +1,187 @@
+//! The single, side-effect-free decision core of the consensus protocol.
+//!
+//! Every quantitative rule the protocol applies — quorum thresholds
+//! (Algorithm 3), the strict-majority `TXdecSET` tally (Algorithm 5), the
+//! quorum-timeout fallback's missing-vote arithmetic (§IV-C step 4), and the
+//! impeachment admissibility/approval rules of the recovery procedure
+//! (Algorithm 6, Claims 3 & 4) — is a pure function in this module.
+//!
+//! The production drivers ([`crate::alg3`], [`crate::votes`],
+//! [`crate::quorum`], and the `cycledger-protocol` phase drivers) call these
+//! functions on their live state, and the `cycledger-checker` model checker
+//! calls the *same* functions on its abstract state. That sharing is the
+//! point: the checker's exhaustive verdicts bind the real code because there
+//! is exactly one copy of each rule — a divergence between model and
+//! implementation can only live in *plumbing* (message routing, deadlines),
+//! which the checker's refinement layer covers separately by replaying
+//! concrete traces through these functions.
+//!
+//! Nothing here allocates, reads clocks, or touches the network; every
+//! function is total over its inputs.
+
+use cycledger_crypto::sha256::Digest;
+
+/// The majority threshold `⌊C/2⌋ + 1` used throughout Algorithm 3 and the
+/// recovery vote (Algorithm 6): the smallest count that is a strict majority
+/// of a committee of `committee_size`.
+pub const fn majority_threshold(committee_size: usize) -> usize {
+    committee_size / 2 + 1
+}
+
+/// True once a member has identical echoes from a strict majority of the
+/// committee — the condition under which it CONFIRMs (Algorithm 3, member
+/// side). `echoes` counts distinct members, including the member's own echo.
+pub const fn echo_quorum(echoes: usize, committee_size: usize) -> bool {
+    echoes >= majority_threshold(committee_size)
+}
+
+/// True once the leader holds CONFIRMs from a strict majority of the
+/// committee — the condition under which Algorithm 3 terminates with a
+/// [`QuorumCertificate`](crate::quorum::QuorumCertificate). `confirms`
+/// counts distinct members.
+pub const fn confirm_quorum(confirms: usize, committee_size: usize) -> bool {
+    confirms >= majority_threshold(committee_size)
+}
+
+/// True iff a transaction enters `TXdecSET`: strictly more than half of the
+/// committee voted `Yes` (Algorithm 5, line 14). Exactly half is *not* a
+/// majority; `Unknown` votes (including every backfilled all-`Unknown` row)
+/// count toward nothing.
+pub const fn tx_accepted(yes_votes: usize, committee_size: usize) -> bool {
+    yes_votes * 2 > committee_size
+}
+
+/// How many votes the quorum-timeout fallback must backfill as all-`Unknown`
+/// rows: the committee members whose replies had not arrived when the
+/// deadline fired. Saturating, so a spurious extra reply can never produce a
+/// negative count.
+pub const fn expected_votes_missing(committee_size: usize, votes_received: usize) -> usize {
+    committee_size.saturating_sub(votes_received)
+}
+
+/// True iff the vote collection took the quorum-timeout fallback path: the
+/// deadline fired with at least one vote still missing (§IV-C step 4).
+pub const fn quorum_timed_out(votes_missing: usize) -> bool {
+    votes_missing > 0
+}
+
+/// True iff two leader-signed digests for the same consensus instance
+/// constitute equivocation: the digests differ. (Signature validity is the
+/// caller's concern — see [`crate::witness::EquivocationEvidence::verify`].)
+pub fn digests_conflict(a: &Digest, b: &Digest) -> bool {
+    a != b
+}
+
+/// Admissibility of a *signed* accusation (equivocation / commitment
+/// mismatch): the accused must currently hold the leader seat and the
+/// witness must check out. `witness_verifies` is the outcome of the
+/// cryptographic check — or `true` on the simulation fast path, whose
+/// contract guarantees witnesses only ever originate from real misbehaviour.
+pub const fn signed_accusation_admissible(accused_is_leader: bool, witness_verifies: bool) -> bool {
+    accused_is_leader && witness_verifies
+}
+
+/// Admissibility of a *timeout* accusation (silent or censoring leader):
+/// honest members approve only omissions they observed themselves — a
+/// fabricated complaint against a live leader finds no honest support
+/// (Claim 3).
+pub const fn timeout_accusation_admissible(
+    accused_is_leader: bool,
+    observed_by_committee: bool,
+) -> bool {
+    accused_is_leader && observed_by_committee
+}
+
+/// Whether one member approves an impeachment: honest members approve
+/// exactly the accusations whose evidence is valid; malicious members
+/// approve anything (the worst case for a framed leader — but they are a
+/// minority, so their approvals never carry a vote alone, Claim 4).
+pub const fn member_approves_impeachment(member_is_honest: bool, evidence_valid: bool) -> bool {
+    !member_is_honest || evidence_valid
+}
+
+/// True iff an impeachment carries: approvals from a strict majority of the
+/// committee (the same threshold as Algorithm 3's quorums).
+pub const fn impeachment_passes(approvals: usize, committee_size: usize) -> bool {
+    approvals >= majority_threshold(committee_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cycledger_crypto::sha256::sha256;
+
+    #[test]
+    fn majority_threshold_is_strict_majority() {
+        for size in 1..=33usize {
+            let t = majority_threshold(size);
+            assert!(
+                t * 2 > size,
+                "threshold {t} must be a strict majority of {size}"
+            );
+            assert!(
+                (t - 1) * 2 <= size,
+                "threshold {t} must be minimal for {size}"
+            );
+        }
+        // The checker's tiny config, spelled out: n = 4 needs 3, not 2.
+        assert_eq!(majority_threshold(4), 3);
+    }
+
+    #[test]
+    fn quorum_edges_at_n4() {
+        assert!(!echo_quorum(2, 4));
+        assert!(echo_quorum(3, 4));
+        assert!(!confirm_quorum(2, 4));
+        assert!(confirm_quorum(3, 4));
+        assert!(!impeachment_passes(2, 4));
+        assert!(impeachment_passes(3, 4));
+    }
+
+    #[test]
+    fn exactly_half_yes_is_rejected() {
+        assert!(!tx_accepted(2, 4));
+        assert!(tx_accepted(3, 4));
+        assert!(!tx_accepted(0, 0));
+        assert!(!tx_accepted(4, 8));
+        assert!(tx_accepted(5, 8));
+    }
+
+    #[test]
+    fn missing_votes_arithmetic() {
+        assert_eq!(expected_votes_missing(8, 8), 0);
+        assert_eq!(expected_votes_missing(8, 3), 5);
+        assert_eq!(expected_votes_missing(8, 9), 0, "saturates");
+        assert!(!quorum_timed_out(0));
+        assert!(quorum_timed_out(1));
+    }
+
+    #[test]
+    fn equivocation_requires_distinct_digests() {
+        let a = sha256(b"list A");
+        let b = sha256(b"list B");
+        assert!(digests_conflict(&a, &b));
+        assert!(!digests_conflict(&a, &a));
+    }
+
+    #[test]
+    fn accusation_admissibility() {
+        assert!(signed_accusation_admissible(true, true));
+        assert!(!signed_accusation_admissible(false, true));
+        assert!(!signed_accusation_admissible(true, false));
+        assert!(timeout_accusation_admissible(true, true));
+        assert!(!timeout_accusation_admissible(true, false));
+        assert!(!timeout_accusation_admissible(false, true));
+    }
+
+    #[test]
+    fn approval_rules() {
+        assert!(member_approves_impeachment(true, true));
+        assert!(!member_approves_impeachment(true, false));
+        assert!(member_approves_impeachment(false, true));
+        assert!(
+            member_approves_impeachment(false, false),
+            "malicious approve anything"
+        );
+    }
+}

@@ -125,7 +125,7 @@ impl VoteList {
         let mut accepted_indices = Vec::new();
         let mut decision = Vec::with_capacity(self.tx_ids.len());
         for (k, &yes) in yes_counts.iter().enumerate() {
-            if yes * 2 > committee_size {
+            if crate::transition::tx_accepted(yes, committee_size) {
                 accepted_indices.push(k);
                 decision.push(1);
             } else {

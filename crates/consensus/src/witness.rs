@@ -43,7 +43,7 @@ impl EquivocationEvidence {
     /// Verifies the evidence against the leader's public key: both signatures
     /// must be valid leader signatures and the digests must differ.
     pub fn verify(&self, leader_pk: &PublicKey) -> bool {
-        self.digest_a != self.digest_b
+        crate::transition::digests_conflict(&self.digest_a, &self.digest_b)
             && verify(
                 leader_pk,
                 &propose_signing_bytes(&self.id, &self.digest_a),
@@ -95,12 +95,14 @@ impl CommitmentMismatchEvidence {
     /// Verifies the evidence: the leader really signed this member list, and its
     /// hash differs from the recorded semi-commitment.
     pub fn verify(&self, leader_pk: &PublicKey) -> bool {
-        semi_commitment(&self.member_list) != self.recorded_commitment
-            && verify(
-                leader_pk,
-                &member_list_signing_bytes(self.round, self.committee, &self.member_list),
-                &self.list_signature,
-            )
+        crate::transition::digests_conflict(
+            &semi_commitment(&self.member_list),
+            &self.recorded_commitment,
+        ) && verify(
+            leader_pk,
+            &member_list_signing_bytes(self.round, self.committee, &self.member_list),
+            &self.list_signature,
+        )
     }
 }
 

@@ -368,14 +368,18 @@ impl<M> SimNetwork<M> {
     ///
     /// Deadlines are inclusive: when a message and a timer fall on the same
     /// instant the message is delivered first, so a driver that tallies on
-    /// `Timer` has seen everything that arrived *by* the deadline.
+    /// `Timer` has seen everything that arrived *by* the deadline. The
+    /// tie-break is [`crate::time::message_beats_timer`], shared with the
+    /// model checker's schedule enumerator.
     pub fn next_event(&mut self) -> Option<NetEvent<M>> {
         let msg_at = self.queue.peek().map(|Reverse(s)| s.deliver_at);
         let timer_at = self.timers.peek().map(|Reverse((at, _, _))| *at);
         match (msg_at, timer_at) {
             (None, None) => None,
             (Some(_), None) => self.deliver_next().map(NetEvent::Message),
-            (Some(m), Some(t)) if m <= t => self.deliver_next().map(NetEvent::Message),
+            (Some(m), Some(t)) if crate::time::message_beats_timer(m, t) => {
+                self.deliver_next().map(NetEvent::Message)
+            }
             _ => {
                 let Reverse((at, _, key)) = self.timers.pop()?;
                 self.now = self.now.max(at);

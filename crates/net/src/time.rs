@@ -111,6 +111,17 @@ impl Deadline {
     }
 }
 
+/// The event-queue tie-break rule, spelled once: a message timestamped at or
+/// before a timer's instant is delivered before that timer fires. This is the
+/// queue-side twin of [`Deadline::includes`] — together they make every
+/// deadline in the simulator inclusive (a vote arriving *exactly at* `4Δ`
+/// still counts toward quorum). `cycledger-checker` enumerates abstract
+/// schedules against this same predicate, so the model and the production
+/// event loop cannot drift on boundary ordering.
+pub const fn message_beats_timer(message_at: SimTime, timer_at: SimTime) -> bool {
+    message_at.0 <= timer_at.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +187,31 @@ mod tests {
         let deadline = Deadline::after(SimTime(u64::MAX), SimDuration(10));
         assert_eq!(deadline.instant(), SimTime(u64::MAX));
         assert!(deadline.includes(SimTime(u64::MAX)));
+    }
+
+    #[test]
+    fn message_beats_timer_is_inclusive_on_the_tie() {
+        // Strictly earlier message: delivered first, obviously.
+        assert!(message_beats_timer(SimTime(99), SimTime(100)));
+        // Exactly at the timer instant: the message still wins the tie —
+        // this is what makes every deadline in the simulator inclusive.
+        assert!(message_beats_timer(SimTime(100), SimTime(100)));
+        // One tick past: the timer fires first.
+        assert!(!message_beats_timer(SimTime(101), SimTime(100)));
+    }
+
+    #[test]
+    fn tie_break_agrees_with_deadline_inclusion_everywhere() {
+        // The two halves of the boundary rule can never disagree: a message
+        // ordered before a deadline's timer is exactly a message the deadline
+        // includes.
+        let deadline = Deadline::at(SimTime(50));
+        for t in 0..=100u64 {
+            assert_eq!(
+                message_beats_timer(SimTime(t), deadline.instant()),
+                deadline.includes(SimTime(t)),
+                "divergence at t={t}"
+            );
+        }
     }
 }

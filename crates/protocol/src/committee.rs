@@ -59,9 +59,9 @@ impl Committee {
         self.members.len()
     }
 
-    /// Majority threshold `⌊C/2⌋ + 1`.
+    /// Majority threshold `⌊C/2⌋ + 1` (delegates to the shared decision core).
     pub fn majority(&self) -> usize {
-        self.size() / 2 + 1
+        cycledger_consensus::transition::majority_threshold(self.size())
     }
 
     /// True if `node` belongs to this committee.

@@ -288,6 +288,8 @@ impl<'a> RoundContext<'a> {
                 accused,
                 accused_was_honest: self.registry.node(accused).is_honest(),
                 prosecutor: None,
+                committee_size: self.committees[k].size(),
+                approvals: 0,
                 outcome: RecoveryOutcome::Skipped,
             });
             return RecoveryAttempt::Skipped;
@@ -355,6 +357,8 @@ impl<'a> RoundContext<'a> {
             accused,
             accused_was_honest,
             prosecutor: Some(prosecutor),
+            committee_size: self.committees[k].size(),
+            approvals: outcome.approvals,
             outcome: logged,
         });
         attempt

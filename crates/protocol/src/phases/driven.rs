@@ -187,7 +187,10 @@ fn collect_votes_under_deadline(
         }
     }
 
-    collection.missing = committee.size() - vote_list.voter_count();
+    collection.missing = cycledger_consensus::transition::expected_votes_missing(
+        committee.size(),
+        vote_list.voter_count(),
+    );
     for &member in &committee.members {
         if !vote_list.votes.iter().any(|v| v.voter == member) {
             vote_list.record(VoteVector::all_unknown(member, validity.len()));
@@ -267,7 +270,7 @@ pub fn run_intra_consensus_driven(
         &mut vote_list,
     );
     let votes_missing = collection.missing;
-    let quorum_timeout = votes_missing > 0;
+    let quorum_timeout = cycledger_consensus::transition::quorum_timed_out(votes_missing);
 
     // 3. The leader tallies and runs Algorithm 3 over the decision, on the
     //    same faulted network.
@@ -638,7 +641,7 @@ fn run_inter_pair_driven(
     result.votes_missing = collection.missing;
     result.syncing_abstentions = collection.syncing_abstentions;
     result.syncing_votes = collection.syncing_votes;
-    result.quorum_timeout = result.votes_missing > 0;
+    result.quorum_timeout = cycledger_consensus::transition::quorum_timed_out(result.votes_missing);
 
     // 5. The destination committee agrees on the vote result and returns it.
     let tally = vote_list.tally(dest.size());
@@ -717,14 +720,17 @@ pub fn run_recovery_driven(
     // Evidence validity: same rules as the synchronous recovery (see
     // `run_recovery` for the fast-path contract on placeholder signatures).
     let evidence_valid = match &accusation {
-        Accusation::Signed(w) => {
-            accused == committee.leader
-                && (!verify_signatures || w.verify(&registry.node(accused).keypair.public))
-        }
+        Accusation::Signed(w) => cycledger_consensus::transition::signed_accusation_admissible(
+            accused == committee.leader,
+            !verify_signatures || w.verify(&registry.node(accused).keypair.public),
+        ),
         Accusation::Timeout {
             observed_by_committee,
             ..
-        } => accused == committee.leader && *observed_by_committee,
+        } => cycledger_consensus::transition::timeout_accusation_admissible(
+            accused == committee.leader,
+            *observed_by_committee,
+        ),
     };
     let witness_bytes = match &accusation {
         Accusation::Signed(w) => w.wire_size(),
@@ -751,14 +757,13 @@ pub fn run_recovery_driven(
     // 2. Members vote on the impeachment; approvals must reach the
     //    prosecutor by the 4Δ deadline.
     let member_approves = |member: NodeId| {
-        if registry.node(member).is_honest() {
-            evidence_valid
-        } else {
-            // Malicious members approve anything (worst case for a framed
-            // leader) — but they are a minority, so their approvals never
-            // carry a vote alone.
-            true
-        }
+        // Malicious members approve anything (worst case for a framed
+        // leader) — but they are a minority, so their approvals never
+        // carry a vote alone.
+        cycledger_consensus::transition::member_approves_impeachment(
+            registry.node(member).is_honest(),
+            evidence_valid,
+        )
     };
     let mut approvals = 0usize;
     if prosecutor != accused && member_approves(prosecutor) {
@@ -810,13 +815,14 @@ pub fn run_recovery_driven(
         (outcome, dropped)
     };
 
-    if approvals < committee.majority() {
+    if !cycledger_consensus::transition::impeachment_passes(approvals, committee.size()) {
         return finish(
             net,
             RecoveryOutcome {
                 committee: committee.index,
                 evicted: None,
                 new_leader: None,
+                approvals,
                 rejection_reason: Some("impeachment did not reach a committee majority"),
             },
         );
@@ -840,6 +846,7 @@ pub fn run_recovery_driven(
                 committee: committee.index,
                 evicted: None,
                 new_leader: None,
+                approvals,
                 rejection_reason: Some("referee committee rejected the evidence"),
             },
         );
@@ -874,6 +881,7 @@ pub fn run_recovery_driven(
                 committee: committee.index,
                 evicted: None,
                 new_leader: None,
+                approvals,
                 rejection_reason: Some("no partial-set member available to take over"),
             },
         );
@@ -896,7 +904,195 @@ pub fn run_recovery_driven(
             committee: committee.index,
             evicted: Some(accused),
             new_leader: Some(new_leader),
+            approvals,
             rejection_reason: None,
         },
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::AdversaryConfig;
+    use crate::sortition::{assign_round, AssignmentParams};
+    use cycledger_consensus::votes::Vote;
+    use cycledger_crypto::sha256::sha256;
+    use cycledger_ledger::workload::{Workload, WorkloadConfig};
+
+    struct Fixture {
+        registry: NodeRegistry,
+        committee: Committee,
+        referee: Vec<NodeId>,
+        utxo: UtxoSet,
+        offered: Vec<GeneratedTx>,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let registry = NodeRegistry::generate(24, &AdversaryConfig::default(), 200, 0, seed);
+        let reputation = ReputationTable::with_members(registry.ids());
+        let assignment = assign_round(
+            &registry,
+            &registry.ids(),
+            AssignmentParams {
+                committees: 1,
+                partial_set_size: 2,
+                referee_size: 5,
+            },
+            1,
+            sha256(b"driven-boundary"),
+            &reputation,
+        );
+        let committee = Committee::from_assignment(&assignment.committees[0], &registry);
+        let mut workload = Workload::new(WorkloadConfig {
+            num_shards: 1,
+            accounts_per_shard: 16,
+            genesis_amount: 1_000,
+            cross_shard_ratio: 0.0,
+            invalid_ratio: 0.0,
+            seed,
+        });
+        let utxo = workload.build_genesis_utxo_sets().remove(0);
+        let offered = workload.generate_batch(8);
+        Fixture {
+            registry,
+            committee,
+            referee: assignment.referee.clone(),
+            utxo,
+            offered,
+        }
+    }
+
+    /// A microsecond-granular latency profile where every intra-committee leg
+    /// samples to exactly 1µs (the only value in `(0, Δ]`), making arrival
+    /// instants exact.
+    fn unit_latency() -> LatencyConfig {
+        LatencyConfig {
+            delta: SimDuration::from_micros(1),
+            gamma: SimDuration::from_micros(2),
+            partial_bound: SimDuration::from_micros(3),
+        }
+    }
+
+    fn run(fx: &Fixture, plan: &FaultPlan) -> IntraOutcome {
+        let mut scratch = ShardScratch::default();
+        let (outcome, _) = run_intra_consensus_driven(
+            &fx.registry,
+            &fx.committee,
+            &fx.utxo,
+            &fx.offered,
+            &fx.referee,
+            1,
+            unit_latency(),
+            false,
+            1,
+            &mut scratch,
+            plan,
+        );
+        outcome
+    }
+
+    fn a_common_member(fx: &Fixture) -> NodeId {
+        *fx.committee
+            .members
+            .iter()
+            .find(|&&m| m != fx.committee.leader && !fx.committee.partial_set.contains(&m))
+            .expect("committee has a common member")
+    }
+
+    #[test]
+    fn vote_arriving_exactly_at_the_deadline_counts_toward_quorum() {
+        // With 1µs legs the delayed member's announcement lands at 2µs and
+        // its reply at 2 + 2·1µs = 4µs — exactly the 4Δ deadline instant.
+        // Inclusive deadline + the message-before-timer tie-break: the vote
+        // still counts, so nothing is missing and no timeout is recorded.
+        let fx = fixture(61);
+        let slow = a_common_member(&fx);
+        let plan = FaultPlan::default().with_delay(slow, SimDuration::from_micros(1));
+        let outcome = run(&fx, &plan);
+        assert_eq!(outcome.votes_missing, 0, "on-deadline vote was dropped");
+        assert!(!outcome.quorum_timeout);
+        assert!(outcome.certificate.is_some());
+        let row = outcome
+            .vote_list
+            .votes
+            .iter()
+            .find(|v| v.voter == slow)
+            .expect("slow member has a row");
+        assert!(
+            row.votes.iter().all(|&v| v != Vote::Unknown),
+            "the on-deadline vote must be the member's real opinion, not backfill"
+        );
+    }
+
+    #[test]
+    fn vote_arriving_one_microsecond_late_is_backfilled_unknown() {
+        // One extra microsecond per leg: the reply lands at 6µs, strictly
+        // after the 4µs deadline. The quorum-timeout fallback records the
+        // member as missing and backfills an all-`Unknown` row — never a
+        // manufactured `Yes`.
+        let fx = fixture(61);
+        let slow = a_common_member(&fx);
+        let plan = FaultPlan::default().with_delay(slow, SimDuration::from_micros(2));
+        let outcome = run(&fx, &plan);
+        assert_eq!(outcome.votes_missing, 1);
+        assert!(outcome.quorum_timeout);
+        // Vote accounting reconciles through the shared transition core:
+        // missing == expected − received.
+        assert_eq!(
+            outcome.votes_missing,
+            cycledger_consensus::transition::expected_votes_missing(
+                fx.committee.size(),
+                fx.committee.size() - 1
+            )
+        );
+        let row = outcome
+            .vote_list
+            .votes
+            .iter()
+            .find(|v| v.voter == slow)
+            .expect("missed member still has a backfilled row");
+        assert!(
+            row.votes.iter().all(|&v| v == Vote::Unknown),
+            "late voter must be backfilled all-Unknown"
+        );
+        // The full committee is represented after backfill.
+        assert_eq!(outcome.vote_list.voter_count(), fx.committee.size());
+    }
+
+    #[test]
+    fn fully_missing_committee_reconciles_to_size_minus_one() {
+        // Sever every non-leader member: only the leader's own locally
+        // recorded vote exists, so missing == C − 1 — the fully-missing end
+        // of the vote-accounting identity (the partially-missing end is the
+        // one-late-voter test above). A single Yes of C can never reach the
+        // strict majority, so every decision collapses to −1 and Algorithm 3
+        // has no quorum to certify.
+        let fx = fixture(61);
+        let severed: Vec<NodeId> = fx
+            .committee
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != fx.committee.leader)
+            .collect();
+        let plan = FaultPlan::partition(severed);
+        let outcome = run(&fx, &plan);
+        assert_eq!(
+            outcome.votes_missing,
+            cycledger_consensus::transition::expected_votes_missing(fx.committee.size(), 1)
+        );
+        assert_eq!(outcome.votes_missing, fx.committee.size() - 1);
+        assert!(outcome.quorum_timeout);
+        assert!(outcome.decision.iter().all(|&d| d == -1));
+        assert!(outcome.certificate.is_none());
+        // Backfill still yields a full V List — one real row, C−1 Unknowns.
+        assert_eq!(outcome.vote_list.voter_count(), fx.committee.size());
+        let unknown_rows = outcome
+            .vote_list
+            .votes
+            .iter()
+            .filter(|v| v.votes.iter().all(|&b| b == Vote::Unknown))
+            .count();
+        assert_eq!(unknown_rows, fx.committee.size() - 1);
+    }
 }

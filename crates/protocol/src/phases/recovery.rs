@@ -69,6 +69,9 @@ pub struct RecoveryOutcome {
     pub evicted: Option<NodeId>,
     /// The newly installed leader.
     pub new_leader: Option<NodeId>,
+    /// Impeachment approvals counted by the prosecutor (for the refinement
+    /// checker: `evicted.is_some()` must imply a committee majority).
+    pub approvals: usize,
     /// Why the impeachment failed (for diagnostics / tests).
     pub rejection_reason: Option<&'static str>,
 }
@@ -114,34 +117,38 @@ pub fn run_recovery(
             // in the simulator a witness only ever originates from a leader
             // that really misbehaved, so outcomes are unchanged (the same
             // contract as `MemberState::set_verify_signatures`).
-            accused == committee.leader
-                && (!verify_signatures || w.verify(&registry.node(accused).keypair.public))
+            cycledger_consensus::transition::signed_accusation_admissible(
+                accused == committee.leader,
+                !verify_signatures || w.verify(&registry.node(accused).keypair.public),
+            )
         }
         Accusation::Timeout {
             observed_by_committee,
             ..
-        } => accused == committee.leader && *observed_by_committee,
+        } => cycledger_consensus::transition::timeout_accusation_admissible(
+            accused == committee.leader,
+            *observed_by_committee,
+        ),
     };
     let mut approvals = 0usize;
     for &member in &committee.members {
         if member == accused {
             continue;
         }
-        let approves = if registry.node(member).is_honest() {
-            evidence_valid
-        } else {
-            true
-        };
-        if approves {
+        if cycledger_consensus::transition::member_approves_impeachment(
+            registry.node(member).is_honest(),
+            evidence_valid,
+        ) {
             approvals += 1;
         }
         metrics.record_message(phase, member, prosecutor, 8);
     }
-    if approvals < committee.majority() {
+    if !cycledger_consensus::transition::impeachment_passes(approvals, committee.size()) {
         return RecoveryOutcome {
             committee: committee.index,
             evicted: None,
             new_leader: None,
+            approvals,
             rejection_reason: Some("impeachment did not reach a committee majority"),
         };
     }
@@ -157,6 +164,7 @@ pub fn run_recovery(
             committee: committee.index,
             evicted: None,
             new_leader: None,
+            approvals,
             rejection_reason: Some("referee committee rejected the evidence"),
         };
     }
@@ -180,6 +188,7 @@ pub fn run_recovery(
             committee: committee.index,
             evicted: None,
             new_leader: None,
+            approvals,
             rejection_reason: Some("no partial-set member available to take over"),
         };
     }
@@ -199,6 +208,7 @@ pub fn run_recovery(
         committee: committee.index,
         evicted: Some(accused),
         new_leader: Some(new_leader),
+        approvals,
         rejection_reason: None,
     }
 }

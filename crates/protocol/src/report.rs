@@ -53,6 +53,13 @@ pub struct RecoveryRecord {
     /// The prosecuting partial-set member (`None` when the recovery was
     /// skipped for lack of one).
     pub prosecutor: Option<NodeId>,
+    /// Size of the committee at impeachment time (refinement denominator).
+    pub committee_size: usize,
+    /// Impeachment approvals the prosecutor counted (0 for skipped attempts).
+    /// Together with `committee_size` this lets the refinement checker assert
+    /// `Evicted ⇒ approvals ≥ ⌊C/2⌋+1`. Not part of the canonical bytes, so
+    /// the golden digests predating this field are unchanged.
+    pub approvals: usize,
     /// What the attempt did.
     pub outcome: RecoveryOutcome,
 }
@@ -517,6 +524,8 @@ mod tests {
                 accused: NodeId(1),
                 accused_was_honest: false,
                 prosecutor: Some(NodeId(2)),
+                committee_size: 5,
+                approvals: 4,
                 outcome: RecoveryOutcome::Evicted,
             }],
             fees_distributed: 10,
@@ -570,6 +579,8 @@ mod tests {
             accused: NodeId(9),
             accused_was_honest: true,
             prosecutor: Some(NodeId(3)),
+            committee_size: 5,
+            approvals: 3,
             outcome: RecoveryOutcome::Evicted,
         });
         report.recovery_log.push(RecoveryRecord {
@@ -577,6 +588,8 @@ mod tests {
             accused: NodeId(10),
             accused_was_honest: true,
             prosecutor: Some(NodeId(3)),
+            committee_size: 5,
+            approvals: 1,
             outcome: RecoveryOutcome::Rejected,
         });
         assert_eq!(report.punished_honest(), vec![NodeId(9)]);

@@ -16,6 +16,9 @@
 //! * [`baselines`] — Elastico / OmniLedger / RapidChain comparison models.
 //! * [`scenarios`] — declarative, invariant-gated scenario matrix (the
 //!   `scenario-runner` CLI and the golden-report regression gate).
+//! * [`checker`] — explicit-state model checker (exhaustive n = 4 / t = 1
+//!   enumeration) and refinement of recorded executions against the shared
+//!   decision core.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +38,7 @@
 
 pub use cycledger_analysis as analysis;
 pub use cycledger_baselines as baselines;
+pub use cycledger_checker as checker;
 pub use cycledger_consensus as consensus;
 pub use cycledger_crypto as crypto;
 pub use cycledger_ledger as ledger;
